@@ -1,0 +1,141 @@
+//! Architecture configuration — the paper's §VI-A operating point and knobs
+//! for the ablation studies.
+
+use hj_fpsim::OperatorLatencies;
+
+/// Complete configuration of the Hestenes-Jacobi architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchConfig {
+    /// Design clock in Hz (the paper executes at 150 MHz).
+    pub clock_hz: f64,
+    /// Floating-point operator latencies.
+    pub latencies: OperatorLatencies,
+    /// Multiplier-array layers in the Hestenes preprocessor.
+    pub preprocessor_layers: u64,
+    /// Multipliers per layer (the paper: 4 layers × 4 = 16 multipliers,
+    /// with 16 matching adders).
+    pub preprocessor_mults_per_layer: u64,
+    /// Independent rotations the Jacobi rotation component can start per
+    /// issue block (the paper: 8).
+    pub rotations_per_block: u64,
+    /// Cycles per rotation issue block (the paper: 64 — "8 independent
+    /// Jacobi rotations in every 64 clock cycles").
+    pub rotation_block_cycles: u64,
+    /// Update kernels in the dedicated Update operator (the paper: 8,
+    /// containing 32 multipliers and 16 adders/subtractors).
+    pub update_kernels: u64,
+    /// Extra update kernels gained by reconfiguring the preprocessor after
+    /// the first sweep (the paper: 4, from its 16 multipliers and 8 adders).
+    pub reconfigured_kernels: u64,
+    /// Largest column dimension whose packed covariance matrix is held
+    /// entirely in BRAM (the paper: 256).
+    pub bram_covariance_max_n: usize,
+    /// Off-chip streaming bandwidth, bytes per cycle.
+    pub offchip_bytes_per_cycle: f64,
+    /// Achieved fraction of streaming bandwidth on strided covariance spill
+    /// traffic.
+    pub offchip_strided_efficiency: f64,
+    /// Sweeps to execute (the paper: 6, "believed sufficient for achieving
+    /// convergence with certain thresholds").
+    pub sweeps: usize,
+    /// Vector pairs entering the architecture simultaneously (the paper's
+    /// Fig. 6 dashed-box group; matches `rotations_per_block`).
+    pub pair_group: usize,
+    /// Whether the preprocessor is reconfigured into extra update kernels
+    /// after the first sweep (the paper's §V-C resource-reuse trick).
+    /// Disable for the reconfiguration ablation.
+    pub enable_reconfiguration: bool,
+}
+
+impl ArchConfig {
+    /// The exact configuration of the paper's §VI-A implementation.
+    pub fn paper() -> Self {
+        ArchConfig {
+            clock_hz: 150.0e6,
+            latencies: OperatorLatencies::PAPER,
+            preprocessor_layers: 4,
+            preprocessor_mults_per_layer: 4,
+            rotations_per_block: 8,
+            rotation_block_cycles: 64,
+            update_kernels: 8,
+            reconfigured_kernels: 4,
+            bram_covariance_max_n: 256,
+            offchip_bytes_per_cycle: 18.0,
+            offchip_strided_efficiency: 0.25,
+            sweeps: 6,
+            pair_group: 8,
+            enable_reconfiguration: true,
+        }
+    }
+
+    /// Total preprocessor multipliers.
+    pub fn preprocessor_mults(&self) -> u64 {
+        self.preprocessor_layers * self.preprocessor_mults_per_layer
+    }
+
+    /// Update kernels available from the second sweep onward.
+    pub fn update_kernels_after_reconfig(&self) -> u64 {
+        self.update_kernels + self.reconfigured_kernels
+    }
+
+    /// Seconds represented by a cycle count at this clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+
+    /// Validate invariants; panics with a descriptive message on a
+    /// malformed configuration (configs are developer-provided constants,
+    /// not runtime input).
+    pub fn validate(&self) {
+        assert!(self.clock_hz > 0.0, "clock must be positive");
+        assert!(self.preprocessor_mults() > 0, "preprocessor needs multipliers");
+        assert!(self.rotations_per_block > 0 && self.rotation_block_cycles > 0);
+        assert!(self.update_kernels > 0, "update operator needs kernels");
+        assert!(self.sweeps > 0, "at least one sweep");
+        assert!(self.pair_group > 0, "pair group must be positive");
+        assert!(self.offchip_bytes_per_cycle > 0.0);
+        assert!(
+            self.offchip_strided_efficiency > 0.0 && self.offchip_strided_efficiency <= 1.0,
+            "strided efficiency must be in (0, 1]"
+        );
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_vi_a() {
+        let c = ArchConfig::paper();
+        c.validate();
+        assert_eq!(c.clock_hz, 150.0e6);
+        assert_eq!(c.preprocessor_mults(), 16);
+        assert_eq!(c.rotations_per_block, 8);
+        assert_eq!(c.rotation_block_cycles, 64);
+        assert_eq!(c.update_kernels, 8);
+        assert_eq!(c.update_kernels_after_reconfig(), 12);
+        assert_eq!(c.bram_covariance_max_n, 256);
+        assert_eq!(c.sweeps, 6);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let c = ArchConfig::paper();
+        assert!((c.seconds(150_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(c.seconds(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sweep")]
+    fn validate_rejects_zero_sweeps() {
+        let c = ArchConfig { sweeps: 0, ..ArchConfig::paper() };
+        c.validate();
+    }
+}

@@ -1,0 +1,266 @@
+//! Event-driven pipeline simulation — the cross-check for the closed-form
+//! timing model.
+//!
+//! [`crate::simulator`] computes sweep times analytically (max-of-streams
+//! plus fills). This module simulates the same machine cycle by cycle with
+//! explicit component state: the rotation unit issuing blocks on its
+//! cadence, the angle FIFO carrying `(cos, sin)` bundles to the update
+//! operator, the update operator draining element-pair work with
+//! back-pressure, and the sweep barrier at the end of each pass. Where the
+//! analytic model *assumes* overlap, the event simulation *produces* it —
+//! agreement between the two (pinned by the tests to a few percent) is the
+//! evidence that the Table I / Fig. 7–9 numbers are not artifacts of the
+//! overlap assumptions.
+//!
+//! The event simulation is `O(total cycles / step)` and meant for moderate
+//! sizes; the analytic estimator remains the tool for large grids.
+
+use crate::config::ArchConfig;
+use crate::schedule::preprocess_schedule;
+use hj_fpsim::{Cycles, Fifo};
+
+/// Result of an event-driven run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSimReport {
+    /// Total cycles from first input to last singular-value square root.
+    pub total_cycles: Cycles,
+    /// Cycles spent before the first sweep's rotations (Gram build).
+    pub preprocess_cycles: Cycles,
+    /// Per-sweep cycle counts.
+    pub sweep_cycles: Vec<Cycles>,
+    /// Number of cycles the update operator spent stalled waiting for
+    /// rotation results (pipeline bubbles).
+    pub update_idle_cycles: Cycles,
+    /// Number of cycles rotation issue was blocked by angle-FIFO
+    /// back-pressure.
+    pub rotation_stall_cycles: Cycles,
+    /// High-water mark of the angle FIFO.
+    pub angle_fifo_high_water: usize,
+}
+
+/// Per-sweep machine state for the event loop.
+struct SweepMachine {
+    /// Rotation blocks remaining to issue.
+    blocks_remaining: u64,
+    /// Rotations in the final (possibly partial) block.
+    last_block_rotations: u64,
+    /// Cycle at which the rotation unit may issue the next block.
+    next_issue_at: Cycles,
+    /// In-flight blocks: (completion_cycle, rotations).
+    in_flight: Vec<(Cycles, u64)>,
+    /// Element-pair updates queued at the update operator.
+    update_queue: u64,
+    /// Updates the kernels can retire per cycle.
+    kernels: u64,
+    /// Element pairs of update work generated per rotation.
+    pairs_per_rotation: u64,
+}
+
+/// Run the event-driven simulation for an `m × n` problem.
+///
+/// Functionally inert (no numerics) — this is a pure timing machine, the
+/// counterpart of [`crate::HestenesJacobiArch::estimate`].
+///
+/// ```
+/// use hj_arch::{event_sim::event_simulate, ArchConfig, HestenesJacobiArch};
+///
+/// let cfg = ArchConfig::paper();
+/// let ev = event_simulate(&cfg, 128, 64);
+/// let analytic = HestenesJacobiArch::new(cfg).estimate(128, 64);
+/// let ratio = ev.total_cycles as f64 / analytic.total_cycles as f64;
+/// assert!((0.8..1.25).contains(&ratio)); // two models, one machine
+/// ```
+pub fn event_simulate(config: &ArchConfig, m: usize, n: usize) -> EventSimReport {
+    config.validate();
+    let pairs = (n * n.saturating_sub(1) / 2) as u64;
+    let sched = preprocess_schedule(config, m, n);
+    let fill = config.latencies.mul.latency + config.latencies.add.latency;
+    let preprocess_cycles = sched.bound_cycles() + fill;
+    let rot_latency = config.latencies.rotation_critical_path();
+
+    let mut report = EventSimReport {
+        total_cycles: preprocess_cycles,
+        preprocess_cycles,
+        sweep_cycles: Vec::with_capacity(config.sweeps),
+        update_idle_cycles: 0,
+        rotation_stall_cycles: 0,
+        angle_fifo_high_water: 0,
+    };
+
+    let mut angle_fifo = Fifo::new("angle", 64, 127);
+
+    for sweep in 1..=config.sweeps {
+        let kernels = if sweep == 1 || !config.enable_reconfiguration {
+            config.update_kernels
+        } else {
+            config.update_kernels_after_reconfig()
+        };
+        // Sweep 1 also rotates the m-long columns.
+        let col_pairs = if sweep == 1 { m as u64 } else { 0 };
+        let pairs_per_rotation = n.saturating_sub(2) as u64 + col_pairs;
+
+        if pairs == 0 {
+            report.sweep_cycles.push(0);
+            continue;
+        }
+
+        let full_blocks = pairs / config.rotations_per_block;
+        let rem = pairs % config.rotations_per_block;
+        let mut machine = SweepMachine {
+            blocks_remaining: full_blocks + u64::from(rem > 0),
+            last_block_rotations: if rem > 0 { rem } else { config.rotations_per_block },
+            next_issue_at: 0,
+            in_flight: Vec::new(),
+            update_queue: 0,
+            kernels,
+            pairs_per_rotation,
+        };
+
+        let mut cycle: Cycles = 0;
+        // Run until all rotations issued, all results landed, and the
+        // update queue drained.
+        loop {
+            // 1. Rotation issue.
+            if machine.blocks_remaining > 0 && cycle >= machine.next_issue_at {
+                // Back-pressure: each in-flight block will deposit its
+                // rotations' angle bundles into the FIFO; refuse to issue
+                // if the FIFO could overflow.
+                let pending: usize =
+                    machine.in_flight.iter().map(|&(_, r)| r as usize).sum::<usize>()
+                        + angle_fifo.occupancy();
+                if pending + config.rotations_per_block as usize <= angle_fifo.capacity() {
+                    let rotations = if machine.blocks_remaining == 1 {
+                        machine.last_block_rotations
+                    } else {
+                        config.rotations_per_block
+                    };
+                    machine.in_flight.push((cycle + rot_latency, rotations));
+                    machine.next_issue_at = cycle + config.rotation_block_cycles;
+                    machine.blocks_remaining -= 1;
+                } else {
+                    report.rotation_stall_cycles += 1;
+                }
+            }
+
+            // 2. Rotation results land in the angle FIFO.
+            machine.in_flight.retain(|&(done_at, rotations)| {
+                if done_at <= cycle {
+                    for _ in 0..rotations {
+                        let _ = angle_fifo.push();
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            report.angle_fifo_high_water =
+                report.angle_fifo_high_water.max(angle_fifo.occupancy());
+
+            // 3. Update operator consumes one angle bundle's work at a time.
+            if machine.update_queue == 0 && !angle_fifo.is_empty() {
+                let _ = angle_fifo.pop();
+                machine.update_queue += machine.pairs_per_rotation;
+            }
+            if machine.update_queue > 0 {
+                machine.update_queue = machine.update_queue.saturating_sub(machine.kernels);
+            } else if machine.blocks_remaining > 0 || !machine.in_flight.is_empty() {
+                report.update_idle_cycles += 1;
+            }
+
+            // Termination.
+            if machine.blocks_remaining == 0
+                && machine.in_flight.is_empty()
+                && angle_fifo.is_empty()
+                && machine.update_queue == 0
+            {
+                break;
+            }
+            cycle += 1;
+        }
+        // Update-kernel pipeline drain.
+        let sweep_total = cycle + fill;
+        report.sweep_cycles.push(sweep_total);
+        report.total_cycles += sweep_total;
+    }
+
+    // Finalization square roots.
+    report.total_cycles += config.latencies.sqrt.cycles_for(n as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HestenesJacobiArch;
+
+    #[test]
+    fn agrees_with_analytic_model_within_tolerance() {
+        let cfg = ArchConfig::paper();
+        let arch = HestenesJacobiArch::paper();
+        for &(m, n) in &[(64usize, 32usize), (128, 64), (256, 128), (128, 200)] {
+            let ev = event_simulate(&cfg, m, n);
+            let an = arch.estimate(m, n);
+            let ratio = ev.total_cycles as f64 / an.total_cycles as f64;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{m}x{n}: event {} vs analytic {} (ratio {ratio:.3})",
+                ev.total_cycles,
+                an.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn update_bound_sweeps_keep_kernels_busy() {
+        // Large n: updates dominate, so idle cycles are a tiny fraction.
+        let cfg = ArchConfig::paper();
+        let ev = event_simulate(&cfg, 64, 160);
+        let total: Cycles = ev.sweep_cycles.iter().sum();
+        assert!(
+            (ev.update_idle_cycles as f64) < 0.1 * total as f64,
+            "idle {} of {}",
+            ev.update_idle_cycles,
+            total
+        );
+    }
+
+    #[test]
+    fn small_n_is_rotation_issue_bound() {
+        // Tiny n: the update operator starves while rotations trickle in.
+        let cfg = ArchConfig::paper();
+        let ev = event_simulate(&cfg, 32, 8);
+        assert!(ev.update_idle_cycles > 0);
+    }
+
+    #[test]
+    fn fifo_backpressure_engages_for_large_n() {
+        // When each rotation generates ≫ 64 cycles of update work, issue
+        // must eventually stall on the angle FIFO.
+        let cfg = ArchConfig::paper();
+        let ev = event_simulate(&cfg, 32, 256);
+        assert!(ev.rotation_stall_cycles > 0, "expected back-pressure stalls");
+        assert!(ev.angle_fifo_high_water <= 64);
+    }
+
+    #[test]
+    fn sweep_one_is_heavier_with_column_updates() {
+        let cfg = ArchConfig::paper();
+        let ev = event_simulate(&cfg, 512, 64);
+        assert!(
+            ev.sweep_cycles[0] > 2 * ev.sweep_cycles[1],
+            "sweep 1 {} vs sweep 2 {}",
+            ev.sweep_cycles[0],
+            ev.sweep_cycles[1]
+        );
+        // Later sweeps are identical.
+        assert_eq!(ev.sweep_cycles[2], ev.sweep_cycles[3]);
+    }
+
+    #[test]
+    fn degenerate_single_column() {
+        let cfg = ArchConfig::paper();
+        let ev = event_simulate(&cfg, 16, 1);
+        assert_eq!(ev.sweep_cycles, vec![0; 6]);
+        assert!(ev.total_cycles > 0, "preprocess + finalize still cost cycles");
+    }
+}

@@ -1,0 +1,56 @@
+//! # hj-arch — cycle-level simulator of the paper's architecture
+//!
+//! The Hestenes-Jacobi SVD architecture of Wang & Zambreno, assembled from
+//! the `hj-fpsim` component models:
+//!
+//! * [`config`] — the §VI-A operating point (150 MHz, 4×4 multiplier
+//!   layers, 8 rotations / 64 cycles, 8+4 update kernels, n ≤ 256
+//!   BRAM-resident covariances, 6 sweeps) and ablation knobs.
+//! * [`preprocessor`] — the multiplier-array Gram builder (Figs. 2–3).
+//! * [`rotation_unit`] — the shared-core eq. (8)–(10) rotation datapath
+//!   (Fig. 4).
+//! * [`update_operator`] — the update-kernel array (Fig. 5) with the
+//!   post-first-sweep preprocessor reconfiguration.
+//! * [`memory_system`] — BRAM residency vs. off-chip spill (the n > 256
+//!   I/O cliff).
+//! * [`simulator`] — the assembled machine: functional execution with
+//!   cycle accounting ([`HestenesJacobiArch::simulate`]) and the matching
+//!   fast timing estimator ([`HestenesJacobiArch::estimate`]).
+//! * [`resources_report`] — the Table II bill-of-materials reproduction.
+//!
+//! ## Example
+//!
+//! ```
+//! use hj_arch::HestenesJacobiArch;
+//! use hj_matrix::gen;
+//!
+//! let arch = HestenesJacobiArch::paper();
+//! let a = gen::uniform(64, 32, 1);
+//! let report = arch.simulate(&a).unwrap();
+//! assert_eq!(report.singular_values.as_ref().unwrap().len(), 32);
+//! println!("{} cycles = {:.3} ms", report.total_cycles, report.seconds * 1e3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bit_exact;
+pub mod config;
+pub mod event_sim;
+pub mod memory_system;
+pub mod multi_ae;
+pub mod preprocessor;
+pub mod resources_report;
+pub mod rotation_unit;
+pub mod schedule;
+pub mod simulator;
+pub mod trace;
+pub mod update_operator;
+
+pub use config::ArchConfig;
+pub use memory_system::{CovariancePlacement, MemorySystem};
+pub use preprocessor::HestenesPreprocessor;
+pub use resources_report::{resource_usage, table2};
+pub use rotation_unit::JacobiRotationUnit;
+pub use simulator::{ArchError, HestenesJacobiArch, SimulationReport, SweepCycles};
+pub use update_operator::UpdateOperator;

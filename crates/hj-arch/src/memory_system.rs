@@ -1,0 +1,137 @@
+//! The memory system: on-chip covariance storage vs. off-chip spill.
+//!
+//! "The whole covariance matrix can be stored in the local memory for
+//! matrices of column dimension no greater than 256" (§VI-A); beyond that
+//! the covariances live in the Convey HC-2's off-chip memory and every sweep
+//! pays to pull them through the I/O pipes — the cause of the paper's
+//! observed slowdown for `n > 512` (§VI-B). The input matrix itself always
+//! streams from off-chip (that is what lifts the dimension restriction of
+//! the on-chip-only designs, §I).
+
+use crate::config::ArchConfig;
+use hj_fpsim::{Bram, Cycles, OffChipChannel};
+
+/// Where the covariance matrix lives for a given column dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CovariancePlacement {
+    /// Fully resident in BRAM — covariance traffic is free (overlapped with
+    /// compute through the dual ports).
+    OnChip,
+    /// Spilled to off-chip memory — each sweep streams the packed triangle
+    /// in and out once, plus strided row-gather traffic per rotation group.
+    OffChip,
+}
+
+/// Per-sweep I/O cycle report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoReport {
+    /// Cycles to stream the input matrix (charged once, in sweep 1).
+    pub matrix_stream_cycles: Cycles,
+    /// Cycles of covariance spill traffic per sweep (0 when on-chip).
+    pub covariance_spill_cycles_per_sweep: Cycles,
+    /// Placement decision.
+    pub placement: CovariancePlacement,
+}
+
+/// The memory system model.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    channel: OffChipChannel,
+    covariance_bram: Bram,
+}
+
+impl MemorySystem {
+    /// Instantiate per the configuration.
+    pub fn new(config: ArchConfig) -> Self {
+        let max_words = (config.bram_covariance_max_n * (config.bram_covariance_max_n + 1) / 2) as u64;
+        MemorySystem {
+            channel: OffChipChannel::new(
+                config.offchip_bytes_per_cycle,
+                config.offchip_strided_efficiency,
+            ),
+            covariance_bram: Bram::for_doubles("covariance", max_words),
+        }
+    }
+
+    /// Placement decision for an `n`-column problem.
+    pub fn placement(&self, n: usize) -> CovariancePlacement {
+        let words = (n * (n + 1) / 2) as u64;
+        if self.covariance_bram.fits(words) {
+            CovariancePlacement::OnChip
+        } else {
+            CovariancePlacement::OffChip
+        }
+    }
+
+    /// Account the I/O of one full run on an `m × n` input.
+    pub fn io_for(&mut self, m: usize, n: usize) -> IoReport {
+        let placement = self.placement(n);
+        // The matrix streams from off-chip once (sweep 1's preprocessing).
+        let matrix_bytes = (m * n * 8) as u64;
+        let matrix_stream_cycles = self.channel.stream(matrix_bytes);
+        let covariance_spill_cycles_per_sweep = match placement {
+            CovariancePlacement::OnChip => 0,
+            CovariancePlacement::OffChip => {
+                // Packed triangle out and back once per sweep (strided: the
+                // update pattern walks rows and columns of the triangle).
+                let packed_bytes = (n * (n + 1) / 2 * 8) as u64;
+                self.channel.strided(2 * packed_bytes)
+            }
+        };
+        IoReport { matrix_stream_cycles, covariance_spill_cycles_per_sweep, placement }
+    }
+
+    /// BRAM blocks consumed by the covariance store.
+    pub fn covariance_bram_blocks(&self) -> u64 {
+        self.covariance_bram.bram36_blocks()
+    }
+
+    /// Total bytes moved off-chip so far (both directions, both patterns).
+    pub fn offchip_bytes(&self) -> u64 {
+        self.channel.bytes_streamed() + self.channel.bytes_strided()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_threshold_at_256() {
+        let m = MemorySystem::new(ArchConfig::paper());
+        assert_eq!(m.placement(128), CovariancePlacement::OnChip);
+        assert_eq!(m.placement(256), CovariancePlacement::OnChip);
+        assert_eq!(m.placement(257), CovariancePlacement::OffChip);
+        assert_eq!(m.placement(1024), CovariancePlacement::OffChip);
+    }
+
+    #[test]
+    fn on_chip_runs_have_no_spill() {
+        let mut m = MemorySystem::new(ArchConfig::paper());
+        let r = m.io_for(512, 128);
+        assert_eq!(r.covariance_spill_cycles_per_sweep, 0);
+        assert!(r.matrix_stream_cycles > 0);
+    }
+
+    #[test]
+    fn off_chip_spill_grows_quadratically() {
+        let mut m = MemorySystem::new(ArchConfig::paper());
+        let r512 = m.io_for(128, 512).covariance_spill_cycles_per_sweep;
+        let r1024 = m.io_for(128, 1024).covariance_spill_cycles_per_sweep;
+        let ratio = r1024 as f64 / r512 as f64;
+        assert!((3.5..4.5).contains(&ratio), "spill should scale ~n²: ratio {ratio}");
+    }
+
+    #[test]
+    fn bram_budget_matches_fpsim_model() {
+        let m = MemorySystem::new(ArchConfig::paper());
+        assert_eq!(m.covariance_bram_blocks(), 66);
+    }
+
+    #[test]
+    fn offchip_byte_accounting() {
+        let mut m = MemorySystem::new(ArchConfig::paper());
+        m.io_for(100, 10);
+        assert_eq!(m.offchip_bytes(), 100 * 10 * 8);
+    }
+}

@@ -1,0 +1,187 @@
+//! Multi-AE scaling model — projecting the architecture across the Convey
+//! HC-2's four application engines.
+//!
+//! The paper implements its design on **one** of the HC-2's four FPGAs and
+//! leaves scaling as future work. This module models the natural
+//! data-parallel extension: replicate the covariance matrix on every AE,
+//! broadcast each group's rotation parameters, and partition the
+//! element-pair update work (the dominant cost, §V-C) across engines.
+//! Per sweep:
+//!
+//! * rotation issue stays serial on one AE (it is already fast: 8/64
+//!   cycles, and its inputs — three scalars per pair — are cheap to ship);
+//! * update work divides by the engine count;
+//! * every group adds a broadcast of its `(cos, sin)` pairs through the
+//!   coprocessor's shared memory (latency per hop configurable).
+//!
+//! The model exposes the expected Amdahl behaviour: near-linear gains while
+//! updates dominate, saturating at the rotation-issue rate — with the
+//! crossover visible per matrix size. This is explicitly an *extension
+//! study* (labelled as such in DESIGN.md), not a reproduction of a paper
+//! experiment.
+
+use crate::config::ArchConfig;
+use crate::schedule::preprocess_schedule;
+use hj_fpsim::Cycles;
+
+/// Parameters of the multi-AE projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiAeConfig {
+    /// The per-AE architecture (the paper's §VI-A instance by default).
+    pub base: ArchConfig,
+    /// Number of application engines (the HC-2 has 4).
+    pub engines: u64,
+    /// Steady-state cycles to broadcast one rotation group's parameters to
+    /// all engines. The raw AE-to-memory round trip is 100–200 cycles, but
+    /// broadcasts of successive groups pipeline, so the steady-state cost
+    /// is bandwidth-bound: one group is 8 rotations × 2 doubles = 128 bytes,
+    /// ~8 cycles on the shared crossbar plus arbitration margin.
+    pub broadcast_cycles: Cycles,
+}
+
+impl MultiAeConfig {
+    /// The four-engine HC-2 configuration.
+    pub fn hc2() -> Self {
+        MultiAeConfig { base: ArchConfig::paper(), engines: 4, broadcast_cycles: 16 }
+    }
+}
+
+/// Per-run cycle estimate for the multi-AE machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiAeEstimate {
+    /// Total cycles.
+    pub total_cycles: Cycles,
+    /// Single-engine total for the same problem (the paper's machine).
+    pub single_engine_cycles: Cycles,
+    /// Engines configured.
+    pub engines: u64,
+}
+
+impl MultiAeEstimate {
+    /// Speedup over the single-engine architecture.
+    pub fn speedup(&self) -> f64 {
+        self.single_engine_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Parallel efficiency ∈ (0, 1].
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.engines as f64
+    }
+}
+
+/// Estimate an `m × n` decomposition on the multi-AE machine.
+///
+/// ```
+/// use hj_arch::multi_ae::{estimate, MultiAeConfig};
+///
+/// let e = estimate(&MultiAeConfig::hc2(), 512, 512);
+/// // Update-bound sizes scale well across the HC-2's four engines:
+/// assert!(e.speedup() > 2.5 && e.speedup() <= 4.0);
+/// ```
+pub fn estimate(config: &MultiAeConfig, m: usize, n: usize) -> MultiAeEstimate {
+    assert!(config.engines >= 1, "at least one engine");
+    let base = &config.base;
+    base.validate();
+    let single = crate::HestenesJacobiArch::new(*base).estimate(m, n);
+
+    let pairs = (n * n.saturating_sub(1) / 2) as u64;
+    let groups = pairs.div_ceil(base.rotations_per_block);
+    let fill = base.latencies.rotation_critical_path()
+        + base.latencies.mul.latency
+        + base.latencies.add.latency;
+
+    // Preprocessing parallelizes across engines by row chunks (each engine
+    // builds partial Gram sums over its rows; a reduction merges them —
+    // charged as one extra pass over the packed triangle through memory).
+    let sched = preprocess_schedule(base, m, n);
+    let packed_words = (n * (n + 1) / 2) as u64;
+    let reduce_cycles = if config.engines > 1 {
+        (packed_words * 8).div_ceil(base.offchip_bytes_per_cycle as u64)
+            * (config.engines - 1)
+    } else {
+        0
+    };
+    let pre = sched.bound_cycles().div_ceil(config.engines) + reduce_cycles + fill;
+
+    let mut total = pre;
+    for s in 1..=base.sweeps {
+        let kernels = if s == 1 || !base.enable_reconfiguration {
+            base.update_kernels
+        } else {
+            base.update_kernels_after_reconfig()
+        } * config.engines;
+        let cov_pairs = pairs * (n.saturating_sub(2)) as u64;
+        let col_pairs = if s == 1 { pairs * m as u64 } else { 0 };
+        let update_cycles = (cov_pairs + col_pairs).div_ceil(kernels);
+        // Steady-state pipeline: each group flows through issue → broadcast
+        // → update, with successive groups overlapping; the sweep runs at
+        // the pace of the slowest stage.
+        let per_group_update = update_cycles.div_ceil(groups.max(1));
+        let broadcast = if config.engines > 1 { config.broadcast_cycles } else { 0 };
+        let per_group = base.rotation_block_cycles.max(per_group_update).max(broadcast);
+        let sweep_total = groups * per_group + fill;
+        total += sweep_total;
+    }
+    total += base.latencies.sqrt.cycles_for(n as u64);
+
+    MultiAeEstimate {
+        total_cycles: total,
+        single_engine_cycles: single.total_cycles,
+        engines: config.engines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_engine_is_close_to_the_single_machine() {
+        let cfg = MultiAeConfig { engines: 1, ..MultiAeConfig::hc2() };
+        let e = estimate(&cfg, 256, 256);
+        let ratio = e.total_cycles as f64 / e.single_engine_cycles as f64;
+        assert!((0.9..1.1).contains(&ratio), "1-engine ratio {ratio}");
+    }
+
+    #[test]
+    fn update_bound_sizes_scale_well() {
+        // Large n: updates dominate, 4 engines should give ≥ 2.5x.
+        let e = estimate(&MultiAeConfig::hc2(), 512, 512);
+        assert!(e.speedup() > 2.5, "speedup {}", e.speedup());
+        assert!(e.efficiency() <= 1.01);
+    }
+
+    #[test]
+    fn issue_bound_sizes_saturate() {
+        // Small n: the serial rotation unit caps the gain.
+        let small = estimate(&MultiAeConfig::hc2(), 64, 24);
+        let large = estimate(&MultiAeConfig::hc2(), 512, 512);
+        assert!(small.speedup() < large.speedup(), "{} vs {}", small.speedup(), large.speedup());
+    }
+
+    #[test]
+    fn more_engines_never_slower() {
+        for &(m, n) in &[(128usize, 128usize), (1024, 256)] {
+            let mut prev = u64::MAX;
+            for engines in [1u64, 2, 4, 8] {
+                let cfg = MultiAeConfig { engines, ..MultiAeConfig::hc2() };
+                let e = estimate(&cfg, m, n);
+                assert!(
+                    e.total_cycles <= prev,
+                    "{engines} engines slower at {m}x{n}: {} > {prev}",
+                    e.total_cycles
+                );
+                prev = e.total_cycles;
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_bounded_by_engine_count() {
+        for engines in [2u64, 4, 8] {
+            let cfg = MultiAeConfig { engines, ..MultiAeConfig::hc2() };
+            let e = estimate(&cfg, 512, 512);
+            assert!(e.speedup() <= engines as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Resource report — the Table II reproduction.
+//!
+//! Builds the bill of materials of the configured architecture against the
+//! paper's XC5VLX330 and reports the three utilization figures of Table II
+//! (slice LUTs, BRAM, DSPs). The FP-operator counts follow §VI-A exactly;
+//! memory line items follow §V/§VI-A (covariance store sized for n = 256,
+//! per-pair column caches, angle-parameter RAMs, the three FIFO groups);
+//! the fixed "platform" item models the Convey HC-2 personality framework
+//! (memory-controller ports, crossbar, dispatch) that any HC-2 design
+//! carries.
+
+use crate::config::ArchConfig;
+use hj_fpsim::resources::{ChipCapacity, ResourceCost, ResourceUsage};
+use hj_fpsim::{Bram, FpOp};
+
+/// Largest row dimension the column caches are provisioned for (the paper
+/// evaluates rows up to 2048).
+pub const COLUMN_CACHE_DEPTH: u64 = 2048;
+
+/// Pending-rotation angle-parameter buffer depth (cos/sin pairs).
+pub const ANGLE_BUFFER_DEPTH: u64 = 4096;
+
+/// Per-FIFO control logic (flags, pointers, CDC) in LUTs.
+const FIFO_CTRL_LUTS: u64 = 400;
+
+/// Scheduling / sequencing / reconfiguration control logic in LUTs.
+const CONTROL_LUTS: u64 = 22_000;
+
+/// Convey HC-2 personality framework: memory controllers, crossbar ports,
+/// instruction dispatch. A large fixed cost on every HC-2 design.
+const PLATFORM_LUTS: u64 = 60_000;
+const PLATFORM_DSPS: u64 = 4;
+const PLATFORM_BRAM36: u64 = 52;
+
+/// Build the full resource usage of the architecture.
+pub fn resource_usage(config: &ArchConfig) -> ResourceUsage {
+    let mut u = ResourceUsage::new();
+
+    // Hestenes preprocessor: 16 multipliers + 16 adders (§VI-A).
+    let pre_mults = config.preprocessor_mults();
+    u.add_ops("preprocessor", FpOp::Mul, pre_mults);
+    u.add_ops("preprocessor", FpOp::Add, pre_mults);
+
+    // Jacobi rotation component: 1 multiplier, 2 adders, 1 divider,
+    // 1 square-root (§VI-A).
+    u.add_ops("rotation", FpOp::Mul, 1);
+    u.add_ops("rotation", FpOp::Add, 2);
+    u.add_ops("rotation", FpOp::Div, 1);
+    u.add_ops("rotation", FpOp::Sqrt, 1);
+
+    // Update operator: 8 kernels = 32 multipliers + 8 adders + 8
+    // subtractors (§VI-A: "32 multipliers and 16 adders or subtractors").
+    let kernels = config.update_kernels;
+    u.add_ops("update", FpOp::Mul, 4 * kernels);
+    u.add_ops("update", FpOp::Add, kernels);
+    u.add_ops("update", FpOp::Sub, kernels);
+
+    // FIFOs: two groups of eight 64-bit + one group of eight 127-bit
+    // (§VI-A). Control logic in LUTs, storage in BRAM.
+    let fifo_count = 24u64;
+    u.add_logic("fifos", ResourceCost { luts: fifo_count * FIFO_CTRL_LUTS, dsps: 0 });
+    for _ in 0..16 {
+        u.add_bram36("fifos", Bram::new("io-fifo", 512, 64).bram36_blocks());
+    }
+    for _ in 0..8 {
+        u.add_bram36("fifos", Bram::new("internal-fifo", 512, 127).bram36_blocks());
+    }
+
+    // Covariance store: packed triangle for the largest BRAM-resident n.
+    let cov_words = (config.bram_covariance_max_n * (config.bram_covariance_max_n + 1) / 2) as u64;
+    u.add_bram36("covariance", Bram::for_doubles("covariance", cov_words).bram36_blocks());
+
+    // Column caches: one pair-group of column pairs at full depth.
+    let columns = 2 * config.pair_group as u64;
+    let per_col = Bram::for_doubles("column", COLUMN_CACHE_DEPTH).bram36_blocks();
+    u.add_bram36("column-cache", columns * per_col);
+
+    // Angle-parameter RAMs: cos and sin streams for pending rotations.
+    let angle = Bram::for_doubles("angles", ANGLE_BUFFER_DEPTH).bram36_blocks();
+    u.add_bram36("angle-buffers", 2 * angle);
+
+    // Control and platform.
+    u.add_logic("control", ResourceCost { luts: CONTROL_LUTS, dsps: 0 });
+    u.add_logic("platform", ResourceCost { luts: PLATFORM_LUTS, dsps: PLATFORM_DSPS });
+    u.add_bram36("platform", PLATFORM_BRAM36);
+
+    u
+}
+
+/// The Table II row: `(LUT %, BRAM %, DSP %)` on the paper's device.
+pub fn table2(config: &ArchConfig) -> (f64, f64, f64) {
+    resource_usage(config).utilization(&ChipCapacity::XC5VLX330)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2_within_three_points() {
+        // Paper Table II: 89 % LUT, 91 % BRAM, 53 % DSP.
+        let (lut, bram, dsp) = table2(&ArchConfig::paper());
+        assert!((lut - 89.0).abs() < 3.0, "LUT {lut}% vs paper 89%");
+        assert!((bram - 91.0).abs() < 3.0, "BRAM {bram}% vs paper 91%");
+        assert!((dsp - 53.0).abs() < 3.0, "DSP {dsp}% vs paper 53%");
+    }
+
+    #[test]
+    fn design_fits_the_chip() {
+        let u = resource_usage(&ArchConfig::paper());
+        assert!(u.fits(&ChipCapacity::XC5VLX330));
+    }
+
+    #[test]
+    fn operator_counts_match_section_vi_a() {
+        // 16 (preprocessor) + 1 (rotation) + 32 (update) = 49 multipliers,
+        // each 2 DSPs, plus 4 platform DSPs = 102.
+        let u = resource_usage(&ArchConfig::paper());
+        assert_eq!(u.dsps(), 49 * 2 + 4);
+    }
+
+    #[test]
+    fn more_kernels_cost_more() {
+        let base = resource_usage(&ArchConfig::paper());
+        let bigger = resource_usage(&ArchConfig { update_kernels: 16, ..ArchConfig::paper() });
+        assert!(bigger.luts() > base.luts());
+        assert!(bigger.dsps() > base.dsps());
+    }
+}

@@ -1,0 +1,193 @@
+//! The Jacobi rotation component (the paper's §V-B, Fig. 4).
+//!
+//! Evaluates the flattened rotation-parameter equations (8)–(10) on shared
+//! double-precision cores — 1 multiplier, 2 adders, 1 divider, 1 square-root
+//! unit — which "can start 8 independent Jacobi rotations in every 64 clock
+//! cycles" (§VI-A). After convergence, the same square-root unit finalizes
+//! the SVD by taking the roots of the diagonal covariances.
+
+use crate::config::ArchConfig;
+use hj_core::rotation::{hardware_params, Rotation};
+use hj_fpsim::Cycles;
+
+/// The rotation unit: timing plus the functional eq. (8)–(10) arithmetic.
+#[derive(Debug, Clone)]
+pub struct JacobiRotationUnit {
+    config: ArchConfig,
+    rotations_issued: u64,
+    blocks_issued: u64,
+}
+
+impl JacobiRotationUnit {
+    /// Instantiate per the configuration.
+    pub fn new(config: ArchConfig) -> Self {
+        JacobiRotationUnit { config, rotations_issued: 0, blocks_issued: 0 }
+    }
+
+    /// Issue a batch of `n` independent rotations; returns the cycles until
+    /// the batch has *issued* (throughput cost). The pipeline-fill latency
+    /// of the first result is [`JacobiRotationUnit::result_latency`] and is
+    /// charged once per phase by the simulator, not per batch.
+    pub fn issue(&mut self, n: u64) -> Cycles {
+        if n == 0 {
+            return 0;
+        }
+        let blocks = n.div_ceil(self.config.rotations_per_block);
+        self.rotations_issued += n;
+        self.blocks_issued += blocks;
+        blocks * self.config.rotation_block_cycles
+    }
+
+    /// Pure query form of [`JacobiRotationUnit::issue`].
+    pub fn cycles_for(&self, n: u64) -> Cycles {
+        if n == 0 {
+            0
+        } else {
+            n.div_ceil(self.config.rotations_per_block) * self.config.rotation_block_cycles
+        }
+    }
+
+    /// Latency from operand arrival to `(cos, sin, t)` availability: the
+    /// eq. (8)–(10) critical path on the configured cores.
+    pub fn result_latency(&self) -> Cycles {
+        self.config.latencies.rotation_critical_path()
+    }
+
+    /// Functional arithmetic: exactly the hardware's eqs. (8)–(10).
+    pub fn compute(&self, norm_i: f64, norm_j: f64, cov: f64) -> Rotation {
+        hardware_params(norm_i, norm_j, cov)
+    }
+
+    /// Bit-accurate evaluation of the eq. (8)–(10) dataflow on the softfloat
+    /// operator models of [`hj_fpsim::arith`] — every intermediate value is
+    /// what the Coregen cores would produce, including their rounding.
+    ///
+    /// This is the *literal* Fig. 4 datapath (no `hypot` rescue): it
+    /// computes `Δ² + 4c²` directly, so for inputs beyond ~1e154 the
+    /// intermediates overflow exactly as the silicon's would. The simulator
+    /// uses [`JacobiRotationUnit::compute`] (algebraically identical, range
+    /// protected) by default; this entry point exists to let tests and
+    /// studies pin the hardware arithmetic itself.
+    pub fn compute_bit_accurate(&self, norm_i: f64, norm_j: f64, cov: f64) -> Rotation {
+        use hj_fpsim::arith::{add, div, mul, sqrt, sub};
+        if cov == 0.0 {
+            return Rotation::IDENTITY;
+        }
+        let delta = sub(norm_j, norm_i);
+        let abs_delta = delta.abs();
+        let two_cov = add(cov, cov);
+        // r = √(Δ² + 4c²)
+        let delta_sq = mul(delta, delta);
+        let four_c_sq = mul(two_cov, two_cov);
+        let r = sqrt(add(delta_sq, four_c_sq));
+        // eq. (8): |t| = 2|c| / (|Δ| + r)
+        let t_mag = div(two_cov.abs(), add(abs_delta, r));
+        // eq. (9)/(10) share the denominator r·(r + |Δ|).
+        let denom = mul(r, add(r, abs_delta));
+        let two_c_sq = mul(mul(cov, cov), 2.0);
+        let cos = sqrt(div(sub(denom, two_c_sq), denom));
+        let sin_mag = sqrt(div(two_c_sq, denom));
+        let positive = delta == 0.0 || (delta >= 0.0) == (cov >= 0.0);
+        let sign = if positive { 1.0 } else { -1.0 };
+        Rotation { cos, sin: sign * sin_mag, t: sign * t_mag }
+    }
+
+    /// Cycles for the finalization pass: `n` square roots of the diagonal
+    /// through the single sqrt core.
+    pub fn finalize_cycles(&self, n: u64) -> Cycles {
+        self.config.latencies.sqrt.cycles_for(n)
+    }
+
+    /// Rotations issued so far.
+    pub fn rotations_issued(&self) -> u64 {
+        self.rotations_issued
+    }
+
+    /// Issue blocks consumed so far.
+    pub fn blocks_issued(&self) -> u64 {
+        self.blocks_issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_core::rotation::textbook_params;
+
+    #[test]
+    fn throughput_is_eight_per_64_cycles() {
+        let mut u = JacobiRotationUnit::new(ArchConfig::paper());
+        assert_eq!(u.issue(8), 64);
+        assert_eq!(u.issue(9), 128);
+        assert_eq!(u.issue(0), 0);
+        assert_eq!(u.rotations_issued(), 17);
+        assert_eq!(u.blocks_issued(), 3);
+    }
+
+    #[test]
+    fn cycles_for_is_pure() {
+        let u = JacobiRotationUnit::new(ArchConfig::paper());
+        assert_eq!(u.cycles_for(64), 8 * 64);
+        assert_eq!(u.rotations_issued(), 0);
+    }
+
+    #[test]
+    fn result_latency_is_critical_path() {
+        let u = JacobiRotationUnit::new(ArchConfig::paper());
+        assert_eq!(u.result_latency(), 231);
+    }
+
+    #[test]
+    fn functional_matches_textbook() {
+        let u = JacobiRotationUnit::new(ArchConfig::paper());
+        let hw = u.compute(2.0, 5.0, 1.2);
+        let tx = textbook_params(2.0, 5.0, 1.2);
+        assert!((hw.cos - tx.cos).abs() < 1e-13);
+        assert!((hw.sin - tx.sin).abs() < 1e-13);
+    }
+
+    #[test]
+    fn bit_accurate_matches_native_dataflow_exactly() {
+        // The softfloat path must equal the same dataflow evaluated with
+        // native IEEE arithmetic, bit for bit.
+        let u = JacobiRotationUnit::new(ArchConfig::paper());
+        for &(n1, n2, c) in &[(1.0, 2.0, 0.5), (3.5, 0.25, -1.125), (7.0, 7.0, 2.0)] {
+            let hw = u.compute_bit_accurate(n1, n2, c);
+            let native = {
+                let delta = n2 - n1;
+                let two_cov = c + c;
+                let r = (delta * delta + two_cov * two_cov).sqrt();
+                let t_mag = two_cov.abs() / (delta.abs() + r);
+                let denom = r * (r + delta.abs());
+                let two_c_sq = (c * c) * 2.0;
+                let cos = ((denom - two_c_sq) / denom).sqrt();
+                let sin_mag = (two_c_sq / denom).sqrt();
+                let sign = if delta == 0.0 || (delta >= 0.0) == (c >= 0.0) { 1.0 } else { -1.0 };
+                (cos, sign * sin_mag, sign * t_mag)
+            };
+            assert_eq!(hw.cos.to_bits(), native.0.to_bits());
+            assert_eq!(hw.sin.to_bits(), native.1.to_bits());
+            assert_eq!(hw.t.to_bits(), native.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn bit_accurate_agrees_with_protected_formulas() {
+        let u = JacobiRotationUnit::new(ArchConfig::paper());
+        for &(n1, n2, c) in &[(1.0, 2.0, 0.5), (5.0, 1.0, -0.75), (2.0, 2.0, 1.0), (1e-6, 1e6, 3.0)]
+        {
+            let exact = u.compute(n1, n2, c);
+            let hw = u.compute_bit_accurate(n1, n2, c);
+            assert!((exact.cos - hw.cos).abs() < 1e-14, "cos {} vs {}", exact.cos, hw.cos);
+            assert!((exact.sin - hw.sin).abs() < 1e-14, "sin {} vs {}", exact.sin, hw.sin);
+        }
+        assert!(u.compute_bit_accurate(1.0, 2.0, 0.0).is_identity());
+    }
+
+    #[test]
+    fn finalize_streams_square_roots() {
+        let u = JacobiRotationUnit::new(ArchConfig::paper());
+        assert_eq!(u.finalize_cycles(1), 57);
+        assert_eq!(u.finalize_cycles(128), 57 + 127);
+    }
+}

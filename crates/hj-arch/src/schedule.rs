@@ -1,0 +1,140 @@
+//! The multiplier-array operand schedule of the Hestenes preprocessor
+//! (the paper's Figs. 2–3).
+//!
+//! The preprocessor computes all `n(n+1)/2` column dot products with a
+//! `layers × width` grid of multipliers. Operands are reused spatially: a
+//! window of `width` *resident* columns sits in the array while every
+//! column streams past it (one element per cycle per layer, the "at most
+//! one new operand … every subsequent cycle" of Fig. 3), producing the
+//! covariances between the window and the streamed columns. Each layer
+//! handles one matrix row, so `layers` rows advance per pass; rows are
+//! processed in `ceil(m / layers)` chunks.
+//!
+//! Consequently the array-feed cost of one full Gram construction is
+//!
+//! ```text
+//! feed_cycles = ceil(n / width) · n · ceil(m / layers)
+//! ```
+//!
+//! which reproduces the paper's worked example exactly: an 8 × 8 matrix on
+//! 8 layers of width-4 arrays takes `ceil(8/4) · 8 · ceil(8/8) = 16` input
+//! cycles (§V-A: "16 cycles are used for the input to obtain the
+//! covariance matrix of an 8 × 8 matrix if 8 layers of multiplier-arrays
+//! are equipped").
+
+use crate::config::ArchConfig;
+use hj_fpsim::Cycles;
+
+/// Cycle costs of one Gram construction under the Fig. 2/3 schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreprocessSchedule {
+    /// Resident-column windows per row chunk (`ceil(n / width)`).
+    pub windows: u64,
+    /// Row chunks (`ceil(m / layers)`).
+    pub row_chunks: u64,
+    /// Array-feed cycles: every window streams all `n` columns through each
+    /// row chunk (operands come from the BRAM column cache at one element
+    /// per layer per cycle).
+    pub feed_cycles: Cycles,
+    /// Multiply-accumulate streaming cycles at full array utilization
+    /// (`m·n(n+1)/2` MACs over `layers × width` multipliers).
+    pub compute_cycles: Cycles,
+    /// Off-chip cycles to bring the matrix on chip once (8 doubles/cycle
+    /// through the input FIFO group).
+    pub offchip_cycles: Cycles,
+}
+
+impl PreprocessSchedule {
+    /// The binding constraint: the phase runs at the slowest of the three
+    /// streams.
+    pub fn bound_cycles(&self) -> Cycles {
+        self.feed_cycles.max(self.compute_cycles).max(self.offchip_cycles)
+    }
+
+    /// Which stream binds, as a label for reports.
+    pub fn bottleneck(&self) -> &'static str {
+        let b = self.bound_cycles();
+        if b == self.feed_cycles {
+            "array-feed"
+        } else if b == self.compute_cycles {
+            "compute"
+        } else {
+            "off-chip input"
+        }
+    }
+}
+
+/// Build the schedule for an `m × n` Gram construction under `config`.
+pub fn preprocess_schedule(config: &ArchConfig, m: usize, n: usize) -> PreprocessSchedule {
+    let width = config.preprocessor_mults_per_layer.max(1);
+    let layers = config.preprocessor_layers.max(1);
+    let windows = (n as u64).div_ceil(width);
+    let row_chunks = (m as u64).div_ceil(layers);
+    let feed_cycles = windows * n as u64 * row_chunks;
+    let macs = (n * (n + 1) / 2) as u64 * m as u64;
+    let compute_cycles = macs.div_ceil(width * layers);
+    let offchip_cycles = ((m * n) as u64).div_ceil(8);
+    PreprocessSchedule { windows, row_chunks, feed_cycles, compute_cycles, offchip_cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_cfg() -> ArchConfig {
+        ArchConfig::paper()
+    }
+
+    #[test]
+    fn reproduces_the_papers_8x8_example() {
+        // The paper's example uses 8 layers (not the implemented 4).
+        let cfg = ArchConfig { preprocessor_layers: 8, ..paper_cfg() };
+        let s = preprocess_schedule(&cfg, 8, 8);
+        assert_eq!(s.windows, 2);
+        assert_eq!(s.row_chunks, 1);
+        assert_eq!(s.feed_cycles, 16, "the paper's quoted input-cycle count");
+    }
+
+    #[test]
+    fn implemented_config_doubles_the_chunks() {
+        // With the implemented 4 layers the same matrix needs 2 row chunks.
+        let s = preprocess_schedule(&paper_cfg(), 8, 8);
+        assert_eq!(s.row_chunks, 2);
+        assert_eq!(s.feed_cycles, 32);
+    }
+
+    #[test]
+    fn feed_dominates_for_small_matrices_compute_for_tall_gram() {
+        // Small n: streaming n columns per window is the cost.
+        let small = preprocess_schedule(&paper_cfg(), 128, 128);
+        assert_eq!(small.bottleneck(), "array-feed");
+        // feed = 32·128·32 = 131072; compute = 128·8256/16 = 66048.
+        assert_eq!(small.feed_cycles, 131_072);
+        assert_eq!(small.compute_cycles, 66_048);
+    }
+
+    #[test]
+    fn feed_formula_scales() {
+        let s = preprocess_schedule(&paper_cfg(), 1024, 256);
+        assert_eq!(s.windows, 64);
+        assert_eq!(s.row_chunks, 256);
+        assert_eq!(s.feed_cycles, 64 * 256 * 256);
+    }
+
+    #[test]
+    fn bound_is_max_of_streams() {
+        let s = preprocess_schedule(&paper_cfg(), 64, 64);
+        assert_eq!(
+            s.bound_cycles(),
+            s.feed_cycles.max(s.compute_cycles).max(s.offchip_cycles)
+        );
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let s = preprocess_schedule(&paper_cfg(), 1, 1);
+        assert_eq!(s.windows, 1);
+        assert_eq!(s.feed_cycles, 1);
+        assert!(s.compute_cycles >= 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Fine-grained pipeline trace of one pair-group through the architecture.
+//!
+//! The sweep-level simulator aggregates cycles per phase; this module zooms
+//! in on a single Fig. 6 group of pairs and emits the event timeline the
+//! paper's block diagram (Fig. 1) implies: covariance/norm fetches from
+//! BRAM, the rotation block issuing on the shared FP cores, angle
+//! parameters landing in the cos/sin RAMs, and the update kernels draining
+//! the work through the internal FIFOs. Used by the `pipeline_trace`
+//! example and by tests that pin the component latencies together.
+
+use crate::config::ArchConfig;
+use hj_fpsim::Cycles;
+
+/// One timeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event occurs.
+    pub cycle: Cycles,
+    /// Component the event belongs to.
+    pub component: Component,
+    /// Human-readable description.
+    pub what: String,
+}
+
+/// Architecture components that appear in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// Covariance / norm storage (BRAM).
+    GramStore,
+    /// The Jacobi rotation component.
+    RotationUnit,
+    /// The cos/sin parameter RAMs.
+    AngleStore,
+    /// The update-kernel array.
+    UpdateOperator,
+    /// The internal synchronization FIFOs.
+    Fifo,
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Component::GramStore => "gram-store",
+            Component::RotationUnit => "rotation",
+            Component::AngleStore => "angle-store",
+            Component::UpdateOperator => "update",
+            Component::Fifo => "fifo",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Timeline of one pair-group.
+#[derive(Debug, Clone)]
+pub struct GroupTrace {
+    /// Events sorted by cycle.
+    pub events: Vec<TraceEvent>,
+    /// Cycle at which the group's last update retires.
+    pub completion_cycle: Cycles,
+    /// Cycle at which the *next* group's rotations may issue (the block
+    /// throughput bound — earlier than completion, which is the point of
+    /// the pipelining).
+    pub next_issue_cycle: Cycles,
+    /// Cycles the update-kernel array is occupied by this group (fill +
+    /// stream). In steady state, groups retire at
+    /// `max(rotation_block_cycles, update_occupancy)` intervals.
+    pub update_occupancy: Cycles,
+    /// The configured rotation issue cadence.
+    pub issue_cadence: Cycles,
+}
+
+/// Trace one group of `pairs` rotations over an `n`-column problem in a
+/// covariance-only sweep (`kernels` active update kernels).
+pub fn trace_group(config: &ArchConfig, pairs: u64, n: usize, kernels: u64) -> GroupTrace {
+    assert!(pairs > 0 && pairs <= config.rotations_per_block);
+    assert!(kernels > 0);
+    let mut events = Vec::new();
+    let mut push = |cycle: Cycles, component: Component, what: String| {
+        events.push(TraceEvent { cycle, component, what });
+    };
+
+    // t = 0: operand fetch — 3 scalars (nᵢ, nⱼ, cov) per pair from BRAM,
+    // two ports, so ceil(3·pairs / 2) cycles.
+    let fetch_cycles = (3 * pairs).div_ceil(2);
+    push(0, Component::GramStore, format!("fetch {} operands ({} pairs)", 3 * pairs, pairs));
+    // Rotation block issues once operands are in.
+    let issue = fetch_cycles;
+    push(issue, Component::RotationUnit, format!("issue rotation block ({pairs} rotations)"));
+    // Results after the eq. (8)–(10) critical path.
+    let rot_latency = config.latencies.rotation_critical_path();
+    let first_result = issue + rot_latency;
+    push(first_result, Component::RotationUnit, "first (cos, sin, t) available".into());
+    push(first_result, Component::AngleStore, "cos/sin written".into());
+    push(first_result, Component::Fifo, "rotation→update FIFO push".into());
+    // Diagonal updates are O(1) per pair on the rotation unit's adders.
+    push(first_result + config.latencies.add.latency, Component::GramStore, "diagonal norms updated".into());
+    // Update kernels drain (n − 2) covariance element-pairs per rotation.
+    let update_pairs = pairs * (n.saturating_sub(2)) as u64;
+    let update_fill = config.latencies.mul.latency + config.latencies.add.latency;
+    let update_stream = if update_pairs == 0 { 0 } else { update_pairs.div_ceil(kernels) - 1 };
+    let update_start = first_result + 1;
+    push(update_start, Component::UpdateOperator, format!("start {update_pairs} covariance pair-updates on {kernels} kernels"));
+    let completion_cycle = update_start + update_fill + update_stream;
+    push(completion_cycle, Component::UpdateOperator, "last covariance retired".into());
+    push(completion_cycle, Component::Fifo, "group drained".into());
+
+    // The rotation unit can accept the next block on its issue cadence,
+    // independent of the update drain.
+    let next_issue_cycle = issue + config.rotation_block_cycles;
+
+    events.sort_by_key(|e| e.cycle);
+    GroupTrace {
+        events,
+        completion_cycle,
+        next_issue_cycle,
+        update_occupancy: completion_cycle - update_start,
+        issue_cadence: config.rotation_block_cycles,
+    }
+}
+
+impl GroupTrace {
+    /// Render the timeline as aligned text lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("{:>6}  {:<12} {}\n", e.cycle, e.component.to_string(), e.what));
+        }
+        out
+    }
+
+    /// True when the update drain, not rotation issue, bounds the sweep's
+    /// steady state — the §V-C "performance is dominated by the amount of
+    /// updates" regime. (The one-time rotation-latency fill is excluded:
+    /// in steady state consecutive groups overlap it.)
+    pub fn update_bound(&self) -> bool {
+        self.update_occupancy > self.issue_cadence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_ordered_and_complete() {
+        let cfg = ArchConfig::paper();
+        let t = trace_group(&cfg, 8, 128, 12);
+        assert!(t.events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        // All five components appear.
+        for c in [
+            Component::GramStore,
+            Component::RotationUnit,
+            Component::AngleStore,
+            Component::UpdateOperator,
+            Component::Fifo,
+        ] {
+            assert!(t.events.iter().any(|e| e.component == c), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn large_n_is_update_bound_small_n_is_issue_bound() {
+        let cfg = ArchConfig::paper();
+        // n = 512: 8 rotations × 510 pairs / 12 kernels = 340 cycles ≫ 64.
+        assert!(trace_group(&cfg, 8, 512, 12).update_bound());
+        // n = 16: 8 × 14 / 12 ≈ 10 cycles of update — issue-bound.
+        assert!(!trace_group(&cfg, 8, 16, 12).update_bound());
+    }
+
+    #[test]
+    fn rotation_latency_appears_in_timeline() {
+        let cfg = ArchConfig::paper();
+        let t = trace_group(&cfg, 4, 64, 8);
+        let issue = t.events.iter().find(|e| e.what.contains("issue rotation")).unwrap().cycle;
+        let result = t.events.iter().find(|e| e.what.contains("first (cos")).unwrap().cycle;
+        assert_eq!(result - issue, 231, "eq. (8)–(10) critical path");
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let cfg = ArchConfig::paper();
+        let t = trace_group(&cfg, 2, 32, 8);
+        assert_eq!(t.render().lines().count(), t.events.len());
+    }
+
+    #[test]
+    fn more_kernels_finish_sooner() {
+        let cfg = ArchConfig::paper();
+        let slow = trace_group(&cfg, 8, 256, 4).completion_cycle;
+        let fast = trace_group(&cfg, 8, 256, 16).completion_cycle;
+        assert!(fast < slow);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_group_rejected() {
+        let cfg = ArchConfig::paper();
+        let _ = trace_group(&cfg, 9, 64, 8);
+    }
+}

@@ -1,0 +1,114 @@
+//! The Update operator (the paper's §V-C, Fig. 5).
+//!
+//! An array of update kernels, each built from 4 pipelined multipliers, one
+//! adder and one subtractor, executing the element-pair rotation of
+//! eqs. (11)–(12): one `(xᵢ, xⱼ) → (xᵢ·cos − xⱼ·sin, xᵢ·sin + xⱼ·cos)`
+//! pair per kernel per cycle. The same kernels serve both column-element
+//! updates (first sweep) and covariance updates; after the first sweep the
+//! reconfigured preprocessor contributes four more kernels.
+
+use crate::config::ArchConfig;
+use hj_fpsim::{Cycles, PipelinedUnit};
+
+/// The update operator bank.
+#[derive(Debug, Clone)]
+pub struct UpdateOperator {
+    config: ArchConfig,
+    kernels: PipelinedUnit,
+    reconfigured: bool,
+}
+
+impl UpdateOperator {
+    /// Instantiate with the base kernel count (pre-reconfiguration).
+    pub fn new(config: ArchConfig) -> Self {
+        // Per element-pair: the kernel's datapath is fully pipelined; its
+        // fill latency is mul + add (the longer of the two output paths).
+        let spec = hj_fpsim::OpSpec {
+            latency: config.latencies.mul.latency + config.latencies.add.latency,
+            initiation_interval: 1,
+        };
+        UpdateOperator {
+            config,
+            kernels: PipelinedUnit::new("update.kernels", spec, config.update_kernels),
+            reconfigured: false,
+        }
+    }
+
+    /// Absorb the reconfigured preprocessor as extra kernels (the paper's
+    /// post-first-sweep mode). Idempotent.
+    pub fn reconfigure_preprocessor(&mut self) {
+        if !self.reconfigured {
+            self.kernels.set_lanes(self.config.update_kernels_after_reconfig());
+            self.reconfigured = true;
+        }
+    }
+
+    /// Whether the preprocessor's kernels have been absorbed.
+    pub fn is_reconfigured(&self) -> bool {
+        self.reconfigured
+    }
+
+    /// Active kernel count.
+    pub fn kernel_count(&self) -> u64 {
+        self.kernels.lanes()
+    }
+
+    /// Issue `pairs` element-pair updates; returns throughput cycles.
+    pub fn issue(&mut self, pairs: u64) -> Cycles {
+        self.kernels.issue(pairs)
+    }
+
+    /// Pure query form of [`UpdateOperator::issue`].
+    pub fn cycles_for(&self, pairs: u64) -> Cycles {
+        self.kernels.cycles_for(pairs)
+    }
+
+    /// Element pairs processed so far.
+    pub fn pairs_processed(&self) -> u64 {
+        self.kernels.ops_issued()
+    }
+
+    /// Kernel-bank utilization.
+    pub fn utilization(&self) -> f64 {
+        self.kernels.utilization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_kernel_count_is_eight() {
+        let u = UpdateOperator::new(ArchConfig::paper());
+        assert_eq!(u.kernel_count(), 8);
+        assert!(!u.is_reconfigured());
+    }
+
+    #[test]
+    fn reconfiguration_adds_four_kernels() {
+        let mut u = UpdateOperator::new(ArchConfig::paper());
+        u.reconfigure_preprocessor();
+        assert_eq!(u.kernel_count(), 12);
+        assert!(u.is_reconfigured());
+        u.reconfigure_preprocessor(); // idempotent
+        assert_eq!(u.kernel_count(), 12);
+    }
+
+    #[test]
+    fn throughput_one_pair_per_kernel_per_cycle() {
+        let mut u = UpdateOperator::new(ArchConfig::paper());
+        // 8 kernels, fill = 9 + 14 = 23 cycles.
+        assert_eq!(u.issue(8), 23);
+        assert_eq!(u.issue(80), 23 + 9);
+        assert_eq!(u.issue(0), 0);
+    }
+
+    #[test]
+    fn reconfigured_throughput_improves() {
+        let mut u = UpdateOperator::new(ArchConfig::paper());
+        let before = u.cycles_for(1200);
+        u.reconfigure_preprocessor();
+        assert!(u.cycles_for(1200) < before);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests on the timing model: monotonicity, consistency between
+//! the three estimators (closed-form, functional simulation, event-driven),
+//! and configuration sanity.
+
+use hj_arch::multi_ae::{estimate as multi_estimate, MultiAeConfig};
+use hj_arch::{event_sim, ArchConfig, HestenesJacobiArch};
+use hj_matrix::gen;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn time_is_monotone_in_rows(n in 2usize..200, m in 2usize..500, extra in 1usize..500) {
+        let arch = HestenesJacobiArch::paper();
+        let t1 = arch.estimate(m, n).total_cycles;
+        let t2 = arch.estimate(m + extra, n).total_cycles;
+        prop_assert!(t2 >= t1, "{m}+{extra} rows slower? {t2} < {t1}");
+    }
+
+    #[test]
+    fn time_is_monotone_in_cols(m in 2usize..500, n in 2usize..200, extra in 1usize..200) {
+        let arch = HestenesJacobiArch::paper();
+        let t1 = arch.estimate(m, n).total_cycles;
+        let t2 = arch.estimate(m, n + extra).total_cycles;
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn time_is_monotone_in_sweeps(m in 2usize..200, n in 2usize..100, s in 1usize..12) {
+        let a1 = HestenesJacobiArch::new(ArchConfig { sweeps: s, ..ArchConfig::paper() });
+        let a2 = HestenesJacobiArch::new(ArchConfig { sweeps: s + 1, ..ArchConfig::paper() });
+        prop_assert!(a2.estimate(m, n).total_cycles >= a1.estimate(m, n).total_cycles);
+    }
+
+    #[test]
+    fn more_kernels_never_hurt(m in 2usize..200, n in 2usize..100) {
+        let base = HestenesJacobiArch::paper().estimate(m, n).total_cycles;
+        let big = HestenesJacobiArch::new(ArchConfig {
+            update_kernels: 32,
+            reconfigured_kernels: 16,
+            ..ArchConfig::paper()
+        })
+        .estimate(m, n)
+        .total_cycles;
+        prop_assert!(big <= base);
+    }
+
+    #[test]
+    fn simulate_equals_estimate(seed in 0u64..300, m in 2usize..40, n in 2usize..24) {
+        let arch = HestenesJacobiArch::paper();
+        let a = gen::uniform(m, n, seed);
+        let sim = arch.simulate(&a).unwrap();
+        let est = arch.estimate(m, n);
+        prop_assert_eq!(sim.total_cycles, est.total_cycles);
+    }
+
+    #[test]
+    fn event_sim_within_tolerance_of_estimate(m in 8usize..150, n in 4usize..100) {
+        let cfg = ArchConfig::paper();
+        let ev = event_sim::event_simulate(&cfg, m, n);
+        let an = HestenesJacobiArch::new(cfg).estimate(m, n);
+        let ratio = ev.total_cycles as f64 / an.total_cycles as f64;
+        prop_assert!((0.7..1.4).contains(&ratio), "{m}x{n}: ratio {ratio}");
+    }
+
+    #[test]
+    fn multi_ae_speedup_is_bounded(m in 8usize..300, n in 4usize..150, engines in 1u64..8) {
+        let cfg = MultiAeConfig { engines, ..MultiAeConfig::hc2() };
+        let e = multi_estimate(&cfg, m, n);
+        // The multi-AE sweep pipeline is a slightly different (simpler)
+        // overlap model than the single-engine estimator, so allow ~15%
+        // slack on the ideal bound rather than exact engine-count capping.
+        prop_assert!(e.speedup() <= engines as f64 * 1.15, "{}x at {} engines", e.speedup(), engines);
+        prop_assert!(e.speedup() > 0.4, "pathological slowdown: {}", e.speedup());
+    }
+
+    #[test]
+    fn seconds_track_cycles(m in 2usize..100, n in 2usize..60) {
+        let arch = HestenesJacobiArch::paper();
+        let r = arch.estimate(m, n);
+        let expect = r.total_cycles as f64 / 150.0e6;
+        prop_assert!((r.seconds - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! CORDIC rotation engine — the design alternative the paper evaluates and
+//! rejects (§V-B).
+//!
+//! CORDIC computes trigonometric rotations with shift-and-add iterations and
+//! is "a popular choice in the research literature" for hardware Jacobi
+//! units; the paper argues it fits fixed-point datapaths but not the
+//! floating-point, wide-dynamic-range regime its architecture targets, and
+//! instead evaluates eqs. (8)–(10) on FP cores. This module implements a
+//! classical fixed-point CORDIC (vectoring + rotation modes) so Ablation A2
+//! can quantify that trade: iterations vs. accuracy vs. the direct FP
+//! formulas.
+//!
+//! Representation: angles and coordinates in Q2.61 (i64 with 61 fractional
+//! bits) — enough headroom for the CORDIC gain `K ≈ 1.6468` and coordinates
+//! up to |v| < 4.
+
+/// Fractional bits of the internal Q2.61 format.
+const FRAC: u32 = 61;
+const ONE: i64 = 1 << FRAC;
+
+/// Maximum useful iteration count (beyond ~60 the arctan table underflows
+/// the Q2.61 resolution).
+pub const MAX_ITERATIONS: usize = 60;
+
+/// A fixed-point CORDIC engine with a precomputed arctan table.
+#[derive(Debug, Clone)]
+pub struct Cordic {
+    iterations: usize,
+    /// atan(2^-i) in Q2.61 radians.
+    atan_table: Vec<i64>,
+    /// Inverse of the CORDIC gain Πᵢ √(1+2^-2i), in Q2.61.
+    inv_gain: i64,
+}
+
+impl Cordic {
+    /// Create an engine running the given number of micro-rotations.
+    /// Each iteration adds roughly one bit of angular accuracy.
+    pub fn new(iterations: usize) -> Self {
+        let iterations = iterations.clamp(1, MAX_ITERATIONS);
+        let mut atan_table = Vec::with_capacity(iterations);
+        let mut gain = 1.0f64;
+        for i in 0..iterations {
+            let p = 2.0f64.powi(-(i as i32));
+            atan_table.push((p.atan() * ONE as f64) as i64);
+            gain *= (1.0 + p * p).sqrt();
+        }
+        let inv_gain = ((1.0 / gain) * ONE as f64) as i64;
+        Cordic { iterations, atan_table, inv_gain }
+    }
+
+    /// Configured iteration count.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Vectoring mode: rotate `(x, y)` onto the positive x-axis.
+    ///
+    /// Returns `(magnitude, angle)` with `magnitude ≈ √(x²+y²)` and
+    /// `angle ≈ atan2(y, x)`. Requires `x > 0` (the Jacobi angle is always in
+    /// `(−π/2, π/2)`, so callers fold signs beforehand). Inputs as `f64`,
+    /// internally scaled to keep coordinates in range.
+    pub fn vectoring(&self, x: f64, y: f64) -> (f64, f64) {
+        assert!(x > 0.0, "vectoring mode requires x > 0 (fold signs first)");
+        // Scale so that max(|x|, |y|) ≈ 1 (coordinates stay < K·√2 < 2.4).
+        let scale = x.abs().max(y.abs());
+        let mut xi = ((x / scale) * ONE as f64) as i64;
+        let mut yi = ((y / scale) * ONE as f64) as i64;
+        let mut z: i64 = 0;
+        for i in 0..self.iterations {
+            let (dx, dy) = (yi >> i, xi >> i);
+            if yi > 0 {
+                xi += dx;
+                yi -= dy;
+                z += self.atan_table[i];
+            } else {
+                xi -= dx;
+                yi += dy;
+                z -= self.atan_table[i];
+            }
+        }
+        // Undo gain: magnitude = x_final / K.
+        let mag = mul_q(xi, self.inv_gain) as f64 / ONE as f64 * scale;
+        let angle = z as f64 / ONE as f64;
+        (mag, angle)
+    }
+
+    /// Rotation mode: rotate `(x, y)` by `angle` radians
+    /// (|angle| ≤ ~1.743, the CORDIC convergence range — Jacobi angles are
+    /// within ±π/4 ≤ that).
+    pub fn rotate(&self, x: f64, y: f64, angle: f64) -> (f64, f64) {
+        let scale = x.abs().max(y.abs()).max(f64::MIN_POSITIVE);
+        let mut xi = ((x / scale) * ONE as f64) as i64;
+        let mut yi = ((y / scale) * ONE as f64) as i64;
+        let mut z = (angle * ONE as f64) as i64;
+        for i in 0..self.iterations {
+            let (dx, dy) = (yi >> i, xi >> i);
+            if z >= 0 {
+                xi -= dx;
+                yi += dy;
+                z -= self.atan_table[i];
+            } else {
+                xi += dx;
+                yi -= dy;
+                z += self.atan_table[i];
+            }
+        }
+        let xo = mul_q(xi, self.inv_gain) as f64 / ONE as f64 * scale;
+        let yo = mul_q(yi, self.inv_gain) as f64 / ONE as f64 * scale;
+        (xo, yo)
+    }
+
+    /// Compute Jacobi rotation parameters `(cos, sin)` for a column pair via
+    /// CORDIC, replacing the paper's eqs. (8)–(10) FP datapath.
+    ///
+    /// The rotation angle satisfies `tan(2θ)... ` — for the one-sided method
+    /// we need `θ = atan(t)` with `t` from the quadratic; equivalently
+    /// `2θ = atan2(2·cov, norm_j − norm_i)` folded into `(−π/2, π/2]`.
+    /// We compute `2θ` in vectoring mode, halve, then evaluate
+    /// `(cos θ, sin θ)` in rotation mode — all in shift-and-add arithmetic.
+    pub fn jacobi_params(&self, norm_i: f64, norm_j: f64, cov: f64) -> (f64, f64) {
+        if cov == 0.0 {
+            return (1.0, 0.0);
+        }
+        let delta = norm_j - norm_i;
+        // x must be positive for vectoring; fold: atan2(2c, |Δ|), then the
+        // sign logic of the t-root picks the final sin sign.
+        let two_theta = {
+            let (_, ang) = self.vectoring(delta.abs().max(f64::MIN_POSITIVE), 2.0 * cov.abs());
+            ang
+        };
+        let theta = 0.5 * two_theta;
+        let (c, s) = self.rotate(1.0, 0.0, theta);
+        // Recover sign(t) = sign(ζ) = sign(Δ)·sign(cov) with sign(0) = +1.
+        let positive = delta == 0.0 || (delta >= 0.0) == (cov >= 0.0);
+        if positive {
+            (c, s)
+        } else {
+            (c, -s)
+        }
+    }
+}
+
+/// Q2.61 multiply via i128.
+#[inline]
+fn mul_q(a: i64, b: i64) -> i64 {
+    ((a as i128 * b as i128) >> FRAC) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_core::rotation::textbook_params;
+
+    #[test]
+    fn vectoring_magnitude_and_angle() {
+        let c = Cordic::new(50);
+        let (mag, ang) = c.vectoring(3.0, 4.0);
+        assert!((mag - 5.0).abs() < 1e-9, "mag = {mag}");
+        assert!((ang - (4.0f64 / 3.0).atan()).abs() < 1e-9, "ang = {ang}");
+        let (mag, ang) = c.vectoring(1.0, -1.0);
+        assert!((mag - 2.0f64.sqrt()).abs() < 1e-9);
+        assert!((ang + std::f64::consts::FRAC_PI_4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_mode_matches_sin_cos() {
+        let c = Cordic::new(50);
+        for &angle in &[0.0, 0.3, -0.7, 1.2, -1.5] {
+            let (x, y) = c.rotate(1.0, 0.0, angle);
+            assert!((x - angle.cos()).abs() < 1e-9, "cos({angle}) = {x}");
+            assert!((y - angle.sin()).abs() < 1e-9, "sin({angle}) = {y}");
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_iterations() {
+        let mut prev_err = f64::INFINITY;
+        for &iters in &[8usize, 16, 32, 48] {
+            let c = Cordic::new(iters);
+            let (x, y) = c.rotate(1.0, 0.0, 0.9);
+            let err = (x - 0.9f64.cos()).abs().max((y - 0.9f64.sin()).abs());
+            assert!(err < prev_err * 1.05, "{iters} iters: err {err} vs prev {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_params_match_direct_formula() {
+        let c = Cordic::new(54);
+        for &(a, b, cv) in &[
+            (1.0, 2.0, 0.5),
+            (2.0, 1.0, 0.5),
+            (1.0, 2.0, -0.5),
+            (3.0, 3.0, 1.0),
+            (3.0, 3.0, -1.0),
+            (10.0, 0.1, 0.3),
+        ] {
+            let (cc, cs) = c.jacobi_params(a, b, cv);
+            let rot = textbook_params(a, b, cv);
+            assert!(
+                (cc - rot.cos).abs() < 1e-8 && (cs - rot.sin).abs() < 1e-8,
+                "({a},{b},{cv}): cordic ({cc},{cs}) vs direct ({},{})",
+                rot.cos,
+                rot.sin
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_params_annihilate_covariance() {
+        let c = Cordic::new(54);
+        for &(a, b, cv) in &[(4.0, 1.0, 1.5), (1.0, 9.0, -2.0), (2.0, 2.0, 0.7)] {
+            let (cc, cs) = c.jacobi_params(a, b, cv);
+            let new_cov = cc * cs * (a - b) + (cc * cc - cs * cs) * cv;
+            assert!(new_cov.abs() < 1e-8, "({a},{b},{cv}) → residual cov {new_cov}");
+        }
+    }
+
+    #[test]
+    fn zero_cov_is_identity() {
+        let c = Cordic::new(40);
+        assert_eq!(c.jacobi_params(1.0, 5.0, 0.0), (1.0, 0.0));
+    }
+
+    #[test]
+    fn iteration_clamping() {
+        assert_eq!(Cordic::new(0).iterations(), 1);
+        assert_eq!(Cordic::new(1000).iterations(), MAX_ITERATIONS);
+    }
+
+    #[test]
+    #[should_panic(expected = "x > 0")]
+    fn vectoring_rejects_nonpositive_x() {
+        Cordic::new(20).vectoring(-1.0, 1.0);
+    }
+}

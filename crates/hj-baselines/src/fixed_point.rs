@@ -1,0 +1,367 @@
+//! Q-format fixed-point arithmetic and a fixed-point Hestenes-Jacobi SVD.
+//!
+//! The paper chooses IEEE-754 double precision over fixed point because
+//! fixed point's dynamic range cannot cover the intermediate quantities of
+//! the algorithm (squared norms span the *square* of the input range), and
+//! cites a fixed-point FPGA design limited to `32 × 128` matrices. This
+//! module makes that design decision measurable: a saturating Q-format
+//! scalar type with overflow accounting, and a Hestenes driver built on it.
+//! Ablation A2 runs it against the f64 path and reports where (and how) it
+//! breaks.
+
+// Index loops below mirror the paper's mathematical notation across
+// several coupled arrays; iterator rewrites would obscure the algebra.
+#![allow(clippy::needless_range_loop)]
+
+/// A Q31.32 signed fixed-point number: `i64` raw value, 32 fractional bits.
+///
+/// Range ±2³¹ ≈ ±2.1e9, resolution 2⁻³² ≈ 2.3e-10. Arithmetic saturates on
+/// overflow and records the event in the operation's return, so callers can
+/// count range failures instead of silently wrapping (hardware saturating
+/// arithmetic does the same).
+///
+/// ```
+/// use hj_baselines::fixed_point::{Fixed, OverflowStats};
+///
+/// let mut stats = OverflowStats::default();
+/// let x = Fixed::from_f64(1.5, &mut stats);
+/// let y = Fixed::from_f64(2.0, &mut stats);
+/// assert!((x.mul(y, &mut stats).to_f64() - 3.0).abs() < 1e-9);
+/// assert!(!stats.any());
+/// // ... but the squared norms of a large-valued column overflow:
+/// let big = Fixed::from_f64(1e6, &mut stats);
+/// let _ = big.mul(big, &mut stats); // 1e12 > 2³¹
+/// assert!(stats.any());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Fixed {
+    raw: i64,
+}
+
+/// Number of fractional bits in [`Fixed`].
+pub const FRAC_BITS: u32 = 32;
+const ONE_RAW: i64 = 1i64 << FRAC_BITS;
+
+/// Shared overflow accounting for a fixed-point computation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowStats {
+    /// Saturations in +/− direction across all operations.
+    pub saturations: u64,
+    /// Divisions by (fixed-point) zero encountered (result saturated).
+    pub zero_divisions: u64,
+}
+
+impl OverflowStats {
+    /// True if any range failure occurred.
+    pub fn any(&self) -> bool {
+        self.saturations > 0 || self.zero_divisions > 0
+    }
+}
+
+impl Fixed {
+    /// Zero.
+    pub const ZERO: Fixed = Fixed { raw: 0 };
+    /// One.
+    pub const ONE: Fixed = Fixed { raw: ONE_RAW };
+    /// Largest representable value.
+    pub const MAX: Fixed = Fixed { raw: i64::MAX };
+    /// Smallest (most negative) representable value.
+    pub const MIN: Fixed = Fixed { raw: i64::MIN };
+
+    /// Convert from `f64`, saturating out-of-range values.
+    pub fn from_f64(v: f64, stats: &mut OverflowStats) -> Fixed {
+        let scaled = v * ONE_RAW as f64;
+        if scaled >= i64::MAX as f64 {
+            stats.saturations += 1;
+            Fixed::MAX
+        } else if scaled <= i64::MIN as f64 {
+            stats.saturations += 1;
+            Fixed::MIN
+        } else {
+            Fixed { raw: scaled.round() as i64 }
+        }
+    }
+
+    /// Convert to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / ONE_RAW as f64
+    }
+
+    /// Raw representation (for tests).
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Saturating addition.
+    pub fn add(self, rhs: Fixed, stats: &mut OverflowStats) -> Fixed {
+        match self.raw.checked_add(rhs.raw) {
+            Some(r) => Fixed { raw: r },
+            None => {
+                stats.saturations += 1;
+                if self.raw > 0 {
+                    Fixed::MAX
+                } else {
+                    Fixed::MIN
+                }
+            }
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn sub(self, rhs: Fixed, stats: &mut OverflowStats) -> Fixed {
+        match self.raw.checked_sub(rhs.raw) {
+            Some(r) => Fixed { raw: r },
+            None => {
+                stats.saturations += 1;
+                if self.raw >= 0 {
+                    Fixed::MAX
+                } else {
+                    Fixed::MIN
+                }
+            }
+        }
+    }
+
+    /// Saturating multiplication (via `i128` intermediate).
+    pub fn mul(self, rhs: Fixed, stats: &mut OverflowStats) -> Fixed {
+        let wide = (self.raw as i128 * rhs.raw as i128) >> FRAC_BITS;
+        if wide > i64::MAX as i128 {
+            stats.saturations += 1;
+            Fixed::MAX
+        } else if wide < i64::MIN as i128 {
+            stats.saturations += 1;
+            Fixed::MIN
+        } else {
+            Fixed { raw: wide as i64 }
+        }
+    }
+
+    /// Saturating division.
+    pub fn div(self, rhs: Fixed, stats: &mut OverflowStats) -> Fixed {
+        if rhs.raw == 0 {
+            stats.zero_divisions += 1;
+            return if self.raw >= 0 { Fixed::MAX } else { Fixed::MIN };
+        }
+        let wide = ((self.raw as i128) << FRAC_BITS) / rhs.raw as i128;
+        if wide > i64::MAX as i128 {
+            stats.saturations += 1;
+            Fixed::MAX
+        } else if wide < i64::MIN as i128 {
+            stats.saturations += 1;
+            Fixed::MIN
+        } else {
+            Fixed { raw: wide as i64 }
+        }
+    }
+
+    /// Integer-Newton square root of a non-negative value. Negative inputs
+    /// (roundoff dust) are clamped to zero.
+    pub fn sqrt(self) -> Fixed {
+        if self.raw <= 0 {
+            return Fixed::ZERO;
+        }
+        // sqrt(raw / 2^F) = sqrt(raw << F) / 2^F — compute isqrt(raw << F).
+        let target = (self.raw as u128) << FRAC_BITS;
+        let mut x = 1u128 << ((128 - target.leading_zeros()).div_ceil(2));
+        loop {
+            let nx = (x + target / x) / 2;
+            if nx >= x {
+                break;
+            }
+            x = nx;
+        }
+        Fixed { raw: x as i64 }
+    }
+
+    /// Absolute value (saturating at MIN).
+    pub fn abs(self, stats: &mut OverflowStats) -> Fixed {
+        if self.raw == i64::MIN {
+            stats.saturations += 1;
+            Fixed::MAX
+        } else {
+            Fixed { raw: self.raw.abs() }
+        }
+    }
+}
+
+/// Report from the fixed-point Hestenes run.
+#[derive(Debug, Clone)]
+pub struct FixedPointReport {
+    /// Singular values recovered (descending), converted back to `f64`.
+    pub singular_values: Vec<f64>,
+    /// Overflow/zero-division accounting. If `stats.any()`, the results are
+    /// unreliable — which is the measurement the ablation is after.
+    pub stats: OverflowStats,
+    /// Sweeps executed.
+    pub sweeps: usize,
+}
+
+/// Hestenes-Jacobi singular values in Q31.32 fixed point.
+///
+/// Straight re-implementation of the Gram-maintained algorithm on [`Fixed`]:
+/// build `D = AᵀA`, sweep with round-robin pairs, textbook rotation formulas
+/// evaluated in fixed point. Returns the recovered spectrum plus the range
+/// failure statistics.
+pub fn fixed_point_singular_values(a: &hj_matrix::Matrix, sweeps: usize) -> FixedPointReport {
+    let (m, n) = a.shape();
+    let mut stats = OverflowStats::default();
+    // Columns in fixed point.
+    let cols: Vec<Vec<Fixed>> = (0..n)
+        .map(|c| a.col(c).iter().map(|&v| Fixed::from_f64(v, &mut stats)).collect())
+        .collect();
+    // Gram matrix, dense symmetric (n is small in the fixed-point regime).
+    let mut d = vec![vec![Fixed::ZERO; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = Fixed::ZERO;
+            for r in 0..m {
+                acc = acc.add(cols[i][r].mul(cols[j][r], &mut stats), &mut stats);
+            }
+            d[i][j] = acc;
+            d[j][i] = acc;
+        }
+    }
+    let order = hj_core::ordering::round_robin(n);
+    let eps = Fixed { raw: 16 }; // a few ulps of Q31.32
+    for _ in 0..sweeps {
+        for (i, j) in order.pairs() {
+            let cov = d[i][j];
+            if cov.abs(&mut stats) <= eps {
+                continue;
+            }
+            let (ni, nj) = (d[i][i], d[j][j]);
+            // ζ = (nⱼ − nᵢ) / (2·cov); t = sign(ζ)/(|ζ| + √(1+ζ²))
+            let delta = nj.sub(ni, &mut stats);
+            // Guard the rotation-parameter chain: for |ζ| ≥ 2¹⁵ the ζ²
+            // intermediate exceeds the Q31.32 range, while the rotation it
+            // encodes has t ≤ 2⁻¹⁶ and shifts the diagonal by at most
+            // |t·cov| ≤ |Δ|·2⁻³¹ — below representable resolution. Such pairs
+            // are treated as converged (a hardware epsilon-compare would do
+            // the same).
+            if delta.raw().unsigned_abs() >> 15 > cov.raw().unsigned_abs() {
+                continue;
+            }
+            let two_cov = cov.add(cov, &mut stats);
+            let zeta = delta.div(two_cov, &mut stats);
+            let zabs = zeta.abs(&mut stats);
+            let hyp = Fixed::ONE.add(zeta.mul(zeta, &mut stats), &mut stats).sqrt();
+            let tmag = Fixed::ONE.div(zabs.add(hyp, &mut stats), &mut stats);
+            let t = if zeta.raw >= 0 { tmag } else { Fixed::ZERO.sub(tmag, &mut stats) };
+            let cos = Fixed::ONE
+                .div(Fixed::ONE.add(t.mul(t, &mut stats), &mut stats).sqrt(), &mut stats);
+            let sin = cos.mul(t, &mut stats);
+            // Diagonal update.
+            let tc = t.mul(cov, &mut stats);
+            d[i][i] = ni.sub(tc, &mut stats);
+            d[j][j] = nj.add(tc, &mut stats);
+            d[i][j] = Fixed::ZERO;
+            d[j][i] = Fixed::ZERO;
+            // Covariance updates with temporaries.
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                let dki = d[k][i];
+                let dkj = d[k][j];
+                let new_ki = dki.mul(cos, &mut stats).sub(dkj.mul(sin, &mut stats), &mut stats);
+                let new_kj = dki.mul(sin, &mut stats).add(dkj.mul(cos, &mut stats), &mut stats);
+                d[k][i] = new_ki;
+                d[i][k] = new_ki;
+                d[k][j] = new_kj;
+                d[j][k] = new_kj;
+            }
+        }
+    }
+    let mut sv: Vec<f64> = (0..n).map(|i| d[i][i].to_f64().max(0.0).sqrt()).collect();
+    sv.sort_by(|x, y| y.partial_cmp(x).expect("finite"));
+    sv.truncate(m.min(n));
+    FixedPointReport { singular_values: sv, stats, sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_matrix::gen;
+
+    #[test]
+    fn roundtrip_conversion() {
+        let mut st = OverflowStats::default();
+        for &v in &[0.0, 1.0, -1.0, 0.5, 123.456, -0.0001] {
+            let f = Fixed::from_f64(v, &mut st);
+            assert!((f.to_f64() - v).abs() < 1e-9, "{v}");
+        }
+        assert!(!st.any());
+    }
+
+    #[test]
+    fn conversion_saturates() {
+        let mut st = OverflowStats::default();
+        assert_eq!(Fixed::from_f64(1e30, &mut st), Fixed::MAX);
+        assert_eq!(Fixed::from_f64(-1e30, &mut st), Fixed::MIN);
+        assert_eq!(st.saturations, 2);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let mut st = OverflowStats::default();
+        let two = Fixed::from_f64(2.0, &mut st);
+        let three = Fixed::from_f64(3.0, &mut st);
+        assert!((two.add(three, &mut st).to_f64() - 5.0).abs() < 1e-9);
+        assert!((three.sub(two, &mut st).to_f64() - 1.0).abs() < 1e-9);
+        assert!((two.mul(three, &mut st).to_f64() - 6.0).abs() < 1e-9);
+        assert!((three.div(two, &mut st).to_f64() - 1.5).abs() < 1e-9);
+        assert!(!st.any());
+    }
+
+    #[test]
+    fn saturating_overflow_detected() {
+        let mut st = OverflowStats::default();
+        let big = Fixed::from_f64(2.0e9, &mut st);
+        assert!(!st.any());
+        let _ = big.mul(big, &mut st); // 4e18 ≫ 2³¹
+        assert!(st.saturations > 0);
+        let mut st2 = OverflowStats::default();
+        let _ = Fixed::ONE.div(Fixed::ZERO, &mut st2);
+        assert_eq!(st2.zero_divisions, 1);
+    }
+
+    #[test]
+    fn sqrt_accuracy() {
+        for &v in &[0.25, 1.0, 2.0, 100.0, 1234.5] {
+            let mut st = OverflowStats::default();
+            let f = Fixed::from_f64(v, &mut st);
+            let r = f.sqrt().to_f64();
+            assert!((r - v.sqrt()).abs() < 1e-7, "sqrt({v}) = {r}");
+        }
+        assert_eq!(Fixed::from_f64(-1.0, &mut OverflowStats::default()).sqrt(), Fixed::ZERO);
+        assert_eq!(Fixed::ZERO.sqrt(), Fixed::ZERO);
+    }
+
+    #[test]
+    fn small_well_scaled_matrix_works_in_fixed_point() {
+        // The regime where the fixed-point design functions (per its authors:
+        // small matrices, inputs ~O(1)).
+        let a = gen::uniform(16, 6, 21);
+        let rep = fixed_point_singular_values(&a, 10);
+        assert!(!rep.stats.any(), "no overflow expected: {:?}", rep.stats);
+        let exact = hj_core::HestenesSvd::new(hj_core::SvdOptions::default())
+            .singular_values(&a)
+            .unwrap();
+        for (x, y) in rep.singular_values.iter().zip(&exact.values) {
+            assert!((x - y).abs() < 1e-3 * y.max(1.0), "fixed {x} vs exact {y}");
+        }
+    }
+
+    #[test]
+    fn wide_dynamic_range_breaks_fixed_point() {
+        // σ spanning 1e-6..1e5: squared norms span 1e-12..1e10, beyond
+        // Q31.32's ±2³¹ range — the paper's argument for floating point.
+        let a = gen::with_singular_values(32, 4, &[1.0e5, 1.0, 1.0e-3, 1.0e-6], 3);
+        let rep = fixed_point_singular_values(&a, 10);
+        assert!(
+            rep.stats.any(),
+            "expected range failure on wide-dynamic-range input: {:?}",
+            rep.stats
+        );
+    }
+}

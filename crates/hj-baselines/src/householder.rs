@@ -1,0 +1,656 @@
+//! Householder-transformation SVD (Golub-Kahan bidiagonalization followed by
+//! implicit-shift QR) — the algorithm family behind the MATLAB / LAPACK /
+//! Intel MKL routines the paper benchmarks against (its refs. \[6\], \[16\], \[17\]).
+//!
+//! Since we cannot run MATLAB 7.10 or MKL 10.0.4, this from-scratch
+//! implementation is the workspace's "optimized software baseline": same
+//! algorithm class, same `O(mn²)` complexity, same serial data-dependency
+//! structure that the paper contrasts with the Jacobi approach. Measured
+//! wall-clock times of this routine supply the software side of Figs. 7–9.
+//!
+//! The implementation follows Golub & Reinsch (1970): Householder reflectors
+//! reduce `A` to bidiagonal form; Givens-rotation QR iterations with
+//! Wilkinson-style shifts then drive the superdiagonal to zero. Singular
+//! values are returned sorted descending with matching thin `U`/`V`.
+
+// Index loops below mirror the paper's mathematical notation across
+// several coupled arrays; iterator rewrites would obscure the algebra.
+#![allow(clippy::needless_range_loop)]
+
+use crate::SvdFactors;
+use hj_matrix::{Matrix, MatrixError};
+
+/// Iteration cap per singular value (LAPACK uses a similar 30–75 range).
+const MAX_QR_ITERS: usize = 75;
+
+/// Errors from the baseline SVD routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Input matrix has a zero dimension.
+    EmptyInput,
+    /// Input contains NaN or ±∞.
+    NonFiniteInput,
+    /// The QR iteration failed to converge within the iteration cap
+    /// (does not happen for finite inputs; kept as a checked error rather
+    /// than a panic).
+    NoConvergence,
+    /// A shape error from the substrate.
+    Matrix(MatrixError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::EmptyInput => write!(f, "input matrix has a zero dimension"),
+            BaselineError::NonFiniteInput => write!(f, "input contains NaN or infinite entries"),
+            BaselineError::NoConvergence => write!(f, "QR iteration failed to converge"),
+            BaselineError::Matrix(e) => write!(f, "matrix error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<MatrixError> for BaselineError {
+    fn from(e: MatrixError) -> Self {
+        BaselineError::Matrix(e)
+    }
+}
+
+/// `hypot`-style stable `√(a² + b²)`.
+#[inline]
+fn pythag(a: f64, b: f64) -> f64 {
+    f64::hypot(a, b)
+}
+
+/// Transfer the sign of `b` onto `|a|`.
+#[inline]
+fn sign_of(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+/// Full thin SVD via Householder bidiagonalization + implicit QR.
+///
+/// Handles arbitrary `m × n`; internally transposes wide matrices so the
+/// bidiagonalization always runs on a tall operand (the standard trick —
+/// LAPACK's driver does the same).
+pub fn svd(a: &Matrix) -> Result<SvdFactors, BaselineError> {
+    if a.is_empty() {
+        return Err(BaselineError::EmptyInput);
+    }
+    if !a.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(BaselineError::NonFiniteInput);
+    }
+    if a.rows() >= a.cols() {
+        svd_tall(a)
+    } else {
+        let t = a.transpose();
+        let f = svd_tall(&t)?;
+        Ok(SvdFactors { u: f.v, sigma: f.sigma, v: f.u })
+    }
+}
+
+/// Singular values only (same algorithm, skips the U/V accumulation —
+/// roughly the mode MATLAB's `svd(A)` without output arguments runs, and the
+/// fair comparison point for the paper's values-only hardware).
+pub fn singular_values(a: &Matrix) -> Result<Vec<f64>, BaselineError> {
+    if a.is_empty() {
+        return Err(BaselineError::EmptyInput);
+    }
+    if !a.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(BaselineError::NonFiniteInput);
+    }
+    let work = if a.rows() >= a.cols() { a.clone() } else { a.transpose() };
+    let (mut d, mut e) = bidiagonalize_values_only(work);
+    qr_diagonalize(&mut d, &mut e, None, None)?;
+    let mut sigma: Vec<f64> = d.iter().map(|&x| x.abs()).collect();
+    sigma.sort_by(|x, y| y.partial_cmp(x).expect("finite"));
+    Ok(sigma)
+}
+
+fn svd_tall(a: &Matrix) -> Result<SvdFactors, BaselineError> {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    let mut u = a.clone(); // overwritten with the left reflectors, then U
+    let mut v = Matrix::zeros(n, n);
+    let mut d = vec![0.0f64; n]; // diagonal
+    let mut e = vec![0.0f64; n]; // e[i] = superdiagonal entry (i-1, i); e[0] unused
+
+    bidiagonalize(&mut u, &mut v, &mut d, &mut e);
+    // bidiagonalize leaves e[i] = B[i-1][i] (NR rv1 convention);
+    // qr_diagonalize expects e[i] = B[i][i+1].
+    let mut e_qr: Vec<f64> = (0..n - 1).map(|i| e[i + 1]).collect();
+    qr_diagonalize(&mut d, &mut e_qr, Some(&mut u), Some(&mut v))?;
+    sort_factors(&mut d, &mut u, &mut v);
+    Ok(SvdFactors { u, sigma: d, v })
+}
+
+/// Householder bidiagonalization of `u` (m × n, m ≥ n), in place.
+///
+/// On return: `d[i]` holds the diagonal of the bidiagonal matrix, `e[i]` the
+/// superdiagonal entry in column `i` (i.e. `B[i-1][i]`), `u` holds the
+/// accumulated left orthogonal factor (thin, m × n), and `v` the right
+/// orthogonal factor (n × n).
+fn bidiagonalize(u: &mut Matrix, v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let (m, n) = u.shape();
+    let mut g = 0.0f64;
+    let mut scale = 0.0f64;
+
+    // Phase 1: reduce to bidiagonal with Householder reflectors.
+    for i in 0..n {
+        let l = i + 1;
+        e[i] = scale * g;
+        g = 0.0;
+        scale = 0.0;
+        // Left reflector on column i, rows i..m.
+        for k in i..m {
+            scale += u.get(k, i).abs();
+        }
+        if scale != 0.0 {
+            let mut s = 0.0;
+            for k in i..m {
+                let x = u.get(k, i) / scale;
+                u.set(k, i, x);
+                s += x * x;
+            }
+            let f = u.get(i, i);
+            g = -sign_of(s.sqrt(), f);
+            let h = f * g - s;
+            u.set(i, i, f - g);
+            for j in l..n {
+                let mut sum = 0.0;
+                for k in i..m {
+                    sum += u.get(k, i) * u.get(k, j);
+                }
+                let fac = sum / h;
+                for k in i..m {
+                    let val = u.get(k, j) + fac * u.get(k, i);
+                    u.set(k, j, val);
+                }
+            }
+            for k in i..m {
+                let val = u.get(k, i) * scale;
+                u.set(k, i, val);
+            }
+        }
+        d[i] = scale * g;
+
+        // Right reflector on row i, columns i+1..n.
+        g = 0.0;
+        scale = 0.0;
+        if i < m && l < n {
+            for k in l..n {
+                scale += u.get(i, k).abs();
+            }
+            if scale != 0.0 {
+                let mut s = 0.0;
+                for k in l..n {
+                    let x = u.get(i, k) / scale;
+                    u.set(i, k, x);
+                    s += x * x;
+                }
+                let f = u.get(i, l);
+                g = -sign_of(s.sqrt(), f);
+                let h = f * g - s;
+                u.set(i, l, f - g);
+                // rv1-style scratch: store row/h in e[l..n]
+                for k in l..n {
+                    e[k] = u.get(i, k) / h;
+                }
+                for j in l..m {
+                    let mut sum = 0.0;
+                    for k in l..n {
+                        sum += u.get(j, k) * u.get(i, k);
+                    }
+                    for k in l..n {
+                        let val = u.get(j, k) + sum * e[k];
+                        u.set(j, k, val);
+                    }
+                }
+                for k in l..n {
+                    let val = u.get(i, k) * scale;
+                    u.set(i, k, val);
+                }
+            }
+        }
+    }
+
+    // Phase 2: accumulate right-hand transformations into V.
+    let mut g_acc = e[n - 1];
+    let mut l = n;
+    for i in (0..n).rev() {
+        if i < n - 1 {
+            if g_acc != 0.0 {
+                // Double division avoids possible underflow (NR trick).
+                for j in l..n {
+                    v.set(j, i, (u.get(i, j) / u.get(i, l)) / g_acc);
+                }
+                for j in l..n {
+                    let mut s = 0.0;
+                    for k in l..n {
+                        s += u.get(i, k) * v.get(k, j);
+                    }
+                    for k in l..n {
+                        let val = v.get(k, j) + s * v.get(k, i);
+                        v.set(k, j, val);
+                    }
+                }
+            }
+            for j in l..n {
+                v.set(i, j, 0.0);
+                v.set(j, i, 0.0);
+            }
+        }
+        v.set(i, i, 1.0);
+        g_acc = e[i];
+        l = i;
+    }
+
+    // Phase 3: accumulate left-hand transformations into U.
+    for i in (0..n).rev() {
+        let l = i + 1;
+        let g = d[i];
+        for j in l..n {
+            u.set(i, j, 0.0);
+        }
+        if g != 0.0 {
+            let ginv = 1.0 / g;
+            for j in l..n {
+                let mut s = 0.0;
+                for k in l..m {
+                    s += u.get(k, i) * u.get(k, j);
+                }
+                let f = (s / u.get(i, i)) * ginv;
+                for k in i..m {
+                    let val = u.get(k, j) + f * u.get(k, i);
+                    u.set(k, j, val);
+                }
+            }
+            for j in i..m {
+                let val = u.get(j, i) * ginv;
+                u.set(j, i, val);
+            }
+        } else {
+            for j in i..m {
+                u.set(j, i, 0.0);
+            }
+        }
+        let val = u.get(i, i) + 1.0;
+        u.set(i, i, val);
+    }
+}
+
+/// Values-only bidiagonalization: returns `(d, e)` with `e[i] = B[i][i+1]`
+/// (length n−1 slice semantics; stored in a length-n vec with a leading
+/// convention shift applied).
+fn bidiagonalize_values_only(mut u: Matrix) -> (Vec<f64>, Vec<f64>) {
+    let n = u.cols();
+    let mut v = Matrix::zeros(0, 0); // unused
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    bidiagonalize_no_accumulate(&mut u, &mut v, &mut d, &mut e);
+    // Shift: e[i] currently holds B[i-1][i]; move to e[i] = B[i][i+1].
+    let mut e_out = vec![0.0; n.saturating_sub(1)];
+    e_out.copy_from_slice(&e[1..n]);
+    (d, e_out)
+}
+
+/// Same phase-1 reduction as [`bidiagonalize`] but without U/V accumulation.
+fn bidiagonalize_no_accumulate(u: &mut Matrix, _v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let (m, n) = u.shape();
+    let mut g = 0.0f64;
+    let mut scale = 0.0f64;
+    for i in 0..n {
+        let l = i + 1;
+        e[i] = scale * g;
+        g = 0.0;
+        scale = 0.0;
+        for k in i..m {
+            scale += u.get(k, i).abs();
+        }
+        if scale != 0.0 {
+            let mut s = 0.0;
+            for k in i..m {
+                let x = u.get(k, i) / scale;
+                u.set(k, i, x);
+                s += x * x;
+            }
+            let f = u.get(i, i);
+            g = -sign_of(s.sqrt(), f);
+            let h = f * g - s;
+            u.set(i, i, f - g);
+            for j in l..n {
+                let mut sum = 0.0;
+                for k in i..m {
+                    sum += u.get(k, i) * u.get(k, j);
+                }
+                let fac = sum / h;
+                for k in i..m {
+                    let val = u.get(k, j) + fac * u.get(k, i);
+                    u.set(k, j, val);
+                }
+            }
+        }
+        d[i] = scale * g;
+        g = 0.0;
+        scale = 0.0;
+        if i < m && l < n {
+            for k in l..n {
+                scale += u.get(i, k).abs();
+            }
+            if scale != 0.0 {
+                let mut s = 0.0;
+                for k in l..n {
+                    let x = u.get(i, k) / scale;
+                    u.set(i, k, x);
+                    s += x * x;
+                }
+                let f = u.get(i, l);
+                g = -sign_of(s.sqrt(), f);
+                let h = f * g - s;
+                u.set(i, l, f - g);
+                let mut scratch = vec![0.0; n - l];
+                for k in l..n {
+                    scratch[k - l] = u.get(i, k) / h;
+                }
+                for j in l..m {
+                    let mut sum = 0.0;
+                    for k in l..n {
+                        sum += u.get(j, k) * u.get(i, k);
+                    }
+                    for k in l..n {
+                        let val = u.get(j, k) + sum * scratch[k - l];
+                        u.set(j, k, val);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Implicit-shift QR diagonalization of a bidiagonal matrix.
+///
+/// `d` (length n) is the diagonal, `e` (length n−1) the superdiagonal
+/// (`e[i] = B[i][i+1]`). Optional `u` (m × n) and `v` (n × n) receive the
+/// accumulated rotations. On return `d` holds the (possibly negative,
+/// unsorted) singular values and `e` is ~0.
+fn qr_diagonalize(
+    d: &mut [f64],
+    e: &mut [f64],
+    mut u: Option<&mut Matrix>,
+    mut v: Option<&mut Matrix>,
+) -> Result<(), BaselineError> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    debug_assert_eq!(e.len(), n.saturating_sub(1));
+    // Work in the NR convention: rv1[i] = e[i-1] (superdiag entering row i).
+    let mut rv1 = vec![0.0f64; n];
+    rv1[1..n].copy_from_slice(&e[..n - 1]);
+    let anorm = (0..n).map(|i| d[i].abs() + rv1[i].abs()).fold(0.0f64, f64::max);
+
+    for k in (0..n).rev() {
+        let mut its = 0;
+        loop {
+            its += 1;
+            // Test for splitting.
+            let mut l = k;
+            let mut flag = true;
+            loop {
+                if rv1[l].abs() <= f64::EPSILON * anorm || l == 0 {
+                    if rv1[l].abs() <= f64::EPSILON * anorm {
+                        flag = false;
+                    }
+                    break;
+                }
+                if d[l - 1].abs() <= f64::EPSILON * anorm {
+                    break;
+                }
+                l -= 1;
+            }
+            if flag && l > 0 {
+                // Cancel rv1[l] via Givens rotations from the left (d[l-1] ~ 0).
+                let mut c = 0.0f64;
+                let mut s = 1.0f64;
+                let nm = l - 1;
+                for i in l..=k {
+                    let f = s * rv1[i];
+                    rv1[i] *= c;
+                    if f.abs() <= f64::EPSILON * anorm {
+                        break;
+                    }
+                    let g = d[i];
+                    let h = pythag(f, g);
+                    d[i] = h;
+                    let hinv = 1.0 / h;
+                    c = g * hinv;
+                    s = -f * hinv;
+                    if let Some(um) = u.as_deref_mut() {
+                        let m = um.rows();
+                        for r in 0..m {
+                            let y = um.get(r, nm);
+                            let z = um.get(r, i);
+                            um.set(r, nm, y * c + z * s);
+                            um.set(r, i, z * c - y * s);
+                        }
+                    }
+                }
+            }
+            let z = d[k];
+            if l == k {
+                // Converged: make the singular value non-negative.
+                if z < 0.0 {
+                    d[k] = -z;
+                    if let Some(vm) = v.as_deref_mut() {
+                        for r in 0..vm.rows() {
+                            let val = -vm.get(r, k);
+                            vm.set(r, k, val);
+                        }
+                    }
+                }
+                break;
+            }
+            if its >= MAX_QR_ITERS {
+                return Err(BaselineError::NoConvergence);
+            }
+            // Wilkinson-style shift from the trailing 2×2.
+            let mut x = d[l];
+            let nm = k - 1;
+            let mut y = d[nm];
+            let mut g = rv1[nm];
+            let mut h = rv1[k];
+            let mut f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
+            g = pythag(f, 1.0);
+            f = ((x - z) * (x + z) + h * (y / (f + sign_of(g, f)) - h)) / x;
+            // Chase the bulge with Givens rotations.
+            let mut c = 1.0f64;
+            let mut s = 1.0f64;
+            for j in l..=nm {
+                let i = j + 1;
+                g = rv1[i];
+                y = d[i];
+                h = s * g;
+                g *= c;
+                let zz = pythag(f, h);
+                rv1[j] = zz;
+                let zinv = 1.0 / zz;
+                c = f * zinv;
+                s = h * zinv;
+                f = x * c + g * s;
+                g = g * c - x * s;
+                h = y * s;
+                y *= c;
+                if let Some(vm) = v.as_deref_mut() {
+                    for r in 0..vm.rows() {
+                        let xx = vm.get(r, j);
+                        let zzv = vm.get(r, i);
+                        vm.set(r, j, xx * c + zzv * s);
+                        vm.set(r, i, zzv * c - xx * s);
+                    }
+                }
+                let zz2 = pythag(f, h);
+                d[j] = zz2;
+                if zz2 != 0.0 {
+                    let zi = 1.0 / zz2;
+                    c = f * zi;
+                    s = h * zi;
+                }
+                f = c * g + s * y;
+                x = c * y - s * g;
+                if let Some(um) = u.as_deref_mut() {
+                    for r in 0..um.rows() {
+                        let yy = um.get(r, j);
+                        let zzu = um.get(r, i);
+                        um.set(r, j, yy * c + zzu * s);
+                        um.set(r, i, zzu * c - yy * s);
+                    }
+                }
+            }
+            rv1[l] = 0.0;
+            rv1[k] = f;
+            d[k] = x;
+        }
+    }
+    // Copy the superdiagonal back out (all ~0 now).
+    e[..n - 1].copy_from_slice(&rv1[1..n]);
+    Ok(())
+}
+
+/// Sort `(d, U, V)` by descending singular value, permuting factor columns.
+fn sort_factors(d: &mut [f64], u: &mut Matrix, v: &mut Matrix) {
+    let n = d.len();
+    // Selection-sort with column swaps (n is the column count; O(n²) swaps
+    // are negligible next to the factorization itself).
+    for i in 0..n {
+        let mut best = i;
+        for j in i + 1..n {
+            if d[j] > d[best] {
+                best = j;
+            }
+        }
+        if best != i {
+            d.swap(i, best);
+            u.swap_columns(i, best);
+            v.swap_columns(i, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_matrix::{gen, norms};
+
+    fn check(a: &Matrix, f: &SvdFactors, tol: f64) {
+        let err = norms::reconstruction_error(a, &f.u, &f.sigma, &f.v);
+        assert!(err < tol, "reconstruction error {err} ≥ {tol}");
+        assert!(f.sigma.windows(2).all(|w| w[0] >= w[1]), "unsorted: {:?}", f.sigma);
+        assert!(norms::orthonormality_error(&f.u) < 1e-12);
+        assert!(norms::orthonormality_error(&f.v) < 1e-12);
+    }
+
+    #[test]
+    fn tall_random() {
+        let a = gen::uniform(40, 12, 3);
+        let f = svd(&a).unwrap();
+        check(&a, &f, 1e-12);
+    }
+
+    #[test]
+    fn square_random() {
+        let a = gen::uniform(20, 20, 5);
+        let f = svd(&a).unwrap();
+        check(&a, &f, 1e-12);
+    }
+
+    #[test]
+    fn wide_random() {
+        let a = gen::uniform(8, 25, 7);
+        let f = svd(&a).unwrap();
+        assert_eq!(f.sigma.len(), 8);
+        assert_eq!(f.u.shape(), (8, 8));
+        assert_eq!(f.v.shape(), (25, 8));
+        check(&a, &f, 1e-12);
+    }
+
+    #[test]
+    fn known_spectrum() {
+        let sigma = [9.0, 4.0, 1.0, 0.01];
+        let a = gen::with_singular_values(30, 4, &sigma, 11);
+        let f = svd(&a).unwrap();
+        for (got, want) in f.sigma.iter().zip(&sigma) {
+            assert!((got - want).abs() < 1e-12 * want.max(1.0), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn values_only_matches_full() {
+        let a = gen::uniform(25, 10, 21);
+        let f = svd(&a).unwrap();
+        let s = singular_values(&a).unwrap();
+        for (x, y) in s.iter().zip(&f.sigma) {
+            assert!((x - y).abs() < 1e-11 * x.max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn values_only_wide() {
+        let a = gen::uniform(5, 12, 2);
+        let s = singular_values(&a).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(s.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rank_deficient() {
+        let a = gen::rank_deficient(15, 6, 2, 9);
+        let f = svd(&a).unwrap();
+        check(&a, &f, 1e-11);
+        assert!(f.sigma[2] < 1e-12);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let a = Matrix::identity(5);
+        let f = svd(&a).unwrap();
+        for &s in &f.sigma {
+            assert!((s - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(4, 3);
+        let f = svd(&a).unwrap();
+        assert!(f.sigma.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(svd(&Matrix::zeros(0, 3)), Err(BaselineError::EmptyInput)));
+        let mut a = Matrix::zeros(2, 2);
+        a.set(1, 1, f64::NAN);
+        assert!(matches!(svd(&a), Err(BaselineError::NonFiniteInput)));
+        assert!(matches!(singular_values(&Matrix::zeros(3, 0)), Err(BaselineError::EmptyInput)));
+    }
+
+    #[test]
+    fn hilbert_reconstruction() {
+        let h = gen::hilbert(10);
+        let f = svd(&h).unwrap();
+        check(&h, &f, 1e-12);
+    }
+
+    #[test]
+    fn single_column() {
+        let a = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let f = svd(&a).unwrap();
+        assert!((f.sigma[0] - 5.0).abs() < 1e-14);
+        check(&a, &f, 1e-14);
+    }
+}

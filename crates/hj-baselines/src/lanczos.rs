@@ -1,0 +1,223 @@
+//! Golub-Kahan-Lanczos bidiagonalization with full reorthogonalization —
+//! the Krylov alternative to the randomized partial SVD.
+//!
+//! Where [`crate::partial_svd`] sketches the range with random projections,
+//! Lanczos builds Krylov bases `{v, (AᵀA)v, …}` whose Ritz values converge
+//! to the *extreme* singular values first — typically needing fewer passes
+//! over `A` for strongly decaying spectra, at the cost of the
+//! reorthogonalization work. Robust-PCA-style pipelines (the paper's §I
+//! motivation) historically used exactly this solver (PROPACK et al.), so
+//! the harness carries both and the tests cross-validate them.
+
+use crate::SvdFactors;
+use hj_core::{HestenesSvd, SvdOptions};
+use hj_matrix::{ops, Matrix};
+
+/// Options for the Lanczos partial SVD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LanczosOptions {
+    /// Krylov steps beyond the requested rank (convergence buffer).
+    pub extra_steps: usize,
+    /// Seed for the random start vector.
+    pub seed: u64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions { extra_steps: 10, seed: 0x1a5c_205e }
+    }
+}
+
+/// Rank-`k` partial SVD by Golub-Kahan-Lanczos bidiagonalization.
+///
+/// Runs `k + extra_steps` Lanczos steps (capped by `min(m, n)`), fully
+/// reorthogonalizing both bases, then factors the small bidiagonal core
+/// with the Hestenes-Jacobi SVD and lifts the leading `k` triplets.
+///
+/// ```
+/// use hj_baselines::lanczos::{lanczos_svd, LanczosOptions};
+/// use hj_matrix::gen;
+///
+/// let a = gen::with_singular_values(40, 6, &[8.0, 3.0, 1.0, 0.01, 0.005, 0.001], 2);
+/// let f = lanczos_svd(&a, 2, LanczosOptions::default());
+/// assert!((f.sigma[0] - 8.0).abs() < 1e-8);
+/// assert!((f.sigma[1] - 3.0).abs() < 1e-8);
+/// ```
+pub fn lanczos_svd(a: &Matrix, k: usize, opts: LanczosOptions) -> SvdFactors {
+    let (m, n) = a.shape();
+    assert!(!a.is_empty(), "Lanczos requires a non-empty matrix");
+    assert!(k > 0, "rank must be positive");
+    let k = k.min(m).min(n);
+    let steps = (k + opts.extra_steps).min(m).min(n);
+
+    let at = a.transpose();
+    // Bases: V (n × steps), U (m × steps); bidiagonal alphas/betas.
+    let mut v_basis = Matrix::zeros(n, steps);
+    let mut u_basis = Matrix::zeros(m, steps);
+    let mut alpha = vec![0.0f64; steps];
+    let mut beta = vec![0.0f64; steps]; // beta[j] couples v_{j+1}
+
+    // Random unit start vector.
+    let v0 = hj_matrix::gen::gaussian(n, 1, opts.seed);
+    let mut v = v0.col(0).to_vec();
+    let nrm = ops::norm(&v);
+    ops::scale(1.0 / nrm, &mut v);
+    v_basis.col_mut(0).copy_from_slice(&v);
+
+    let mut actual_steps = steps;
+    for j in 0..steps {
+        // u_j = A·v_j − β_{j−1}·u_{j−1}
+        let mut u = matvec(a, v_basis.col(j));
+        if j > 0 {
+            let prev = u_basis.col(j - 1).to_vec();
+            ops::axpy(-beta[j - 1], &prev, &mut u);
+        }
+        // Full reorthogonalization against all previous u's (twice).
+        for _ in 0..2 {
+            for p in 0..j {
+                let proj = ops::dot(u_basis.col(p), &u);
+                let pc = u_basis.col(p).to_vec();
+                ops::axpy(-proj, &pc, &mut u);
+            }
+        }
+        alpha[j] = ops::norm(&u);
+        if alpha[j] == 0.0 {
+            actual_steps = j;
+            break;
+        }
+        ops::scale(1.0 / alpha[j], &mut u);
+        u_basis.col_mut(j).copy_from_slice(&u);
+
+        if j + 1 == steps {
+            break;
+        }
+        // v_{j+1} = Aᵀ·u_j − α_j·v_j
+        let mut w = matvec(&at, u_basis.col(j));
+        let vj = v_basis.col(j).to_vec();
+        ops::axpy(-alpha[j], &vj, &mut w);
+        for _ in 0..2 {
+            for p in 0..=j {
+                let proj = ops::dot(v_basis.col(p), &w);
+                let pc = v_basis.col(p).to_vec();
+                ops::axpy(-proj, &pc, &mut w);
+            }
+        }
+        beta[j] = ops::norm(&w);
+        if beta[j] == 0.0 {
+            actual_steps = j + 1;
+            break;
+        }
+        ops::scale(1.0 / beta[j], &mut w);
+        v_basis.col_mut(j + 1).copy_from_slice(&w);
+    }
+
+    // Small core: bidiagonal B (actual_steps × actual_steps), factored
+    // densely (cheap at this size).
+    let s = actual_steps.max(1);
+    let mut b = Matrix::zeros(s, s);
+    for j in 0..s {
+        b.set(j, j, alpha[j]);
+        if j + 1 < s {
+            b.set(j, j + 1, beta[j]);
+        }
+    }
+    let core = HestenesSvd::new(SvdOptions::default())
+        .decompose(&b)
+        .expect("bidiagonal core is finite");
+
+    let kk = k.min(core.singular_values.len());
+    let u_out = u_basis.leading_columns(s).matmul(&core.u.leading_columns(kk)).expect("shapes");
+    let v_out = v_basis.leading_columns(s).matmul(&core.v.leading_columns(kk)).expect("shapes");
+    SvdFactors { u: u_out, sigma: core.singular_values[..kk].to_vec(), v: v_out }
+}
+
+/// Dense mat-vec `A·x` returning a fresh vector.
+fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.cols(), x.len());
+    let mut out = vec![0.0f64; a.rows()];
+    for (c, &w) in x.iter().enumerate() {
+        if w != 0.0 {
+            ops::axpy(w, a.col(c), &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial_svd::{randomized_svd, PartialSvdOptions};
+    use hj_matrix::{gen, norms};
+
+    #[test]
+    fn recovers_leading_spectrum() {
+        let sigma = [30.0, 12.0, 5.0, 0.4, 0.2, 0.1, 0.05, 0.02];
+        let a = gen::with_singular_values(50, 8, &sigma, 1);
+        let f = lanczos_svd(&a, 3, LanczosOptions::default());
+        for (got, want) in f.sigma.iter().zip(&sigma[..3]) {
+            assert!((got - want).abs() < 1e-8 * want, "{got} vs {want}");
+        }
+        assert!(norms::orthonormality_error(&f.u) < 1e-10);
+        assert!(norms::orthonormality_error(&f.v) < 1e-10);
+    }
+
+    #[test]
+    fn agrees_with_randomized_partial() {
+        let sigma = [20.0, 9.0, 4.0, 0.1, 0.05, 0.02];
+        let a = gen::with_singular_values(40, 6, &sigma, 2);
+        let lz = lanczos_svd(&a, 3, LanczosOptions::default());
+        let rn = randomized_svd(&a, 3, PartialSvdOptions::default());
+        for (x, y) in lz.sigma.iter().zip(&rn.sigma) {
+            assert!((x - y).abs() < 1e-7 * x.max(1.0), "lanczos {x} vs randomized {y}");
+        }
+    }
+
+    #[test]
+    fn exact_for_low_rank() {
+        let a = gen::rank_deficient(30, 10, 3, 3);
+        let f = lanczos_svd(&a, 3, LanczosOptions::default());
+        let err = norms::reconstruction_error(&a, &f.u, &f.sigma, &f.v);
+        assert!(err < 1e-10, "rank-3 capture error {err}");
+    }
+
+    #[test]
+    fn early_breakdown_on_exactly_low_rank_input() {
+        // Rank-2 input with a 20-step budget: Lanczos terminates early
+        // (beta → 0) and still produces the right factors.
+        let a = gen::rank_deficient(25, 12, 2, 5);
+        let f = lanczos_svd(&a, 2, LanczosOptions { extra_steps: 18, ..Default::default() });
+        let err = norms::reconstruction_error(&a, &f.u, &f.sigma, &f.v);
+        assert!(err < 1e-10, "err {err}");
+    }
+
+    #[test]
+    fn rank_clamped() {
+        let a = gen::uniform(6, 9, 7);
+        let f = lanczos_svd(&a, 50, LanczosOptions::default());
+        assert_eq!(f.sigma.len(), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = gen::uniform(20, 8, 9);
+        let f1 = lanczos_svd(&a, 4, LanczosOptions::default());
+        let f2 = lanczos_svd(&a, 4, LanczosOptions::default());
+        assert_eq!(f1.sigma, f2.sigma);
+    }
+
+    #[test]
+    fn full_rank_request_matches_dense_svd() {
+        let a = gen::uniform(15, 6, 11);
+        let f = lanczos_svd(&a, 6, LanczosOptions::default());
+        let dense = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        let d = norms::spectrum_disagreement(&f.sigma, &dense.singular_values);
+        assert!(d < 1e-9, "disagreement {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must be positive")]
+    fn zero_rank_rejected() {
+        let a = gen::uniform(4, 4, 13);
+        let _ = lanczos_svd(&a, 0, LanczosOptions::default());
+    }
+}

@@ -1,0 +1,278 @@
+//! Householder QR factorization (optionally column-pivoted).
+//!
+//! Substrate for the QR-preconditioned Jacobi SVD (`preconditioned`
+//! module) — the production refinement of one-sided Jacobi that Drmač's
+//! work (the paper's ref. \[15\]) turned into LAPACK's `dgesvj`/`dgejsv`:
+//! factor `A·P = Q·R` first, run the Jacobi sweeps on the small triangular
+//! `R`, and compose. This makes tall-skinny problems (the paper's best
+//! case) cheaper still and improves scaling robustness.
+
+use hj_matrix::{ops, Matrix};
+
+/// A Householder QR factorization `A·P = Q·R`.
+///
+/// Reflectors are stored LAPACK-style: `v_k` lives in column `k` below the
+/// diagonal (with the implicit unit leading entry), `R` on and above it.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Packed reflectors + R, `m × n`.
+    packed: Matrix,
+    /// Scalar reflector coefficients `τ_k`.
+    tau: Vec<f64>,
+    /// Column permutation: `perm[k]` is the original index of factored
+    /// column `k` (identity when pivoting is off).
+    perm: Vec<usize>,
+}
+
+/// Compute the QR factorization of `a` (`m ≥ n` required), with or without
+/// column pivoting.
+///
+/// ```
+/// use hj_baselines::qr::qr_decompose;
+/// use hj_matrix::{gen, norms};
+///
+/// let a = gen::uniform(12, 4, 1);
+/// let f = qr_decompose(&a, false);
+/// let q = f.q_thin();
+/// assert!(norms::orthonormality_error(&q) < 1e-12);
+/// let qr = q.matmul(&f.r()).unwrap();
+/// assert!(norms::frobenius(&qr.sub(&a).unwrap()) < 1e-12);
+/// ```
+pub fn qr_decompose(a: &Matrix, pivoting: bool) -> QrFactors {
+    let (m, n) = a.shape();
+    assert!(m >= n, "QR requires m ≥ n (got {m}×{n}); transpose first");
+    assert!(!a.is_empty(), "QR requires a non-empty matrix");
+    let mut w = a.clone();
+    let mut tau = vec![0.0f64; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Remaining column norms for pivot selection (recomputed exactly —
+    // downdating is an optimization this reference code doesn't need).
+    for k in 0..n {
+        if pivoting {
+            let mut best = k;
+            let mut best_norm = -1.0f64;
+            for c in k..n {
+                let nrm = ops::norm_sq(&w.col(c)[k..]);
+                if nrm > best_norm {
+                    best_norm = nrm;
+                    best = c;
+                }
+            }
+            if best != k {
+                w.swap_columns(k, best);
+                perm.swap(k, best);
+            }
+        }
+        // Householder reflector annihilating w[k+1.., k].
+        let alpha = w.get(k, k);
+        let xnorm = ops::norm(&w.col(k)[k + 1..]);
+        if xnorm == 0.0 {
+            tau[k] = 0.0;
+            continue;
+        }
+        let beta = -f64::hypot(alpha, xnorm).copysign(alpha);
+        let t = (beta - alpha) / beta;
+        tau[k] = t;
+        let scale = 1.0 / (alpha - beta);
+        // v = [1, w[k+1.., k]·scale]; store the tail in place.
+        {
+            let col = w.col_mut(k);
+            for v in &mut col[k + 1..] {
+                *v *= scale;
+            }
+            col[k] = beta; // R's diagonal entry
+        }
+        // Apply (I − τ v vᵀ) to the trailing columns.
+        for c in k + 1..n {
+            // s = vᵀ w_c = w[k][c] + Σ v_i w[i][c]
+            let mut s = w.get(k, c);
+            for i in k + 1..m {
+                s += w.get(i, k) * w.get(i, c);
+            }
+            s *= t;
+            let upd = w.get(k, c) - s;
+            w.set(k, c, upd);
+            for i in k + 1..m {
+                let vi = w.get(i, k);
+                let val = w.get(i, c) - s * vi;
+                w.set(i, c, val);
+            }
+        }
+    }
+    QrFactors { packed: w, tau, perm }
+}
+
+impl QrFactors {
+    /// Shape of the factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.packed.shape()
+    }
+
+    /// The column permutation (`perm[k]` = original index of column `k`).
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The upper-triangular factor `R` as an `n × n` matrix.
+    pub fn r(&self) -> Matrix {
+        let n = self.packed.cols();
+        let mut r = Matrix::zeros(n, n);
+        for c in 0..n {
+            for row in 0..=c {
+                r.set(row, c, self.packed.get(row, c));
+            }
+        }
+        r
+    }
+
+    /// The thin orthogonal factor `Q` (`m × n`), formed by applying the
+    /// reflectors to the first `n` identity columns.
+    pub fn q_thin(&self) -> Matrix {
+        let (m, n) = self.packed.shape();
+        let mut q = Matrix::zeros(m, n);
+        for c in 0..n {
+            q.set(c, c, 1.0);
+        }
+        // Apply H_k = I − τ_k v_k v_kᵀ in reverse order.
+        for k in (0..n).rev() {
+            let t = self.tau[k];
+            if t == 0.0 {
+                continue;
+            }
+            for c in 0..n {
+                // s = v_kᵀ q_c
+                let mut s = q.get(k, c);
+                for i in k + 1..m {
+                    s += self.packed.get(i, k) * q.get(i, c);
+                }
+                s *= t;
+                let val = q.get(k, c) - s;
+                q.set(k, c, val);
+                for i in k + 1..m {
+                    let vi = self.packed.get(i, k);
+                    let val = q.get(i, c) - s * vi;
+                    q.set(i, c, val);
+                }
+            }
+        }
+        q
+    }
+
+    /// Estimated numerical rank from the pivoted `R` diagonal: entries
+    /// below `tol · |R\[0\]\[0\]|` in magnitude are treated as zero.
+    /// Meaningful only when the factorization was pivoted.
+    pub fn rank(&self, tol: f64) -> usize {
+        let n = self.packed.cols();
+        if n == 0 {
+            return 0;
+        }
+        let r00 = self.packed.get(0, 0).abs();
+        if r00 == 0.0 {
+            return 0;
+        }
+        (0..n).take_while(|&k| self.packed.get(k, k).abs() > tol * r00).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_matrix::{gen, norms};
+
+    fn check_qr(a: &Matrix, f: &QrFactors, tol: f64) {
+        let q = f.q_thin();
+        let r = f.r();
+        assert!(norms::orthonormality_error(&q) < tol, "Q not orthonormal");
+        // Q·R must equal A·P.
+        let qr = q.matmul(&r).unwrap();
+        let (m, n) = a.shape();
+        let mut ap = Matrix::zeros(m, n);
+        for (k, &orig) in f.permutation().iter().enumerate() {
+            ap.col_mut(k).copy_from_slice(a.col(orig));
+        }
+        let diff = norms::frobenius(&qr.sub(&ap).unwrap());
+        assert!(diff < tol * norms::frobenius(a).max(1.0), "‖QR − AP‖ = {diff}");
+    }
+
+    #[test]
+    fn unpivoted_qr_reconstructs() {
+        let a = gen::uniform(20, 8, 1);
+        let f = qr_decompose(&a, false);
+        assert_eq!(f.permutation(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        check_qr(&a, &f, 1e-12);
+    }
+
+    #[test]
+    fn pivoted_qr_reconstructs() {
+        let a = gen::uniform(15, 6, 2);
+        let f = qr_decompose(&a, true);
+        check_qr(&a, &f, 1e-12);
+        // Pivoted R has non-increasing diagonal magnitudes.
+        let r = f.r();
+        for k in 1..6 {
+            assert!(
+                r.get(k, k).abs() <= r.get(k - 1, k - 1).abs() + 1e-12,
+                "pivoted diagonal must not grow"
+            );
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = gen::gaussian(10, 5, 3);
+        let r = qr_decompose(&a, false).r();
+        for c in 0..5 {
+            for row in c + 1..5 {
+                assert_eq!(r.get(row, c), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_qr() {
+        let a = gen::uniform(7, 7, 4);
+        let f = qr_decompose(&a, false);
+        check_qr(&a, &f, 1e-12);
+    }
+
+    #[test]
+    fn rank_detection_on_pivoted_factorization() {
+        let a = gen::rank_deficient(20, 8, 3, 5);
+        let f = qr_decompose(&a, true);
+        assert_eq!(f.rank(1e-10), 3);
+        let full = gen::uniform(20, 8, 6);
+        assert_eq!(qr_decompose(&full, true).rank(1e-10), 8);
+    }
+
+    #[test]
+    fn preserves_column_norm_product_via_r() {
+        // |det R| = Πσ for square input; check via product of |R_kk| vs
+        // the product of singular values.
+        let a = gen::with_singular_values(6, 6, &[5.0, 4.0, 3.0, 2.0, 1.0, 0.5], 7);
+        let f = qr_decompose(&a, true);
+        let det_r: f64 = (0..6).map(|k| f.r().get(k, k).abs()).product();
+        let det_sigma: f64 = [5.0, 4.0, 3.0, 2.0, 1.0, 0.5].iter().product();
+        assert!((det_r - det_sigma).abs() < 1e-9 * det_sigma);
+    }
+
+    #[test]
+    #[should_panic(expected = "m ≥ n")]
+    fn wide_input_rejected() {
+        let a = gen::uniform(3, 5, 8);
+        let _ = qr_decompose(&a, false);
+    }
+
+    #[test]
+    fn column_with_zero_tail_is_skipped() {
+        // A matrix whose first column is e₁: the reflector for k=0 is
+        // trivial (xnorm = 0, τ = 0).
+        let mut a = Matrix::zeros(5, 2);
+        a.set(0, 0, 3.0);
+        for r in 0..5 {
+            a.set(r, 1, (r + 1) as f64);
+        }
+        let f = qr_decompose(&a, false);
+        assert_eq!(f.tau[0], 0.0);
+        check_qr(&a, &f, 1e-12);
+    }
+}

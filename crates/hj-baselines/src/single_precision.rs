@@ -1,0 +1,153 @@
+//! Single-precision (f32) Hestenes-Jacobi — the middle point of the
+//! paper's precision argument.
+//!
+//! The paper chooses IEEE-754 *double* precision "to provide a wider
+//! dynamic range" (§I) and dismisses fixed point outright. This module
+//! implements the same Gram-maintained algorithm in f32 so the precision
+//! ablation can chart all three arithmetic options: f64 (the paper),
+//! f32 (half the DSP/BRAM cost on real hardware, but a dynamic-range
+//! ceiling of ~1e19 on column norms — their *squares* must fit in f32 —
+//! and ~1e-3 relative accuracy), and Q31.32 fixed point (see
+//! [`crate::fixed_point`]).
+
+// Index loops below mirror the paper's mathematical notation across
+// several coupled arrays; iterator rewrites would obscure the algebra.
+#![allow(clippy::needless_range_loop)]
+
+use hj_core::ordering::round_robin;
+use hj_matrix::Matrix;
+
+/// Outcome of the f32 run.
+#[derive(Debug, Clone)]
+pub struct SinglePrecisionReport {
+    /// Singular values (converted back to f64 for comparison), descending.
+    pub singular_values: Vec<f64>,
+    /// True if any non-finite value (overflow) appeared during the run —
+    /// the dynamic-range failure mode f64 avoids.
+    pub overflowed: bool,
+    /// Sweeps executed.
+    pub sweeps: usize,
+}
+
+/// Gram-maintained Hestenes-Jacobi singular values in f32.
+pub fn singular_values_f32(a: &Matrix, sweeps: usize) -> SinglePrecisionReport {
+    let (m, n) = a.shape();
+    assert!(!a.is_empty(), "requires a non-empty matrix");
+    // Columns in f32.
+    let cols: Vec<Vec<f32>> =
+        (0..n).map(|c| a.col(c).iter().map(|&v| v as f32).collect()).collect();
+    // Dense symmetric Gram matrix in f32.
+    let mut d = vec![vec![0.0f32; n]; n];
+    let mut overflowed = false;
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = 0.0f32;
+            for r in 0..m {
+                acc += cols[i][r] * cols[j][r];
+            }
+            if !acc.is_finite() {
+                overflowed = true;
+            }
+            d[i][j] = acc;
+            d[j][i] = acc;
+        }
+    }
+    let order = round_robin(n);
+    for _ in 0..sweeps {
+        for (i, j) in order.pairs() {
+            let cov = d[i][j];
+            if !cov.is_finite() {
+                overflowed = true;
+                continue;
+            }
+            let (ni, nj) = (d[i][i], d[j][j]);
+            // f32 pair-convergence guard (the f32 analogue of PAIR_TOL):
+            // covariances at the single-precision noise floor are done.
+            if cov * cov <= 1e-14 * ni * nj || cov == 0.0 {
+                continue;
+            }
+            let zeta = (nj - ni) / (2.0 * cov);
+            if !zeta.is_finite() {
+                overflowed = true;
+                continue;
+            }
+            let sign = if zeta >= 0.0 { 1.0f32 } else { -1.0 };
+            let t = sign / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+            let cos = 1.0 / (1.0 + t * t).sqrt();
+            let sin = cos * t;
+            let tc = t * cov;
+            d[i][i] = ni - tc;
+            d[j][j] = nj + tc;
+            d[i][j] = 0.0;
+            d[j][i] = 0.0;
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                let dki = d[k][i];
+                let dkj = d[k][j];
+                let new_ki = dki * cos - dkj * sin;
+                let new_kj = dki * sin + dkj * cos;
+                d[k][i] = new_ki;
+                d[i][k] = new_ki;
+                d[k][j] = new_kj;
+                d[j][k] = new_kj;
+            }
+        }
+    }
+    let mut sv: Vec<f64> = (0..n).map(|i| (d[i][i].max(0.0) as f64).sqrt()).collect();
+    if sv.iter().any(|v| !v.is_finite()) {
+        overflowed = true;
+    }
+    sv.sort_by(|x, y| y.partial_cmp(x).unwrap_or(std::cmp::Ordering::Equal));
+    sv.truncate(m.min(n));
+    SinglePrecisionReport { singular_values: sv, overflowed, sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_core::{HestenesSvd, SvdOptions};
+    use hj_matrix::gen;
+
+    #[test]
+    fn matches_f64_to_single_precision_level() {
+        let a = gen::uniform(30, 10, 3);
+        let f32_run = singular_values_f32(&a, 12);
+        assert!(!f32_run.overflowed);
+        let f64_run = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
+        for (x, y) in f32_run.singular_values.iter().zip(&f64_run.values) {
+            assert!((x - y).abs() < 1e-4 * y.max(1.0), "f32 {x} vs f64 {y}");
+        }
+    }
+
+    #[test]
+    fn f32_loses_small_singular_values_that_f64_keeps() {
+        // κ = 1e6: tail σ = 1e-6·σ_max sits at f32's relative noise floor.
+        let a = gen::with_condition_number(24, 6, 1e6, 5);
+        let f32_run = singular_values_f32(&a, 20);
+        let f64_run = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
+        let rel32 = (f32_run.singular_values[5] - f64_run.values[5]).abs() / f64_run.values[5];
+        // f64 resolves it cleanly; f32's estimate is majorly off.
+        assert!(rel32 > 1e-2, "expected f32 to lose the tail (rel err {rel32})");
+    }
+
+    #[test]
+    fn f32_overflows_on_wide_dynamic_range_input() {
+        // Column norms ~1e25: squared norms ~1e50 overflow f32 (max 3.4e38)
+        // but are trivial for f64 — the paper's dynamic-range argument.
+        let a = gen::uniform(10, 4, 7).scaled(1e25);
+        let f32_run = singular_values_f32(&a, 6);
+        assert!(f32_run.overflowed, "expected f32 overflow on 1e25-scaled input");
+        let f64_run = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
+        assert!(f64_run.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = hj_matrix::Matrix::zeros(4, 3);
+        let run = singular_values_f32(&a, 4);
+        assert!(!run.overflowed);
+        assert!(run.singular_values.iter().all(|&v| v == 0.0));
+    }
+}

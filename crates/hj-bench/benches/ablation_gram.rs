@@ -1,0 +1,29 @@
+//! Ablation A1: the paper's maintained-Gram optimization vs the naive
+//! recompute-everything Hestenes (modelling the earlier FPGA design,
+//! ref. \[12\]). Same spectra, very different work — the gap grows with the
+//! row dimension, since the naive method re-reads the m-long columns for
+//! every pair visit in every sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hj_baselines::naive_hestenes;
+use hj_core::{HestenesSvd, SvdOptions};
+use hj_matrix::gen;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_gram");
+    g.sample_size(10);
+    for &(m, n) in &[(64usize, 32usize), (512, 32), (2048, 32)] {
+        let a = gen::uniform(m, n, 3);
+        let modified = HestenesSvd::new(SvdOptions::default());
+        g.bench_with_input(BenchmarkId::new("modified_gram", format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| black_box(modified.decompose(black_box(a)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_recompute", format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| black_box(naive_hestenes::svd(black_box(a), 30)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation A2: direct floating-point rotation formulas (the paper's
+//! eqs. (8)–(10) choice) vs a fixed-point CORDIC engine (the alternative
+//! §V-B discusses and rejects), at several CORDIC iteration depths.
+//! Criterion reports the cost side; the accuracy side is printed by the
+//! accompanying test in `tests/ablations.rs`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hj_baselines::cordic::Cordic;
+use hj_core::rotation::hardware_params;
+
+fn bench_rotation_ablation(c: &mut Criterion) {
+    let inputs: Vec<(f64, f64, f64)> =
+        (0..128).map(|i| (1.0 + i as f64, 129.0 - i as f64, 0.4 * (i as f64 + 1.0))).collect();
+
+    let mut g = c.benchmark_group("ablation_rotation");
+    g.bench_function("direct_fp", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(ni, nj, cv) in &inputs {
+                let r = hardware_params(black_box(ni), black_box(nj), black_box(cv));
+                acc += r.cos - r.sin;
+            }
+            black_box(acc)
+        })
+    });
+    for &iters in &[16usize, 32, 54] {
+        let engine = Cordic::new(iters);
+        g.bench_with_input(BenchmarkId::new("cordic", iters), &engine, |b, e| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(ni, nj, cv) in &inputs {
+                    let (cc, ss) = e.jacobi_params(black_box(ni), black_box(nj), black_box(cv));
+                    acc += cc - ss;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rotation_ablation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Baseline comparison bench: Hestenes (this work) vs Householder
+//! (MATLAB/LAPACK family) vs two-sided Jacobi (systolic-array family), all
+//! measured as software on this machine. Complements the figure binaries,
+//! which compare against the *simulated architecture*.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hj_baselines::partial_svd::{randomized_svd, PartialSvdOptions};
+use hj_baselines::{householder, preconditioned, two_sided};
+use hj_core::{HestenesSvd, SvdOptions};
+use hj_matrix::gen;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let a = gen::uniform(n, n, 9);
+        let hest = HestenesSvd::new(SvdOptions::default());
+        g.bench_with_input(BenchmarkId::new("hestenes_full", n), &a, |b, a| {
+            b.iter(|| black_box(hest.decompose(black_box(a)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("householder_full", n), &a, |b, a| {
+            b.iter(|| black_box(householder::svd(black_box(a)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("two_sided_full", n), &a, |b, a| {
+            b.iter(|| black_box(two_sided::svd(black_box(a), 30).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("householder_values", n), &a, |b, a| {
+            b.iter(|| black_box(householder::singular_values(black_box(a)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("hestenes_values", n), &a, |b, a| {
+            b.iter(|| black_box(hest.singular_values(black_box(a)).unwrap()))
+        });
+    }
+    // Tall-skinny shapes: where QR preconditioning and the randomized
+    // partial SVD earn their keep.
+    for &(m, n) in &[(512usize, 32usize), (2048, 64)] {
+        let a = gen::uniform(m, n, 11);
+        let hest = HestenesSvd::new(SvdOptions::default());
+        let label = format!("{m}x{n}");
+        g.bench_with_input(BenchmarkId::new("hestenes_tall", &label), &a, |b, a| {
+            b.iter(|| black_box(hest.decompose(black_box(a)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("preconditioned_tall", &label), &a, |b, a| {
+            b.iter(|| black_box(preconditioned::svd(black_box(a), SvdOptions::default()).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("partial_rank8_tall", &label), &a, |b, a| {
+            b.iter(|| black_box(randomized_svd(black_box(a), 8, PartialSvdOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

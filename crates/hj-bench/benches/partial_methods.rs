@@ -1,0 +1,32 @@
+//! Partial-SVD method comparison: randomized subspace iteration vs
+//! Golub-Kahan-Lanczos vs the full decomposition, across ranks — the
+//! solver-selection question behind the paper's §I repeated-partial-SVD
+//! motivation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hj_baselines::lanczos::{lanczos_svd, LanczosOptions};
+use hj_baselines::partial_svd::{randomized_svd, PartialSvdOptions};
+use hj_core::{HestenesSvd, SvdOptions};
+use hj_matrix::gen;
+
+fn bench_partial_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partial_methods");
+    g.sample_size(10);
+    let a = gen::low_rank_plus_noise(512, 128, 10, 0.001, 42);
+    for &k in &[2usize, 10, 30] {
+        g.bench_with_input(BenchmarkId::new("randomized", k), &a, |b, a| {
+            b.iter(|| black_box(randomized_svd(black_box(a), k, PartialSvdOptions::default())))
+        });
+        g.bench_with_input(BenchmarkId::new("lanczos", k), &a, |b, a| {
+            b.iter(|| black_box(lanczos_svd(black_box(a), k, LanczosOptions::default())))
+        });
+    }
+    let full = HestenesSvd::new(SvdOptions::default());
+    g.bench_function("full_hestenes", |b| {
+        b.iter(|| black_box(full.decompose(black_box(&a)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partial_methods);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Microbench: the architecture simulator itself — Gram construction
+//! (functional preprocessor work) and full timing estimation across sizes.
+//! The estimator must stay O(sweeps) so the table/figure harnesses can
+//! sweep large grids; this bench guards that property.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hj_arch::HestenesJacobiArch;
+use hj_matrix::gen;
+
+fn bench_preprocessor(c: &mut Criterion) {
+    let arch = HestenesJacobiArch::paper();
+    let mut g = c.benchmark_group("arch");
+    for &n in &[128usize, 1024, 8192] {
+        g.bench_with_input(BenchmarkId::new("estimate", n), &n, |b, &n| {
+            b.iter(|| black_box(arch.estimate(black_box(n), black_box(n))))
+        });
+    }
+    g.sample_size(10);
+    for &n in &[16usize, 64] {
+        let a = gen::uniform(64, n, 4);
+        g.bench_with_input(BenchmarkId::new("simulate_functional", n), &a, |b, a| {
+            b.iter(|| black_box(arch.simulate(black_box(a)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_preprocessor);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Microbench: rotation-parameter kernels — the textbook ρ→t chain vs the
+//! paper's flattened hardware equations (8)–(10) (both produce the same
+//! rotation; the hardware form exists for datapath parallelism, and this
+//! bench shows the two are also comparable in software cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hj_core::rotation::{hardware_params, textbook_params};
+
+fn bench_rotation_kernels(c: &mut Criterion) {
+    // A mix of magnitudes so branch behaviour is realistic.
+    let inputs: Vec<(f64, f64, f64)> = (0..256)
+        .map(|i| {
+            let x = i as f64 + 1.0;
+            (x, 257.0 - x, if i % 2 == 0 { 0.3 * x } else { -0.7 / x })
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("rotation_params");
+    g.bench_function("textbook", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(ni, nj, cv) in &inputs {
+                let r = textbook_params(black_box(ni), black_box(nj), black_box(cv));
+                acc += r.cos + r.sin;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("hardware_eq_8_10", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(ni, nj, cv) in &inputs {
+                let r = hardware_params(black_box(ni), black_box(nj), black_box(cv));
+                acc += r.cos + r.sin;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rotation_kernels);
+criterion_main!(benches);

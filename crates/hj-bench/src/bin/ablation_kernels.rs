@@ -1,0 +1,63 @@
+//! Ablation A3 — update-kernel count scaling.
+//!
+//! The paper (§V-C): "The number of update kernels that can be allocated to
+//! a single chip … determines the efficiency of the system, especially for
+//! large-scale matrices, where performance is dominated by the amount of
+//! updates after each rotation." This ablation sweeps the kernel count and
+//! reports simulated runtime plus the resource cost of each point — making
+//! the paper's sizing choice (8 + 4 reconfigured) inspectable.
+//!
+//! Run: `cargo run --release -p hj-bench --bin ablation_kernels`
+
+use hj_arch::{resource_usage, ArchConfig, HestenesJacobiArch};
+use hj_bench::{fmt_secs, print_table, write_csv};
+use hj_fpsim::resources::ChipCapacity;
+
+fn main() {
+    println!("Ablation A3: update-kernel count vs runtime and resources (512x512 and 2048x256)\n");
+    let chip = ChipCapacity::XC5VLX330;
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for kernels in [1u64, 2, 4, 8, 16, 32] {
+        let cfg = ArchConfig {
+            update_kernels: kernels,
+            // keep the reconfigured contribution proportional (paper: 8→+4)
+            reconfigured_kernels: kernels / 2,
+            ..ArchConfig::paper()
+        };
+        let arch = HestenesJacobiArch::new(cfg);
+        let t_square = arch.estimate(512, 512).seconds;
+        let t_tall = arch.estimate(2048, 256).seconds;
+        let usage = resource_usage(&cfg);
+        let (lut, _, dsp) = usage.utilization(&chip);
+        let fits = usage.fits(&chip);
+        rows.push(vec![
+            kernels.to_string(),
+            fmt_secs(t_square),
+            fmt_secs(t_tall),
+            format!("{lut:.0}%"),
+            format!("{dsp:.0}%"),
+            fits.to_string(),
+        ]);
+        csv.push(vec![
+            kernels.to_string(),
+            format!("{t_square:.6e}"),
+            format!("{t_tall:.6e}"),
+            format!("{lut:.2}"),
+            format!("{dsp:.2}"),
+            fits.to_string(),
+        ]);
+    }
+    print_table(&["kernels", "512x512", "2048x256", "LUT", "DSP", "fits chip"], &rows);
+    println!("\nexpected: runtime scales ~1/kernels until the rotation unit becomes the");
+    println!("bottleneck; the paper's 8-kernel point is the largest that fits the LX330");
+    println!("alongside the preprocessor.");
+    match write_csv(
+        "ablation_kernels",
+        &["kernels", "t_512x512_s", "t_2048x256_s", "lut_pct", "dsp_pct", "fits"],
+        &csv,
+    ) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 7 — SVD computation time for square matrices: our architecture vs
+//! the software baseline (Householder/Golub-Reinsch, the MATLAB/MKL
+//! algorithm family) vs the GPU models.
+//!
+//! Reproduction notes (see DESIGN.md):
+//! * "our architecture" = cycle-level simulation at 150 MHz;
+//! * "software" = from-scratch Rust Golub-Reinsch, values-only, measured on
+//!   this machine (plus an era-scaled column placing it on the paper's
+//!   2009 hardware/MATLAB scale);
+//! * "GPU" = the calibrated 8800-era analytic models (Householder per the
+//!   paper's ref. \[7\], Hestenes per ref. \[11\]).
+//!
+//! Expected shape: the architecture wins below ~512 columns, the software
+//! catches up beyond (the paper's I/O-limit observation), and the GPU is
+//! uncompetitive at small dimensions.
+//!
+//! Run: `cargo run --release -p hj-bench --bin fig7 [--full]`
+//! (`--full` extends the sweep to n = 2048)
+
+use hj_arch::HestenesJacobiArch;
+use hj_baselines::{gpu_model::GpuModel, householder, two_sided};
+use hj_bench::{fmt_secs, has_flag, measure, print_table, write_csv, ERA_SLOWDOWN};
+use hj_matrix::gen;
+
+fn main() {
+    let arch = HestenesJacobiArch::paper();
+    let gpu = GpuModel::default();
+    let full = has_flag("--full");
+    let sizes: &[usize] = if full { &[128, 256, 512, 1024, 2048] } else { &[128, 256, 512, 1024] };
+
+    println!("Fig. 7: SVD time (square n x n), architecture vs software vs GPU models\n");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in sizes {
+        let a = gen::uniform(n, n, 0x716 + n as u64);
+        let t_arch = arch.estimate(n, n).seconds;
+        let runs = if n >= 1024 { 1 } else { 3 };
+        let t_sw = measure(runs, || {
+            householder::singular_values(&a).expect("baseline svd");
+        });
+        let t_sw_era = t_sw * ERA_SLOWDOWN;
+        let t_gpu_hh = gpu.householder_time(n, n);
+        let t_gpu_hj = gpu.hestenes_time(n, n, 6);
+        // Two-sided Jacobi (the systolic-array algorithm family): measured
+        // only at sizes where its O(n³·sweeps) software cost is reasonable.
+        let t_two = (n <= 256).then(|| {
+            measure(1, || {
+                two_sided::svd(&a, 30).expect("square input");
+            })
+        });
+        rows.push(vec![
+            n.to_string(),
+            fmt_secs(t_arch),
+            fmt_secs(t_sw),
+            fmt_secs(t_sw_era),
+            fmt_secs(t_gpu_hh),
+            fmt_secs(t_gpu_hj),
+            t_two.map_or("-".to_string(), fmt_secs),
+        ]);
+        csv.push(vec![
+            n.to_string(),
+            format!("{t_arch:.6e}"),
+            format!("{t_sw:.6e}"),
+            format!("{t_sw_era:.6e}"),
+            format!("{t_gpu_hh:.6e}"),
+            format!("{t_gpu_hj:.6e}"),
+            t_two.map_or("".to_string(), |t| format!("{t:.6e}")),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "architecture",
+            "software (measured)",
+            "software (era-scaled)",
+            "GPU Householder",
+            "GPU Hestenes",
+            "two-sided Jacobi",
+        ],
+        &rows,
+    );
+    println!("\n(era-scaled = measured x {ERA_SLOWDOWN}, the documented 2009-MATLAB factor)");
+    match write_csv(
+        "fig7",
+        &[
+            "n",
+            "arch_s",
+            "software_s",
+            "software_era_s",
+            "gpu_householder_s",
+            "gpu_hestenes_s",
+            "two_sided_s",
+        ],
+        &csv,
+    ) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

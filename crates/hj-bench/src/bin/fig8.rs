@@ -1,0 +1,62 @@
+//! Fig. 8 — SVD computation time for rectangular matrices: identical column
+//! dimension, growing row dimension.
+//!
+//! The paper's point: "the growth of row number causes a relatively slow
+//! increase of the execution time due to the quantity of covariances is
+//! determined by the column size". Rows only enter through preprocessing
+//! and first-sweep column updates (linear), columns through the covariance
+//! count (quadratic in work per sweep).
+//!
+//! Run: `cargo run --release -p hj-bench --bin fig8 [--full]`
+
+use hj_arch::HestenesJacobiArch;
+use hj_baselines::{gpu_model::GpuModel, householder};
+use hj_bench::{fmt_secs, has_flag, measure, print_table, write_csv, ERA_SLOWDOWN};
+use hj_matrix::gen;
+
+fn main() {
+    let arch = HestenesJacobiArch::paper();
+    let gpu = GpuModel::default();
+    let full = has_flag("--full");
+    let cols: &[usize] = if full { &[128, 256] } else { &[128] };
+    let rows_dims: &[usize] =
+        if full { &[128, 256, 512, 1024, 2048] } else { &[128, 256, 512, 1024] };
+
+    println!("Fig. 8: SVD time for rectangular m x n matrices (fixed n, growing m)\n");
+    let mut table = Vec::new();
+    let mut csv = Vec::new();
+    for &n in cols {
+        for &m in rows_dims {
+            let a = gen::uniform(m, n, 0x816 + (m * 31 + n) as u64);
+            let t_arch = arch.estimate(m, n).seconds;
+            let t_sw = measure(3, || {
+                householder::singular_values(&a).expect("baseline svd");
+            });
+            let t_gpu = gpu.householder_time(m, n);
+            table.push(vec![
+                format!("{m}x{n}"),
+                fmt_secs(t_arch),
+                fmt_secs(t_sw),
+                fmt_secs(t_sw * ERA_SLOWDOWN),
+                fmt_secs(t_gpu),
+            ]);
+            csv.push(vec![
+                m.to_string(),
+                n.to_string(),
+                format!("{t_arch:.6e}"),
+                format!("{t_sw:.6e}"),
+                format!("{t_gpu:.6e}"),
+            ]);
+        }
+    }
+    print_table(
+        &["m x n", "architecture", "software (measured)", "software (era-scaled)", "GPU Householder"],
+        &table,
+    );
+    println!("\nshape check: within each n-block, architecture times grow slowly with m");
+    println!("while the software baseline grows ~linearly in m.");
+    match write_csv("fig8", &["m", "n", "arch_s", "software_s", "gpu_s"], &csv) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

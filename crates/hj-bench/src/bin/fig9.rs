@@ -1,0 +1,68 @@
+//! Fig. 9 — speedup of the FPGA Hestenes-Jacobi architecture over the
+//! software SVD, across the (m, n) grid.
+//!
+//! The paper reports dimensional speedups of 3.8x–43.6x for column sizes
+//! 128–256 and row sizes 128–2048 against MATLAB on a 2.2 GHz Xeon. We
+//! report the speedup against the measured Rust Golub-Reinsch baseline
+//! (raw) and against the same baseline era-scaled by the documented
+//! [`ERA_SLOWDOWN`] factor — the latter is the column comparable to the
+//! paper's claim. The *shape* is the reproducible part: speedup grows with
+//! the row dimension at a fixed column dimension (the architecture is
+//! nearly row-insensitive while Householder is O(m·n²)) and shrinks as the
+//! column dimension grows past the BRAM limit.
+//!
+//! Run: `cargo run --release -p hj-bench --bin fig9`
+
+use hj_arch::HestenesJacobiArch;
+use hj_baselines::householder;
+use hj_bench::{measure, print_table, write_csv, ERA_SLOWDOWN};
+use hj_matrix::gen;
+
+fn main() {
+    let arch = HestenesJacobiArch::paper();
+    let cols = [128usize, 256];
+    let rows_dims = [128usize, 256, 512, 1024, 2048];
+
+    println!("Fig. 9: speedup of the architecture over the software SVD\n");
+    let mut table = Vec::new();
+    let mut csv = Vec::new();
+    let mut era_speedups = Vec::new();
+    for &n in &cols {
+        for &m in &rows_dims {
+            let a = gen::uniform(m, n, 0x916 + (m * 17 + n) as u64);
+            let t_arch = arch.estimate(m, n).seconds;
+            let t_sw = measure(3, || {
+                householder::singular_values(&a).expect("baseline svd");
+            });
+            let raw = t_sw / t_arch;
+            let era = raw * ERA_SLOWDOWN;
+            era_speedups.push(era);
+            table.push(vec![
+                format!("{m}x{n}"),
+                format!("{raw:.2}x"),
+                format!("{era:.1}x"),
+            ]);
+            csv.push(vec![
+                m.to_string(),
+                n.to_string(),
+                format!("{t_arch:.6e}"),
+                format!("{t_sw:.6e}"),
+                format!("{raw:.3}"),
+                format!("{era:.3}"),
+            ]);
+        }
+    }
+    print_table(&["m x n", "speedup (measured)", "speedup (era-scaled)"], &table);
+    let min = era_speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = era_speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("\nera-scaled speedup range over the grid: {min:.1}x .. {max:.1}x");
+    println!("paper's claim for the same grid:        3.8x .. 43.6x");
+    match write_csv(
+        "fig9",
+        &["m", "n", "arch_s", "software_s", "speedup_raw", "speedup_era"],
+        &csv,
+    ) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,57 @@
+//! Table I — execution time of the Hestenes-Jacobi architecture over the
+//! (row, column) grid.
+//!
+//! The paper reports seconds for dimensions {128, 256, 512, 1024}². Note
+//! the orientation: per DESIGN.md, the table's *rows* index the column
+//! dimension `n` (which drives the covariance count and dominates runtime)
+//! and its header indexes the row dimension `m`. This binary prints both
+//! the simulated seconds and the ratio to the paper's published value.
+//!
+//! Run: `cargo run --release -p hj-bench --bin table1`
+
+use hj_arch::HestenesJacobiArch;
+use hj_bench::{fmt_secs, print_table, write_csv};
+
+/// Paper Table I values in seconds, `PAPER[n_idx][m_idx]` with dims
+/// {128, 256, 512, 1024} on both axes (rows = column dimension n).
+const PAPER: [[f64; 4]; 4] = [
+    [4.39e-3, 6.30e-3, 1.01e-2, 1.79e-2],
+    [2.52e-2, 3.30e-2, 4.84e-2, 7.94e-2],
+    [1.70e-1, 2.01e-1, 2.63e-1, 3.87e-1],
+    [1.23, 1.35, 1.61, 2.01],
+];
+
+const DIMS: [usize; 4] = [128, 256, 512, 1024];
+
+fn main() {
+    let arch = HestenesJacobiArch::paper();
+    println!("Table I: SVD execution time (seconds), simulated architecture @150 MHz, 6 sweeps");
+    println!("rows: column dimension n; columns: row dimension m (see DESIGN.md)\n");
+
+    let headers = ["n \\ m", "128", "256", "512", "1024"];
+    let mut display_rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (i, &n) in DIMS.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for (j, &m) in DIMS.iter().enumerate() {
+            let est = arch.estimate(m, n);
+            let ratio = est.seconds / PAPER[i][j];
+            row.push(format!("{} ({ratio:.2}x)", fmt_secs(est.seconds)));
+            csv_rows.push(vec![
+                n.to_string(),
+                m.to_string(),
+                format!("{:.6e}", est.seconds),
+                format!("{:.6e}", PAPER[i][j]),
+                format!("{ratio:.3}"),
+                format!("{}", est.total_cycles),
+            ]);
+        }
+        display_rows.push(row);
+    }
+    print_table(&headers, &display_rows);
+    println!("\n(each cell: simulated seconds, with ratio to the paper's published value)");
+    match write_csv("table1", &["n", "m", "simulated_s", "paper_s", "ratio", "cycles"], &csv_rows) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

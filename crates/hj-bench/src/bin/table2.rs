@@ -1,0 +1,58 @@
+//! Table II — resource consumption of the architecture on the XC5VLX330.
+//!
+//! Prints the bill of materials from the resource model and the resulting
+//! utilization percentages next to the paper's published row
+//! (89 % LUT, 91 % BRAM, 53 % DSP).
+//!
+//! Run: `cargo run --release -p hj-bench --bin table2`
+
+use hj_arch::{resource_usage, ArchConfig};
+use hj_bench::{print_table, write_csv};
+use hj_fpsim::resources::ChipCapacity;
+
+fn main() {
+    let cfg = ArchConfig::paper();
+    let usage = resource_usage(&cfg);
+    let chip = ChipCapacity::XC5VLX330;
+
+    println!("Table II: resource consumption on {}\n", chip.name);
+    println!("Bill of materials:");
+    let mut rows = Vec::new();
+    for (name, cost, bram) in usage.items() {
+        rows.push(vec![
+            name.to_string(),
+            cost.luts.to_string(),
+            cost.dsps.to_string(),
+            bram.to_string(),
+        ]);
+    }
+    print_table(&["component", "LUTs", "DSPs", "BRAM36"], &rows);
+
+    let (lut, bram, dsp) = usage.utilization(&chip);
+    println!("\nUtilization (model vs paper):");
+    let util_rows = vec![
+        vec!["Slice LUT".into(), format!("{lut:.1}%"), "89%".into()],
+        vec!["BRAM".into(), format!("{bram:.1}%"), "91%".into()],
+        vec!["DSPs".into(), format!("{dsp:.1}%"), "53%".into()],
+    ];
+    print_table(&["resource", "model", "paper"], &util_rows);
+    println!(
+        "\ntotals: {} LUTs / {}, {} DSP48E / {}, {} RAMB36 / {} — fits: {}",
+        usage.luts(),
+        chip.luts,
+        usage.dsps(),
+        chip.dsps,
+        usage.bram36(),
+        chip.bram36,
+        usage.fits(&chip)
+    );
+    let csv = vec![
+        vec!["lut_pct".into(), format!("{lut:.2}"), "89".into()],
+        vec!["bram_pct".into(), format!("{bram:.2}"), "91".into()],
+        vec!["dsp_pct".into(), format!("{dsp:.2}"), "53".into()],
+    ];
+    match write_csv("table2", &["resource", "model", "paper"], &csv) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

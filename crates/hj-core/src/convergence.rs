@@ -1,0 +1,144 @@
+//! Convergence criteria and per-sweep instrumentation.
+//!
+//! The paper runs a fixed 6 sweeps ("believed sufficient for achieving
+//! convergence with certain thresholds", §VI-A) and separately *measures*
+//! convergence as the mean absolute deviation of the covariances from zero
+//! (Figs. 10–11). We expose both: fixed-sweep operation for
+//! architecture-faithful timing, and threshold-based stopping for library
+//! use, with the full per-sweep history available either way.
+
+/// When to stop sweeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Convergence {
+    /// Run exactly this many sweeps — the paper's mode (it uses 6).
+    FixedSweeps(usize),
+    /// Stop when the largest |covariance| drops below
+    /// `tol · (trace(D)/n)`, i.e. relative to the average squared column
+    /// norm. Scale-invariant: multiplying `A` by a constant does not change
+    /// the sweep count.
+    MaxCovariance {
+        /// Relative tolerance (e.g. `1e-14` for near-machine precision).
+        tol: f64,
+    },
+    /// Stop when a full sweep applied no rotations (every pair already
+    /// satisfied the per-pair orthogonality guard). The classical Jacobi
+    /// termination rule; strongest guarantee, potentially more sweeps.
+    NoRotations,
+    /// Stop when `off(D) ≤ tol · trace(D)` — the classical global
+    /// off-diagonal Frobenius criterion (`off(D)² = 2·Σ_{i<j} D_ij²`).
+    /// Trace-relative, hence scale-invariant like
+    /// [`Convergence::MaxCovariance`], but integrates all covariances
+    /// instead of tracking the worst one.
+    OffFrobenius {
+        /// Relative tolerance against `trace(D) = ‖A‖_F²`.
+        tol: f64,
+    },
+}
+
+impl Default for Convergence {
+    /// Library default: scale-invariant threshold at near machine precision.
+    fn default() -> Self {
+        Convergence::MaxCovariance { tol: 1e-14 }
+    }
+}
+
+/// Measurements recorded after each sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRecord {
+    /// 1-based sweep number.
+    pub sweep: usize,
+    /// Mean absolute off-diagonal covariance (the paper's Fig. 10/11 metric).
+    pub mean_abs_cov: f64,
+    /// Frobenius norm of the off-diagonal part of `D`.
+    pub off_frobenius: f64,
+    /// Largest absolute off-diagonal covariance.
+    pub max_abs_cov: f64,
+    /// Rotations actually applied during the sweep.
+    pub rotations_applied: usize,
+    /// Pairs skipped by the per-pair orthogonality guard.
+    pub rotations_skipped: usize,
+}
+
+/// Decide whether the iteration should stop after the given record.
+///
+/// `trace` and `n` supply the scale reference for [`Convergence::MaxCovariance`].
+pub fn is_converged(criterion: &Convergence, record: &SweepRecord, trace: f64, n: usize) -> bool {
+    match *criterion {
+        Convergence::FixedSweeps(k) => record.sweep >= k,
+        Convergence::MaxCovariance { tol } => {
+            let scale = if n == 0 { 1.0 } else { trace / n as f64 };
+            record.max_abs_cov <= tol * scale.max(f64::MIN_POSITIVE)
+        }
+        Convergence::NoRotations => record.rotations_applied == 0,
+        Convergence::OffFrobenius { tol } => {
+            record.off_frobenius <= tol * trace.max(f64::MIN_POSITIVE)
+        }
+    }
+}
+
+/// Hard cap applied on top of any criterion, preventing unbounded iteration
+/// on pathological inputs. One-sided Jacobi on well-posed data converges in
+/// `O(log n)` sweeps; 60 is far beyond anything a finite-precision run needs.
+pub const MAX_SWEEP_CAP: usize = 60;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(sweep: usize, max_abs: f64, applied: usize) -> SweepRecord {
+        SweepRecord {
+            sweep,
+            mean_abs_cov: max_abs / 2.0,
+            off_frobenius: max_abs * 2.0,
+            max_abs_cov: max_abs,
+            rotations_applied: applied,
+            rotations_skipped: 0,
+        }
+    }
+
+    #[test]
+    fn fixed_sweeps_counts() {
+        let c = Convergence::FixedSweeps(6);
+        assert!(!is_converged(&c, &record(5, 1.0, 10), 100.0, 4));
+        assert!(is_converged(&c, &record(6, 1.0, 10), 100.0, 4));
+        assert!(is_converged(&c, &record(7, 1.0, 10), 100.0, 4));
+    }
+
+    #[test]
+    fn max_covariance_is_scale_relative() {
+        let c = Convergence::MaxCovariance { tol: 1e-10 };
+        // trace/n = 25 → threshold 2.5e-9
+        assert!(is_converged(&c, &record(1, 1e-9, 5), 100.0, 4));
+        assert!(!is_converged(&c, &record(1, 1e-8, 5), 100.0, 4));
+        // Same matrix scaled by 1e6 in norm → thresholds scale too.
+        assert!(is_converged(&c, &record(1, 1e-9 * 1e6, 5), 100.0 * 1e6, 4));
+    }
+
+    #[test]
+    fn no_rotations_rule() {
+        let c = Convergence::NoRotations;
+        assert!(!is_converged(&c, &record(1, 0.0, 1), 1.0, 2));
+        assert!(is_converged(&c, &record(1, 5.0, 0), 1.0, 2));
+    }
+
+    #[test]
+    fn off_frobenius_rule() {
+        let c = Convergence::OffFrobenius { tol: 1e-6 };
+        // off_frobenius = max_abs * 2 in the fixture.
+        assert!(is_converged(&c, &record(1, 4e-7, 3), 1.0, 4));
+        assert!(!is_converged(&c, &record(1, 1e-6, 3), 1.0, 4));
+        // Scale invariance: both off and trace scale together.
+        assert!(is_converged(&c, &record(1, 4e-7 * 1e9, 3), 1e9, 4));
+    }
+
+    #[test]
+    fn zero_dim_does_not_divide_by_zero() {
+        let c = Convergence::MaxCovariance { tol: 1e-10 };
+        assert!(is_converged(&c, &record(1, 0.0, 0), 0.0, 0));
+    }
+
+    #[test]
+    fn default_is_relative_threshold() {
+        assert!(matches!(Convergence::default(), Convergence::MaxCovariance { .. }));
+    }
+}

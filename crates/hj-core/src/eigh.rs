@@ -1,0 +1,232 @@
+//! Symmetric eigendecomposition by cyclic Jacobi — a direct byproduct of
+//! the SVD machinery.
+//!
+//! For a symmetric matrix, the two-sided Jacobi rotation is the same
+//! congruence `D ← JᵀDJ` that [`crate::GramState`] already implements for
+//! the maintained covariance matrix, so a full eigensolver costs this crate
+//! almost nothing extra — and gives the workspace a second view of the SVD
+//! (`A = UΣVᵀ ⇔ AᵀA = VΣ²Vᵀ`) that the tests exploit for cross-checking.
+//! Works for indefinite symmetric matrices too (eigenvalues may be
+//! negative; nothing here assumes positive semidefiniteness).
+
+use crate::gram::GramState;
+use crate::ordering::round_robin;
+use crate::rotation::textbook_params;
+use crate::SvdError;
+use hj_matrix::{Matrix, PackedSymmetric};
+
+/// A symmetric eigendecomposition `S = V Λ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted descending (may be negative).
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, matching `eigenvalues`.
+    pub eigenvectors: Matrix,
+    /// Sweeps used.
+    pub sweeps: usize,
+}
+
+/// Hard sweep cap (same rationale as the SVD driver's).
+const MAX_SWEEPS: usize = 60;
+
+/// Eigendecompose a symmetric matrix given in packed form.
+///
+/// `tol` is the relative off-diagonal threshold: iteration stops when the
+/// largest |off-diagonal| drops below `tol · max|diagonal|` (use `1e-14`
+/// for machine-precision eigenvalues).
+///
+/// ```
+/// use hj_core::eigh::eigh;
+/// use hj_matrix::PackedSymmetric;
+///
+/// let mut s = PackedSymmetric::zeros(2);
+/// s.set(0, 0, 2.0);
+/// s.set(1, 1, 2.0);
+/// s.set(0, 1, 1.0);
+/// let e = eigh(&s, 1e-14).unwrap();
+/// assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+/// assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn eigh(s: &PackedSymmetric, tol: f64) -> Result<SymmetricEigen, SvdError> {
+    let n = s.dim();
+    if n == 0 {
+        return Err(SvdError::EmptyInput);
+    }
+    if !s.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(SvdError::NonFiniteInput);
+    }
+    let mut g = GramState::from_packed(s.clone());
+    let mut v = Matrix::identity(n);
+    let order = round_robin(n);
+    let mut sweeps = 0usize;
+    for _ in 0..MAX_SWEEPS {
+        sweeps += 1;
+        let scale = g.packed().diagonal().iter().fold(0.0f64, |m, &d| m.max(d.abs()));
+        let mut applied = 0usize;
+        for (i, j) in order.pairs() {
+            let cov = g.covariance(i, j);
+            if cov.abs() <= tol * scale.max(f64::MIN_POSITIVE) {
+                continue;
+            }
+            let rot = textbook_params(g.norm_sq(i), g.norm_sq(j), cov);
+            g.rotate(i, j, &rot);
+            v.column_pair(i, j).expect("valid pair").rotate(rot.cos, rot.sin);
+            applied += 1;
+        }
+        if applied == 0 {
+            break;
+        }
+    }
+    // Extract, sort descending by eigenvalue.
+    let diag = g.packed().diagonal();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite"));
+    let mut eigenvalues = Vec::with_capacity(n);
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (t, &i) in idx.iter().enumerate() {
+        eigenvalues.push(diag[i]);
+        eigenvectors.col_mut(t).copy_from_slice(v.col(i));
+    }
+    Ok(SymmetricEigen { eigenvalues, eigenvectors, sweeps })
+}
+
+/// Convenience: eigendecompose a dense symmetric matrix (symmetry is
+/// enforced by averaging `(S + Sᵀ)/2` into the packed form).
+pub fn eigh_dense(s: &Matrix, tol: f64) -> Result<SymmetricEigen, SvdError> {
+    let (m, n) = s.shape();
+    if m != n {
+        return Err(SvdError::EmptyInput);
+    }
+    let mut p = PackedSymmetric::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            p.set(i, j, 0.5 * (s.get(i, j) + s.get(j, i)));
+        }
+    }
+    eigh(&p, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_matrix::{gen, norms, ops};
+
+    fn check_decomposition(s: &PackedSymmetric, e: &SymmetricEigen, tol: f64) {
+        let n = s.dim();
+        assert!(norms::orthonormality_error(&e.eigenvectors) < tol);
+        assert!(e.eigenvalues.windows(2).all(|w| w[0] >= w[1]));
+        // S·v_t = λ_t·v_t for every pair.
+        let dense = s.to_dense();
+        for t in 0..n {
+            let vt = e.eigenvectors.col(t);
+            for r in 0..n {
+                let sv: f64 = (0..n).map(|c| dense.get(r, c) * vt[c]).sum();
+                let want = e.eigenvalues[t] * vt[r];
+                assert!(
+                    (sv - want).abs() < tol * e.eigenvalues[0].abs().max(1.0),
+                    "eigenpair {t} violated at row {r}: {sv} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn psd_gram_matrix() {
+        let a = gen::uniform(20, 6, 1);
+        let s = a.gram();
+        let e = eigh(&s, 1e-14).unwrap();
+        check_decomposition(&s, &e, 1e-9);
+        assert!(e.eigenvalues.iter().all(|&l| l >= -1e-10), "Gram eigenvalues are ≥ 0");
+    }
+
+    #[test]
+    fn eigenvalues_are_squared_singular_values() {
+        let a = gen::uniform(25, 7, 2);
+        let e = eigh(&a.gram(), 1e-14).unwrap();
+        let sv = crate::HestenesSvd::new(crate::SvdOptions::default())
+            .singular_values(&a)
+            .unwrap();
+        for (l, s) in e.eigenvalues.iter().zip(&sv.values) {
+            assert!((l - s * s).abs() < 1e-9 * (s * s).max(1.0), "λ {l} vs σ² {}", s * s);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix() {
+        // Symmetric but not PSD: eigenvalues of both signs.
+        let mut s = PackedSymmetric::zeros(3);
+        s.set(0, 0, 2.0);
+        s.set(1, 1, -3.0);
+        s.set(2, 2, 0.5);
+        s.set(0, 1, 1.0);
+        s.set(0, 2, -0.5);
+        s.set(1, 2, 0.25);
+        let e = eigh(&s, 1e-14).unwrap();
+        check_decomposition(&s, &e, 1e-10);
+        assert!(e.eigenvalues[0] > 0.0 && e.eigenvalues[2] < 0.0);
+        // Trace is preserved.
+        let tr: f64 = e.eigenvalues.iter().sum();
+        assert!((tr - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_immediate() {
+        let mut s = PackedSymmetric::zeros(4);
+        for (i, &d) in [3.0, -1.0, 7.0, 0.0].iter().enumerate() {
+            s.set(i, i, d);
+        }
+        let e = eigh(&s, 1e-14).unwrap();
+        assert_eq!(e.sweeps, 1);
+        assert_eq!(e.eigenvalues, vec![7.0, 3.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn known_spectrum_via_conjugation() {
+        // S = Q Λ Qᵀ with known Λ.
+        let lambda = [5.0, 2.0, -1.0, -4.0];
+        let q = gen::random_orthonormal(4, 4, 9);
+        let mut s = PackedSymmetric::zeros(4);
+        for i in 0..4 {
+            for j in i..4 {
+                let v: f64 = (0..4).map(|t| lambda[t] * q.get(i, t) * q.get(j, t)).sum();
+                s.set(i, j, v);
+            }
+        }
+        let e = eigh(&s, 1e-14).unwrap();
+        for (got, want) in e.eigenvalues.iter().zip(&lambda) {
+            assert!((got - want).abs() < 1e-11, "{got} vs {want}");
+        }
+        // Eigenvectors match up to sign.
+        for t in 0..4 {
+            let d = ops::dot(e.eigenvectors.col(t), q.col(t)).abs();
+            assert!(d > 1.0 - 1e-10, "eigenvector {t}: |dot| = {d}");
+        }
+    }
+
+    #[test]
+    fn eigh_dense_symmetrizes() {
+        // Slightly asymmetric input is averaged.
+        let s = Matrix::from_rows(&[&[1.0, 0.5 + 1e-13], &[0.5 - 1e-13, 2.0]]);
+        let e = eigh_dense(&s, 1e-14).unwrap();
+        assert_eq!(e.eigenvalues.len(), 2);
+        assert!((e.eigenvalues[0] + e.eigenvalues[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(eigh(&PackedSymmetric::zeros(0), 1e-14), Err(SvdError::EmptyInput)));
+        let mut s = PackedSymmetric::zeros(2);
+        s.set(0, 1, f64::NAN);
+        assert!(matches!(eigh(&s, 1e-14), Err(SvdError::NonFiniteInput)));
+        assert!(matches!(eigh_dense(&Matrix::zeros(2, 3), 1e-14), Err(SvdError::EmptyInput)));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let mut s = PackedSymmetric::zeros(1);
+        s.set(0, 0, -2.5);
+        let e = eigh(&s, 1e-14).unwrap();
+        assert_eq!(e.eigenvalues, vec![-2.5]);
+        assert_eq!(e.eigenvectors.get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors from the SVD drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvdError {
+    /// Input matrix has a zero dimension.
+    EmptyInput,
+    /// Input contains NaN or ±∞; the rotation kernels require finite data.
+    NonFiniteInput,
+    /// `parallel: true` requires the round-robin ordering (rounds of
+    /// disjoint pairs are the unit of parallelism).
+    ParallelNeedsRoundRobin,
+    /// `max_sweeps` was 0; at least one sweep is required.
+    ZeroSweepBudget,
+}
+
+impl fmt::Display for SvdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvdError::EmptyInput => write!(f, "input matrix has a zero dimension"),
+            SvdError::NonFiniteInput => write!(f, "input matrix contains NaN or infinite entries"),
+            SvdError::ParallelNeedsRoundRobin => {
+                write!(f, "parallel execution requires the round-robin ordering")
+            }
+            SvdError::ZeroSweepBudget => write!(f, "max_sweeps must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for SvdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(SvdError::EmptyInput.to_string().contains("zero dimension"));
+        assert!(SvdError::NonFiniteInput.to_string().contains("NaN"));
+        assert!(SvdError::ParallelNeedsRoundRobin.to_string().contains("round-robin"));
+        assert!(SvdError::ZeroSweepBudget.to_string().contains("at least 1"));
+    }
+}

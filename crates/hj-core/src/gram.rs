@@ -1,0 +1,274 @@
+//! The maintained covariance matrix `D` — the paper's key optimization.
+//!
+//! A naive Hestenes sweep recomputes `‖aᵢ‖²`, `‖aⱼ‖²`, and `aᵢᵀaⱼ` from the
+//! full `m`-long columns for every pair, every sweep (`O(m·n²)` per sweep;
+//! this is the "repeated calculations" the paper criticizes in the earlier
+//! FPGA design \[12\]). The modified algorithm computes `D = AᵀA` **once** and
+//! thereafter updates it in place after each rotation in `O(n)`:
+//! when columns `i`, `j` are rotated, only row/column `i` and `j` of `D`
+//! change, by the same plane rotation (Algorithm 1 lines 15–26).
+//!
+//! [`GramState`] owns that matrix and implements the update — with the
+//! temporaries that the paper's pseudocode forgets (see DESIGN.md).
+
+use crate::rotation::{rotate_norms, Rotation};
+use hj_matrix::{Matrix, PackedSymmetric};
+
+/// The covariance matrix `D` of Algorithm 1, plus rotation bookkeeping.
+///
+/// ```
+/// use hj_core::{GramState, rotation::textbook_params};
+/// use hj_matrix::gen;
+///
+/// let a = gen::uniform(100, 8, 7);
+/// let mut d = GramState::from_matrix(&a);          // O(m·n²), once
+/// let rot = textbook_params(d.norm_sq(0), d.norm_sq(3), d.covariance(0, 3));
+/// d.rotate(0, 3, &rot);                            // O(n), per rotation
+/// assert_eq!(d.covariance(0, 3), 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GramState {
+    d: PackedSymmetric,
+}
+
+impl GramState {
+    /// Build `D = AᵀA` from a matrix — the work of the paper's Hestenes
+    /// preprocessor in the first sweep.
+    pub fn from_matrix(a: &Matrix) -> Self {
+        GramState { d: a.gram() }
+    }
+
+    /// Parallel Gram construction (rayon): one task per packed-triangle row.
+    ///
+    /// Bit-identical to [`GramState::from_matrix`] (each entry is the same
+    /// single dot product, just computed on a different thread), so the two
+    /// are interchangeable; use this for large `n` where the `O(m·n²)`
+    /// build dominates.
+    pub fn from_matrix_parallel(a: &Matrix) -> Self {
+        use rayon::prelude::*;
+        let n = a.cols();
+        let mut d = PackedSymmetric::zeros(n);
+        // Split the packed buffer into its triangle rows.
+        let mut rows: Vec<(usize, &mut [f64])> = Vec::with_capacity(n);
+        {
+            let mut rest = d.as_mut_slice();
+            for i in 0..n {
+                let (row, tail) = rest.split_at_mut(n - i);
+                rows.push((i, row));
+                rest = tail;
+            }
+        }
+        rows.par_iter_mut().for_each(|(i, row)| {
+            let ci = a.col(*i);
+            for (off, out) in row.iter_mut().enumerate() {
+                *out = hj_matrix::ops::dot(ci, a.col(*i + off));
+            }
+        });
+        GramState { d }
+    }
+
+    /// Wrap an existing packed symmetric matrix (must be a Gram matrix, i.e.
+    /// positive semidefinite, for the algorithm's invariants to hold).
+    pub fn from_packed(d: PackedSymmetric) -> Self {
+        GramState { d }
+    }
+
+    /// Dimension `n` (number of columns of the original matrix).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d.dim()
+    }
+
+    /// Squared 2-norm of column `i` (diagonal entry `D_ii`).
+    #[inline]
+    pub fn norm_sq(&self, i: usize) -> f64 {
+        self.d.get(i, i)
+    }
+
+    /// Covariance between columns `i` and `j`.
+    #[inline]
+    pub fn covariance(&self, i: usize, j: usize) -> f64 {
+        self.d.get(i, j)
+    }
+
+    /// Borrow the underlying packed matrix.
+    #[inline]
+    pub fn packed(&self) -> &PackedSymmetric {
+        &self.d
+    }
+
+    /// Consume into the underlying packed matrix.
+    pub fn into_packed(self) -> PackedSymmetric {
+        self.d
+    }
+
+    /// Apply the plane rotation `rot` of column pair `(i, j)` to `D`
+    /// (Algorithm 1 lines 15–26, with the required temporaries).
+    ///
+    /// Cost: `O(n)` — this is the work the paper's Update operator performs
+    /// for the covariances, `n − 2` element-pair rotations plus the O(1)
+    /// diagonal update.
+    pub fn rotate(&mut self, i: usize, j: usize, rot: &Rotation) {
+        debug_assert!(i != j, "degenerate pair");
+        let n = self.d.dim();
+        debug_assert!(i < n && j < n);
+        let (cos, sin) = (rot.cos, rot.sin);
+        // Diagonal + annihilated covariance (lines 15–17).
+        let cov = self.d.get(i, j);
+        let (ni, nj, _) = rotate_norms(self.d.get(i, i), self.d.get(j, j), cov, rot);
+        self.d.set(i, i, ni);
+        self.d.set(j, j, nj);
+        self.d.set(i, j, 0.0);
+        // Affected covariances (lines 18–26; the three loop regions of the
+        // pseudocode are just the packed-triangle traversal of "all k ≠ i, j").
+        for k in 0..n {
+            if k == i || k == j {
+                continue;
+            }
+            let dki = self.d.get(k, i);
+            let dkj = self.d.get(k, j);
+            self.d.set(k, i, dki * cos - dkj * sin);
+            self.d.set(k, j, dki * sin + dkj * cos);
+        }
+    }
+
+    /// Mean absolute off-diagonal covariance — the paper's convergence metric
+    /// (Figs. 10–11).
+    pub fn mean_abs_covariance(&self) -> f64 {
+        self.d.off_diagonal_mean_abs()
+    }
+
+    /// `off(D)`: Frobenius norm of the off-diagonal part.
+    pub fn off_frobenius(&self) -> f64 {
+        self.d.off_diagonal_frobenius()
+    }
+
+    /// Largest absolute off-diagonal covariance.
+    pub fn max_abs_covariance(&self) -> f64 {
+        self.d.off_diagonal_max_abs()
+    }
+
+    /// Trace of `D` (= `‖A‖_F²`), invariant under rotations.
+    pub fn trace(&self) -> f64 {
+        self.d.trace()
+    }
+
+    /// Singular values implied by the current diagonal: `σᵢ = √D_ii`,
+    /// unsorted (Algorithm 1 lines 28–29). Negative diagonal dust from
+    /// roundoff is clamped to zero.
+    pub fn singular_values_unsorted(&self) -> Vec<f64> {
+        (0..self.d.dim()).map(|i| self.d.get(i, i).max(0.0).sqrt()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::textbook_params;
+    use hj_matrix::gen;
+
+    /// Reference: rotate the actual matrix columns, recompute the Gram matrix
+    /// from scratch, and compare against the in-place O(n) update.
+    #[test]
+    fn gram_update_matches_recomputation() {
+        let mut a = gen::uniform(17, 6, 123);
+        let mut g = GramState::from_matrix(&a);
+        // Rotate a few pairs in a fixed order.
+        for &(i, j) in &[(0usize, 3usize), (1, 2), (4, 5), (0, 1), (2, 5)] {
+            let rot = textbook_params(g.norm_sq(i), g.norm_sq(j), g.covariance(i, j));
+            g.rotate(i, j, &rot);
+            a.column_pair(i, j).unwrap().rotate(rot.cos, rot.sin);
+            let fresh = GramState::from_matrix(&a);
+            for p in 0..6 {
+                for q in p..6 {
+                    let got = g.covariance(p, q);
+                    let want = fresh.covariance(p, q);
+                    assert!(
+                        (got - want).abs() < 1e-16 * g.trace() + 1e-12,
+                        "D[{p}][{q}] diverged after rotating ({i},{j}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_zeroes_target_covariance() {
+        let a = gen::uniform(10, 4, 7);
+        let mut g = GramState::from_matrix(&a);
+        let rot = textbook_params(g.norm_sq(1), g.norm_sq(3), g.covariance(1, 3));
+        g.rotate(1, 3, &rot);
+        assert_eq!(g.covariance(1, 3), 0.0);
+    }
+
+    #[test]
+    fn rotate_preserves_trace() {
+        let a = gen::uniform(20, 8, 99);
+        let mut g = GramState::from_matrix(&a);
+        let before = g.trace();
+        for &(i, j) in &[(0usize, 7usize), (2, 3), (1, 6)] {
+            let rot = textbook_params(g.norm_sq(i), g.norm_sq(j), g.covariance(i, j));
+            g.rotate(i, j, &rot);
+        }
+        assert!((g.trace() - before).abs() < 1e-12 * before);
+    }
+
+    #[test]
+    fn rotate_reduces_off_mass() {
+        // A single Jacobi rotation removes exactly 2·cov² from off(D)²; the
+        // off-diagonal Frobenius norm must strictly decrease when cov ≠ 0.
+        let a = gen::uniform(12, 5, 55);
+        let mut g = GramState::from_matrix(&a);
+        let before = g.off_frobenius();
+        let rot = textbook_params(g.norm_sq(0), g.norm_sq(4), g.covariance(0, 4));
+        assert!(g.covariance(0, 4) != 0.0);
+        g.rotate(0, 4, &rot);
+        assert!(g.off_frobenius() < before);
+    }
+
+    #[test]
+    fn identity_rotation_only_zeroes_cov_when_cov_zero() {
+        // Applying IDENTITY must leave D unchanged except D_ij (set to 0,
+        // correct only if cov was already 0 — which is the only case callers
+        // use it for).
+        let mut d = PackedSymmetric::zeros(3);
+        d.set(0, 0, 1.0);
+        d.set(1, 1, 2.0);
+        d.set(2, 2, 3.0);
+        d.set(1, 2, 0.0);
+        d.set(0, 1, 0.5);
+        let mut g = GramState::from_packed(d);
+        g.rotate(1, 2, &Rotation::IDENTITY);
+        assert_eq!(g.covariance(0, 1), 0.5, "unrelated covariances untouched");
+        assert_eq!(g.norm_sq(1), 2.0);
+    }
+
+    #[test]
+    fn singular_values_clamp_negative_dust() {
+        let mut d = PackedSymmetric::zeros(2);
+        d.set(0, 0, 4.0);
+        d.set(1, 1, -1e-18); // roundoff dust
+        let g = GramState::from_packed(d);
+        assert_eq!(g.singular_values_unsorted(), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        for &(m, n) in &[(10usize, 3usize), (50, 17), (7, 7), (3, 20)] {
+            let a = gen::uniform(m, n, (m * 100 + n) as u64);
+            let seq = GramState::from_matrix(&a);
+            let par = GramState::from_matrix_parallel(&a);
+            assert_eq!(seq.packed().as_slice(), par.packed().as_slice(), "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let a = gen::uniform(5, 3, 1);
+        let g = GramState::from_matrix(&a);
+        assert_eq!(g.dim(), 3);
+        assert_eq!(g.packed().dim(), 3);
+        let p = g.clone().into_packed();
+        assert_eq!(p.dim(), 3);
+    }
+}

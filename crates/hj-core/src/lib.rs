@@ -1,0 +1,64 @@
+//! # hj-core — the modified Hestenes-Jacobi SVD algorithm
+//!
+//! This crate is the paper's primary contribution in library form: one-sided
+//! Jacobi SVD over arbitrary `m × n` matrices with the **maintained
+//! covariance matrix** optimization (the paper's Algorithm 1). The Gram
+//! matrix `D = AᵀA` is computed once; every subsequent plane rotation
+//! updates `D` in place in `O(n)` instead of recomputing dot products from
+//! the `m`-long columns — the same data-reuse idea that the hardware's
+//! reconfigurable preprocessor / update-operator split implements.
+//!
+//! Module map (each mirrors a hardware component or design decision):
+//!
+//! * [`rotation`] — the Jacobi rotation component's arithmetic: textbook
+//!   `ρ→t→cos→sin` chain and the paper's flattened eqs. (8)–(10).
+//! * [`gram`] — the maintained covariance matrix and its O(n) rotation
+//!   update (the Update operator's covariance path).
+//! * [`ordering`] — cyclic round-robin pairing (the paper's Fig. 6) and the
+//!   row-cyclic order of the pseudocode.
+//! * [`sweep`] — sequential sweep drivers (gram-only and full).
+//! * [`parallel`] — round-synchronous rayon drivers exploiting the same
+//!   disjoint-pair structure the hardware's parallel groups use.
+//! * [`convergence`] — stopping rules and per-sweep instrumentation
+//!   (the paper's Figs. 10–11 metric).
+//! * [`svd`] — user-facing drivers: [`HestenesSvd::singular_values`]
+//!   (paper-faithful, D-only after the first pass) and
+//!   [`HestenesSvd::decompose`] (full `A = UΣVᵀ`).
+//! * [`pca`], [`lowrank`] — the downstream applications the paper
+//!   motivates: PCA (fit/transform/explained variance) and low-rank /
+//!   pseudoinverse / least-squares utilities.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hj_core::{HestenesSvd, SvdOptions};
+//! use hj_matrix::gen;
+//!
+//! let a = gen::uniform(128, 32, 42);
+//! let solver = HestenesSvd::new(SvdOptions::default());
+//! let svd = solver.decompose(&a).unwrap();
+//! assert_eq!(svd.singular_values.len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod eigh;
+mod error;
+pub mod gram;
+pub mod lowrank;
+pub mod ordering;
+pub mod parallel;
+pub mod pca;
+pub mod rotation;
+pub mod sweep;
+pub mod svd;
+
+pub use convergence::{Convergence, SweepRecord};
+pub use error::SvdError;
+pub use gram::GramState;
+pub use ordering::Ordering;
+pub use pca::Pca;
+pub use rotation::{hardware_params, textbook_params, Rotation};
+pub use svd::{HestenesSvd, SingularValues, Svd, SvdOptions};

@@ -1,0 +1,248 @@
+//! Low-rank and spectral utilities built on the SVD: best rank-k
+//! approximation errors, numerical rank, condition number, pseudoinverse,
+//! and nuclear/spectral norms.
+//!
+//! These are the downstream operations the paper's introduction motivates
+//! (dimensionality reduction, robust PCA's repeated partial SVDs) packaged
+//! over [`crate::Svd`] so every example and experiment uses one audited
+//! implementation.
+
+// Index loops below mirror the paper's mathematical notation across
+// several coupled arrays; iterator rewrites would obscure the algebra.
+#![allow(clippy::needless_range_loop)]
+
+use crate::svd::Svd;
+use hj_matrix::{ops, Matrix};
+
+/// Spectral norm `‖A‖₂ = σ₁`.
+pub fn spectral_norm(svd: &Svd) -> f64 {
+    svd.singular_values.first().copied().unwrap_or(0.0)
+}
+
+/// Nuclear norm `‖A‖₊ = Σ σᵢ`.
+pub fn nuclear_norm(svd: &Svd) -> f64 {
+    svd.singular_values.iter().sum()
+}
+
+/// Condition number `κ₂ = σ_max / σ_min` (∞ when rank-deficient at the
+/// given tolerance).
+pub fn condition_number(svd: &Svd, tol: f64) -> f64 {
+    let smax = spectral_norm(svd);
+    if smax == 0.0 {
+        return f64::INFINITY;
+    }
+    let r = svd.rank(tol);
+    if r < svd.singular_values.len() {
+        return f64::INFINITY;
+    }
+    smax / svd.singular_values[r - 1]
+}
+
+/// The Frobenius error of the best rank-`r` approximation,
+/// `√(Σ_{t>r} σ_t²)` (Eckart-Young).
+pub fn rank_r_error(svd: &Svd, r: usize) -> f64 {
+    svd.singular_values.iter().skip(r).map(|s| s * s).sum::<f64>().sqrt()
+}
+
+/// The smallest rank whose best approximation achieves a relative
+/// Frobenius error ≤ `rel_tol` (the "how many components do I need"
+/// question of every PCA application).
+pub fn rank_for_error(svd: &Svd, rel_tol: f64) -> usize {
+    let total: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+    if total == 0.0 {
+        return 0;
+    }
+    let budget = rel_tol * rel_tol * total;
+    let mut tail = total;
+    for (r, s) in svd.singular_values.iter().enumerate() {
+        if tail <= budget {
+            return r;
+        }
+        tail -= s * s;
+    }
+    svd.singular_values.len()
+}
+
+/// Moore-Penrose pseudoinverse `A⁺ = V Σ⁺ Uᵀ` (an `n × m` matrix).
+/// Singular values ≤ `tol · σ_max` are treated as zero.
+///
+/// ```
+/// use hj_core::{lowrank, HestenesSvd, SvdOptions};
+/// use hj_matrix::{gen, norms, Matrix};
+///
+/// let a = gen::uniform(8, 3, 2);
+/// let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+/// let pinv = lowrank::pseudoinverse(&svd, 1e-12);
+/// let should_be_identity = pinv.matmul(&a).unwrap();
+/// let err = norms::frobenius(&should_be_identity.sub(&Matrix::identity(3)).unwrap());
+/// assert!(err < 1e-10);
+/// ```
+pub fn pseudoinverse(svd: &Svd, tol: f64) -> Matrix {
+    let (m, k) = svd.u.shape();
+    let n = svd.v.rows();
+    let smax = spectral_norm(svd);
+    let cutoff = tol * smax;
+    let mut out = Matrix::zeros(n, m);
+    for t in 0..k {
+        let s = svd.singular_values[t];
+        if s <= cutoff || s == 0.0 {
+            continue;
+        }
+        let inv = 1.0 / s;
+        // out += inv · v_t · u_tᵀ
+        let vt = svd.v.col(t);
+        let ut = svd.u.col(t);
+        for c in 0..m {
+            let w = inv * ut[c];
+            if w != 0.0 {
+                ops::axpy(w, vt, out.col_mut(c));
+            }
+        }
+    }
+    out
+}
+
+/// Least-squares solve `min ‖Ax − b‖₂` via the pseudoinverse factors
+/// (without forming `A⁺` explicitly): `x = V Σ⁺ Uᵀ b`.
+pub fn lstsq(svd: &Svd, b: &[f64], tol: f64) -> Vec<f64> {
+    let (m, k) = svd.u.shape();
+    assert_eq!(b.len(), m, "rhs length must equal the row count");
+    let n = svd.v.rows();
+    let cutoff = tol * spectral_norm(svd);
+    let mut x = vec![0.0f64; n];
+    for t in 0..k {
+        let s = svd.singular_values[t];
+        if s <= cutoff || s == 0.0 {
+            continue;
+        }
+        let coeff = ops::dot(svd.u.col(t), b) / s;
+        ops::axpy(coeff, svd.v.col(t), &mut x);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HestenesSvd, SvdOptions};
+    use hj_matrix::{gen, norms, Matrix};
+
+    fn svd_of(a: &Matrix) -> Svd {
+        HestenesSvd::new(SvdOptions::default()).decompose(a).unwrap()
+    }
+
+    #[test]
+    fn norms_and_condition() {
+        let sigma = [4.0, 2.0, 1.0];
+        let a = gen::with_singular_values(10, 3, &sigma, 1);
+        let s = svd_of(&a);
+        assert!((spectral_norm(&s) - 4.0).abs() < 1e-12);
+        assert!((nuclear_norm(&s) - 7.0).abs() < 1e-12);
+        assert!((condition_number(&s, f64::EPSILON) - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_condition_is_infinite() {
+        let a = gen::rank_deficient(12, 5, 2, 3);
+        let s = svd_of(&a);
+        assert_eq!(condition_number(&s, f64::EPSILON), f64::INFINITY);
+        let z = svd_of(&Matrix::zeros(3, 3));
+        assert_eq!(condition_number(&z, f64::EPSILON), f64::INFINITY);
+    }
+
+    #[test]
+    fn eckart_young_error_formula() {
+        let sigma = [5.0, 3.0, 2.0, 1.0];
+        let a = gen::with_singular_values(12, 4, &sigma, 7);
+        let s = svd_of(&a);
+        for r in 0..=4 {
+            let direct = rank_r_error(&s, r);
+            let ar = s.truncated(r);
+            let measured = norms::frobenius(&a.sub(&ar).unwrap());
+            assert!((direct - measured).abs() < 1e-9, "rank {r}: {direct} vs {measured}");
+        }
+        assert_eq!(rank_r_error(&s, 4), 0.0);
+    }
+
+    #[test]
+    fn rank_for_error_budgeting() {
+        let sigma = [10.0, 1.0, 0.1, 0.01];
+        let a = gen::with_singular_values(15, 4, &sigma, 9);
+        let s = svd_of(&a);
+        // Full accuracy needs all components...
+        assert_eq!(rank_for_error(&s, 0.0), 4);
+        // ...10% relative error is reached with just the top component
+        // (tail = √(1+0.01+0.0001) ≈ 1.005 vs 0.1·‖A‖ ≈ 1.005) — boundary;
+        // 11% comfortably needs 1.
+        assert!(rank_for_error(&s, 0.11) <= 1);
+        // Everything fits in rank 0 only if the tolerance swallows ‖A‖.
+        assert_eq!(rank_for_error(&s, 1.0), 0);
+        let z = svd_of(&Matrix::zeros(3, 2));
+        assert_eq!(rank_for_error(&z, 0.5), 0);
+    }
+
+    #[test]
+    fn pseudoinverse_properties() {
+        let a = gen::uniform(10, 4, 11);
+        let s = svd_of(&a);
+        let pinv = pseudoinverse(&s, 1e-12);
+        assert_eq!(pinv.shape(), (4, 10));
+        // A⁺·A = I (full column rank).
+        let prod = pinv.matmul(&a).unwrap();
+        let err = norms::frobenius(&prod.sub(&Matrix::identity(4)).unwrap());
+        assert!(err < 1e-10, "A⁺A deviates from I by {err}");
+        // A·A⁺·A = A (Moore-Penrose axiom 1).
+        let apa = a.matmul(&pinv).unwrap().matmul(&a).unwrap();
+        assert!(norms::frobenius(&apa.sub(&a).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn pseudoinverse_of_rank_deficient() {
+        let a = gen::rank_deficient(8, 4, 2, 13);
+        let s = svd_of(&a);
+        let pinv = pseudoinverse(&s, 1e-10);
+        // A·A⁺·A = A still holds for rank-deficient inputs.
+        let apa = a.matmul(&pinv).unwrap().matmul(&a).unwrap();
+        assert!(norms::frobenius(&apa.sub(&a).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_solves_consistent_system() {
+        let a = gen::uniform(12, 5, 17);
+        let x_true: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let mut b = vec![0.0; 12];
+        for c in 0..5 {
+            hj_matrix::ops::axpy(x_true[c], a.col(c), &mut b);
+        }
+        let s = svd_of(&a);
+        let x = lstsq(&s, &b, 1e-12);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual_for_inconsistent_system() {
+        let a = gen::uniform(10, 3, 19);
+        let b: Vec<f64> = (0..10).map(|i| (i as f64).sin()).collect();
+        let s = svd_of(&a);
+        let x = lstsq(&s, &b, 1e-12);
+        // Residual must be orthogonal to the column space: Aᵀ(Ax − b) = 0.
+        let mut resid = b.clone();
+        for c in 0..3 {
+            hj_matrix::ops::axpy(-x[c], a.col(c), &mut resid);
+        }
+        for c in 0..3 {
+            let g = hj_matrix::ops::dot(a.col(c), &resid);
+            assert!(g.abs() < 1e-9, "gradient component {c} = {g}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn lstsq_checks_dimensions() {
+        let a = gen::uniform(6, 2, 21);
+        let s = svd_of(&a);
+        let _ = lstsq(&s, &[1.0, 2.0], 1e-12);
+    }
+}

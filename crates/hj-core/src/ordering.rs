@@ -1,0 +1,228 @@
+//! Vector-pairing orderings (the paper's §V-D).
+//!
+//! A sweep must visit every unordered column pair exactly once
+//! (`n(n−1)/2` pairs). The *order* matters twice over:
+//!
+//! * **Convergence** — cyclic orderings are the classical provably-convergent
+//!   family.
+//! * **Parallelism** — the round-robin ("caterpillar"/Brent-Luk) cyclic order
+//!   arranges each sweep into `rounds` of **pairwise-disjoint** pairs, which
+//!   is exactly what lets the paper's hardware (Fig. 6) issue groups of
+//!   rotations concurrently, and what lets our [`crate::parallel`] driver
+//!   apply a whole round with rayon.
+
+/// One sweep's worth of pair visits, grouped into rounds.
+///
+/// Within a round all pairs are disjoint (no column appears twice), so the
+/// rounds are the natural unit of parallel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sweep {
+    rounds: Vec<Vec<(usize, usize)>>,
+}
+
+impl Sweep {
+    /// The rounds, in execution order.
+    pub fn rounds(&self) -> &[Vec<(usize, usize)>] {
+        &self.rounds
+    }
+
+    /// Iterate over every pair in sweep order, flattening rounds.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.rounds.iter().flatten().copied()
+    }
+
+    /// Total number of pairs in the sweep.
+    pub fn pair_count(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// Number of rounds.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Split each round into chunks of at most `group` pairs — modelling the
+    /// paper's Fig. 6 dashed box: the hardware processes a bounded number of
+    /// vector pairs simultaneously, so an `n/2`-pair round enters the
+    /// architecture as successive groups.
+    pub fn grouped(&self, group: usize) -> Vec<Vec<(usize, usize)>> {
+        assert!(group > 0, "group size must be positive");
+        let mut out = Vec::new();
+        for round in &self.rounds {
+            for chunk in round.chunks(group) {
+                out.push(chunk.to_vec());
+            }
+        }
+        out
+    }
+}
+
+/// Pairing order selection for the sweep drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// Round-robin (tournament) cyclic order: `n−1` rounds of `⌊n/2⌋`
+    /// disjoint pairs — the paper's Fig. 6 order, and the only one the
+    /// parallel driver accepts.
+    #[default]
+    RoundRobin,
+    /// Row-cyclic order: `(0,1), (0,2), …, (0,n−1), (1,2), …` — the literal
+    /// loop nest of Algorithm 1. Sequential only (rounds of one pair).
+    RowCyclic,
+}
+
+/// Build one sweep of the given ordering over `n` columns.
+///
+/// For `n < 2` the sweep is empty.
+pub fn build_sweep(ordering: Ordering, n: usize) -> Sweep {
+    match ordering {
+        Ordering::RoundRobin => round_robin(n),
+        Ordering::RowCyclic => row_cyclic(n),
+    }
+}
+
+/// Round-robin tournament schedule over `n` columns.
+///
+/// The classic circle method: fix index `n−1` (or the bye slot for odd `n`),
+/// rotate the rest. Produces `n−1` rounds (`n` rounds for odd `n`), each of
+/// `⌊n/2⌋` disjoint pairs; every unordered pair appears exactly once per
+/// sweep. Pairs are emitted as `(min, max)`.
+///
+/// ```
+/// use hj_core::ordering::round_robin;
+///
+/// let sweep = round_robin(8);
+/// assert_eq!(sweep.round_count(), 7);
+/// assert_eq!(sweep.pair_count(), 28); // C(8, 2): every pair, once
+/// // The paper's hardware takes the rounds in groups of 8 pairs:
+/// assert!(sweep.grouped(8).iter().all(|g| g.len() <= 8));
+/// ```
+pub fn round_robin(n: usize) -> Sweep {
+    if n < 2 {
+        return Sweep { rounds: Vec::new() };
+    }
+    // Treat odd n by adding a phantom "bye" slot.
+    let slots = if n.is_multiple_of(2) { n } else { n + 1 };
+    let rounds_count = slots - 1;
+    let mut ring: Vec<usize> = (0..slots).collect();
+    let mut rounds = Vec::with_capacity(rounds_count);
+    for _ in 0..rounds_count {
+        let mut round = Vec::with_capacity(n / 2);
+        for k in 0..slots / 2 {
+            let a = ring[k];
+            let b = ring[slots - 1 - k];
+            if a < n && b < n {
+                round.push((a.min(b), a.max(b)));
+            }
+        }
+        rounds.push(round);
+        // Circle method: slot 0 stays fixed, the remaining slots rotate
+        // right by one each round.
+        let last = ring[slots - 1];
+        for idx in (2..slots).rev() {
+            ring[idx] = ring[idx - 1];
+        }
+        ring[1] = last;
+    }
+    Sweep { rounds }
+}
+
+/// Row-cyclic order: the literal `for i { for j in i+1.. }` of Algorithm 1.
+/// Each pair is its own round (no intra-round parallelism).
+pub fn row_cyclic(n: usize) -> Sweep {
+    let mut rounds = Vec::new();
+    for i in 0..n.saturating_sub(1) {
+        for j in i + 1..n {
+            rounds.push(vec![(i, j)]);
+        }
+    }
+    Sweep { rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_full_coverage(sweep: &Sweep, n: usize) {
+        let mut seen = HashSet::new();
+        for (i, j) in sweep.pairs() {
+            assert!(i < j, "pairs must be (min, max): ({i},{j})");
+            assert!(j < n);
+            assert!(seen.insert((i, j)), "pair ({i},{j}) visited twice");
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2, "sweep must visit every pair for n={n}");
+    }
+
+    fn assert_rounds_disjoint(sweep: &Sweep) {
+        for round in sweep.rounds() {
+            let mut used = HashSet::new();
+            for &(i, j) in round {
+                assert!(used.insert(i), "index {i} reused within a round");
+                assert!(used.insert(j), "index {j} reused within a round");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_covers_all_pairs_even() {
+        for n in [2usize, 4, 8, 32, 64] {
+            let s = round_robin(n);
+            assert_eq!(s.round_count(), n - 1);
+            assert_full_coverage(&s, n);
+            assert_rounds_disjoint(&s);
+            for round in s.rounds() {
+                assert_eq!(round.len(), n / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_covers_all_pairs_odd() {
+        for n in [3usize, 5, 7, 31] {
+            let s = round_robin(n);
+            assert_eq!(s.round_count(), n);
+            assert_full_coverage(&s, n);
+            assert_rounds_disjoint(&s);
+        }
+    }
+
+    #[test]
+    fn round_robin_degenerate() {
+        assert_eq!(round_robin(0).pair_count(), 0);
+        assert_eq!(round_robin(1).pair_count(), 0);
+        let s = round_robin(2);
+        assert_eq!(s.pair_count(), 1);
+        assert_eq!(s.rounds()[0], vec![(0, 1)]);
+    }
+
+    #[test]
+    fn row_cyclic_matches_algorithm_one_order() {
+        let s = row_cyclic(4);
+        let pairs: Vec<_> = s.pairs().collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_full_coverage(&s, 4);
+    }
+
+    #[test]
+    fn grouped_respects_group_size() {
+        let s = round_robin(32);
+        // The paper's configuration: groups of 8 pairs enter the architecture.
+        let groups = s.grouped(8);
+        assert!(groups.iter().all(|g| g.len() <= 8 && !g.is_empty()));
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 32 * 31 / 2);
+        // Disjointness within groups is inherited from rounds.
+        for g in &groups {
+            let mut used = HashSet::new();
+            for &(i, j) in g {
+                assert!(used.insert(i) && used.insert(j));
+            }
+        }
+    }
+
+    #[test]
+    fn build_sweep_dispatches() {
+        assert_eq!(build_sweep(Ordering::RoundRobin, 6), round_robin(6));
+        assert_eq!(build_sweep(Ordering::RowCyclic, 6), row_cyclic(6));
+    }
+}

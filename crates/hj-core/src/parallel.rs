@@ -1,0 +1,311 @@
+//! Round-synchronous parallel sweeps (rayon).
+//!
+//! The round-robin ordering groups each sweep into rounds of pairwise
+//! disjoint column pairs — the same structure the paper's hardware exploits
+//! to issue groups of rotations concurrently (Fig. 6). Within a round:
+//!
+//! 1. every pair's rotation parameters depend only on `D` entries that no
+//!    other pair in the round writes (`D_ii`, `D_jj`, `D_ij`), so they can be
+//!    computed from a single snapshot;
+//! 2. the combined covariance update is `D ← JᵀDJ` with `J` the product of
+//!    the round's commuting plane rotations. Applied in place it would race
+//!    (entry `D_ik` is written by both pair-of-`i` and pair-of-`k`), so we
+//!    apply it **functionally**: each row of the new packed triangle is
+//!    computed from the old `D` in parallel — double-buffering instead of
+//!    locks, exactly the "compute group, then update" phasing of the
+//!    hardware's FIFO-synchronized pipeline;
+//! 3. column (and `V`) rotations touch disjoint column pairs and are
+//!    parallelized directly.
+//!
+//! Determinism: given the same input and ordering, the parallel driver
+//! produces bit-identical results to itself at any thread count (the
+//! reduction order within each output entry is fixed). It differs from the
+//! sequential driver only in rounding (sequential applies rotations of a
+//! round one-by-one; this applies them jointly from the round snapshot) —
+//! both converge to the same spectrum, which the tests verify.
+
+use crate::convergence::SweepRecord;
+use crate::gram::GramState;
+use crate::ordering::Sweep;
+use crate::rotation::{pair_converged, textbook_params, Rotation};
+use crate::sweep::{finish_record, PAIR_TOL};
+use hj_matrix::{Matrix, PackedSymmetric};
+use rayon::prelude::*;
+
+/// Per-column rotation role within a round: `new_col_p = alpha·col_p + beta·col_partner`.
+#[derive(Clone, Copy)]
+struct Role {
+    alpha: f64,
+    beta: f64,
+    partner: usize,
+}
+
+impl Role {
+    const UNPAIRED: Role = Role { alpha: 1.0, beta: 0.0, partner: usize::MAX };
+}
+
+/// Compute the rotation set for one round from the current `D` snapshot.
+/// Returns the per-column roles, the per-pair rotations, and counts of
+/// applied/skipped pairs.
+/// One planned round: per-column roles, the pair rotations, and the
+/// applied/skipped counts.
+type RoundPlan = (Vec<Role>, Vec<(usize, usize, Rotation)>, usize, usize);
+
+fn plan_round(gram: &GramState, round: &[(usize, usize)]) -> RoundPlan {
+    let n = gram.dim();
+    let mut roles = vec![Role::UNPAIRED; n];
+    let mut rotations = Vec::with_capacity(round.len());
+    let mut applied = 0;
+    let mut skipped = 0;
+    for &(i, j) in round {
+        let (ni, nj, cov) = (gram.norm_sq(i), gram.norm_sq(j), gram.covariance(i, j));
+        if pair_converged(ni, nj, cov, PAIR_TOL) {
+            skipped += 1;
+            continue;
+        }
+        let rot = textbook_params(ni, nj, cov);
+        // aᵢ' = cos·aᵢ − sin·aⱼ ; aⱼ' = sin·aᵢ + cos·aⱼ
+        roles[i] = Role { alpha: rot.cos, beta: -rot.sin, partner: j };
+        roles[j] = Role { alpha: rot.cos, beta: rot.sin, partner: i };
+        rotations.push((i, j, rot));
+        applied += 1;
+    }
+    (roles, rotations, applied, skipped)
+}
+
+/// Apply one round's rotations to `D`, double-buffered and row-parallel.
+fn apply_round_to_gram(gram: &mut GramState, roles: &[Role], rotations: &[(usize, usize, Rotation)]) {
+    if rotations.is_empty() {
+        return;
+    }
+    let n = gram.dim();
+    let old = gram.packed().clone();
+    let mut new = PackedSymmetric::zeros(n);
+
+    // Pair membership lookup for the diagonal special case.
+    // in_pair[p] = index into `rotations` if p participates, else usize::MAX.
+    let mut pair_of = vec![usize::MAX; n];
+    for (idx, &(i, j, _)) in rotations.iter().enumerate() {
+        pair_of[i] = idx;
+        pair_of[j] = idx;
+    }
+
+    // Split the packed buffer into its triangle rows so rayon can hand each
+    // row to a worker without unsafe aliasing.
+    let mut row_slices: Vec<(usize, &mut [f64])> = Vec::with_capacity(n);
+    {
+        let mut rest = new.as_mut_slice();
+        for p in 0..n {
+            let (row, tail) = rest.split_at_mut(n - p);
+            row_slices.push((p, row));
+            rest = tail;
+        }
+    }
+
+    row_slices.par_iter_mut().for_each(|(p, row)| {
+        let p = *p;
+        let rp = roles[p];
+        for (off, out) in row.iter_mut().enumerate() {
+            let q = p + off;
+            let rq = roles[q];
+            if p == q {
+                // Diagonal: if paired, use the exact O(1) norm update
+                // (more accurate than the quadratic form).
+                *out = if pair_of[p] != usize::MAX {
+                    let (i, j, rot) = rotations[pair_of[p]];
+                    let cov = old.get(i, j);
+                    if p == i {
+                        old.get(i, i) - rot.t * cov
+                    } else {
+                        old.get(j, j) + rot.t * cov
+                    }
+                } else {
+                    old.get(p, p)
+                };
+            } else if pair_of[p] != usize::MAX && pair_of[p] == pair_of[q] {
+                // The pair's own covariance is annihilated exactly.
+                *out = 0.0;
+            } else {
+                // General entry: new_D[p][q] = (row transform p) ⊗ (row transform q).
+                let mut acc = rp.alpha * rq.alpha * old.get(p, q);
+                if rq.partner != usize::MAX {
+                    acc += rp.alpha * rq.beta * old.get(p, rq.partner);
+                }
+                if rp.partner != usize::MAX {
+                    acc += rp.beta * rq.alpha * old.get(rp.partner, q);
+                }
+                if rp.partner != usize::MAX && rq.partner != usize::MAX {
+                    acc += rp.beta * rq.beta * old.get(rp.partner, rq.partner);
+                }
+                *out = acc;
+            }
+        }
+    });
+
+    *gram = GramState::from_packed(new);
+}
+
+/// Rotate the round's column pairs of `mat` in parallel (disjoint pairs →
+/// disjoint column slices).
+fn apply_round_to_columns(mat: &mut Matrix, rotations: &[(usize, usize, Rotation)]) {
+    if rotations.is_empty() {
+        return;
+    }
+    let m = mat.rows();
+    // Hand out one Option<&mut [f64]> slot per column, then move the needed
+    // pairs out — safe disjoint mutable access without unsafe code.
+    let mut slots: Vec<Option<&mut [f64]>> =
+        mat.as_mut_slice().chunks_exact_mut(m).map(Some).collect();
+    let mut work: Vec<(&mut [f64], &mut [f64], Rotation)> = Vec::with_capacity(rotations.len());
+    for &(i, j, rot) in rotations {
+        let ci = slots[i].take().expect("column used once per round");
+        let cj = slots[j].take().expect("column used once per round");
+        work.push((ci, cj, rot));
+    }
+    work.par_iter_mut().for_each(|(ci, cj, rot)| {
+        for (x, y) in ci.iter_mut().zip(cj.iter_mut()) {
+            let xi = *x;
+            let yj = *y;
+            *x = xi * rot.cos - yj * rot.sin;
+            *y = xi * rot.sin + yj * rot.cos;
+        }
+    });
+}
+
+/// Parallel gram-only sweep (values-only mode). Round-synchronous.
+pub fn parallel_sweep_gram(gram: &mut GramState, order: &Sweep, sweep_index: usize) -> SweepRecord {
+    let mut applied = 0;
+    let mut skipped = 0;
+    for round in order.rounds() {
+        let (roles, rotations, a, s) = plan_round(gram, round);
+        apply_round_to_gram(gram, &roles, &rotations);
+        applied += a;
+        skipped += s;
+    }
+    finish_record(gram, sweep_index, applied, skipped)
+}
+
+/// Parallel full sweep: gram + columns (+ optional `V` accumulation).
+pub fn parallel_sweep_full(
+    a: &mut Matrix,
+    gram: &mut GramState,
+    mut v: Option<&mut Matrix>,
+    order: &Sweep,
+    sweep_index: usize,
+) -> SweepRecord {
+    let mut applied = 0;
+    let mut skipped = 0;
+    for round in order.rounds() {
+        let (roles, rotations, ap, sk) = plan_round(gram, round);
+        apply_round_to_gram(gram, &roles, &rotations);
+        apply_round_to_columns(a, &rotations);
+        if let Some(vm) = v.as_deref_mut() {
+            apply_round_to_columns(vm, &rotations);
+        }
+        applied += ap;
+        skipped += sk;
+    }
+    finish_record(gram, sweep_index, applied, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::round_robin;
+    use hj_matrix::{gen, norms};
+
+    #[test]
+    fn parallel_gram_sweep_converges() {
+        let a = gen::uniform(30, 12, 17);
+        let mut g = GramState::from_matrix(&a);
+        let order = round_robin(12);
+        for s in 1..=12 {
+            parallel_sweep_gram(&mut g, &order, s);
+        }
+        assert!(g.max_abs_covariance() < 1e-12 * g.trace() / 12.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_spectrum() {
+        let a = gen::uniform(40, 10, 23);
+        let order = round_robin(10);
+
+        let mut g_seq = GramState::from_matrix(&a);
+        let mut g_par = GramState::from_matrix(&a);
+        for s in 1..=15 {
+            crate::sweep::sweep_gram_only(&mut g_seq, &order, s);
+            parallel_sweep_gram(&mut g_par, &order, s);
+        }
+        let mut s1 = g_seq.singular_values_unsorted();
+        let mut s2 = g_par.singular_values_unsorted();
+        s1.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        s2.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (x, y) in s1.iter().zip(&s2) {
+            assert!((x - y).abs() < 1e-10 * x.max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_gram_matches_recomputation_after_each_round() {
+        let mut a = gen::uniform(20, 8, 5);
+        let mut g = GramState::from_matrix(&a);
+        let order = round_robin(8);
+        for round in order.rounds() {
+            let (roles, rotations, _, _) = plan_round(&g, round);
+            apply_round_to_gram(&mut g, &roles, &rotations);
+            apply_round_to_columns(&mut a, &rotations);
+            let fresh = GramState::from_matrix(&a);
+            for p in 0..8 {
+                for q in p..8 {
+                    assert!(
+                        (g.covariance(p, q) - fresh.covariance(p, q)).abs() < 1e-11,
+                        "D[{p}][{q}] inconsistent after parallel round"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_full_sweep_produces_orthogonal_b_and_v() {
+        let a0 = gen::uniform(25, 9, 41);
+        let mut b = a0.clone();
+        let mut g = GramState::from_matrix(&b);
+        let mut v = Matrix::identity(9);
+        let order = round_robin(9);
+        for s in 1..=12 {
+            parallel_sweep_full(&mut b, &mut g, Some(&mut v), &order, s);
+        }
+        assert!(norms::orthonormality_error(&v) < 1e-12);
+        let av = a0.matmul(&v).unwrap();
+        let diff = norms::frobenius(&av.sub(&b).unwrap());
+        assert!(diff < 1e-10);
+    }
+
+    #[test]
+    fn parallel_is_deterministic() {
+        let a = gen::uniform(30, 14, 2);
+        let order = round_robin(14);
+        let run = || {
+            let mut g = GramState::from_matrix(&a);
+            for s in 1..=8 {
+                parallel_sweep_gram(&mut g, &order, s);
+            }
+            g.packed().as_slice().to_vec()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1, r2, "same input must give bit-identical output");
+    }
+
+    #[test]
+    fn round_with_all_pairs_converged_is_noop() {
+        let q = gen::random_orthonormal(20, 6, 3);
+        let mut g = GramState::from_matrix(&q);
+        let before = g.packed().clone();
+        let order = round_robin(6);
+        let rec = parallel_sweep_gram(&mut g, &order, 1);
+        assert_eq!(rec.rotations_applied, 0);
+        assert_eq!(g.packed().as_slice(), before.as_slice());
+    }
+}

@@ -1,0 +1,282 @@
+//! Principal Component Analysis on top of the Hestenes-Jacobi SVD.
+//!
+//! PCA is the paper's motivating application (§I: "Among the classical
+//! solutions for PCA, Singular Value Decomposition is the most popular
+//! technique") and its stated future work ("extended to perform principal
+//! component analysis for latent semantic indexing", §VII). This module
+//! provides the standard fit/transform API: observations are **rows**,
+//! features are **columns**; the model centers the data, runs the SVD of
+//! the centered matrix, and exposes components, explained variance, and
+//! projection/reconstruction.
+
+use crate::svd::{HestenesSvd, SvdOptions};
+use crate::SvdError;
+use hj_matrix::{ops, Matrix};
+
+/// A fitted PCA model.
+///
+/// ```
+/// use hj_core::Pca;
+/// use hj_matrix::gen;
+///
+/// let data = gen::gaussian(50, 6, 1);                 // rows = observations
+/// let pca = Pca::fit_default(&data, 2).unwrap();
+/// let scores = pca.transform(&data);                  // 50 × 2 projection
+/// assert_eq!(scores.shape(), (50, 2));
+/// assert!(pca.explained_variance()[0] >= pca.explained_variance()[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-feature means subtracted before the SVD (length = features).
+    mean: Vec<f64>,
+    /// Principal directions: `features × k`, orthonormal columns, ordered
+    /// by decreasing explained variance.
+    components: Matrix,
+    /// Sample variance along each component (σ²/(n_samples − 1)).
+    explained_variance: Vec<f64>,
+    /// Total variance of the centered data.
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fit a PCA with `k` components to `data` (rows = observations).
+    ///
+    /// `k` is clamped to `min(n_samples, n_features)`. Requires at least
+    /// two observations (variance needs a denominator).
+    pub fn fit(data: &Matrix, k: usize, options: SvdOptions) -> Result<Pca, SvdError> {
+        let (rows, cols) = data.shape();
+        if rows < 2 || cols == 0 {
+            return Err(SvdError::EmptyInput);
+        }
+        // Center by column (feature) means.
+        let mut centered = data.clone();
+        let mut mean = vec![0.0f64; cols];
+        for (c, mu) in mean.iter_mut().enumerate() {
+            *mu = (0..rows).map(|r| centered.get(r, c)).sum::<f64>() / rows as f64;
+            for r in 0..rows {
+                let v = centered.get(r, c) - *mu;
+                centered.set(r, c, v);
+            }
+        }
+        let svd = HestenesSvd::new(options).decompose(&centered)?;
+        let kmax = svd.singular_values.len();
+        let k = k.min(kmax).max(1);
+        let denom = (rows - 1) as f64;
+        let explained_variance: Vec<f64> =
+            svd.singular_values[..k].iter().map(|s| s * s / denom).collect();
+        let total_variance: f64 =
+            svd.singular_values.iter().map(|s| s * s / denom).sum();
+        let components = svd.v.leading_columns(k);
+        Ok(Pca { mean, components, explained_variance, total_variance })
+    }
+
+    /// Fit with default SVD options.
+    pub fn fit_default(data: &Matrix, k: usize) -> Result<Pca, SvdError> {
+        Pca::fit(data, k, SvdOptions::default())
+    }
+
+    /// Number of components retained.
+    pub fn n_components(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// The principal directions, `features × k` with orthonormal columns.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// The per-feature mean removed during fitting.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Sample variance captured by each retained component.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance captured by each retained component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance == 0.0 {
+            return vec![0.0; self.explained_variance.len()];
+        }
+        self.explained_variance.iter().map(|v| v / self.total_variance).collect()
+    }
+
+    /// Cumulative variance fraction captured by all retained components.
+    pub fn captured_variance(&self) -> f64 {
+        if self.total_variance == 0.0 {
+            0.0
+        } else {
+            self.explained_variance.iter().sum::<f64>() / self.total_variance
+        }
+    }
+
+    /// Project observations (rows = samples, features must match the fit)
+    /// into the component space: returns `samples × k` scores.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let (rows, cols) = data.shape();
+        assert_eq!(cols, self.mean.len(), "feature count must match the fitted model");
+        let k = self.n_components();
+        let mut out = Matrix::zeros(rows, k);
+        let mut centered_row = vec![0.0f64; cols];
+        for r in 0..rows {
+            for (c, v) in centered_row.iter_mut().enumerate() {
+                *v = data.get(r, c) - self.mean[c];
+            }
+            for t in 0..k {
+                out.set(r, t, ops::dot(&centered_row, self.components.col(t)));
+            }
+        }
+        out
+    }
+
+    /// Map component-space scores back to feature space (the rank-`k`
+    /// reconstruction): `x̂ = mean + scores · componentsᵀ`.
+    pub fn inverse_transform(&self, scores: &Matrix) -> Matrix {
+        let (rows, k) = scores.shape();
+        assert_eq!(k, self.n_components(), "score width must match component count");
+        let cols = self.mean.len();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut v = self.mean[c];
+                for t in 0..k {
+                    v += scores.get(r, t) * self.components.get(c, t);
+                }
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_matrix::{gen, norms};
+
+    /// Data with variance overwhelmingly along two known directions.
+    fn planar_data(samples: usize, dim: usize, seed: u64) -> (Matrix, Matrix) {
+        let basis = gen::random_orthonormal(dim, 2, seed);
+        let coords = gen::gaussian(samples, 2, seed ^ 99);
+        let noise = gen::gaussian(samples, dim, seed ^ 7);
+        let mut data = Matrix::zeros(samples, dim);
+        for r in 0..samples {
+            for d in 0..dim {
+                let v = 10.0 * coords.get(r, 0) * basis.get(d, 0)
+                    + 4.0 * coords.get(r, 1) * basis.get(d, 1)
+                    + 0.05 * noise.get(r, d);
+                data.set(r, d, v);
+            }
+        }
+        (data, basis)
+    }
+
+    #[test]
+    fn recovers_planted_subspace() {
+        let (data, basis) = planar_data(80, 12, 1);
+        let pca = Pca::fit_default(&data, 2).unwrap();
+        assert_eq!(pca.n_components(), 2);
+        // The spans must agree: each planted basis vector is (almost)
+        // entirely inside the recovered component span.
+        for b in 0..2 {
+            let mut in_span = 0.0;
+            for t in 0..2 {
+                let d = ops::dot(basis.col(b), pca.components().col(t));
+                in_span += d * d;
+            }
+            assert!(in_span > 0.99, "basis vector {b} only {in_span:.4} inside the span");
+        }
+        assert!(pca.captured_variance() > 0.99);
+    }
+
+    #[test]
+    fn explained_variance_is_sorted_and_ratios_sum_to_capture() {
+        let (data, _) = planar_data(60, 8, 3);
+        let pca = Pca::fit_default(&data, 4).unwrap();
+        let ev = pca.explained_variance();
+        assert!(ev.windows(2).all(|w| w[0] >= w[1]));
+        let ratios = pca.explained_variance_ratio();
+        let sum: f64 = ratios.iter().sum();
+        assert!((sum - pca.captured_variance()).abs() < 1e-12);
+        assert!(ratios[0] > ratios[1]);
+    }
+
+    #[test]
+    fn transform_then_inverse_is_rank_k_reconstruction() {
+        let (data, _) = planar_data(40, 10, 5);
+        let pca = Pca::fit_default(&data, 2).unwrap();
+        let scores = pca.transform(&data);
+        assert_eq!(scores.shape(), (40, 2));
+        let rec = pca.inverse_transform(&scores);
+        // With ~99.9% captured variance, reconstruction is near-exact.
+        let err = norms::frobenius(&data.sub(&rec).unwrap()) / norms::frobenius(&data);
+        assert!(err < 0.02, "relative reconstruction error {err}");
+    }
+
+    #[test]
+    fn scores_are_uncorrelated() {
+        let (data, _) = planar_data(100, 6, 9);
+        let pca = Pca::fit_default(&data, 3).unwrap();
+        let scores = pca.transform(&data);
+        // Score columns are orthogonal (they are U·Σ columns of the
+        // centered data, up to sign).
+        for i in 0..3 {
+            for j in i + 1..3 {
+                let covar = ops::dot(scores.col(i), scores.col(j));
+                let scale = ops::norm(scores.col(i)) * ops::norm(scores.col(j));
+                assert!(covar.abs() < 1e-8 * scale.max(1.0), "scores {i},{j} correlate: {covar}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_is_removed() {
+        let mut data = gen::uniform(30, 4, 11);
+        // Shift feature 2 by a large constant; PCA must be invariant.
+        for r in 0..30 {
+            let v = data.get(r, 2) + 1000.0;
+            data.set(r, 2, v);
+        }
+        let pca = Pca::fit_default(&data, 2).unwrap();
+        assert!((pca.mean()[2] - 1000.0).abs() < 1.0);
+        // Variance must not be dominated by the constant shift.
+        assert!(pca.explained_variance()[0] < 10.0);
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let data = gen::uniform(10, 3, 13);
+        let pca = Pca::fit_default(&data, 99).unwrap();
+        assert_eq!(pca.n_components(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(Pca::fit_default(&Matrix::zeros(1, 5), 2).is_err());
+        assert!(Pca::fit_default(&Matrix::zeros(5, 0), 2).is_err());
+    }
+
+    #[test]
+    fn constant_data_has_zero_variance() {
+        let mut data = Matrix::zeros(10, 3);
+        for r in 0..10 {
+            for c in 0..3 {
+                data.set(r, c, 7.0);
+            }
+        }
+        let pca = Pca::fit_default(&data, 2).unwrap();
+        assert_eq!(pca.captured_variance(), 0.0);
+        assert!(pca.explained_variance_ratio().iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn transform_checks_feature_count() {
+        let data = gen::uniform(10, 4, 17);
+        let pca = Pca::fit_default(&data, 2).unwrap();
+        let wrong = gen::uniform(3, 5, 18);
+        let _ = pca.transform(&wrong);
+    }
+}

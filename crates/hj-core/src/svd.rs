@@ -1,0 +1,426 @@
+//! The user-facing SVD drivers.
+//!
+//! [`HestenesSvd`] runs the modified Hestenes-Jacobi algorithm end to end:
+//! Gram initialization (the preprocessor's job), iterated sweeps with the
+//! chosen ordering and convergence rule, and the final square-root /
+//! sort / normalization stage that turns the orthogonalized system into
+//! `A = U Σ Vᵀ`.
+
+use crate::convergence::{is_converged, Convergence, SweepRecord, MAX_SWEEP_CAP};
+use crate::gram::GramState;
+use crate::ordering::{build_sweep, Ordering};
+use crate::parallel;
+use crate::sweep::{sweep_full, sweep_gram_only};
+use crate::SvdError;
+use hj_matrix::{ops, Matrix};
+
+/// Configuration for a Hestenes-Jacobi decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvdOptions {
+    /// Stopping rule. Default: scale-relative covariance threshold.
+    pub convergence: Convergence,
+    /// Hard upper bound on sweeps regardless of the stopping rule.
+    /// Default: [`MAX_SWEEP_CAP`].
+    pub max_sweeps: usize,
+    /// Pair visiting order. Default: round-robin (the paper's cyclic order).
+    pub ordering: Ordering,
+    /// Use the rayon-parallel round-synchronous driver. Requires
+    /// [`Ordering::RoundRobin`]. Default: off (sequential is faithful to
+    /// Algorithm 1's data flow).
+    pub parallel: bool,
+}
+
+impl Default for SvdOptions {
+    fn default() -> Self {
+        SvdOptions {
+            convergence: Convergence::default(),
+            max_sweeps: MAX_SWEEP_CAP,
+            ordering: Ordering::RoundRobin,
+            parallel: false,
+        }
+    }
+}
+
+impl SvdOptions {
+    /// The paper's operating point: exactly 6 sweeps, cyclic order.
+    pub fn paper() -> Self {
+        SvdOptions {
+            convergence: Convergence::FixedSweeps(6),
+            max_sweeps: 6,
+            ordering: Ordering::RoundRobin,
+            parallel: false,
+        }
+    }
+}
+
+/// A computed thin SVD `A ≈ U Σ Vᵀ` with diagnostics.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × k` with `k = min(m, n)`. Columns whose
+    /// singular value is (numerically) zero are zero columns — see
+    /// [`Svd::rank`].
+    pub u: Matrix,
+    /// Singular values, length `k`, sorted descending, non-negative.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n × k`.
+    pub v: Matrix,
+    /// Number of sweeps executed.
+    pub sweeps: usize,
+    /// Per-sweep convergence measurements.
+    pub history: Vec<SweepRecord>,
+}
+
+impl Svd {
+    /// Numerical rank: number of singular values above
+    /// `tol · max(m, n) · σ_max` (the LAPACK default rank rule).
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        let (m, k) = self.u.shape();
+        let n = self.v.rows();
+        let _ = k;
+        let cutoff = tol * m.max(n) as f64 * smax;
+        self.singular_values.iter().take_while(|&&s| s > cutoff).count()
+    }
+
+    /// Reconstruct the rank-`r` truncation `A_r = U_r Σ_r V_rᵀ` — the
+    /// dimensionality-reduction primitive behind the paper's PCA motivation.
+    pub fn truncated(&self, r: usize) -> Matrix {
+        let r = r.min(self.singular_values.len());
+        let (m, _) = self.u.shape();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for t in 0..r {
+            let s = self.singular_values[t];
+            if s == 0.0 {
+                break;
+            }
+            let ut = self.u.col(t);
+            for c in 0..n {
+                let w = s * self.v.get(c, t);
+                ops::axpy(w, ut, out.col_mut(c));
+            }
+        }
+        out
+    }
+}
+
+/// Result of the values-only driver.
+#[derive(Debug, Clone)]
+pub struct SingularValues {
+    /// Singular values, length `min(m, n)`, sorted descending.
+    pub values: Vec<f64>,
+    /// Number of sweeps executed.
+    pub sweeps: usize,
+    /// Per-sweep convergence measurements.
+    pub history: Vec<SweepRecord>,
+}
+
+/// The Hestenes-Jacobi SVD solver.
+///
+/// ```
+/// use hj_core::{HestenesSvd, SvdOptions};
+/// use hj_matrix::{gen, norms};
+///
+/// let a = gen::uniform(40, 10, 7);
+/// let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+/// let err = norms::reconstruction_error(&a, &svd.u, &svd.singular_values, &svd.v);
+/// assert!(err < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HestenesSvd {
+    options: SvdOptions,
+}
+
+impl HestenesSvd {
+    /// Create a solver with the given options.
+    pub fn new(options: SvdOptions) -> Self {
+        HestenesSvd { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &SvdOptions {
+        &self.options
+    }
+
+    fn validate(&self, a: &Matrix) -> Result<(), SvdError> {
+        if a.is_empty() {
+            return Err(SvdError::EmptyInput);
+        }
+        if !a.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(SvdError::NonFiniteInput);
+        }
+        if self.options.parallel && self.options.ordering != Ordering::RoundRobin {
+            return Err(SvdError::ParallelNeedsRoundRobin);
+        }
+        if self.options.max_sweeps == 0 {
+            return Err(SvdError::ZeroSweepBudget);
+        }
+        Ok(())
+    }
+
+    /// Compute only the singular values — the paper-faithful mode.
+    ///
+    /// Column data are read once (to form `D = AᵀA`); every subsequent sweep
+    /// operates on `D` alone, exactly as the hardware does after
+    /// reconfiguring the preprocessor into update kernels.
+    ///
+    /// ```
+    /// use hj_core::{HestenesSvd, SvdOptions};
+    /// use hj_matrix::gen;
+    ///
+    /// let a = gen::with_singular_values(30, 3, &[4.0, 2.0, 1.0], 5);
+    /// let sv = HestenesSvd::new(SvdOptions::paper()).singular_values(&a).unwrap();
+    /// assert_eq!(sv.sweeps, 6);                       // the paper's fixed budget
+    /// assert!((sv.values[0] - 4.0).abs() < 1e-9);
+    /// ```
+    pub fn singular_values(&self, a: &Matrix) -> Result<SingularValues, SvdError> {
+        self.validate(a)?;
+        let n = a.cols();
+        let mut gram = GramState::from_matrix(a);
+        let order = build_sweep(self.options.ordering, n);
+        let mut history = Vec::new();
+        let cap = self.options.max_sweeps.min(MAX_SWEEP_CAP);
+        for s in 1..=cap {
+            let rec = if self.options.parallel {
+                parallel::parallel_sweep_gram(&mut gram, &order, s)
+            } else {
+                sweep_gram_only(&mut gram, &order, s)
+            };
+            history.push(rec);
+            if is_converged(&self.options.convergence, &rec, gram.trace(), n) {
+                break;
+            }
+        }
+        let sweeps = history.len();
+        let mut values = gram.singular_values_unsorted();
+        values.sort_by(|x, y| y.partial_cmp(x).expect("finite values"));
+        values.truncate(a.rows().min(n));
+        Ok(SingularValues { values, sweeps, history })
+    }
+
+    /// Compute the full thin SVD `A = U Σ Vᵀ`.
+    ///
+    /// Unlike the values-only mode, columns are rotated in **every** sweep
+    /// (maintaining `B = A·V`) and the rotations are accumulated into `V`;
+    /// afterwards `U = B·Σ⁻¹` (paper's eq. (7)).
+    pub fn decompose(&self, a: &Matrix) -> Result<Svd, SvdError> {
+        self.validate(a)?;
+        let (m, n) = a.shape();
+        let k = m.min(n);
+        let mut b = a.clone();
+        let mut gram = GramState::from_matrix(&b);
+        let mut v = Matrix::identity(n);
+        let order = build_sweep(self.options.ordering, n);
+        let mut history = Vec::new();
+        let cap = self.options.max_sweeps.min(MAX_SWEEP_CAP);
+        for s in 1..=cap {
+            let rec = if self.options.parallel {
+                parallel::parallel_sweep_full(&mut b, &mut gram, Some(&mut v), &order, s)
+            } else {
+                sweep_full(&mut b, &mut gram, Some(&mut v), &order, s)
+            };
+            history.push(rec);
+            if is_converged(&self.options.convergence, &rec, gram.trace(), n) {
+                break;
+            }
+        }
+        let sweeps = history.len();
+
+        // Σ from the Gram diagonal; recompute from the actual rotated columns
+        // for the final values (slightly more accurate than the updated D and
+        // free: one pass over B).
+        let mut order_idx: Vec<usize> = (0..n).collect();
+        let col_norms: Vec<f64> = (0..n).map(|c| ops::norm(b.col(c))).collect();
+        order_idx.sort_by(|&x, &y| col_norms[y].partial_cmp(&col_norms[x]).expect("finite norms"));
+
+        let mut u = Matrix::zeros(m, k);
+        let mut sigma = Vec::with_capacity(k);
+        let mut v_sorted = Matrix::zeros(n, k);
+        // Zero-σ cutoff: below this, B's column is numerical noise and U's
+        // column is left zero (its direction is not determined by the data).
+        let smax = col_norms[order_idx[0]];
+        let cutoff = smax * f64::EPSILON * m.max(n) as f64;
+        for (t, &c) in order_idx.iter().take(k).enumerate() {
+            let s = col_norms[c];
+            sigma.push(s);
+            if s > cutoff && s > 0.0 {
+                let inv = 1.0 / s;
+                let bc = b.col(c);
+                let uc = u.col_mut(t);
+                for (out, &x) in uc.iter_mut().zip(bc) {
+                    *out = x * inv;
+                }
+            }
+            v_sorted.col_mut(t).copy_from_slice(v.col(c));
+        }
+        Ok(Svd { u, singular_values: sigma, v: v_sorted, sweeps, history })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hj_matrix::{gen, norms};
+
+    fn check_svd(a: &Matrix, svd: &Svd, tol: f64) {
+        let err = norms::reconstruction_error(a, &svd.u, &svd.singular_values, &svd.v);
+        assert!(err < tol, "reconstruction error {err} ≥ {tol}");
+        assert!(
+            svd.singular_values.windows(2).all(|w| w[0] >= w[1]),
+            "singular values must be sorted descending: {:?}",
+            svd.singular_values
+        );
+        assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn decompose_random_tall() {
+        let a = gen::uniform(50, 12, 42);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        check_svd(&a, &svd, 1e-12);
+        assert!(norms::orthonormality_error(&svd.u) < 1e-12);
+        assert!(norms::orthonormality_error(&svd.v) < 1e-12);
+    }
+
+    #[test]
+    fn decompose_square() {
+        let a = gen::uniform(16, 16, 1);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        check_svd(&a, &svd, 1e-12);
+    }
+
+    #[test]
+    fn decompose_wide_matrix() {
+        // m < n: rank ≤ m, the trailing n−m implicit values are ~0 and the
+        // thin factors have k = m columns.
+        let a = gen::uniform(6, 20, 5);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        assert_eq!(svd.singular_values.len(), 6);
+        assert_eq!(svd.u.shape(), (6, 6));
+        assert_eq!(svd.v.shape(), (20, 6));
+        check_svd(&a, &svd, 1e-11);
+    }
+
+    #[test]
+    fn known_spectrum_is_recovered() {
+        let sigma = [10.0, 5.0, 1.0, 0.1];
+        let a = gen::with_singular_values(30, 4, &sigma, 77);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        for (got, want) in svd.singular_values.iter().zip(&sigma) {
+            assert!(
+                (got - want).abs() < 1e-12 * want.max(1.0),
+                "singular value {got} vs expected {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_only_matches_decompose() {
+        let a = gen::uniform(25, 10, 13);
+        let solver = HestenesSvd::new(SvdOptions::default());
+        let sv = solver.singular_values(&a).unwrap();
+        let svd = solver.decompose(&a).unwrap();
+        for (x, y) in sv.values.iter().zip(&svd.singular_values) {
+            assert!((x - y).abs() < 1e-10 * x.max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_input() {
+        let a = gen::rank_deficient(20, 8, 3, 3);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        check_svd(&a, &svd, 1e-11);
+        assert_eq!(svd.rank(f64::EPSILON), 3);
+        // Zero singular values land at the tail.
+        assert!(svd.singular_values[3] < 1e-12);
+    }
+
+    #[test]
+    fn paper_options_run_exactly_six_sweeps() {
+        let a = gen::uniform(64, 32, 8);
+        let sv = HestenesSvd::new(SvdOptions::paper()).singular_values(&a).unwrap();
+        assert_eq!(sv.sweeps, 6);
+        assert_eq!(sv.history.len(), 6);
+        // ... and six sweeps reach "reasonable convergence" on this size
+        // (the paper's claim): covariance mass down by ≥ 7 orders.
+        let last = sv.history.last().unwrap();
+        assert!(last.mean_abs_cov < 1e-7 * sv.history[0].mean_abs_cov.max(1.0));
+    }
+
+    #[test]
+    fn history_is_monotonically_converging() {
+        let a = gen::uniform(40, 16, 4);
+        let sv = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
+        for w in sv.history.windows(2) {
+            assert!(
+                w[1].off_frobenius <= w[0].off_frobenius * (1.0 + 1e-12),
+                "off(D) must not grow between sweeps: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_reconstruction_improves_with_rank() {
+        let a = gen::with_singular_values(20, 6, &[8.0, 4.0, 2.0, 1.0, 0.5, 0.25], 31);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        let mut prev = f64::INFINITY;
+        for r in 1..=6 {
+            let ar = svd.truncated(r);
+            let err = norms::frobenius(&a.sub(&ar).unwrap());
+            assert!(err < prev + 1e-12, "rank-{r} error {err} worse than rank-{} {prev}", r - 1);
+            prev = err;
+        }
+        assert!(prev < 1e-10, "full-rank truncation must reconstruct A");
+    }
+
+    #[test]
+    fn empty_and_nonfinite_inputs_error() {
+        let solver = HestenesSvd::new(SvdOptions::default());
+        assert!(matches!(solver.decompose(&Matrix::zeros(0, 4)), Err(SvdError::EmptyInput)));
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, f64::NAN);
+        assert!(matches!(solver.decompose(&a), Err(SvdError::NonFiniteInput)));
+        a.set(0, 0, f64::INFINITY);
+        assert!(matches!(solver.singular_values(&a), Err(SvdError::NonFiniteInput)));
+    }
+
+    #[test]
+    fn zero_matrix_decomposes() {
+        let a = Matrix::zeros(5, 3);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        assert!(svd.singular_values.iter().all(|&s| s == 0.0));
+        check_svd(&a, &svd, 1e-12);
+    }
+
+    #[test]
+    fn single_column_matrix() {
+        let a = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        assert!((svd.singular_values[0] - 5.0).abs() < 1e-12);
+        check_svd(&a, &svd, 1e-14);
+    }
+
+    #[test]
+    fn hilbert_matrix_high_relative_accuracy() {
+        // One-sided Jacobi's signature property (Drmač): tiny singular values
+        // of an ill-conditioned matrix computed to high relative accuracy.
+        let h = gen::hilbert(8);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&h).unwrap();
+        check_svd(&h, &svd, 1e-10);
+        // κ(H₈) ≈ 1.5e10; the smallest σ is ~1e-10 and must be positive.
+        assert!(svd.singular_values[7] > 0.0);
+        assert!(svd.singular_values[0] / svd.singular_values[7] > 1e9);
+    }
+
+    #[test]
+    fn invalid_option_combinations_error() {
+        let a = gen::uniform(4, 4, 0);
+        let opts = SvdOptions { parallel: true, ordering: Ordering::RowCyclic, ..Default::default() };
+        assert!(matches!(
+            HestenesSvd::new(opts).decompose(&a),
+            Err(SvdError::ParallelNeedsRoundRobin)
+        ));
+        let opts = SvdOptions { max_sweeps: 0, ..Default::default() };
+        assert!(matches!(HestenesSvd::new(opts).decompose(&a), Err(SvdError::ZeroSweepBudget)));
+    }
+}

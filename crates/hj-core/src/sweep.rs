@@ -1,0 +1,188 @@
+//! Sequential sweep drivers.
+//!
+//! A *sweep* visits every column pair once in the chosen ordering. Two modes
+//! mirror the two phases of the paper's architecture:
+//!
+//! * [`sweep_gram_only`] — rotates only the maintained covariance matrix `D`
+//!   (`O(n)` per pair). This is what the hardware does from the second sweep
+//!   onward, and all that is needed to obtain singular *values*.
+//! * [`sweep_full`] — additionally rotates the actual matrix columns
+//!   (`O(m)` per pair) and, optionally, accumulates the right singular
+//!   vectors `V`. Required for a full `A = UΣVᵀ` factorization.
+
+use crate::convergence::SweepRecord;
+use crate::gram::GramState;
+use crate::ordering::Sweep;
+use crate::rotation::{pair_converged, textbook_params};
+use hj_matrix::Matrix;
+
+/// Per-pair orthogonality guard used by the sweep drivers; pairs with
+/// `|cov| ≤ PAIR_TOL·√(D_ii·D_jj)` are skipped. A few ulps above machine
+/// epsilon: tight enough for 1e-14-level final accuracy, loose enough not to
+/// churn on roundoff noise.
+pub const PAIR_TOL: f64 = 1e-15;
+
+/// Run one sweep over `D` only (no column data touched).
+///
+/// Returns the sweep's instrumentation record; `sweep_index` is 1-based and
+/// only used to label the record.
+pub fn sweep_gram_only(gram: &mut GramState, order: &Sweep, sweep_index: usize) -> SweepRecord {
+    let mut applied = 0usize;
+    let mut skipped = 0usize;
+    for (i, j) in order.pairs() {
+        let (ni, nj, cov) = (gram.norm_sq(i), gram.norm_sq(j), gram.covariance(i, j));
+        if pair_converged(ni, nj, cov, PAIR_TOL) {
+            skipped += 1;
+            continue;
+        }
+        let rot = textbook_params(ni, nj, cov);
+        gram.rotate(i, j, &rot);
+        applied += 1;
+    }
+    finish_record(gram, sweep_index, applied, skipped)
+}
+
+/// Run one full sweep: rotate `D`, the matrix columns, and (if provided) the
+/// accumulated right-singular-vector matrix `V`.
+///
+/// `v`, when present, must be `n × n` and is post-multiplied by the same
+/// plane rotations, so that after convergence `A·V = B` with orthogonal
+/// columns (paper's eq. (6)).
+pub fn sweep_full(
+    a: &mut Matrix,
+    gram: &mut GramState,
+    mut v: Option<&mut Matrix>,
+    order: &Sweep,
+    sweep_index: usize,
+) -> SweepRecord {
+    debug_assert_eq!(a.cols(), gram.dim());
+    if let Some(vm) = v.as_deref() {
+        debug_assert_eq!(vm.shape(), (a.cols(), a.cols()));
+    }
+    let mut applied = 0usize;
+    let mut skipped = 0usize;
+    for (i, j) in order.pairs() {
+        let (ni, nj, cov) = (gram.norm_sq(i), gram.norm_sq(j), gram.covariance(i, j));
+        if pair_converged(ni, nj, cov, PAIR_TOL) {
+            skipped += 1;
+            continue;
+        }
+        let rot = textbook_params(ni, nj, cov);
+        gram.rotate(i, j, &rot);
+        a.column_pair(i, j).expect("sweep pairs are valid").rotate(rot.cos, rot.sin);
+        if let Some(vm) = v.as_deref_mut() {
+            vm.column_pair(i, j).expect("sweep pairs are valid").rotate(rot.cos, rot.sin);
+        }
+        applied += 1;
+    }
+    finish_record(gram, sweep_index, applied, skipped)
+}
+
+pub(crate) fn finish_record(
+    gram: &GramState,
+    sweep_index: usize,
+    applied: usize,
+    skipped: usize,
+) -> SweepRecord {
+    SweepRecord {
+        sweep: sweep_index,
+        mean_abs_cov: gram.mean_abs_covariance(),
+        off_frobenius: gram.off_frobenius(),
+        max_abs_cov: gram.max_abs_covariance(),
+        rotations_applied: applied,
+        rotations_skipped: skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::{build_sweep, Ordering};
+    use hj_matrix::{gen, norms};
+
+    #[test]
+    fn gram_only_sweep_reduces_off_mass() {
+        let a = gen::uniform(30, 8, 11);
+        let mut g = GramState::from_matrix(&a);
+        let order = build_sweep(Ordering::RoundRobin, 8);
+        let before = g.off_frobenius();
+        let rec = sweep_gram_only(&mut g, &order, 1);
+        assert!(rec.off_frobenius < before);
+        assert_eq!(rec.rotations_applied + rec.rotations_skipped, 8 * 7 / 2);
+        assert_eq!(rec.sweep, 1);
+    }
+
+    #[test]
+    fn repeated_sweeps_converge_to_diagonal() {
+        let a = gen::uniform(20, 6, 3);
+        let mut g = GramState::from_matrix(&a);
+        let order = build_sweep(Ordering::RoundRobin, 6);
+        for s in 1..=10 {
+            sweep_gram_only(&mut g, &order, s);
+        }
+        let scale = g.trace() / 6.0;
+        assert!(
+            g.max_abs_covariance() <= 1e-13 * scale,
+            "off-diagonal mass {} did not converge (scale {scale})",
+            g.max_abs_covariance()
+        );
+    }
+
+    #[test]
+    fn row_cyclic_also_converges() {
+        let a = gen::uniform(15, 5, 9);
+        let mut g = GramState::from_matrix(&a);
+        let order = build_sweep(Ordering::RowCyclic, 5);
+        for s in 1..=10 {
+            sweep_gram_only(&mut g, &order, s);
+        }
+        assert!(g.max_abs_covariance() <= 1e-13 * g.trace() / 5.0);
+    }
+
+    #[test]
+    fn full_sweep_keeps_gram_consistent_with_columns() {
+        let mut a = gen::uniform(25, 7, 4);
+        let mut g = GramState::from_matrix(&a);
+        let order = build_sweep(Ordering::RoundRobin, 7);
+        sweep_full(&mut a, &mut g, None, &order, 1);
+        let fresh = GramState::from_matrix(&a);
+        for p in 0..7 {
+            for q in p..7 {
+                assert!(
+                    (g.covariance(p, q) - fresh.covariance(p, q)).abs() < 1e-10,
+                    "D[{p}][{q}] inconsistent with rotated columns"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_sweep_accumulates_v_such_that_av_equals_b() {
+        let a0 = gen::uniform(12, 5, 21);
+        let mut b = a0.clone();
+        let mut g = GramState::from_matrix(&b);
+        let mut v = Matrix::identity(5);
+        let order = build_sweep(Ordering::RoundRobin, 5);
+        for s in 1..=8 {
+            sweep_full(&mut b, &mut g, Some(&mut v), &order, s);
+        }
+        // V must stay orthogonal and satisfy A·V = B.
+        assert!(norms::orthonormality_error(&v) < 1e-12);
+        let av = a0.matmul(&v).unwrap();
+        let diff = av.sub(&b).unwrap();
+        assert!(norms::frobenius(&diff) < 1e-10 * norms::frobenius(&a0).max(1.0));
+        // And B's columns are mutually orthogonal after convergence.
+        let bg = GramState::from_matrix(&b);
+        assert!(bg.max_abs_covariance() < 1e-12 * bg.trace() / 5.0);
+    }
+
+    #[test]
+    fn sweep_on_orthogonal_input_applies_nothing() {
+        let q = gen::random_orthonormal(16, 6, 2);
+        let mut g = GramState::from_matrix(&q);
+        let order = build_sweep(Ordering::RoundRobin, 6);
+        let rec = sweep_gram_only(&mut g, &order, 1);
+        assert_eq!(rec.rotations_applied, 0);
+        assert_eq!(rec.rotations_skipped, 15);
+    }
+}

@@ -1,0 +1,154 @@
+//! On-chip BRAM model.
+//!
+//! The paper holds the whole covariance matrix in local BRAM "for matrices
+//! of column dimension no greater than 256" (§VI-A) and uses "simple dual
+//! port RAMs … to temporarily cache the rotation angle parameters and some
+//! covariances". This model answers the two questions the architecture
+//! simulator asks: does a working set fit, and how many 36 Kb block RAMs
+//! does a buffer of a given geometry consume.
+
+use crate::Cycles;
+
+/// Bits per Virtex-5 BRAM block (RAMB36).
+pub const BRAM36_BITS: u64 = 36 * 1024;
+
+/// A logical on-chip memory buffer built from BRAM36 blocks.
+///
+/// Simple dual port: one read port + one write port, each accepting one
+/// access per cycle.
+///
+/// ```
+/// use hj_fpsim::Bram;
+///
+/// // The paper's n = 256 packed covariance store:
+/// let cov = Bram::for_doubles("covariance", 256 * 257 / 2);
+/// assert_eq!(cov.bram36_blocks(), 66);
+/// assert!(cov.fits(256 * 257 / 2));
+/// assert!(!cov.fits(257 * 258 / 2)); // n = 257 no longer fits
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bram {
+    name: &'static str,
+    word_bits: u32,
+    words: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl Bram {
+    /// Create a buffer of `words` entries of `word_bits` each.
+    pub fn new(name: &'static str, words: u64, word_bits: u32) -> Self {
+        assert!(word_bits > 0, "word width must be positive");
+        Bram { name, word_bits, words, reads: 0, writes: 0 }
+    }
+
+    /// Buffer for `words` IEEE-754 doubles.
+    pub fn for_doubles(name: &'static str, words: u64) -> Self {
+        Bram::new(name, words, 64)
+    }
+
+    /// The buffer's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in words.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Total capacity in bits.
+    pub fn bits(&self) -> u64 {
+        self.words * self.word_bits as u64
+    }
+
+    /// Number of RAMB36 blocks this buffer consumes.
+    ///
+    /// Width-first packing: a `word_bits`-wide word needs
+    /// `ceil(word_bits / 36)` blocks in parallel when depth ≤ 1024 (the
+    /// RAMB36's 36-bit-wide configuration); deeper buffers replicate that
+    /// column. A simple but realistic model of how Coregen maps wide/deep
+    /// memories.
+    pub fn bram36_blocks(&self) -> u64 {
+        if self.words == 0 {
+            return 0;
+        }
+        let width_cols = (self.word_bits as u64).div_ceil(36);
+        let depth_rows = self.words.div_ceil(1024);
+        width_cols * depth_rows
+    }
+
+    /// Record `n` reads; returns the cycles consumed at one read/cycle.
+    pub fn read_n(&mut self, n: u64) -> Cycles {
+        self.reads += n;
+        n
+    }
+
+    /// Record `n` writes; returns the cycles consumed at one write/cycle.
+    pub fn write_n(&mut self, n: u64) -> Cycles {
+        self.writes += n;
+        n
+    }
+
+    /// Total reads recorded.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Whether a working set of `words` entries fits in this buffer.
+    pub fn fits(&self, words: u64) -> bool {
+        words <= self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_for_doubles() {
+        // A 64-bit word needs 2 BRAM36 columns; 1024 words → 2 blocks.
+        let b = Bram::for_doubles("d", 1024);
+        assert_eq!(b.bram36_blocks(), 2);
+        // 1025 words → 2 depth rows → 4 blocks.
+        assert_eq!(Bram::for_doubles("d", 1025).bram36_blocks(), 4);
+        assert_eq!(Bram::for_doubles("d", 0).bram36_blocks(), 0);
+    }
+
+    #[test]
+    fn packed_covariance_matrix_for_n_256_fits_on_chip() {
+        // The paper's claim: the whole covariance matrix fits in BRAM for
+        // n ≤ 256. Packed upper triangle: 256·257/2 = 32 896 doubles.
+        let words = 256 * 257 / 2;
+        let d = Bram::for_doubles("covariance", words);
+        // 2 columns × ceil(32896/1024) = 2 × 33 = 66 RAMB36 — a fraction of
+        // the XC5VLX330's 288.
+        assert_eq!(d.bram36_blocks(), 66);
+        assert!(d.fits(words));
+        assert!(!d.fits(words + 1));
+    }
+
+    #[test]
+    fn wide_fifo_words() {
+        // The 127-bit internal FIFO word needs 4 BRAM columns.
+        let f = Bram::new("wide", 512, 127);
+        assert_eq!(f.bram36_blocks(), 4);
+    }
+
+    #[test]
+    fn access_accounting() {
+        let mut b = Bram::for_doubles("d", 16);
+        assert_eq!(b.read_n(5), 5);
+        assert_eq!(b.write_n(3), 3);
+        assert_eq!(b.reads(), 5);
+        assert_eq!(b.writes(), 3);
+        assert_eq!(b.name(), "d");
+        assert_eq!(b.bits(), 16 * 64);
+        assert_eq!(b.words(), 16);
+    }
+}

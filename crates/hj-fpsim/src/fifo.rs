@@ -1,0 +1,220 @@
+//! Synchronization FIFO occupancy model.
+//!
+//! The paper programs "two groups of eight 64-bit width FIFOs … to
+//! synchronize the input and output, while a group of eight 127-bit width
+//! FIFOs are used for the data transmissions between the Hestenes processor
+//! and the Update operator" (§VI-A). This model tracks occupancy,
+//! high-water mark, and overflow/underflow *attempts* so the architecture
+//! simulator can verify its FIFO sizing assumptions (a real FIFO would
+//! back-pressure; the model counts the stall events that back-pressure
+//! would have caused).
+
+/// A single FIFO with element-count capacity and width bookkeeping.
+///
+/// ```
+/// use hj_fpsim::Fifo;
+///
+/// let mut f = Fifo::new("angles", 64, 127);
+/// assert!(f.push());
+/// assert_eq!(f.occupancy(), 1);
+/// assert!(f.pop());
+/// assert!(!f.pop()); // underflow attempt is recorded, not a panic
+/// assert_eq!(f.underflow_stalls(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    name: &'static str,
+    capacity: usize,
+    width_bits: u32,
+    occupancy: usize,
+    high_water: usize,
+    pushes: u64,
+    pops: u64,
+    overflow_stalls: u64,
+    underflow_stalls: u64,
+}
+
+impl Fifo {
+    /// Create a FIFO with `capacity` entries of `width_bits` each.
+    pub fn new(name: &'static str, capacity: usize, width_bits: u32) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            name,
+            capacity,
+            width_bits,
+            occupancy: 0,
+            high_water: 0,
+            pushes: 0,
+            pops: 0,
+            overflow_stalls: 0,
+            underflow_stalls: 0,
+        }
+    }
+
+    /// The FIFO's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Entry width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy in entries.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Highest occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// True if a push would stall.
+    pub fn is_full(&self) -> bool {
+        self.occupancy == self.capacity
+    }
+
+    /// True if a pop would stall.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy == 0
+    }
+
+    /// Push one entry. Returns `true` on success; on a full FIFO records an
+    /// overflow stall and returns `false`.
+    pub fn push(&mut self) -> bool {
+        if self.is_full() {
+            self.overflow_stalls += 1;
+            return false;
+        }
+        self.occupancy += 1;
+        self.high_water = self.high_water.max(self.occupancy);
+        self.pushes += 1;
+        true
+    }
+
+    /// Pop one entry. Returns `true` on success; on an empty FIFO records an
+    /// underflow stall and returns `false`.
+    pub fn pop(&mut self) -> bool {
+        if self.is_empty() {
+            self.underflow_stalls += 1;
+            return false;
+        }
+        self.occupancy -= 1;
+        self.pops += 1;
+        true
+    }
+
+    /// Bulk push of `n` entries; returns how many fit (stalls counted for
+    /// the remainder).
+    pub fn push_n(&mut self, n: usize) -> usize {
+        let fit = n.min(self.capacity - self.occupancy);
+        self.occupancy += fit;
+        self.high_water = self.high_water.max(self.occupancy);
+        self.pushes += fit as u64;
+        self.overflow_stalls += (n - fit) as u64;
+        fit
+    }
+
+    /// Bulk pop of `n` entries; returns how many were available.
+    pub fn pop_n(&mut self, n: usize) -> usize {
+        let got = n.min(self.occupancy);
+        self.occupancy -= got;
+        self.pops += got as u64;
+        self.underflow_stalls += (n - got) as u64;
+        got
+    }
+
+    /// Total successful pushes.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total successful pops.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Push attempts rejected because the FIFO was full.
+    pub fn overflow_stalls(&self) -> u64 {
+        self.overflow_stalls
+    }
+
+    /// Pop attempts rejected because the FIFO was empty.
+    pub fn underflow_stalls(&self) -> u64 {
+        self.underflow_stalls
+    }
+
+    /// Total traffic through the FIFO in bits (successful pushes × width).
+    pub fn traffic_bits(&self) -> u64 {
+        self.pushes * self.width_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_tracks_occupancy() {
+        let mut f = Fifo::new("t", 4, 64);
+        assert!(f.is_empty());
+        assert!(f.push());
+        assert!(f.push());
+        assert_eq!(f.occupancy(), 2);
+        assert!(f.pop());
+        assert_eq!(f.occupancy(), 1);
+        assert_eq!(f.pushes(), 2);
+        assert_eq!(f.pops(), 1);
+    }
+
+    #[test]
+    fn overflow_and_underflow_stalls() {
+        let mut f = Fifo::new("t", 2, 64);
+        assert!(f.push() && f.push());
+        assert!(f.is_full());
+        assert!(!f.push());
+        assert_eq!(f.overflow_stalls(), 1);
+        assert!(f.pop() && f.pop());
+        assert!(!f.pop());
+        assert_eq!(f.underflow_stalls(), 1);
+    }
+
+    #[test]
+    fn high_water_mark() {
+        let mut f = Fifo::new("t", 8, 127);
+        f.push_n(5);
+        f.pop_n(3);
+        f.push_n(2);
+        assert_eq!(f.high_water(), 5);
+        assert_eq!(f.occupancy(), 4);
+    }
+
+    #[test]
+    fn bulk_operations_clamp() {
+        let mut f = Fifo::new("t", 4, 64);
+        assert_eq!(f.push_n(10), 4);
+        assert_eq!(f.overflow_stalls(), 6);
+        assert_eq!(f.pop_n(10), 4);
+        assert_eq!(f.underflow_stalls(), 6);
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut f = Fifo::new("t", 8, 127);
+        f.push_n(8);
+        assert_eq!(f.traffic_bits(), 8 * 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        Fifo::new("t", 0, 64);
+    }
+}

@@ -1,0 +1,48 @@
+//! # hj-fpsim — FPGA component models
+//!
+//! The substrate beneath the architecture simulator in `hj-arch`: timing
+//! models of the hardware building blocks the paper instantiates on its
+//! Virtex-5 XC5VLX330, plus the chip's resource-capacity accounting.
+//!
+//! Everything here is a *cycle-accounting* model, not an RTL simulator: each
+//! component knows its pipeline latency, initiation interval, capacity, and
+//! port structure, and answers "how many cycles does this much work take"
+//! and "how much of the chip do I occupy". That is exactly the level at
+//! which the paper itself reasons about its design (§VI-A quotes operator
+//! latencies of 9/14/57/57 cycles and component throughputs like "8
+//! rotations every 64 cycles"), so it is the level a faithful reproduction
+//! needs.
+//!
+//! * [`op`] — IEEE-754 double-precision operator specs (latency, initiation
+//!   interval) with the paper's Coregen defaults.
+//! * [`pipeline`] — pipelined execution-unit timing: fill + streaming.
+//! * [`fifo`] — synchronization FIFO occupancy model with high-water
+//!   tracking (the paper uses 64-bit I/O FIFOs and 127-bit internal FIFOs).
+//! * [`bram`] — on-chip dual-port memory model with capacity and port
+//!   accounting.
+//! * [`memory`] — off-chip channel bandwidth model (the Convey HC-2 side).
+//! * [`resources`] — Virtex-5 resource cost/capacity tables and usage
+//!   aggregation, the basis of the Table II reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod bram;
+pub mod fifo;
+pub mod memory;
+pub mod op;
+pub mod pipeline;
+pub mod power;
+pub mod resources;
+
+pub use bram::Bram;
+pub use fifo::Fifo;
+pub use memory::OffChipChannel;
+pub use op::{FpOp, OpSpec, OperatorLatencies};
+pub use pipeline::PipelinedUnit;
+pub use resources::{ChipCapacity, ResourceCost, ResourceUsage};
+
+/// Cycles as an explicit type alias; all component models count in cycles of
+/// the design clock (the paper's system runs at 150 MHz).
+pub type Cycles = u64;

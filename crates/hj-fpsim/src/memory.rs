@@ -1,0 +1,132 @@
+//! Off-chip memory channel model.
+//!
+//! The paper's host is a Convey HC-2 hybrid-core system: each application
+//! engine (FPGA) reaches a highly-interleaved off-chip memory through the
+//! Convey crossbar. Off-chip memory is what "breaks the restriction of the
+//! analyzable matrix dimensions" (§I) — and also what throttles the design
+//! once the covariance matrix no longer fits in BRAM ("when the matrix
+//! column size grows over 256, the performance is increasingly affected by
+//! the I/O bandwidths", §VI-B).
+//!
+//! The model is a bandwidth pipe with separate sequential/strided
+//! efficiencies: streaming column reads achieve near-peak bandwidth;
+//! covariance-row traffic (strided in the packed triangle) achieves a
+//! configurable fraction of it.
+
+use crate::Cycles;
+
+/// An off-chip channel with peak bytes/cycle and an efficiency factor for
+/// non-streaming access.
+#[derive(Debug, Clone)]
+pub struct OffChipChannel {
+    /// Peak bytes transferable per design-clock cycle on streaming access.
+    peak_bytes_per_cycle: f64,
+    /// Achieved fraction of peak on strided/irregular access ∈ (0, 1].
+    strided_efficiency: f64,
+    bytes_streamed: u64,
+    bytes_strided: u64,
+}
+
+impl OffChipChannel {
+    /// Create a channel.
+    ///
+    /// Panics unless `peak_bytes_per_cycle > 0` and
+    /// `strided_efficiency ∈ (0, 1]`.
+    pub fn new(peak_bytes_per_cycle: f64, strided_efficiency: f64) -> Self {
+        assert!(peak_bytes_per_cycle > 0.0, "bandwidth must be positive");
+        assert!(
+            strided_efficiency > 0.0 && strided_efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        OffChipChannel {
+            peak_bytes_per_cycle,
+            strided_efficiency,
+            bytes_streamed: 0,
+            bytes_strided: 0,
+        }
+    }
+
+    /// The Convey HC-2 operating point used by the architecture simulator:
+    /// ~2.7 GB/s effective streaming per AE at 150 MHz (the HC-2's 80 GB/s
+    /// aggregate is shared by 4 AEs and 16 channels; a single personality
+    /// realistically streams a fraction of its share), 25 % efficiency on
+    /// strided covariance traffic.
+    pub fn hc2_default() -> Self {
+        OffChipChannel::new(18.0, 0.25)
+    }
+
+    /// Peak streaming bandwidth in bytes per cycle.
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.peak_bytes_per_cycle
+    }
+
+    /// Cycles to stream `bytes` sequentially (column reads/writes).
+    pub fn stream(&mut self, bytes: u64) -> Cycles {
+        self.bytes_streamed += bytes;
+        (bytes as f64 / self.peak_bytes_per_cycle).ceil() as Cycles
+    }
+
+    /// Cycles to transfer `bytes` with strided access (covariance spill
+    /// traffic).
+    pub fn strided(&mut self, bytes: u64) -> Cycles {
+        self.bytes_strided += bytes;
+        (bytes as f64 / (self.peak_bytes_per_cycle * self.strided_efficiency)).ceil() as Cycles
+    }
+
+    /// Total bytes moved on the streaming path.
+    pub fn bytes_streamed(&self) -> u64 {
+        self.bytes_streamed
+    }
+
+    /// Total bytes moved on the strided path.
+    pub fn bytes_strided(&self) -> u64 {
+        self.bytes_strided
+    }
+
+    /// Effective bandwidth in bytes/sec at the given clock.
+    pub fn streaming_bytes_per_sec(&self, clock_hz: f64) -> f64 {
+        self.peak_bytes_per_cycle * clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_cycles() {
+        let mut ch = OffChipChannel::new(16.0, 0.5);
+        assert_eq!(ch.stream(160), 10);
+        assert_eq!(ch.stream(161), 11); // ceiling
+        assert_eq!(ch.bytes_streamed(), 321);
+    }
+
+    #[test]
+    fn strided_pays_efficiency_penalty() {
+        let mut ch = OffChipChannel::new(16.0, 0.25);
+        let fast = ch.stream(1600);
+        let slow = ch.strided(1600);
+        assert_eq!(slow, fast * 4);
+        assert_eq!(ch.bytes_strided(), 1600);
+    }
+
+    #[test]
+    fn hc2_default_is_sane() {
+        let ch = OffChipChannel::hc2_default();
+        // 18 B/cycle at 150 MHz = 2.7 GB/s.
+        let bw = ch.streaming_bytes_per_sec(150.0e6);
+        assert!((bw - 2.7e9).abs() < 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        OffChipChannel::new(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_rejected() {
+        OffChipChannel::new(8.0, 1.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! IEEE-754 double-precision operator specifications.
+//!
+//! The paper generates its computational cores with the Xilinx Coregen
+//! floating-point operator (its ref. \[24\]) "configured with default
+//! latencies as 9, 14, 57, 57 clock cycles for multiplier, adder or
+//! subtractor, divider and square-root calculator respectively" (§VI-A).
+//! All cores are fully pipelined (initiation interval 1).
+
+use crate::Cycles;
+
+/// The floating-point operation kinds the architecture instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Double-precision multiply.
+    Mul,
+    /// Double-precision add.
+    Add,
+    /// Double-precision subtract (same core parameters as add).
+    Sub,
+    /// Double-precision divide.
+    Div,
+    /// Double-precision square root.
+    Sqrt,
+}
+
+impl FpOp {
+    /// All operator kinds, for iteration in resource accounting.
+    pub const ALL: [FpOp; 5] = [FpOp::Mul, FpOp::Add, FpOp::Sub, FpOp::Div, FpOp::Sqrt];
+}
+
+/// Timing spec of one pipelined operator core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpec {
+    /// Cycles from operand issue to result availability.
+    pub latency: Cycles,
+    /// Cycles between successive issues (1 = fully pipelined).
+    pub initiation_interval: Cycles,
+}
+
+impl OpSpec {
+    /// Cycles to stream `n` independent operations through one core:
+    /// pipeline fill (latency) plus `(n − 1) ×` the initiation interval.
+    /// Zero operations take zero cycles.
+    pub fn cycles_for(&self, n: u64) -> Cycles {
+        if n == 0 {
+            0
+        } else {
+            self.latency + (n - 1) * self.initiation_interval
+        }
+    }
+}
+
+/// The full latency table for a design's operator library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatorLatencies {
+    /// Multiplier spec.
+    pub mul: OpSpec,
+    /// Adder spec.
+    pub add: OpSpec,
+    /// Subtractor spec.
+    pub sub: OpSpec,
+    /// Divider spec.
+    pub div: OpSpec,
+    /// Square-root spec.
+    pub sqrt: OpSpec,
+}
+
+impl OperatorLatencies {
+    /// The paper's Coregen defaults: 9 / 14 / 14 / 57 / 57, fully pipelined.
+    pub const PAPER: OperatorLatencies = OperatorLatencies {
+        mul: OpSpec { latency: 9, initiation_interval: 1 },
+        add: OpSpec { latency: 14, initiation_interval: 1 },
+        sub: OpSpec { latency: 14, initiation_interval: 1 },
+        div: OpSpec { latency: 57, initiation_interval: 1 },
+        sqrt: OpSpec { latency: 57, initiation_interval: 1 },
+    };
+
+    /// Spec for a given operation kind.
+    pub fn spec(&self, op: FpOp) -> OpSpec {
+        match op {
+            FpOp::Mul => self.mul,
+            FpOp::Add => self.add,
+            FpOp::Sub => self.sub,
+            FpOp::Div => self.div,
+            FpOp::Sqrt => self.sqrt,
+        }
+    }
+
+    /// Latency of the paper's Fig. 4 Jacobi-rotation dataflow evaluated on
+    /// these cores: the critical path of eqs. (8)–(10) is
+    ///
+    /// ```text
+    /// Δ = n₂ − n₁ (sub) → Δ² (mul) → +4c² (add) → √ (sqrt)
+    ///   → +|Δ|·√ (mul, add) → divide (t) / divide + sqrt (cos, sin)
+    /// ```
+    ///
+    /// i.e. sub + mul + add + sqrt + mul + add + div + sqrt.
+    pub fn rotation_critical_path(&self) -> Cycles {
+        self.sub.latency
+            + self.mul.latency
+            + self.add.latency
+            + self.sqrt.latency
+            + self.mul.latency
+            + self.add.latency
+            + self.div.latency
+            + self.sqrt.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_vi_a() {
+        let l = OperatorLatencies::PAPER;
+        assert_eq!(l.mul.latency, 9);
+        assert_eq!(l.add.latency, 14);
+        assert_eq!(l.sub.latency, 14);
+        assert_eq!(l.div.latency, 57);
+        assert_eq!(l.sqrt.latency, 57);
+        for op in FpOp::ALL {
+            assert_eq!(l.spec(op).initiation_interval, 1, "{op:?} must be fully pipelined");
+        }
+    }
+
+    #[test]
+    fn cycles_for_streaming() {
+        let s = OpSpec { latency: 9, initiation_interval: 1 };
+        assert_eq!(s.cycles_for(0), 0);
+        assert_eq!(s.cycles_for(1), 9);
+        assert_eq!(s.cycles_for(10), 18);
+        let s2 = OpSpec { latency: 5, initiation_interval: 3 };
+        assert_eq!(s2.cycles_for(4), 5 + 9);
+    }
+
+    #[test]
+    fn rotation_critical_path_is_plausible() {
+        // 14+9+14+57+9+14+57+57 = 231 cycles — about 1.5 µs at 150 MHz,
+        // consistent with the paper's deeply-pipelined rotation unit.
+        assert_eq!(OperatorLatencies::PAPER.rotation_critical_path(), 231);
+    }
+}

@@ -1,0 +1,178 @@
+//! Pipelined execution-unit timing.
+//!
+//! A [`PipelinedUnit`] represents a bank of identical, fully-pipelined
+//! functional units (e.g. the Update operator's 8 update kernels, or the
+//! preprocessor's 16 multipliers) and answers throughput questions: how many
+//! cycles does a batch of independent operations take, and how busy was the
+//! bank over the run. This is the workhorse of the per-phase cycle
+//! accounting in `hj-arch`.
+
+use crate::op::OpSpec;
+use crate::Cycles;
+
+/// A bank of `lanes` identical pipelined units.
+///
+/// ```
+/// use hj_fpsim::{OperatorLatencies, PipelinedUnit};
+///
+/// // The paper's update operator: 8 kernels, each pipelined.
+/// let mut bank = PipelinedUnit::new("update", OperatorLatencies::PAPER.mul, 8);
+/// // 800 independent ops stream in 9 (fill) + 99 cycles:
+/// assert_eq!(bank.issue(800), 108);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedUnit {
+    name: &'static str,
+    spec: OpSpec,
+    lanes: u64,
+    ops_issued: u64,
+    busy_cycles: Cycles,
+}
+
+impl PipelinedUnit {
+    /// Create a bank of `lanes` units with the given per-unit spec.
+    /// Panics if `lanes == 0`.
+    pub fn new(name: &'static str, spec: OpSpec, lanes: u64) -> Self {
+        assert!(lanes > 0, "a unit bank needs at least one lane");
+        PipelinedUnit { name, spec, lanes, ops_issued: 0, busy_cycles: 0 }
+    }
+
+    /// The bank's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of parallel lanes.
+    pub fn lanes(&self) -> u64 {
+        self.lanes
+    }
+
+    /// Reconfigure the lane count (the paper's preprocessor is reconfigured
+    /// into update kernels after the first sweep; `hj-arch` models that by
+    /// growing the update bank).
+    pub fn set_lanes(&mut self, lanes: u64) {
+        assert!(lanes > 0, "a unit bank needs at least one lane");
+        self.lanes = lanes;
+    }
+
+    /// Cycles to process `n` independent operations spread across the lanes:
+    /// `latency + (ceil(n / lanes) − 1) × II`. Records the work in the
+    /// utilization counters.
+    pub fn issue(&mut self, n: u64) -> Cycles {
+        if n == 0 {
+            return 0;
+        }
+        let per_lane = n.div_ceil(self.lanes);
+        let c = self.spec.cycles_for(per_lane);
+        self.ops_issued += n;
+        self.busy_cycles += c;
+        c
+    }
+
+    /// Pure query form of [`PipelinedUnit::issue`] (no counter updates).
+    pub fn cycles_for(&self, n: u64) -> Cycles {
+        if n == 0 {
+            0
+        } else {
+            self.spec.cycles_for(n.div_ceil(self.lanes))
+        }
+    }
+
+    /// Steady-state throughput in operations per cycle.
+    pub fn throughput(&self) -> f64 {
+        self.lanes as f64 / self.spec.initiation_interval as f64
+    }
+
+    /// Total operations issued so far.
+    pub fn ops_issued(&self) -> u64 {
+        self.ops_issued
+    }
+
+    /// Total cycles this bank has been the active stage.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.busy_cycles
+    }
+
+    /// Average issued operations per busy cycle per lane ∈ [0, 1]; 1.0 means
+    /// the pipeline never bubbled.
+    pub fn utilization(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            return 0.0;
+        }
+        self.ops_issued as f64 / (self.busy_cycles as f64 * self.lanes as f64)
+    }
+
+    /// Reset the utilization counters (e.g. between sweeps).
+    pub fn reset_stats(&mut self) {
+        self.ops_issued = 0;
+        self.busy_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OperatorLatencies;
+
+    fn unit(lanes: u64) -> PipelinedUnit {
+        PipelinedUnit::new("test", OperatorLatencies::PAPER.mul, lanes)
+    }
+
+    #[test]
+    fn single_lane_streaming() {
+        let mut u = unit(1);
+        assert_eq!(u.issue(1), 9);
+        assert_eq!(u.issue(100), 9 + 99);
+        assert_eq!(u.ops_issued(), 101);
+    }
+
+    #[test]
+    fn multi_lane_divides_work() {
+        let mut u = unit(8);
+        // 80 ops over 8 lanes = 10 per lane → 9 + 9 cycles
+        assert_eq!(u.issue(80), 18);
+        // 81 ops → 11 per lane (ceiling)
+        assert_eq!(u.issue(81), 19);
+    }
+
+    #[test]
+    fn zero_ops_zero_cycles() {
+        let mut u = unit(4);
+        assert_eq!(u.issue(0), 0);
+        assert_eq!(u.cycles_for(0), 0);
+        assert_eq!(u.busy_cycles(), 0);
+    }
+
+    #[test]
+    fn cycles_for_matches_issue_without_mutation() {
+        let mut u = unit(3);
+        let q = u.cycles_for(10);
+        assert_eq!(u.ops_issued(), 0);
+        assert_eq!(u.issue(10), q);
+    }
+
+    #[test]
+    fn throughput_and_utilization() {
+        let mut u = unit(4);
+        assert_eq!(u.throughput(), 4.0);
+        u.issue(4000);
+        // 1000 per lane → 9 + 999 = 1008 busy cycles; 4000/(1008·4) ≈ 0.992
+        assert!(u.utilization() > 0.99);
+        u.reset_stats();
+        assert_eq!(u.utilization(), 0.0);
+    }
+
+    #[test]
+    fn set_lanes_reconfigures() {
+        let mut u = unit(4);
+        let before = u.cycles_for(64);
+        u.set_lanes(8);
+        assert!(u.cycles_for(64) < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        unit(0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Virtex-5 resource capacity and cost accounting — the substrate of the
+//! Table II reproduction.
+//!
+//! Resource usage of a synthesized design is, to first order, additive over
+//! its instantiated primitives: each Coregen floating-point core has a
+//! documented LUT/DSP footprint, each memory buffer maps to a predictable
+//! number of RAMB36 blocks, and the platform framework (the Convey HC-2
+//! "personality" wrapper: memory controllers, crossbar ports, dispatch
+//! logic) contributes a large fixed overhead. This module provides the
+//! capacity table of the paper's XC5VLX330 part, per-primitive cost entries
+//! (from the Coregen floating-point operator datasheet era, logic-maximal
+//! configurations), and an aggregating [`ResourceUsage`].
+
+use crate::op::FpOp;
+use std::collections::BTreeMap;
+
+/// Resource capacity of an FPGA part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipCapacity {
+    /// Device name.
+    pub name: &'static str,
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// DSP48E slices.
+    pub dsps: u64,
+    /// RAMB36 blocks.
+    pub bram36: u64,
+}
+
+impl ChipCapacity {
+    /// The paper's device: Xilinx Virtex-5 XC5VLX330.
+    pub const XC5VLX330: ChipCapacity =
+        ChipCapacity { name: "XC5VLX330", luts: 207_360, dsps: 192, bram36: 288 };
+}
+
+/// LUT/DSP cost of one primitive instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceCost {
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// DSP48E slices.
+    pub dsps: u64,
+}
+
+/// Cost table for the Coregen double-precision floating-point operators in
+/// the logic-balanced configurations a large design like this one uses
+/// (mostly-logic multipliers to stay within the LX330's modest 192 DSPs).
+pub fn coregen_cost(op: FpOp) -> ResourceCost {
+    match op {
+        // DP multiplier, medium-DSP configuration.
+        FpOp::Mul => ResourceCost { luts: 1250, dsps: 2 },
+        // DP adder/subtractor, logic-only.
+        FpOp::Add | FpOp::Sub => ResourceCost { luts: 760, dsps: 0 },
+        // DP divider (57-cycle), logic-only.
+        FpOp::Div => ResourceCost { luts: 3220, dsps: 0 },
+        // DP square root (57-cycle), logic-only.
+        FpOp::Sqrt => ResourceCost { luts: 2220, dsps: 0 },
+    }
+}
+
+/// Aggregated resource usage of a design, by named line item.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceUsage {
+    items: BTreeMap<String, (ResourceCost, u64 /* bram36 */)>,
+}
+
+impl ResourceUsage {
+    /// Empty usage.
+    pub fn new() -> Self {
+        ResourceUsage::default()
+    }
+
+    /// Add `count` instances of an FP operator under the given line item.
+    pub fn add_ops(&mut self, item: &str, op: FpOp, count: u64) {
+        let c = coregen_cost(op);
+        let e = self.items.entry(item.to_string()).or_default();
+        e.0.luts += c.luts * count;
+        e.0.dsps += c.dsps * count;
+    }
+
+    /// Add raw logic (control, FIFO flags, interfaces) under a line item.
+    pub fn add_logic(&mut self, item: &str, cost: ResourceCost) {
+        let e = self.items.entry(item.to_string()).or_default();
+        e.0.luts += cost.luts;
+        e.0.dsps += cost.dsps;
+    }
+
+    /// Add BRAM blocks under a line item.
+    pub fn add_bram36(&mut self, item: &str, blocks: u64) {
+        let e = self.items.entry(item.to_string()).or_default();
+        e.1 += blocks;
+    }
+
+    /// Total LUTs.
+    pub fn luts(&self) -> u64 {
+        self.items.values().map(|(c, _)| c.luts).sum()
+    }
+
+    /// Total DSP48E slices.
+    pub fn dsps(&self) -> u64 {
+        self.items.values().map(|(c, _)| c.dsps).sum()
+    }
+
+    /// Total RAMB36 blocks.
+    pub fn bram36(&self) -> u64 {
+        self.items.values().map(|&(_, b)| b).sum()
+    }
+
+    /// Utilization percentages against a chip, `(lut %, bram %, dsp %)` —
+    /// the three columns of the paper's Table II.
+    pub fn utilization(&self, chip: &ChipCapacity) -> (f64, f64, f64) {
+        (
+            100.0 * self.luts() as f64 / chip.luts as f64,
+            100.0 * self.bram36() as f64 / chip.bram36 as f64,
+            100.0 * self.dsps() as f64 / chip.dsps as f64,
+        )
+    }
+
+    /// True if the design fits the chip.
+    pub fn fits(&self, chip: &ChipCapacity) -> bool {
+        self.luts() <= chip.luts && self.dsps() <= chip.dsps && self.bram36() <= chip.bram36
+    }
+
+    /// Iterate line items as `(name, cost, bram36)`.
+    pub fn items(&self) -> impl Iterator<Item = (&str, ResourceCost, u64)> + '_ {
+        self.items.iter().map(|(k, &(c, b))| (k.as_str(), c, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_table() {
+        let c = ChipCapacity::XC5VLX330;
+        assert_eq!(c.luts, 207_360);
+        assert_eq!(c.dsps, 192);
+        assert_eq!(c.bram36, 288);
+    }
+
+    #[test]
+    fn add_and_total() {
+        let mut u = ResourceUsage::new();
+        u.add_ops("preprocessor", FpOp::Mul, 16);
+        u.add_ops("preprocessor", FpOp::Add, 16);
+        assert_eq!(u.luts(), 16 * 1250 + 16 * 760);
+        assert_eq!(u.dsps(), 32);
+        u.add_bram36("covariance", 66);
+        assert_eq!(u.bram36(), 66);
+    }
+
+    #[test]
+    fn utilization_percentages() {
+        let mut u = ResourceUsage::new();
+        u.add_logic("half-the-luts", ResourceCost { luts: 103_680, dsps: 96 });
+        u.add_bram36("half-the-bram", 144);
+        let (lut, bram, dsp) = u.utilization(&ChipCapacity::XC5VLX330);
+        assert!((lut - 50.0).abs() < 1e-9);
+        assert!((bram - 50.0).abs() < 1e-9);
+        assert!((dsp - 50.0).abs() < 1e-9);
+        assert!(u.fits(&ChipCapacity::XC5VLX330));
+    }
+
+    #[test]
+    fn over_capacity_detected() {
+        let mut u = ResourceUsage::new();
+        u.add_logic("too-big", ResourceCost { luts: 300_000, dsps: 0 });
+        assert!(!u.fits(&ChipCapacity::XC5VLX330));
+    }
+
+    #[test]
+    fn line_items_are_tracked_separately() {
+        let mut u = ResourceUsage::new();
+        u.add_ops("a", FpOp::Div, 1);
+        u.add_ops("b", FpOp::Sqrt, 1);
+        let names: Vec<&str> = u.items().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn cost_table_sanity() {
+        // Multiplier is the only DSP consumer; divider is the LUT-heaviest.
+        assert!(coregen_cost(FpOp::Mul).dsps > 0);
+        assert_eq!(coregen_cost(FpOp::Add).dsps, 0);
+        assert!(coregen_cost(FpOp::Div).luts > coregen_cost(FpOp::Sqrt).luts);
+        assert_eq!(coregen_cost(FpOp::Add), coregen_cost(FpOp::Sub));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: the bit-accurate operator models must match the host
+//! FPU exactly on arbitrary bit patterns (IEEE-754 fully determines every
+//! result, so any mismatch is a model bug).
+
+use hj_fpsim::arith;
+use proptest::prelude::*;
+
+fn check_pair(a: f64, b: f64) -> Result<(), TestCaseError> {
+    if a.is_nan() || b.is_nan() {
+        // NaN payloads are not modelled; just require NaN-ness.
+        prop_assert!(arith::add(a, b).is_nan());
+        prop_assert!(arith::mul(a, b).is_nan());
+        return Ok(());
+    }
+    let cases: [(&str, f64, f64); 4] = [
+        ("add", arith::add(a, b), a + b),
+        ("sub", arith::sub(a, b), a - b),
+        ("mul", arith::mul(a, b), a * b),
+        ("div", arith::div(a, b), a / b),
+    ];
+    for (op, got, want) in cases {
+        if want.is_nan() {
+            prop_assert!(got.is_nan(), "{op}({a:e}, {b:e}) should be NaN, got {got:e}");
+        } else {
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{}({:e}, {:e}) = {:e}, want {:e}",
+                op,
+                a,
+                b,
+                got,
+                want
+            );
+        }
+    }
+    let sa = a.abs();
+    prop_assert_eq!(
+        arith::sqrt(sa).to_bits(),
+        sa.sqrt().to_bits(),
+        "sqrt({:e})",
+        sa
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn arbitrary_bit_patterns_match_hardware(abits in any::<u64>(), bbits in any::<u64>()) {
+        check_pair(f64::from_bits(abits), f64::from_bits(bbits))?;
+    }
+
+    #[test]
+    fn ordinary_magnitudes_match_hardware(a in -1e15f64..1e15, b in -1e15f64..1e15) {
+        check_pair(a, b)?;
+    }
+
+    #[test]
+    fn subnormal_region_matches_hardware(am in 0u64..1u64 << 52, bm in 0u64..1u64 << 52, signs in 0u8..4) {
+        // Pure subnormal operands (exponent field 0).
+        let a = f64::from_bits(am | if signs & 1 != 0 { 1 << 63 } else { 0 });
+        let b = f64::from_bits(bm | if signs & 2 != 0 { 1 << 63 } else { 0 });
+        check_pair(a, b)?;
+    }
+
+    #[test]
+    fn near_overflow_region_matches_hardware(af in 0u64..1u64 << 52, bf in 0u64..1u64 << 52) {
+        // Exponents near the top: products/sums overflow, exercising ±Inf
+        // packing and the round-to-overflow edge.
+        let a = f64::from_bits((2045u64 << 52) | af);
+        let b = f64::from_bits((2040u64 << 52) | bf);
+        check_pair(a, b)?;
+        check_pair(a, -b)?;
+    }
+
+    #[test]
+    fn addition_is_commutative(abits in any::<u64>(), bbits in any::<u64>()) {
+        let a = f64::from_bits(abits);
+        let b = f64::from_bits(bbits);
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        prop_assert_eq!(arith::add(a, b).to_bits(), arith::add(b, a).to_bits());
+        prop_assert_eq!(arith::mul(a, b).to_bits(), arith::mul(b, a).to_bits());
+    }
+}

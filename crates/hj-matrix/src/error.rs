@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced by shape-checked matrix operations.
+///
+/// The hot kernels in this workspace use panicking (debug-asserted) indexed
+/// access; `MatrixError` is reserved for the user-facing constructors and
+/// drivers where a malformed input should be reported rather than crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// A constructor was handed a data buffer whose length does not match the
+    /// requested `rows × cols` shape.
+    ShapeMismatch {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// Two operands have incompatible dimensions for the attempted operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// An operation that requires a non-empty matrix received a `0 × k` or
+    /// `k × 0` input.
+    Empty,
+    /// A row- or column-index pair addressed the same column where two
+    /// distinct columns are required (e.g. a plane rotation of `(i, i)`).
+    DegeneratePair(usize),
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MatrixError::ShapeMismatch { rows, cols, len } => write!(
+                f,
+                "buffer of length {len} cannot be shaped into a {rows}x{cols} matrix"
+            ),
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch between {}x{} and {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::Empty => write!(f, "operation requires a non-empty matrix"),
+            MatrixError::DegeneratePair(i) => {
+                write!(f, "column pair ({i}, {i}) is degenerate: indices must differ")
+            }
+            MatrixError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MatrixError::ShapeMismatch { rows: 2, cols: 3, len: 5 };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains('5'));
+
+        let e = MatrixError::DimensionMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = MatrixError::DegeneratePair(7);
+        assert!(e.to_string().contains("(7, 7)"));
+
+        let e = MatrixError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<MatrixError>();
+    }
+}

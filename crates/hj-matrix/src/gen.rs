@@ -1,0 +1,250 @@
+//! Workload generators for tests, examples, and the benchmark harness.
+//!
+//! The paper evaluates on "randomly generated datasets" of various
+//! dimensions; [`uniform`] reproduces that workload. The remaining
+//! generators build matrices with *known* singular structure so the test
+//! suite can compare computed spectra against ground truth, and stress
+//! matrices (graded, rank-deficient, Hilbert) that probe the numerical
+//! robustness claims behind the paper's choice of IEEE-754 double precision.
+
+// Index loops below mirror the paper's mathematical notation across
+// several coupled arrays; iterator rewrites would obscure the algebra.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{ops, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG used by all generators, so every experiment in the
+/// harness is reproducible from a single `u64` seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `rows × cols` matrix with entries uniform on `[-1, 1)` — the paper's
+/// evaluation workload.
+pub fn uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut r = rng(seed);
+    let data = (0..rows * cols).map(|_| r.random_range(-1.0..1.0)).collect();
+    Matrix::from_col_major(rows, cols, data).expect("generated buffer matches shape")
+}
+
+/// `rows × cols` matrix with standard-normal entries (Box-Muller transform;
+/// no extra distribution crate needed).
+pub fn gaussian(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut r = rng(seed);
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        // Box-Muller: two uniforms → two independent normals.
+        let u1: f64 = r.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = r.random_range(0.0..1.0);
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        data.push(radius * angle.cos());
+        if data.len() < rows * cols {
+            data.push(radius * angle.sin());
+        }
+    }
+    Matrix::from_col_major(rows, cols, data).expect("generated buffer matches shape")
+}
+
+/// A `rows × k` matrix with orthonormal columns, built by modified
+/// Gram-Schmidt over a Gaussian matrix. Requires `k ≤ rows`.
+///
+/// MGS re-orthogonalizes once ("twice is enough" — Kahan/Parlett), which keeps
+/// `‖QᵀQ − I‖` at the 1e-14 level even for k in the hundreds; good enough for
+/// constructing ground-truth factors.
+pub fn random_orthonormal(rows: usize, k: usize, seed: u64) -> Matrix {
+    assert!(k <= rows, "cannot build {k} orthonormal columns of length {rows}");
+    let mut q = gaussian(rows, k, seed);
+    let rank = crate::orth::orthonormalize_columns(&mut q, 1e-12);
+    assert_eq!(rank, k, "Gaussian columns are almost surely independent");
+    q
+}
+
+/// `rows × cols` matrix with the prescribed singular values: `A = U Σ Vᵀ`
+/// where `U`, `V` are random orthonormal. `sigma.len()` must be
+/// `min(rows, cols)`; values should be non-negative.
+///
+/// This is the ground-truth workload for accuracy tests: the computed
+/// spectrum must match `sigma` (sorted descending) to near machine precision.
+///
+/// ```
+/// use hj_matrix::{gen, norms};
+///
+/// let a = gen::with_singular_values(10, 2, &[3.0, 4.0], 7);
+/// // ‖A‖_F² = Σσ² regardless of the random factors:
+/// assert!((norms::frobenius_sq(&a) - 25.0).abs() < 1e-10);
+/// ```
+pub fn with_singular_values(rows: usize, cols: usize, sigma: &[f64], seed: u64) -> Matrix {
+    let k = rows.min(cols);
+    assert_eq!(sigma.len(), k, "need exactly min(rows, cols) singular values");
+    let u = random_orthonormal(rows, k, seed ^ 0x5eed_0001);
+    let v = random_orthonormal(cols, k, seed ^ 0x5eed_0002);
+    // A = Σ_t σ_t · u_t v_tᵀ  (rank-1 accumulation; k·m·n flops)
+    let mut a = Matrix::zeros(rows, cols);
+    for t in 0..k {
+        let ut = u.col(t);
+        let vt = v.col(t);
+        let s = sigma[t];
+        if s == 0.0 {
+            continue;
+        }
+        for c in 0..cols {
+            let w = s * vt[c];
+            ops::axpy(w, ut, a.col_mut(c));
+        }
+    }
+    a
+}
+
+/// Matrix with a geometrically-graded spectrum spanning the given condition
+/// number: `σ_t = cond^(−t/(k−1))`, so `σ_max/σ_min = cond`.
+pub fn with_condition_number(rows: usize, cols: usize, cond: f64, seed: u64) -> Matrix {
+    assert!(cond >= 1.0, "condition number must be ≥ 1");
+    let k = rows.min(cols);
+    let sigma: Vec<f64> = (0..k)
+        .map(|t| {
+            if k == 1 {
+                1.0
+            } else {
+                cond.powf(-(t as f64) / (k as f64 - 1.0))
+            }
+        })
+        .collect();
+    with_singular_values(rows, cols, &sigma, seed)
+}
+
+/// Rank-`r` matrix (`r < min(rows, cols)`): exactly `r` nonzero singular
+/// values `1, 1/2, …, 1/r`, the rest zero. Exercises the zero-covariance /
+/// zero-norm guards in the rotation kernels.
+pub fn rank_deficient(rows: usize, cols: usize, r: usize, seed: u64) -> Matrix {
+    let k = rows.min(cols);
+    assert!(r <= k);
+    let mut sigma = vec![0.0; k];
+    for (t, s) in sigma.iter_mut().take(r).enumerate() {
+        *s = 1.0 / (t as f64 + 1.0);
+    }
+    with_singular_values(rows, cols, &sigma, seed)
+}
+
+/// The notoriously ill-conditioned `n × n` Hilbert matrix,
+/// `H[i][j] = 1 / (i + j + 1)`. A classic accuracy stress test: one-sided
+/// Jacobi is known to compute its tiny singular values to high *relative*
+/// accuracy, which is part of the method's appeal (Drmač 1997, cited by the
+/// paper as \[15\]).
+pub fn hilbert(n: usize) -> Matrix {
+    let mut h = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            h.set(i, j, 1.0 / ((i + j + 1) as f64));
+        }
+    }
+    h
+}
+
+/// Low-rank-plus-noise model: `A = (rank-r signal) + noise_level · N(0,1)`.
+/// This is the PCA workload from the paper's motivation (§I): data with a
+/// small number of dominant principal components buried in noise.
+pub fn low_rank_plus_noise(
+    rows: usize,
+    cols: usize,
+    r: usize,
+    noise_level: f64,
+    seed: u64,
+) -> Matrix {
+    let signal = rank_deficient(rows, cols, r, seed);
+    let noise = gaussian(rows, cols, seed ^ 0xabcd_ef01);
+    let mut a = signal;
+    for (v, n) in a.as_mut_slice().iter_mut().zip(noise.as_slice()) {
+        *v += noise_level * n;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_range() {
+        let a = uniform(10, 7, 42);
+        let b = uniform(10, 7, 42);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+        let c = uniform(10, 7, 43);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn gaussian_has_plausible_moments() {
+        let a = gaussian(200, 50, 7);
+        let n = a.as_slice().len() as f64;
+        let mean: f64 = a.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = a.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn gaussian_odd_element_count() {
+        // rows*cols odd exercises the Box-Muller leftover path
+        let a = gaussian(3, 3, 11);
+        assert_eq!(a.shape(), (3, 3));
+    }
+
+    #[test]
+    fn random_orthonormal_columns_are_orthonormal() {
+        let q = random_orthonormal(40, 12, 3);
+        let err = norms::orthonormality_error(&q);
+        assert!(err < 1e-12, "‖QᵀQ − I‖_max = {err}");
+    }
+
+    #[test]
+    fn with_singular_values_reproduces_frobenius() {
+        // ‖A‖_F² = Σ σ²
+        let sigma = [3.0, 2.0, 0.5];
+        let a = with_singular_values(10, 3, &sigma, 99);
+        let f2: f64 = a.as_slice().iter().map(|v| v * v).sum();
+        let expect: f64 = sigma.iter().map(|s| s * s).sum();
+        assert!((f2 - expect).abs() < 1e-10, "{f2} vs {expect}");
+    }
+
+    #[test]
+    fn condition_number_spectrum_ratio() {
+        let a = with_condition_number(20, 5, 1e6, 1);
+        // Frobenius check: largest σ is 1 by construction
+        let f2: f64 = a.as_slice().iter().map(|v| v * v).sum();
+        assert!(f2 >= 1.0, "leading singular value must be 1");
+    }
+
+    #[test]
+    fn rank_deficient_rank() {
+        let a = rank_deficient(12, 6, 2, 5);
+        // Frobenius² = 1 + 1/4
+        let f2: f64 = a.as_slice().iter().map(|v| v * v).sum();
+        assert!((f2 - 1.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hilbert_entries() {
+        let h = hilbert(3);
+        assert_eq!(h.get(0, 0), 1.0);
+        assert_eq!(h.get(1, 1), 1.0 / 3.0);
+        assert_eq!(h.get(2, 1), 1.0 / 4.0);
+        assert_eq!(h.get(1, 2), 1.0 / 4.0);
+    }
+
+    #[test]
+    fn low_rank_plus_noise_shape() {
+        let a = low_rank_plus_noise(30, 10, 3, 0.01, 8);
+        assert_eq!(a.shape(), (30, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "orthonormal")]
+    fn random_orthonormal_rejects_wide() {
+        let _ = random_orthonormal(3, 5, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Matrix serialization: CSV read/write.
+//!
+//! Enough I/O for the examples and harnesses to move data in and out of the
+//! library (datasets in, factor matrices out) without further dependencies.
+//! Values are written in round-trippable shortest-exact form (Rust's `{}`
+//! float formatting parses back to the identical bits).
+
+use crate::{Matrix, MatrixError, Result};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Write a matrix as CSV (row-major lines, no header).
+pub fn write_csv<W: Write>(a: &Matrix, out: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(out);
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            if c > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "{}", a.get(r, c))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Write a matrix to a CSV file at `path`.
+pub fn save_csv<P: AsRef<Path>>(a: &Matrix, path: P) -> std::io::Result<()> {
+    write_csv(a, std::fs::File::create(path)?)
+}
+
+/// Errors produced when parsing CSV matrices.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as `f64`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// Rows have differing lengths.
+    Ragged {
+        /// 1-based line number of the first offending row.
+        line: usize,
+        /// Expected width (from the first row).
+        expected: usize,
+        /// Observed width.
+        got: usize,
+    },
+    /// No data rows were found.
+    Empty,
+    /// Shape error from the substrate (cannot occur for well-formed input).
+    Matrix(MatrixError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, cell } => write!(f, "line {line}: cannot parse '{cell}' as a number"),
+            CsvError::Ragged { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} columns, got {got}")
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::Matrix(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Read a matrix from CSV (no header; blank lines skipped; `#` comments
+/// skipped).
+///
+/// ```
+/// use hj_matrix::io::read_csv;
+///
+/// let m = read_csv("# comment\n1, 2\n3, 4\n".as_bytes()).unwrap();
+/// assert_eq!(m.shape(), (2, 2));
+/// assert_eq!(m.get(1, 0), 3.0);
+/// ```
+pub fn read_csv<R: std::io::Read>(input: R) -> std::result::Result<Matrix, CsvError> {
+    let reader = std::io::BufReader::new(input);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::new();
+        for cell in trimmed.split(',') {
+            let cell = cell.trim();
+            let v: f64 = cell
+                .parse()
+                .map_err(|_| CsvError::Parse { line: idx + 1, cell: cell.to_string() })?;
+            row.push(v);
+        }
+        if let Some(w) = width {
+            if row.len() != w {
+                return Err(CsvError::Ragged { line: idx + 1, expected: w, got: row.len() });
+            }
+        } else {
+            width = Some(row.len());
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let nrows = rows.len();
+    let ncols = width.unwrap_or(0);
+    let mut m = Matrix::zeros(nrows, ncols);
+    for (r, row) in rows.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            m.set(r, c, v);
+        }
+    }
+    Ok(m)
+}
+
+/// Read a matrix from a CSV file at `path`.
+pub fn load_csv<P: AsRef<Path>>(path: P) -> std::result::Result<Matrix, CsvError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+/// Round-trip helper used by tests and harnesses: validates that `a` can be
+/// serialized and parsed back exactly.
+pub fn roundtrip(a: &Matrix) -> Result<Matrix> {
+    let mut buf = Vec::new();
+    write_csv(a, &mut buf).map_err(|_| MatrixError::Empty)?;
+    read_csv(&buf[..]).map_err(|_| MatrixError::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let a = gen::uniform(7, 5, 42);
+        let b = roundtrip(&a).unwrap();
+        assert_eq!(a, b, "CSV roundtrip must be exact");
+    }
+
+    #[test]
+    fn roundtrip_extreme_values() {
+        let a = Matrix::from_rows(&[
+            &[0.0, -0.0, 1e-308],
+            &[1e308, f64::MIN_POSITIVE, -1.5e-300],
+        ]);
+        let b = roundtrip(&a).unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# header comment\n1, 2.5\n\n3,4\n";
+        let m = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(0, 1), 2.5);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn rejects_bad_cells() {
+        let err = read_csv("1,2\n3,oops\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = read_csv("1,2\n3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Ragged { line: 2, expected: 2, got: 1 }), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(read_csv("".as_bytes()).unwrap_err(), CsvError::Empty));
+        assert!(matches!(read_csv("# only comments\n".as_bytes()).unwrap_err(), CsvError::Empty));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = gen::gaussian(4, 3, 9);
+        let path = std::env::temp_dir().join("hj_matrix_io_test.csv");
+        save_csv(&a, &path).unwrap();
+        let b = load_csv(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = CsvError::Parse { line: 3, cell: "x".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = CsvError::Ragged { line: 2, expected: 4, got: 1 };
+        assert!(e.to_string().contains("expected 4"));
+    }
+}

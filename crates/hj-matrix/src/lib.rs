@@ -1,0 +1,64 @@
+//! # hj-matrix — dense matrix substrate for the `hjsvd` workspace
+//!
+//! This crate provides the numerical foundation that every other crate in the
+//! workspace builds on. It is deliberately written from scratch (no `ndarray`,
+//! no `nalgebra`): the point of the reproduction is to own every line between
+//! the input matrix and the reported singular values, exactly as the paper's
+//! hardware owns every operator between its input FIFOs and its output.
+//!
+//! The crate is organised around three storage types:
+//!
+//! * [`Matrix`] — a dense, **column-major** `m × n` matrix of `f64`.
+//!   Column-major order matters here: the Hestenes-Jacobi algorithm is a
+//!   *column* orthogonalization procedure, and both the software sweeps in
+//!   `hj-core` and the simulated multiplier arrays in `hj-arch` stream whole
+//!   columns. Keeping each column contiguous makes those kernels cache-friendly
+//!   and lets them hand out `&[f64]`/`&mut [f64]` column slices with no copies.
+//! * [`PackedSymmetric`] — the upper triangle of a symmetric `n × n` matrix in
+//!   packed row-within-triangle order. This is the covariance matrix `D` of
+//!   the paper's Algorithm 1; packing halves the memory footprint, which is
+//!   precisely the trick that lets the paper keep `D` in on-chip BRAM up to
+//!   `n = 256`.
+//! * [`ColumnPair`] — a mutable view of two distinct columns of a [`Matrix`],
+//!   the unit of work of a plane rotation.
+//!
+//! plus generator ([`gen`]) and norm/validation ([`norms`]) toolkits used by
+//! the test suites and the benchmark harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use hj_matrix::Matrix;
+//!
+//! let a = Matrix::from_rows(&[
+//!     &[1.0, 2.0],
+//!     &[3.0, 4.0],
+//!     &[5.0, 6.0],
+//! ]);
+//! assert_eq!(a.shape(), (3, 2));
+//! assert_eq!(a.col(1), &[2.0, 4.0, 6.0]);
+//! let g = a.gram(); // 2×2 covariance matrix AᵀA
+//! assert_eq!(g.get(0, 0), 1.0 + 9.0 + 25.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod gen;
+pub mod io;
+mod matrix;
+pub mod norms;
+pub mod ops;
+pub mod orth;
+mod packed;
+mod pair;
+pub mod views;
+
+pub use error::MatrixError;
+pub use matrix::Matrix;
+pub use packed::PackedSymmetric;
+pub use pair::ColumnPair;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;

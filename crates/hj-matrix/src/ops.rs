@@ -1,0 +1,156 @@
+//! Vector primitives shared by the sweep kernels and the baselines.
+//!
+//! These are the scalar building blocks that map one-to-one onto the paper's
+//! hardware operators: `dot` is what a column of the Hestenes preprocessor's
+//! multiplier array computes, `axpy` is the body of a Householder update.
+
+/// Dot product `x·y`. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    // Four-way unrolled accumulation: mirrors the 4-layer multiplier-array of
+    // the paper's preprocessor and gives LLVM an easy vectorization target.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for k in 0..chunks {
+        let b = k * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0;
+    for k in chunks * 4..x.len() {
+        tail += x[k] * y[k];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Squared Euclidean norm `‖x‖²`.
+#[inline]
+pub fn norm_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Euclidean norm `‖x‖`.
+#[inline]
+pub fn norm(x: &[f64]) -> f64 {
+    norm_sq(x).sqrt()
+}
+
+/// `y ← y + a·x`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Scale `x` in place by `a`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+/// Numerically-robust 2-norm using the scaled-sum-of-squares trick
+/// (LAPACK `dnrm2` style), immune to overflow/underflow of intermediate
+/// squares. The Householder baseline uses this for its reflector norms.
+pub fn robust_norm(x: &[f64]) -> f64 {
+    let mut scale_v = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale_v < a {
+                let r = scale_v / a;
+                ssq = 1.0 + ssq * r * r;
+                scale_v = a;
+            } else {
+                let r = a / scale_v;
+                ssq += r * r;
+            }
+        }
+    }
+    scale_v * ssq.sqrt()
+}
+
+/// Relative difference `|a − b| / max(|a|, |b|, 1)` — the comparison metric
+/// used by the cross-validation tests between SVD implementations.
+#[inline]
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = (0..13).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_short_vectors() {
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn robust_norm_handles_extremes() {
+        // Plain sum of squares would overflow f64 here.
+        let big = [1e200, 1e200];
+        assert!((robust_norm(&big) - 1e200 * 2.0f64.sqrt()).abs() / 1e200 < 1e-12);
+        // ... and underflow here.
+        let small = [1e-200, 1e-200];
+        assert!((robust_norm(&small) - 1e-200 * 2.0f64.sqrt()).abs() / 1e-200 < 1e-12);
+        assert_eq!(robust_norm(&[]), 0.0);
+        assert_eq!(robust_norm(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn robust_norm_matches_plain_in_normal_range() {
+        let x = [3.0, -4.0, 12.0];
+        assert!((robust_norm(&x) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_diff_behaviour() {
+        assert_eq!(rel_diff(1.0, 1.0), 0.0);
+        assert!((rel_diff(100.0, 101.0) - 1.0 / 101.0).abs() < 1e-15);
+        // Small absolute values are compared absolutely (denominator clamps at 1).
+        assert_eq!(rel_diff(0.0, 1e-3), 1e-3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Column orthonormalization (modified Gram-Schmidt).
+//!
+//! Used by the generators (to build random orthonormal factors) and by the
+//! randomized partial-SVD baseline (to orthonormalize sketch ranges).
+
+use crate::{ops, Matrix};
+
+/// Orthonormalize the columns of `q` in place by modified Gram-Schmidt with
+/// one re-orthogonalization pass ("twice is enough").
+///
+/// Columns whose residual norm falls below `tol · ‖original column‖` are
+/// zeroed (they are linearly dependent on earlier columns). Returns the
+/// number of nonzero (orthonormal) columns produced; dependent columns are
+/// left as zero columns in place, so column indices are stable.
+pub fn orthonormalize_columns(q: &mut Matrix, tol: f64) -> usize {
+    let k = q.cols();
+    let mut rank = 0usize;
+    for c in 0..k {
+        let original_norm = ops::norm(q.col(c));
+        for _pass in 0..2 {
+            for prev in 0..c {
+                // Skip zeroed (dependent) columns.
+                let pnorm_sq = ops::norm_sq(q.col(prev));
+                if pnorm_sq == 0.0 {
+                    continue;
+                }
+                let proj = ops::dot(q.col(prev), q.col(c));
+                let pcol = q.col(prev).to_vec();
+                ops::axpy(-proj, &pcol, q.col_mut(c));
+            }
+        }
+        let nrm = ops::norm(q.col(c));
+        if nrm <= tol * original_norm.max(f64::MIN_POSITIVE) || nrm == 0.0 {
+            // Dependent column: zero it out.
+            for v in q.col_mut(c) {
+                *v = 0.0;
+            }
+        } else {
+            ops::scale(1.0 / nrm, q.col_mut(c));
+            rank += 1;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, norms};
+
+    #[test]
+    fn orthonormalizes_random_columns() {
+        let mut q = gen::gaussian(30, 8, 4);
+        let rank = orthonormalize_columns(&mut q, 1e-12);
+        assert_eq!(rank, 8);
+        assert!(norms::orthonormality_error(&q) < 1e-12);
+    }
+
+    #[test]
+    fn detects_dependent_columns() {
+        let mut q = gen::gaussian(10, 3, 5);
+        // Make column 2 a combination of 0 and 1.
+        let combo: Vec<f64> =
+            q.col(0).iter().zip(q.col(1)).map(|(a, b)| 2.0 * a - 3.0 * b).collect();
+        q.col_mut(2).copy_from_slice(&combo);
+        let rank = orthonormalize_columns(&mut q, 1e-10);
+        assert_eq!(rank, 2);
+        assert!(q.col(2).iter().all(|&v| v == 0.0), "dependent column must be zeroed");
+        // The surviving columns are orthonormal.
+        let lead = q.leading_columns(2);
+        assert!(norms::orthonormality_error(&lead) < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        let mut q = Matrix::zeros(5, 3);
+        assert_eq!(orthonormalize_columns(&mut q, 1e-12), 0);
+    }
+
+    #[test]
+    fn idempotent_on_orthonormal_input() {
+        let mut q = gen::random_orthonormal(20, 5, 6);
+        let before = q.clone();
+        let rank = orthonormalize_columns(&mut q, 1e-12);
+        assert_eq!(rank, 5);
+        // Directions unchanged (up to sign, which MGS preserves here).
+        let diff = norms::frobenius(&q.sub(&before).unwrap());
+        assert!(diff < 1e-10);
+    }
+}

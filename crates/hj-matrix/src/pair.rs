@@ -1,0 +1,128 @@
+/// A mutable view of two distinct columns of a matrix — the unit of work for
+/// a Hestenes plane rotation (eqs. (11)–(12) of the paper).
+///
+/// Obtained from [`Matrix::column_pair`](crate::Matrix::column_pair), which
+/// proves to the borrow checker that the two column slices are disjoint.
+pub struct ColumnPair<'a> {
+    i: usize,
+    j: usize,
+    left: &'a mut [f64],
+    right: &'a mut [f64],
+}
+
+impl<'a> ColumnPair<'a> {
+    pub(crate) fn new(i: usize, j: usize, left: &'a mut [f64], right: &'a mut [f64]) -> Self {
+        debug_assert_eq!(left.len(), right.len());
+        ColumnPair { i, j, left, right }
+    }
+
+    /// Index of the left (first-named) column.
+    #[inline]
+    pub fn left_index(&self) -> usize {
+        self.i
+    }
+
+    /// Index of the right (second-named) column.
+    #[inline]
+    pub fn right_index(&self) -> usize {
+        self.j
+    }
+
+    /// Shared view of the left column.
+    #[inline]
+    pub fn left(&self) -> &[f64] {
+        self.left
+    }
+
+    /// Shared view of the right column.
+    #[inline]
+    pub fn right(&self) -> &[f64] {
+        self.right
+    }
+
+    /// Column length (the matrix row count `m`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// True when the columns have zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+
+    /// Apply the plane rotation of the paper's eqs. (11)–(12) in place:
+    ///
+    /// ```text
+    /// aᵢ' = aᵢ·cos − aⱼ·sin
+    /// aⱼ' = aᵢ·sin + aⱼ·cos
+    /// ```
+    ///
+    /// This is the elementwise kernel a single hardware "update kernel"
+    /// executes (4 multipliers, 1 adder, 1 subtractor per element pair).
+    #[inline]
+    pub fn rotate(&mut self, cos: f64, sin: f64) {
+        for (x, y) in self.left.iter_mut().zip(self.right.iter_mut()) {
+            let xi = *x;
+            let yj = *y;
+            *x = xi * cos - yj * sin;
+            *y = xi * sin + yj * cos;
+        }
+    }
+
+    /// Dot product of the two columns (their covariance).
+    pub fn covariance(&self) -> f64 {
+        crate::ops::dot(self.left, self.right)
+    }
+
+    /// Squared 2-norms of (left, right).
+    pub fn squared_norms(&self) -> (f64, f64) {
+        (crate::ops::dot(self.left, self.left), crate::ops::dot(self.right, self.right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Matrix;
+
+    #[test]
+    fn rotate_by_quarter_turn_swaps_columns() {
+        let mut m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let mut pair = m.column_pair(0, 1).unwrap();
+        // cos = 0, sin = 1: aᵢ' = −aⱼ, aⱼ' = aᵢ
+        pair.rotate(0.0, 1.0);
+        assert_eq!(m.col(0), &[0.0, -2.0]);
+        assert_eq!(m.col(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn rotate_identity_is_noop() {
+        let mut m = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]);
+        let original = m.clone();
+        m.column_pair(0, 1).unwrap().rotate(1.0, 0.0);
+        assert_eq!(m, original);
+    }
+
+    #[test]
+    fn rotation_preserves_frobenius_norm() {
+        let mut m = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0], &[-1.0, 0.5]]);
+        let before: f64 = m.as_slice().iter().map(|v| v * v).sum();
+        let theta: f64 = 0.7;
+        m.column_pair(0, 1).unwrap().rotate(theta.cos(), theta.sin());
+        let after: f64 = m.as_slice().iter().map(|v| v * v).sum();
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_and_norms() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let pair = m.column_pair(0, 1).unwrap();
+        assert_eq!(pair.covariance(), 2.0);
+        assert_eq!(pair.squared_norms(), (1.0, 13.0));
+        assert_eq!(pair.len(), 2);
+        assert!(!pair.is_empty());
+        assert_eq!(pair.left_index(), 0);
+        assert_eq!(pair.right_index(), 1);
+    }
+}

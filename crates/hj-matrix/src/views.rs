@@ -1,0 +1,211 @@
+//! Rectangular sub-matrix views.
+//!
+//! A [`MatrixView`] borrows a contiguous block of a column-major
+//! [`Matrix`]: columns of the view are sub-slices of the parent's columns,
+//! so all column-oriented kernels (dot products, rotations) run on views at
+//! full speed. Used by blocked algorithms and anywhere a copy of a
+//! submatrix would be waste.
+
+use crate::{ops, Matrix};
+
+/// An immutable view of the block starting at `(row0, col0)` with shape
+/// `rows × cols`.
+///
+/// ```
+/// use hj_matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+/// let bottom = a.view(1, 0, 2, 2);
+/// assert_eq!(bottom.col(1), &[4.0, 6.0]); // contiguous, zero-copy
+/// ```
+#[derive(Clone, Copy)]
+pub struct MatrixView<'a> {
+    parent: &'a Matrix,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Borrow the `rows × cols` block at `(row0, col0)`.
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn view(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> MatrixView<'_> {
+        assert!(
+            row0 + rows <= self.rows() && col0 + cols <= self.cols(),
+            "view {rows}x{cols} at ({row0}, {col0}) exceeds a {}x{} matrix",
+            self.rows(),
+            self.cols()
+        );
+        MatrixView { parent: self, row0, col0, rows, cols }
+    }
+}
+
+impl<'a> MatrixView<'a> {
+    /// View shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access in view coordinates.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.parent.get(self.row0 + r, self.col0 + c)
+    }
+
+    /// Column `c` of the view, as a contiguous slice of the parent column.
+    #[inline]
+    pub fn col(&self, c: usize) -> &'a [f64] {
+        debug_assert!(c < self.cols);
+        &self.parent.col(self.col0 + c)[self.row0..self.row0 + self.rows]
+    }
+
+    /// Materialize the view into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            out.col_mut(c).copy_from_slice(self.col(c));
+        }
+        out
+    }
+
+    /// Frobenius norm of the block.
+    pub fn frobenius(&self) -> f64 {
+        (0..self.cols).map(|c| ops::norm_sq(self.col(c))).sum::<f64>().sqrt()
+    }
+
+    /// Dot product between column `i` of this view and column `j` of
+    /// another view with the same row count.
+    pub fn col_dot(&self, i: usize, other: &MatrixView<'_>, j: usize) -> f64 {
+        assert_eq!(self.rows, other.rows, "views must share the row count");
+        ops::dot(self.col(i), other.col(j))
+    }
+
+    /// `self · other` as a new matrix (`self.cols == other.rows` required).
+    pub fn matmul(&self, other: &MatrixView<'_>) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for c in 0..other.cols {
+            let out_col = out.col_mut(c);
+            for k in 0..other.rows {
+                let w = other.get(k, c);
+                if w == 0.0 {
+                    continue;
+                }
+                for (r, o) in out_col.iter_mut().enumerate() {
+                    *o += self.get(r, k) * w;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MatrixView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MatrixView {}x{} at ({}, {})", self.rows, self.cols, self.row0, self.col0)
+    }
+}
+
+/// Iterate over the column blocks of width `block` covering a matrix (the
+/// traversal of blocked Gram/QR algorithms). The final block may be
+/// narrower.
+pub fn column_blocks(a: &Matrix, block: usize) -> impl Iterator<Item = MatrixView<'_>> {
+    assert!(block > 0, "block width must be positive");
+    let cols = a.cols();
+    let rows = a.rows();
+    (0..cols.div_ceil(block)).map(move |b| {
+        let c0 = b * block;
+        a.view(0, c0, rows, (cols - c0).min(block))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, norms};
+
+    #[test]
+    fn view_reads_the_right_block() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 9.0],
+        ]);
+        let v = a.view(1, 1, 2, 2);
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v.get(0, 0), 5.0);
+        assert_eq!(v.get(1, 1), 9.0);
+        assert_eq!(v.col(0), &[5.0, 8.0]);
+        assert_eq!(v.to_matrix(), Matrix::from_rows(&[&[5.0, 6.0], &[8.0, 9.0]]));
+    }
+
+    #[test]
+    fn full_view_matches_matrix() {
+        let a = gen::uniform(6, 4, 3);
+        let v = a.view(0, 0, 6, 4);
+        assert_eq!(v.to_matrix(), a);
+        assert!((v.frobenius() - norms::frobenius(&a)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn view_matmul_matches_dense() {
+        let a = gen::uniform(8, 6, 5);
+        let b = gen::uniform(6, 5, 7);
+        let va = a.view(2, 1, 4, 3);
+        let vb = b.view(0, 1, 3, 2);
+        let got = va.matmul(&vb);
+        let want = va.to_matrix().matmul(&vb.to_matrix()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn col_dot_across_views() {
+        let a = gen::uniform(10, 3, 9);
+        let v1 = a.view(2, 0, 5, 2);
+        let v2 = a.view(2, 1, 5, 2);
+        let d = v1.col_dot(0, &v2, 1);
+        let want = crate::ops::dot(&a.col(0)[2..7], &a.col(2)[2..7]);
+        assert_eq!(d, want);
+    }
+
+    #[test]
+    fn column_blocks_cover_exactly() {
+        let a = gen::uniform(4, 10, 11);
+        let blocks: Vec<_> = column_blocks(&a, 4).collect();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].cols(), 4);
+        assert_eq!(blocks[2].cols(), 2);
+        let total: usize = blocks.iter().map(|b| b.cols()).sum();
+        assert_eq!(total, 10);
+        // Reassemble and compare.
+        let mut rebuilt = Matrix::zeros(4, 10);
+        let mut c0 = 0;
+        for b in &blocks {
+            for c in 0..b.cols() {
+                rebuilt.col_mut(c0 + c).copy_from_slice(b.col(c));
+            }
+            c0 += b.cols();
+        }
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_bounds_view_panics() {
+        let a = gen::uniform(3, 3, 13);
+        let _ = a.view(1, 1, 3, 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the matrix substrate.
+
+use hj_matrix::{gen, io, norms, ops, Matrix, PackedSymmetric};
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..12, 1usize..12, 0u64..1000)
+        .prop_map(|(m, n, seed)| gen::uniform(m, n, seed))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in small_matrix()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_is_associative(seed in 0u64..200, m in 1usize..6, k in 1usize..6, l in 1usize..6, n in 1usize..6) {
+        let a = gen::uniform(m, k, seed);
+        let b = gen::uniform(k, l, seed ^ 1);
+        let c = gen::uniform(l, n, seed ^ 2);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        let diff = norms::frobenius(&left.sub(&right).unwrap());
+        prop_assert!(diff < 1e-10 * norms::frobenius(&left).max(1.0));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(seed in 0u64..200, m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        let a = gen::uniform(m, k, seed);
+        let b = gen::uniform(k, n, seed ^ 3);
+        let c = gen::uniform(k, n, seed ^ 4);
+        let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        let diff = norms::frobenius(&left.sub(&right).unwrap());
+        prop_assert!(diff < 1e-10);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product(a in small_matrix()) {
+        let d = a.gram();
+        let ata = a.transpose().matmul(&a).unwrap();
+        for i in 0..a.cols() {
+            for j in 0..a.cols() {
+                prop_assert!((d.get(i, j) - ata.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_positive_semidefinite_on_diagonal(a in small_matrix()) {
+        let d = a.gram();
+        for i in 0..a.cols() {
+            prop_assert!(d.get(i, i) >= 0.0);
+            for j in 0..a.cols() {
+                // Cauchy-Schwarz: D_ij² ≤ D_ii·D_jj (up to roundoff).
+                prop_assert!(
+                    d.get(i, j) * d.get(i, j) <= d.get(i, i) * d.get(j, j) * (1.0 + 1e-12) + 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_is_exact(a in small_matrix()) {
+        let b = io::roundtrip(&a).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn swap_columns_is_involution(a in small_matrix(), i in 0usize..12, j in 0usize..12) {
+        let (i, j) = (i % a.cols(), j % a.cols());
+        let mut b = a.clone();
+        b.swap_columns(i, j);
+        b.swap_columns(i, j);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn robust_norm_matches_plain_in_range(a in small_matrix()) {
+        for c in 0..a.cols() {
+            let plain = ops::norm(a.col(c));
+            let robust = ops::robust_norm(a.col(c));
+            prop_assert!((plain - robust).abs() < 1e-12 * plain.max(1.0));
+        }
+    }
+
+    #[test]
+    fn packed_dense_roundtrip(n in 1usize..15, seed in 0u64..500) {
+        let a = gen::uniform(n + 1, n, seed);
+        let d = a.gram();
+        let dense = d.to_dense();
+        let mut back = PackedSymmetric::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                back.set(i, j, dense.get(i, j));
+            }
+        }
+        prop_assert_eq!(d.as_slice(), back.as_slice());
+    }
+
+    #[test]
+    fn orthonormalize_produces_orthonormal_basis(m in 2usize..20, seed in 0u64..300) {
+        let k = (m / 2).max(1);
+        let mut q = gen::gaussian(m, k, seed);
+        let rank = hj_matrix::orth::orthonormalize_columns(&mut q, 1e-12);
+        prop_assert_eq!(rank, k);
+        prop_assert!(norms::orthonormality_error(&q) < 1e-10);
+    }
+
+    #[test]
+    fn generated_spectra_are_honoured(seed in 0u64..100, k in 1usize..6) {
+        let sigma: Vec<f64> = (0..k).map(|t| (k - t) as f64).collect();
+        let a = gen::with_singular_values(k + 4, k, &sigma, seed);
+        let f2 = norms::frobenius_sq(&a);
+        let expect: f64 = sigma.iter().map(|s| s * s).sum();
+        prop_assert!((f2 - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn column_pair_is_symmetric_in_roles(a in small_matrix(), i in 0usize..12, j in 0usize..12) {
+        let n = a.cols();
+        prop_assume!(n >= 2);
+        let (i, j) = (i % n, j % n);
+        prop_assume!(i != j);
+        let mut m1 = a.clone();
+        let mut m2 = a.clone();
+        // Rotating (i, j) by θ equals rotating (j, i) by −θ.
+        let (c, s) = (0.8, 0.6);
+        m1.column_pair(i, j).unwrap().rotate(c, s);
+        m2.column_pair(j, i).unwrap().rotate(c, -s);
+        prop_assert_eq!(m1, m2);
+    }
+}

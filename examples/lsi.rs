@@ -1,0 +1,106 @@
+//! Latent Semantic Indexing via truncated SVD — the paper's stated future
+//! work ("our proposed framework will be extended to perform principal
+//! component analysis for latent semantic indexing", §VII).
+//!
+//! Builds a small term-document matrix over two topics, computes a rank-2
+//! truncated SVD, and shows that (a) documents cluster by topic in latent
+//! space even when they share few literal terms, and (b) a query matches
+//! topically-related documents that have no term overlap with it.
+//!
+//! Run: `cargo run --release --example lsi`
+
+use hjsvd::core::{HestenesSvd, SvdOptions};
+use hjsvd::matrix::{ops, Matrix};
+
+// Vocabulary: 5 "graphics" terms, 5 "numerics" terms.
+const TERMS: [&str; 10] = [
+    "render", "shader", "texture", "pixel", "mesh", // graphics
+    "matrix", "eigen", "solver", "sparse", "norm", // numerics
+];
+
+// 8 documents as term-count vectors (rows = terms, cols = documents).
+// d0-d3 graphics, d4-d7 numerics; d3 and d7 use disjoint vocabulary from
+// their topic-mates (the polysemy/synonymy problem LSI addresses).
+const DOCS: [[f64; 10]; 8] = [
+    [3.0, 2.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [2.0, 3.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [1.0, 0.0, 3.0, 2.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [0.0, 0.0, 0.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [0.0, 0.0, 0.0, 0.0, 0.0, 3.0, 2.0, 1.0, 0.0, 0.0],
+    [0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 0.0, 3.0, 1.0, 0.0],
+    [0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 1.0],
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 3.0],
+];
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    ops::dot(a, b) / (ops::norm(a) * ops::norm(b)).max(f64::MIN_POSITIVE)
+}
+
+fn main() {
+    // Term-document matrix: terms on rows, documents on columns.
+    let mut a = Matrix::zeros(TERMS.len(), DOCS.len());
+    for (d, doc) in DOCS.iter().enumerate() {
+        for (t, &count) in doc.iter().enumerate() {
+            a.set(t, d, count);
+        }
+    }
+
+    let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).expect("valid input");
+    println!("singular values: {:?}\n", svd.singular_values.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>());
+
+    // Rank-2 latent space: document d ↦ (σ₁ v_d1, σ₂ v_d2).
+    let k = 2;
+    let doc_vec = |d: usize| -> Vec<f64> {
+        (0..k).map(|t| svd.singular_values[t] * svd.v.get(d, t)).collect()
+    };
+
+    println!("documents in latent space:");
+    for d in 0..DOCS.len() {
+        let v = doc_vec(d);
+        println!("  d{d}: ({:6.2}, {:6.2})", v[0], v[1]);
+    }
+
+    // In-topic similarity must beat cross-topic similarity, including for
+    // d3/d7 which share no terms with some topic-mates.
+    let sim = |x: usize, y: usize| cosine(&doc_vec(x), &doc_vec(y));
+    println!("\nlatent similarities:");
+    println!("  d0~d3 (same topic, 1 shared term):  {:.3}", sim(0, 3));
+    println!("  d4~d7 (same topic, 1 shared term):  {:.3}", sim(4, 7));
+    println!("  d0~d4 (different topics):           {:.3}", sim(0, 4));
+    assert!(sim(0, 3) > 0.8 && sim(4, 7) > 0.8, "topic-mates must be close in latent space");
+    assert!(sim(0, 4) < 0.3, "cross-topic documents must be far in latent space");
+
+    // Query folding: q ↦ Σ⁻¹ Uᵀ q, compared to documents in latent space.
+    let query_terms = ["pixel", "mesh"]; // graphics query, no overlap with d0's terms except none
+    let mut q = vec![0.0; TERMS.len()];
+    for qt in query_terms {
+        let idx = TERMS.iter().position(|t| *t == qt).expect("term in vocabulary");
+        q[idx] = 1.0;
+    }
+    let q_latent: Vec<f64> = (0..k)
+        .map(|t| ops::dot(&q, svd.u.col(t)) / svd.singular_values[t].max(f64::MIN_POSITIVE))
+        .collect();
+    // Compare in the same scaled space as the documents.
+    let q_scaled: Vec<f64> =
+        (0..k).map(|t| q_latent[t] * svd.singular_values[t]).collect();
+
+    println!("\nquery {:?} ranked against documents:", query_terms);
+    let mut ranked: Vec<(usize, f64)> =
+        (0..DOCS.len()).map(|d| (d, cosine(&q_scaled, &doc_vec(d)))).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (d, s) in &ranked {
+        println!("  d{d}: {s:.3}");
+    }
+    // Every graphics doc must outrank every numerics doc — including d0 and
+    // d1, which share zero terms with the query.
+    let rank_of = |d: usize| ranked.iter().position(|&(x, _)| x == d).unwrap();
+    for g in 0..4 {
+        for n in 4..8 {
+            assert!(
+                rank_of(g) < rank_of(n),
+                "graphics doc d{g} must outrank numerics doc d{n}"
+            );
+        }
+    }
+    println!("\nOK: zero-term-overlap documents retrieved by topic");
+}

@@ -1,0 +1,347 @@
+//! `hjsvd` — command-line front end for the workspace.
+//!
+//! ```text
+//! hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX]
+//! hjsvd pca <data.csv> --components K [--out PREFIX]
+//! hjsvd eigh <symmetric.csv>
+//! hjsvd simulate --rows M --cols N [--sweeps S]
+//! hjsvd resources
+//! hjsvd generate --rows M --cols N <out.csv> [--seed S] [--cond C]
+//! ```
+//!
+//! Matrices are headerless CSV (one row per line, `#` comments allowed).
+//! Argument parsing is hand-rolled — the workspace takes no CLI dependency.
+
+use hjsvd::arch::{resource_usage, ArchConfig, HestenesJacobiArch};
+use hjsvd::core::{eigh, HestenesSvd, Pca, SvdOptions};
+use hjsvd::fpsim::resources::ChipCapacity;
+use hjsvd::matrix::{gen, io, norms, Matrix};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `hjsvd help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut parsed = ParsedArgs::parse(args)?;
+    match parsed.command.as_str() {
+        "svd" => cmd_svd(&mut parsed),
+        "pca" => cmd_pca(&mut parsed),
+        "eigh" => cmd_eigh(&mut parsed),
+        "simulate" => cmd_simulate(&mut parsed),
+        "resources" => cmd_resources(&parsed),
+        "generate" => cmd_generate(&mut parsed),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "hjsvd — Hestenes-Jacobi SVD toolkit
+
+USAGE:
+  hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX]
+      Decompose a CSV matrix. Prints singular values; with --out, writes
+      PREFIX_u.csv / PREFIX_s.csv / PREFIX_v.csv. --rank truncates.
+  hjsvd pca <data.csv> --components K [--out PREFIX]
+      PCA (rows = observations). Prints explained variance; with --out,
+      writes PREFIX_scores.csv and PREFIX_components.csv.
+  hjsvd eigh <symmetric.csv>
+      Eigendecompose a symmetric matrix (Jacobi).
+  hjsvd simulate --rows M --cols N [--sweeps S]
+      Cycle-level timing estimate of the paper's architecture (150 MHz).
+  hjsvd resources
+      Resource utilization of the architecture on the XC5VLX330 (Table II).
+  hjsvd generate --rows M --cols N <out.csv> [--seed S] [--cond C]
+      Write a random test matrix (uniform, or graded to condition number C)."
+    );
+}
+
+/// Minimal deterministic argument cracker: positionals in order, `--flag`
+/// booleans, `--key value` options.
+struct ParsedArgs {
+    command: String,
+    positionals: Vec<String>,
+    flags: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl ParsedArgs {
+    fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+        let command = args.first().cloned().unwrap_or_else(|| "help".to_string());
+        let mut positionals = Vec::new();
+        let mut flags = Vec::new();
+        let mut options = Vec::new();
+        let mut i = 1;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                // Boolean flags take no value; everything else consumes one.
+                if matches!(name, "values-only" | "help") {
+                    flags.push(name.to_string());
+                } else {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    options.push((name.to_string(), v.clone()));
+                    i += 1;
+                }
+            } else {
+                positionals.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(ParsedArgs { command, positionals, flags, options })
+    }
+
+    fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.options.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.opt(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+
+    fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.opt_parse(name)?.ok_or_else(|| format!("--{name} is required"))
+    }
+}
+
+fn load(path: &str) -> Result<Matrix, String> {
+    io::load_csv(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save(m: &Matrix, path: &str) -> Result<(), String> {
+    io::save_csv(m, path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_svd(p: &mut ParsedArgs) -> Result<(), String> {
+    let path = p.positional(0, "input matrix path")?.to_string();
+    let a = load(&path)?;
+    let solver = HestenesSvd::new(SvdOptions::default());
+    if p.flag("values-only") {
+        let sv = solver.singular_values(&a).map_err(|e| e.to_string())?;
+        println!("# {} singular values ({} sweeps)", sv.values.len(), sv.sweeps);
+        for v in &sv.values {
+            println!("{v}");
+        }
+        return Ok(());
+    }
+    let svd = solver.decompose(&a).map_err(|e| e.to_string())?;
+    let rank: Option<usize> = p.opt_parse("rank")?;
+    let k = rank.unwrap_or(svd.singular_values.len()).min(svd.singular_values.len());
+    println!(
+        "# {}x{} matrix, {} sweeps, reconstruction error {:.3e}",
+        a.rows(),
+        a.cols(),
+        svd.sweeps,
+        norms::reconstruction_error(&a, &svd.u, &svd.singular_values, &svd.v)
+    );
+    for v in &svd.singular_values[..k] {
+        println!("{v}");
+    }
+    if let Some(prefix) = p.opt("out") {
+        let mut s = Matrix::zeros(k, 1);
+        for t in 0..k {
+            s.set(t, 0, svd.singular_values[t]);
+        }
+        save(&svd.u.leading_columns(k), &format!("{prefix}_u.csv"))?;
+        save(&s, &format!("{prefix}_s.csv"))?;
+        save(&svd.v.leading_columns(k), &format!("{prefix}_v.csv"))?;
+        println!("# wrote {prefix}_u.csv, {prefix}_s.csv, {prefix}_v.csv");
+    }
+    Ok(())
+}
+
+fn cmd_pca(p: &mut ParsedArgs) -> Result<(), String> {
+    let path = p.positional(0, "input data path")?.to_string();
+    let k: usize = p.required("components")?;
+    let data = load(&path)?;
+    let pca = Pca::fit_default(&data, k).map_err(|e| e.to_string())?;
+    println!("# component, explained variance, ratio");
+    for (i, (ev, r)) in pca
+        .explained_variance()
+        .iter()
+        .zip(pca.explained_variance_ratio())
+        .enumerate()
+    {
+        println!("{}, {ev}, {r}", i + 1);
+    }
+    println!("# total captured: {:.4}", pca.captured_variance());
+    if let Some(prefix) = p.opt("out") {
+        save(&pca.transform(&data), &format!("{prefix}_scores.csv"))?;
+        save(pca.components(), &format!("{prefix}_components.csv"))?;
+        println!("# wrote {prefix}_scores.csv, {prefix}_components.csv");
+    }
+    Ok(())
+}
+
+fn cmd_eigh(p: &mut ParsedArgs) -> Result<(), String> {
+    let path = p.positional(0, "input matrix path")?.to_string();
+    let s = load(&path)?;
+    let e = eigh::eigh_dense(&s, 1e-14).map_err(|e| e.to_string())?;
+    println!("# {} eigenvalues ({} sweeps)", e.eigenvalues.len(), e.sweeps);
+    for v in &e.eigenvalues {
+        println!("{v}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(p: &mut ParsedArgs) -> Result<(), String> {
+    let m: usize = p.required("rows")?;
+    let n: usize = p.required("cols")?;
+    let sweeps: Option<usize> = p.opt_parse("sweeps")?;
+    let mut cfg = ArchConfig::paper();
+    if let Some(s) = sweeps {
+        cfg.sweeps = s;
+    }
+    let arch = HestenesJacobiArch::new(cfg);
+    let r = arch.estimate(m, n);
+    println!("architecture estimate for a {m}x{n} decomposition ({} sweeps):", r.sweeps);
+    println!("  covariance placement: {:?}", r.placement);
+    println!(
+        "  preprocess: {} cycles (compute {}, input {})",
+        r.preprocess.total_cycles, r.preprocess.compute_cycles, r.preprocess.input_cycles
+    );
+    for s in &r.per_sweep {
+        println!(
+            "  sweep {}: rot {} / upd {} / io {} -> {}",
+            s.sweep, s.rotation_cycles, s.update_cycles, s.io_cycles, s.total_cycles
+        );
+    }
+    println!("  finalize: {} cycles", r.finalize_cycles);
+    println!("  total: {} cycles = {:.6} s at 150 MHz", r.total_cycles, r.seconds);
+    Ok(())
+}
+
+fn cmd_resources(_p: &ParsedArgs) -> Result<(), String> {
+    let cfg = ArchConfig::paper();
+    let usage = resource_usage(&cfg);
+    let chip = ChipCapacity::XC5VLX330;
+    println!("resource usage on {}:", chip.name);
+    for (name, cost, bram) in usage.items() {
+        println!("  {name:<14} {:>7} LUT {:>4} DSP {:>4} BRAM36", cost.luts, cost.dsps, bram);
+    }
+    let (lut, bram, dsp) = usage.utilization(&chip);
+    println!("totals: {lut:.1}% LUT, {bram:.1}% BRAM, {dsp:.1}% DSP (paper: 89/91/53)");
+    Ok(())
+}
+
+fn cmd_generate(p: &mut ParsedArgs) -> Result<(), String> {
+    let m: usize = p.required("rows")?;
+    let n: usize = p.required("cols")?;
+    let out = p.positional(0, "output path")?.to_string();
+    let seed: u64 = p.opt_parse("seed")?.unwrap_or(42);
+    let cond: Option<f64> = p.opt_parse("cond")?;
+    let a = match cond {
+        Some(c) => gen::with_condition_number(m, n, c, seed),
+        None => gen::uniform(m, n, seed),
+    };
+    save(&a, &out)?;
+    println!("# wrote {m}x{n} matrix to {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_splits_positionals_flags_options() {
+        let p = ParsedArgs::parse(&args(&[
+            "svd",
+            "input.csv",
+            "--values-only",
+            "--rank",
+            "3",
+            "--out",
+            "pre",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, "svd");
+        assert_eq!(p.positional(0, "x").unwrap(), "input.csv");
+        assert!(p.flag("values-only"));
+        assert_eq!(p.opt("rank"), Some("3"));
+        assert_eq!(p.opt_parse::<usize>("rank").unwrap(), Some(3));
+        assert_eq!(p.opt("out"), Some("pre"));
+    }
+
+    #[test]
+    fn parser_rejects_missing_values() {
+        assert!(ParsedArgs::parse(&args(&["svd", "--rank"])).is_err());
+    }
+
+    #[test]
+    fn required_option_errors_are_descriptive() {
+        let p = ParsedArgs::parse(&args(&["simulate"])).unwrap();
+        let err = p.required::<usize>("rows").unwrap_err();
+        assert!(err.contains("--rows"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_svd_pca() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let matrix_path = dir.join("m.csv");
+        let mp = matrix_path.to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "12", "--cols", "4", &mp, "--seed", "7"])).unwrap();
+        run(&args(&["svd", &mp, "--values-only"])).unwrap();
+        let prefix = dir.join("out").to_str().unwrap().to_string();
+        run(&args(&["svd", &mp, "--out", &prefix, "--rank", "2"])).unwrap();
+        let u = io::load_csv(format!("{prefix}_u.csv")).unwrap();
+        assert_eq!(u.shape(), (12, 2));
+        run(&args(&["pca", &mp, "--components", "2"])).unwrap();
+        run(&args(&["simulate", "--rows", "64", "--cols", "32"])).unwrap();
+        run(&args(&["resources"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eigh_command_runs() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_eigh");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.csv");
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        io::save_csv(&s, &path).unwrap();
+        run(&args(&["eigh", path.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,176 @@
+//! Application-layer integration: PCA, low-rank utilities, and the
+//! randomized partial SVD working together across crates — the pipelines
+//! the paper's introduction motivates.
+
+use hjsvd::baselines::partial_svd::{randomized_svd, PartialSvdOptions};
+use hjsvd::core::lowrank;
+use hjsvd::core::{HestenesSvd, Pca, SvdOptions};
+use hjsvd::matrix::{gen, io, norms, ops, Matrix};
+
+#[test]
+fn pca_and_direct_svd_agree_on_explained_variance() {
+    let data = gen::gaussian(80, 10, 1);
+    let pca = Pca::fit_default(&data, 10).unwrap();
+    // Centering by hand + SVD must give the same variances.
+    let mut centered = data.clone();
+    for c in 0..10 {
+        let mu: f64 = (0..80).map(|r| centered.get(r, c)).sum::<f64>() / 80.0;
+        for r in 0..80 {
+            let v = centered.get(r, c) - mu;
+            centered.set(r, c, v);
+        }
+    }
+    let svd = HestenesSvd::new(SvdOptions::default()).decompose(&centered).unwrap();
+    for (ev, s) in pca.explained_variance().iter().zip(&svd.singular_values) {
+        let want = s * s / 79.0;
+        assert!((ev - want).abs() < 1e-10 * want.max(1.0), "{ev} vs {want}");
+    }
+}
+
+#[test]
+fn partial_svd_matches_full_svd_leading_components() {
+    let sigma = [40.0, 10.0, 3.0, 0.2, 0.1, 0.05, 0.02, 0.01];
+    let a = gen::with_singular_values(100, 8, &sigma, 2);
+    let full = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+    let part = randomized_svd(&a, 3, PartialSvdOptions::default());
+    for t in 0..3 {
+        assert!(
+            (part.sigma[t] - full.singular_values[t]).abs() < 1e-7 * full.singular_values[t],
+            "σ[{t}]: {} vs {}",
+            part.sigma[t],
+            full.singular_values[t]
+        );
+        // Subspace agreement: |⟨u_part, u_full⟩| ≈ 1 (sign-free).
+        let dot = ops::dot(part.u.col(t), full.u.col(t)).abs();
+        assert!(dot > 1.0 - 1e-6, "U column {t} misaligned: |dot| = {dot}");
+    }
+}
+
+#[test]
+fn repeated_partial_svd_video_pipeline() {
+    // The §I robust-PCA loop in miniature: repeatedly take a partial SVD of
+    // a low-rank + sparse matrix, subtract the low-rank part, and watch the
+    // sparse component emerge.
+    let m = 60;
+    let n = 20;
+    // Strong low-rank signal (σ = 20, 10) with a handful of modest spikes:
+    // the regime where the low-rank recovery cleanly separates the two.
+    let low = gen::with_singular_values(
+        m,
+        n,
+        &{
+            let mut s = vec![0.0; n];
+            s[0] = 20.0;
+            s[1] = 10.0;
+            s
+        },
+        3,
+    );
+    let mut sparse = Matrix::zeros(m, n);
+    for (r, c) in [(5usize, 3usize), (17, 11), (40, 19), (33, 7)] {
+        sparse.set(r, c, 2.0);
+    }
+    let observed = low.add(&sparse).unwrap();
+
+    let f = randomized_svd(&observed, 2, PartialSvdOptions::default());
+    // Residual = observed − rank-2 part should concentrate on the spikes.
+    let mut resid = observed.clone();
+    for t in 0..2 {
+        let s = f.sigma[t];
+        for c in 0..n {
+            let w = s * f.v.get(c, t);
+            ops::axpy(-w, f.u.col(t), resid.col_mut(c));
+        }
+    }
+    // The four largest residual entries must be exactly the spike positions.
+    let mut entries: Vec<(f64, usize, usize)> = Vec::new();
+    for c in 0..n {
+        for r in 0..m {
+            entries.push((resid.get(r, c).abs(), r, c));
+        }
+    }
+    entries.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let top: std::collections::HashSet<(usize, usize)> =
+        entries[..4].iter().map(|&(_, r, c)| (r, c)).collect();
+    for spike in [(5, 3), (17, 11), (40, 19), (33, 7)] {
+        assert!(top.contains(&spike), "spike {spike:?} not in top residuals");
+    }
+}
+
+#[test]
+fn lstsq_through_the_whole_stack() {
+    // Fit a polynomial by least squares using the SVD pseudoinverse path.
+    let xs: Vec<f64> = (0..30).map(|i| i as f64 / 29.0 * 2.0 - 1.0).collect();
+    let mut vand = Matrix::zeros(30, 4);
+    for (r, &x) in xs.iter().enumerate() {
+        for d in 0..4 {
+            vand.set(r, d, x.powi(d as i32));
+        }
+    }
+    let coeffs_true = [0.5, -1.0, 2.0, 0.25];
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| coeffs_true.iter().enumerate().map(|(d, c)| c * x.powi(d as i32)).sum())
+        .collect();
+    let svd = HestenesSvd::new(SvdOptions::default()).decompose(&vand).unwrap();
+    let coeffs = lowrank::lstsq(&svd, &ys, 1e-12);
+    for (got, want) in coeffs.iter().zip(&coeffs_true) {
+        assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+    }
+    // Condition number of this Vandermonde basis is modest.
+    let kappa = lowrank::condition_number(&svd, f64::EPSILON);
+    assert!(kappa > 1.0 && kappa < 100.0, "κ = {kappa}");
+}
+
+#[test]
+fn rank_budgeting_for_compression() {
+    // "How many components for 5% error?" across a known spectrum.
+    let sigma = [100.0, 50.0, 10.0, 5.0, 1.0, 0.5, 0.1, 0.05];
+    let a = gen::with_singular_values(40, 8, &sigma, 5);
+    let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+    let r = lowrank::rank_for_error(&svd, 0.05);
+    // Verify the budget is genuinely met and minimal.
+    let err_at = |r: usize| lowrank::rank_r_error(&svd, r) / norms::frobenius(&a);
+    assert!(err_at(r) <= 0.05 + 1e-12, "rank {r} misses the budget: {}", err_at(r));
+    if r > 0 {
+        assert!(err_at(r - 1) > 0.05, "rank {} would already satisfy the budget", r - 1);
+    }
+}
+
+#[test]
+fn csv_io_round_trips_svd_factors() {
+    let a = gen::uniform(12, 6, 7);
+    let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+    let u2 = io::roundtrip(&svd.u).unwrap();
+    let v2 = io::roundtrip(&svd.v).unwrap();
+    assert_eq!(svd.u, u2);
+    assert_eq!(svd.v, v2);
+    // The reloaded factors still reconstruct.
+    let err = norms::reconstruction_error(&a, &u2, &svd.singular_values, &v2);
+    assert!(err < 1e-12);
+}
+
+#[test]
+fn pca_whitening_via_components() {
+    // Projecting onto components and normalizing by √variance whitens the
+    // data: unit variance along every retained direction.
+    let data = {
+        let base = gen::gaussian(200, 4, 9);
+        // Stretch feature space anisotropically.
+        let mut d = Matrix::zeros(200, 4);
+        for r in 0..200 {
+            d.set(r, 0, 5.0 * base.get(r, 0));
+            d.set(r, 1, 2.0 * base.get(r, 1) + base.get(r, 0));
+            d.set(r, 2, 0.5 * base.get(r, 2));
+            d.set(r, 3, 0.1 * base.get(r, 3));
+        }
+        d
+    };
+    let pca = Pca::fit_default(&data, 4).unwrap();
+    let scores = pca.transform(&data);
+    for t in 0..4 {
+        let var = ops::norm_sq(scores.col(t)) / 199.0;
+        let whitened = var / pca.explained_variance()[t];
+        assert!((whitened - 1.0).abs() < 1e-9, "component {t}: whitened var {whitened}");
+    }
+}

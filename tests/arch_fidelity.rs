@@ -1,0 +1,152 @@
+//! Architecture-simulator fidelity: the timing model must reproduce the
+//! paper's published quantitative claims (Tables I–II and the §VI-B
+//! qualitative observations), and the functional path must compute the same
+//! answers as the pure-software algorithm.
+
+use hjsvd::arch::{resource_usage, ArchConfig, CovariancePlacement, HestenesJacobiArch};
+use hjsvd::fpsim::resources::ChipCapacity;
+use hjsvd::matrix::gen;
+
+/// Paper Table I (seconds); rows index the column dimension n, header the
+/// row dimension m, both over {128, 256, 512, 1024} (orientation per
+/// DESIGN.md).
+const TABLE1: [[f64; 4]; 4] = [
+    [4.39e-3, 6.30e-3, 1.01e-2, 1.79e-2],
+    [2.52e-2, 3.30e-2, 4.84e-2, 7.94e-2],
+    [1.70e-1, 2.01e-1, 2.63e-1, 3.87e-1],
+    [1.23, 1.35, 1.61, 2.01],
+];
+const DIMS: [usize; 4] = [128, 256, 512, 1024];
+
+#[test]
+fn table1_every_cell_within_factor_two() {
+    let arch = HestenesJacobiArch::paper();
+    for (i, &n) in DIMS.iter().enumerate() {
+        for (j, &m) in DIMS.iter().enumerate() {
+            let t = arch.estimate(m, n).seconds;
+            let p = TABLE1[i][j];
+            assert!(
+                t / p < 2.0 && p / t < 2.0,
+                "n={n} m={m}: simulated {t:.3e} vs paper {p:.3e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_shape_matches_paper() {
+    // Within a row (fixed n), time grows mildly with m; within a column
+    // (fixed m), time grows steeply (superquadratically) with n — the
+    // paper's central performance observation.
+    let arch = HestenesJacobiArch::paper();
+    for &n in &DIMS {
+        let t128 = arch.estimate(128, n).seconds;
+        let t1024 = arch.estimate(1024, n).seconds;
+        assert!(t1024 > t128, "time must grow with m");
+        assert!(t1024 / t128 < 4.0, "m-growth must be mild at n={n}: {}", t1024 / t128);
+    }
+    for &m in &DIMS {
+        let t128 = arch.estimate(m, 128).seconds;
+        let t1024 = arch.estimate(m, 1024).seconds;
+        assert!(
+            t1024 / t128 > 64.0,
+            "n-growth must be superquadratic at m={m}: {}",
+            t1024 / t128
+        );
+    }
+}
+
+#[test]
+fn table2_within_three_points() {
+    let (lut, bram, dsp) = hjsvd::arch::table2(&ArchConfig::paper());
+    assert!((lut - 89.0).abs() < 3.0, "LUT {lut}%");
+    assert!((bram - 91.0).abs() < 3.0, "BRAM {bram}%");
+    assert!((dsp - 53.0).abs() < 3.0, "DSP {dsp}%");
+    assert!(resource_usage(&ArchConfig::paper()).fits(&ChipCapacity::XC5VLX330));
+}
+
+#[test]
+fn estimate_matches_simulate_exactly() {
+    let arch = HestenesJacobiArch::paper();
+    for &(m, n) in &[(32usize, 8usize), (64, 24), (100, 40), (17, 5)] {
+        let a = gen::uniform(m, n, (m * 1000 + n) as u64);
+        let sim = arch.simulate(&a).unwrap();
+        let est = arch.estimate(m, n);
+        assert_eq!(sim.total_cycles, est.total_cycles, "timing drift at {m}x{n}");
+        assert_eq!(sim.per_sweep, est.per_sweep);
+        assert_eq!(sim.preprocess, est.preprocess);
+        assert_eq!(sim.finalize_cycles, est.finalize_cycles);
+    }
+}
+
+#[test]
+fn bram_boundary_behaviour() {
+    let arch = HestenesJacobiArch::paper();
+    assert_eq!(arch.estimate(128, 256).placement, CovariancePlacement::OnChip);
+    assert_eq!(arch.estimate(128, 257).placement, CovariancePlacement::OffChip);
+    // Spill cycles are strictly positive past the boundary and grow with n.
+    let s512: u64 = arch.estimate(128, 512).per_sweep.iter().map(|s| s.io_cycles).sum();
+    let s1024: u64 = arch.estimate(128, 1024).per_sweep.iter().map(|s| s.io_cycles).sum();
+    assert!(s512 > 0 && s1024 > 3 * s512);
+}
+
+#[test]
+fn paper_quoted_speedup_endpoints_hold_in_simulation() {
+    // "execution time of operating a 128×128 matrix by our architecture
+    // shows more than 5 times speedup" over the 24.3143 ms the fixed-point
+    // FPGA design took for its largest (32×127) matrix.
+    let arch = HestenesJacobiArch::paper();
+    let t = arch.estimate(128, 128).seconds;
+    assert!(t < 24.3143e-3 / 2.0, "128² must be well under the fixed-point design's time");
+    // The GPU Hestenes of ref. [12]'s comparison: 106.9 ms for 128² — the
+    // architecture must beat it by an order of magnitude.
+    assert!(t * 10.0 < 106.9e-3);
+}
+
+#[test]
+fn six_sweeps_cover_2048_convergence_claim_at_256() {
+    // Functional check of "reasonable convergence within 6 iterations" at a
+    // size the test budget allows (the full 2048 claim is exercised by the
+    // fig10 --full harness).
+    let a = gen::uniform(256, 256, 7);
+    let sim = HestenesJacobiArch::paper().simulate(&a).unwrap();
+    let initial = {
+        let g = hjsvd::core::GramState::from_matrix(&a);
+        g.mean_abs_covariance()
+    };
+    let last = *sim.convergence.last().unwrap();
+    assert!(
+        last < 1e-2 * initial,
+        "mean |cov| must fall by ≥2 orders in 6 sweeps: {initial:.3e} → {last:.3e}"
+    );
+}
+
+#[test]
+fn kernel_scaling_saturates_at_rotation_throughput() {
+    // More update kernels help until the rotation unit's 8-per-64-cycles
+    // issue rate becomes the bottleneck (§V-C's sizing argument).
+    let mk = |k: u64| {
+        HestenesJacobiArch::new(ArchConfig {
+            update_kernels: k,
+            reconfigured_kernels: k / 2,
+            ..ArchConfig::paper()
+        })
+        .estimate(512, 512)
+        .seconds
+    };
+    let t1 = mk(1);
+    let t8 = mk(8);
+    let t256 = mk(256);
+    assert!(t1 / t8 > 4.0, "8 kernels must be ≥4x faster than 1: {}", t1 / t8);
+    // Saturation: going from 8 to 256 kernels gains less than another 8x.
+    assert!(t8 / t256 < 8.0, "kernel scaling must saturate: {}", t8 / t256);
+}
+
+#[test]
+fn faster_clock_scales_time_linearly() {
+    let base = HestenesJacobiArch::paper().estimate(256, 256);
+    let double = HestenesJacobiArch::new(ArchConfig { clock_hz: 300.0e6, ..ArchConfig::paper() })
+        .estimate(256, 256);
+    assert_eq!(base.total_cycles, double.total_cycles, "cycles are clock-independent");
+    assert!((base.seconds / double.seconds - 2.0).abs() < 1e-9);
+}

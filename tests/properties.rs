@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) over the core data structures and
+//! numerical invariants of the workspace.
+
+use hjsvd::core::ordering::{round_robin, row_cyclic};
+use hjsvd::core::rotation::{hardware_params, rotate_norms, textbook_params};
+use hjsvd::core::{GramState, HestenesSvd, SvdOptions};
+use hjsvd::matrix::{gen, norms, PackedSymmetric};
+use proptest::prelude::*;
+
+/// Strategy: a plausible (norm_i, norm_j, cov) triple satisfying
+/// Cauchy-Schwarz (what a real Gram pair always satisfies).
+fn gram_pair() -> impl Strategy<Value = (f64, f64, f64)> {
+    (
+        1e-6f64..1e6,
+        1e-6f64..1e6,
+        -0.999f64..0.999,
+    )
+        .prop_map(|(a, b, frac)| (a, b, frac * (a * b).sqrt()))
+}
+
+proptest! {
+    #[test]
+    fn rotation_annihilates_covariance((ni, nj, cov) in gram_pair()) {
+        let rot = textbook_params(ni, nj, cov);
+        let new_cov = rot.cos * rot.sin * (ni - nj) + (rot.cos * rot.cos - rot.sin * rot.sin) * cov;
+        let scale = ni.max(nj).max(1.0);
+        prop_assert!(new_cov.abs() <= 1e-12 * scale, "residual covariance {new_cov}");
+    }
+
+    #[test]
+    fn rotation_is_orthonormal_and_inner((ni, nj, cov) in gram_pair()) {
+        let rot = textbook_params(ni, nj, cov);
+        prop_assert!((rot.cos * rot.cos + rot.sin * rot.sin - 1.0).abs() < 1e-14);
+        prop_assert!(rot.t.abs() <= 1.0 + 1e-15, "Jacobi must pick the inner rotation");
+        prop_assert!(rot.cos >= std::f64::consts::FRAC_1_SQRT_2 - 1e-15);
+    }
+
+    #[test]
+    fn hardware_equals_textbook((ni, nj, cov) in gram_pair()) {
+        let tx = textbook_params(ni, nj, cov);
+        let hw = hardware_params(ni, nj, cov);
+        let tol = 1e-12;
+        prop_assert!((tx.cos - hw.cos).abs() < tol, "cos {} vs {}", tx.cos, hw.cos);
+        prop_assert!((tx.sin - hw.sin).abs() < tol, "sin {} vs {}", tx.sin, hw.sin);
+    }
+
+    #[test]
+    fn norm_update_preserves_trace_and_positivity((ni, nj, cov) in gram_pair()) {
+        let rot = textbook_params(ni, nj, cov);
+        let (a2, b2, c2) = rotate_norms(ni, nj, cov, &rot);
+        prop_assert_eq!(c2, 0.0);
+        prop_assert!((a2 + b2 - (ni + nj)).abs() < 1e-10 * (ni + nj));
+        // PSD 2x2 eigenvalues stay nonnegative (up to roundoff).
+        prop_assert!(a2 >= -1e-9 * (ni + nj) && b2 >= -1e-9 * (ni + nj));
+    }
+
+    #[test]
+    fn packed_symmetric_get_set_roundtrip(n in 1usize..40, i in 0usize..40, j in 0usize..40, v in -1e9f64..1e9) {
+        let (i, j) = (i % n, j % n);
+        let mut d = PackedSymmetric::zeros(n);
+        d.set(i, j, v);
+        prop_assert_eq!(d.get(i, j), v);
+        prop_assert_eq!(d.get(j, i), v);
+        // Exactly one packed slot was written.
+        let written = d.as_slice().iter().filter(|&&x| x != 0.0).count();
+        prop_assert!(written <= 1);
+    }
+
+    #[test]
+    fn round_robin_covers_every_pair(n in 2usize..40) {
+        let sweep = round_robin(n);
+        let mut seen = std::collections::HashSet::new();
+        for (i, j) in sweep.pairs() {
+            prop_assert!(i < j && j < n);
+            prop_assert!(seen.insert((i, j)), "duplicate pair ({i},{j})");
+        }
+        prop_assert_eq!(seen.len(), n * (n - 1) / 2);
+        // Disjointness within rounds.
+        for round in sweep.rounds() {
+            let mut used = std::collections::HashSet::new();
+            for &(i, j) in round {
+                prop_assert!(used.insert(i) && used.insert(j));
+            }
+        }
+    }
+
+    #[test]
+    fn row_cyclic_covers_every_pair(n in 2usize..30) {
+        let sweep = row_cyclic(n);
+        prop_assert_eq!(sweep.pair_count(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn gram_rotation_preserves_trace(seed in 0u64..500, n in 2usize..12) {
+        let a = gen::uniform(3 * n, n, seed);
+        let mut g = GramState::from_matrix(&a);
+        let t0 = g.trace();
+        for (i, j) in round_robin(n).pairs() {
+            let rot = textbook_params(g.norm_sq(i), g.norm_sq(j), g.covariance(i, j));
+            g.rotate(i, j, &rot);
+        }
+        prop_assert!((g.trace() - t0).abs() < 1e-10 * t0.max(1.0));
+    }
+
+    #[test]
+    fn svd_reconstructs_random_input(seed in 0u64..200, m in 2usize..24, n in 1usize..16) {
+        let a = gen::uniform(m, n, seed);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        let err = norms::reconstruction_error(&a, &svd.u, &svd.singular_values, &svd.v);
+        prop_assert!(err < 1e-10, "reconstruction error {err} for {m}x{n} seed {seed}");
+        // Frobenius identity: ‖A‖_F² = Σ σ².
+        let f2 = norms::frobenius_sq(&a);
+        let s2: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        prop_assert!((f2 - s2).abs() < 1e-9 * f2.max(1.0));
+        // Sorted, nonnegative.
+        prop_assert!(svd.singular_values.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_spectrum_is_scale_equivariant(seed in 0u64..100, scale in 1e-3f64..1e3) {
+        let a = gen::uniform(10, 6, seed);
+        let scaled = a.scaled(scale);
+        let s1 = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap().values;
+        let s2 = HestenesSvd::new(SvdOptions::default()).singular_values(&scaled).unwrap().values;
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x * scale - y).abs() < 1e-9 * (x * scale).max(1e-9), "{x} * {scale} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_spectrum(seed in 0u64..100) {
+        let a = gen::uniform(14, 7, seed);
+        let at = a.transpose();
+        let s1 = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap().values;
+        let s2 = HestenesSvd::new(SvdOptions::default()).singular_values(&at).unwrap().values;
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x - y).abs() < 1e-9 * x.max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..100, m in 1usize..10, n in 1usize..10, k in 1usize..10) {
+        // (AB)ᵀ = BᵀAᵀ — exercises the matrix substrate's product/transpose.
+        let a = gen::uniform(m, k, seed);
+        let b = gen::uniform(k, n, seed ^ 1);
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        let diff = norms::frobenius(&ab_t.sub(&bt_at).unwrap());
+        prop_assert!(diff < 1e-10);
+    }
+
+    #[test]
+    fn column_pair_rotation_preserves_frobenius(seed in 0u64..100, theta in -3.1f64..3.1) {
+        let mut a = gen::uniform(12, 5, seed);
+        let before = norms::frobenius_sq(&a);
+        a.column_pair(1, 3).unwrap().rotate(theta.cos(), theta.sin());
+        let after = norms::frobenius_sq(&a);
+        prop_assert!((before - after).abs() < 1e-10 * before.max(1.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn eckart_young_truncation(seed in 0u64..50) {
+        // ‖A − A_r‖_F² = Σ_{t>r} σ_t² — the truncated SVD must achieve the
+        // optimal low-rank error exactly.
+        let sigma = [8.0, 4.0, 2.0, 1.0, 0.5];
+        let a = gen::with_singular_values(20, 5, &sigma, seed);
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        for r in 0..5 {
+            let ar = svd.truncated(r);
+            let err2 = norms::frobenius_sq(&a.sub(&ar).unwrap());
+            let expect: f64 = sigma[r..].iter().map(|s| s * s).sum();
+            prop_assert!((err2 - expect).abs() < 1e-8 * expect.max(1e-8),
+                "rank {r}: err² {err2} vs Σ tail σ² {expect}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_matches_f64_on_well_scaled(seed in 0u64..30) {
+        let a = gen::uniform(12, 5, seed);
+        let rep = hjsvd::baselines::fixed_point::fixed_point_singular_values(&a, 12);
+        prop_assert!(!rep.stats.any(), "unexpected overflow: {:?}", rep.stats);
+        let exact = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
+        for (x, y) in rep.singular_values.iter().zip(&exact.values) {
+            prop_assert!((x - y).abs() < 1e-3 * y.max(1.0), "fixed {x} vs exact {y}");
+        }
+    }
+
+    #[test]
+    fn cordic_agrees_with_direct_formula(
+        (ni, nj) in (0.01f64..100.0, 0.01f64..100.0),
+        frac in -0.99f64..0.99,
+    ) {
+        let cov = frac * (ni * nj).sqrt();
+        let engine = hjsvd::baselines::cordic::Cordic::new(54);
+        let (cc, cs) = engine.jacobi_params(ni, nj, cov);
+        let direct = textbook_params(ni, nj, cov);
+        prop_assert!((cc - direct.cos).abs() < 1e-7, "cos {cc} vs {}", direct.cos);
+        prop_assert!((cs - direct.sin).abs() < 1e-7, "sin {cs} vs {}", direct.sin);
+    }
+}
