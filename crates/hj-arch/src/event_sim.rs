@@ -153,8 +153,7 @@ pub fn event_simulate(config: &ArchConfig, m: usize, n: usize) -> EventSimReport
                     true
                 }
             });
-            report.angle_fifo_high_water =
-                report.angle_fifo_high_water.max(angle_fifo.occupancy());
+            report.angle_fifo_high_water = report.angle_fifo_high_water.max(angle_fifo.occupancy());
 
             // 3. Update operator consumes one angle bundle's work at a time.
             if machine.update_queue == 0 && !angle_fifo.is_empty() {

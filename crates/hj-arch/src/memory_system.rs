@@ -43,7 +43,8 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Instantiate per the configuration.
     pub fn new(config: ArchConfig) -> Self {
-        let max_words = (config.bram_covariance_max_n * (config.bram_covariance_max_n + 1) / 2) as u64;
+        let max_words =
+            (config.bram_covariance_max_n * (config.bram_covariance_max_n + 1) / 2) as u64;
         MemorySystem {
             channel: OffChipChannel::new(
                 config.offchip_bytes_per_cycle,

@@ -96,8 +96,7 @@ pub fn estimate(config: &MultiAeConfig, m: usize, n: usize) -> MultiAeEstimate {
     let sched = preprocess_schedule(base, m, n);
     let packed_words = (n * (n + 1) / 2) as u64;
     let reduce_cycles = if config.engines > 1 {
-        (packed_words * 8).div_ceil(base.offchip_bytes_per_cycle as u64)
-            * (config.engines - 1)
+        (packed_words * 8).div_ceil(base.offchip_bytes_per_cycle as u64) * (config.engines - 1)
     } else {
         0
     };

@@ -13,9 +13,9 @@
 //! input FIFOs); the phase takes the max of the two plus pipeline fill.
 
 use crate::config::ArchConfig;
+use hj_core::GramState;
 use hj_fpsim::{Cycles, Fifo, PipelinedUnit};
 use hj_matrix::Matrix;
-use hj_core::GramState;
 
 /// Cycle report for the preprocessing phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

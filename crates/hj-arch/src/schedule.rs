@@ -124,10 +124,7 @@ mod tests {
     #[test]
     fn bound_is_max_of_streams() {
         let s = preprocess_schedule(&paper_cfg(), 64, 64);
-        assert_eq!(
-            s.bound_cycles(),
-            s.feed_cycles.max(s.compute_cycles).max(s.offchip_cycles)
-        );
+        assert_eq!(s.bound_cycles(), s.feed_cycles.max(s.compute_cycles).max(s.offchip_cycles));
     }
 
     #[test]

@@ -171,9 +171,8 @@ impl HestenesJacobiArch {
         // ---- Sweep 1: Gram build, then rotations + column & covariance
         //      updates on the base 8 kernels. -----------------------------
         let pre = preprocessor.cycles_for_gram(m, n);
-        let fill = rotation_unit.result_latency()
-            + cfg.latencies.mul.latency
-            + cfg.latencies.add.latency;
+        let fill =
+            rotation_unit.result_latency() + cfg.latencies.mul.latency + cfg.latencies.add.latency;
 
         let mut per_sweep = Vec::with_capacity(cfg.sweeps);
         let mut total: Cycles = pre.total_cycles + io.matrix_stream_cycles;
@@ -193,7 +192,13 @@ impl HestenesJacobiArch {
             let update_cycles = update_operator.issue(cov_pairs + col_pairs);
             let io_cycles = io.covariance_spill_cycles_per_sweep;
             let total_cycles = rotation_cycles.max(update_cycles).max(io_cycles) + fill;
-            per_sweep.push(SweepCycles { sweep: s, rotation_cycles, update_cycles, io_cycles, total_cycles });
+            per_sweep.push(SweepCycles {
+                sweep: s,
+                rotation_cycles,
+                update_cycles,
+                io_cycles,
+                total_cycles,
+            });
             total += total_cycles;
 
             // Functional: apply the sweep's rotations in grouped cyclic
@@ -201,7 +206,8 @@ impl HestenesJacobiArch {
             if let Some(g) = gram.as_mut() {
                 for group in order.grouped(cfg.pair_group) {
                     for (i, j) in group {
-                        let rot = rotation_unit.compute(g.norm_sq(i), g.norm_sq(j), g.covariance(i, j));
+                        let rot =
+                            rotation_unit.compute(g.norm_sq(i), g.norm_sq(j), g.covariance(i, j));
                         if !rot.is_identity() {
                             g.rotate(i, j, &rot);
                         }

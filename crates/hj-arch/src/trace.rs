@@ -93,13 +93,21 @@ pub fn trace_group(config: &ArchConfig, pairs: u64, n: usize, kernels: u64) -> G
     push(first_result, Component::AngleStore, "cos/sin written".into());
     push(first_result, Component::Fifo, "rotation→update FIFO push".into());
     // Diagonal updates are O(1) per pair on the rotation unit's adders.
-    push(first_result + config.latencies.add.latency, Component::GramStore, "diagonal norms updated".into());
+    push(
+        first_result + config.latencies.add.latency,
+        Component::GramStore,
+        "diagonal norms updated".into(),
+    );
     // Update kernels drain (n − 2) covariance element-pairs per rotation.
     let update_pairs = pairs * (n.saturating_sub(2)) as u64;
     let update_fill = config.latencies.mul.latency + config.latencies.add.latency;
     let update_stream = if update_pairs == 0 { 0 } else { update_pairs.div_ceil(kernels) - 1 };
     let update_start = first_result + 1;
-    push(update_start, Component::UpdateOperator, format!("start {update_pairs} covariance pair-updates on {kernels} kernels"));
+    push(
+        update_start,
+        Component::UpdateOperator,
+        format!("start {update_pairs} covariance pair-updates on {kernels} kernels"),
+    );
     let completion_cycle = update_start + update_fill + update_stream;
     push(completion_cycle, Component::UpdateOperator, "last covariance retired".into());
     push(completion_cycle, Component::Fifo, "group drained".into());

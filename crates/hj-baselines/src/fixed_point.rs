@@ -247,8 +247,8 @@ pub fn fixed_point_singular_values(a: &hj_matrix::Matrix, sweeps: usize) -> Fixe
             let hyp = Fixed::ONE.add(zeta.mul(zeta, &mut stats), &mut stats).sqrt();
             let tmag = Fixed::ONE.div(zabs.add(hyp, &mut stats), &mut stats);
             let t = if zeta.raw >= 0 { tmag } else { Fixed::ZERO.sub(tmag, &mut stats) };
-            let cos = Fixed::ONE
-                .div(Fixed::ONE.add(t.mul(t, &mut stats), &mut stats).sqrt(), &mut stats);
+            let cos =
+                Fixed::ONE.div(Fixed::ONE.add(t.mul(t, &mut stats), &mut stats).sqrt(), &mut stats);
             let sin = cos.mul(t, &mut stats);
             // Diagonal update.
             let tc = t.mul(cov, &mut stats);
@@ -344,9 +344,8 @@ mod tests {
         let a = gen::uniform(16, 6, 21);
         let rep = fixed_point_singular_values(&a, 10);
         assert!(!rep.stats.any(), "no overflow expected: {:?}", rep.stats);
-        let exact = hj_core::HestenesSvd::new(hj_core::SvdOptions::default())
-            .singular_values(&a)
-            .unwrap();
+        let exact =
+            hj_core::HestenesSvd::new(hj_core::SvdOptions::default()).singular_values(&a).unwrap();
         for (x, y) in rep.singular_values.iter().zip(&exact.values) {
             assert!((x - y).abs() < 1e-3 * y.max(1.0), "fixed {x} vs exact {y}");
         }

@@ -155,8 +155,8 @@ mod tests {
         let t2 = model.hestenes_time(1024, 64, 6);
         assert!(t2 > t1);
         // Same pair count, so the sync term cancels in the difference.
-        let compute_ratio = (t2 - t1) / (12.0 * (1024.0 - 128.0) * 6.0 * (64.0 * 63.0 / 2.0)
-            / model.hestenes_flops);
+        let compute_ratio = (t2 - t1)
+            / (12.0 * (1024.0 - 128.0) * 6.0 * (64.0 * 63.0 / 2.0) / model.hestenes_flops);
         assert!((compute_ratio - 1.0).abs() < 1e-9);
     }
 

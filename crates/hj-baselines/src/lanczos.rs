@@ -121,9 +121,8 @@ pub fn lanczos_svd(a: &Matrix, k: usize, opts: LanczosOptions) -> SvdFactors {
             b.set(j, j + 1, beta[j]);
         }
     }
-    let core = HestenesSvd::new(SvdOptions::default())
-        .decompose(&b)
-        .expect("bidiagonal core is finite");
+    let core =
+        HestenesSvd::new(SvdOptions::default()).decompose(&b).expect("bidiagonal core is finite");
 
     let kk = k.min(core.singular_values.len());
     let u_out = u_basis.leading_columns(s).matmul(&core.u.leading_columns(kk)).expect("shapes");

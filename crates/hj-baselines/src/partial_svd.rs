@@ -82,11 +82,7 @@ pub fn randomized_svd(a: &Matrix, k: usize, opts: PartialSvdOptions) -> SvdFacto
 
     let kk = k.min(core.singular_values.len());
     let u = q.matmul(&core.v.leading_columns(kk)).expect("shape: (m×s)·(s×k)");
-    SvdFactors {
-        u,
-        sigma: core.singular_values[..kk].to_vec(),
-        v: core.u.leading_columns(kk),
-    }
+    SvdFactors { u, sigma: core.singular_values[..kk].to_vec(), v: core.u.leading_columns(kk) }
 }
 
 #[cfg(test)]
@@ -116,10 +112,7 @@ mod tests {
         // Residual ‖A − U_k Σ_k V_kᵀ‖_F vs Eckart-Young optimum.
         let err = norms::reconstruction_error(&a, &f.u, &f.sigma, &f.v) * norms::frobenius(&a);
         let optimal: f64 = sigma[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
-        assert!(
-            err < optimal * 1.05 + 1e-10,
-            "randomized error {err} vs optimal {optimal}"
-        );
+        assert!(err < optimal * 1.05 + 1e-10, "randomized error {err} vs optimal {optimal}");
     }
 
     #[test]
@@ -151,11 +144,8 @@ mod tests {
         let a = gen::uniform(50, 20, 13);
         // Random matrices have flat spectra — the hard case; power
         // iterations still get the leading values to ~1e-3 relative.
-        let f = randomized_svd(
-            &a,
-            5,
-            PartialSvdOptions { power_iterations: 4, ..Default::default() },
-        );
+        let f =
+            randomized_svd(&a, 5, PartialSvdOptions { power_iterations: 4, ..Default::default() });
         let full = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
         for (got, want) in f.sigma.iter().zip(&full.values) {
             assert!(

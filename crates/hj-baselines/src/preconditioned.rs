@@ -44,11 +44,7 @@ pub fn svd(a: &Matrix, options: SvdOptions) -> Result<PreconditionedSvd, SvdErro
         let t = a.transpose();
         let out = svd_tall(&t, options)?;
         Ok(PreconditionedSvd {
-            factors: SvdFactors {
-                u: out.factors.v,
-                sigma: out.factors.sigma,
-                v: out.factors.u,
-            },
+            factors: SvdFactors { u: out.factors.v, sigma: out.factors.sigma, v: out.factors.u },
             sweeps_on_r: out.sweeps_on_r,
         })
     }
@@ -130,10 +126,7 @@ mod tests {
         // Per sweep, column rotations cost ~6·rows·pairs flops.
         let flops_pre = pre.sweeps_on_r * 6 * n * (n * (n - 1) / 2);
         let flops_plain = plain.sweeps * 6 * m * (n * (n - 1) / 2);
-        assert!(
-            flops_pre < flops_plain,
-            "preconditioned {flops_pre} flops vs plain {flops_plain}"
-        );
+        assert!(flops_pre < flops_plain, "preconditioned {flops_pre} flops vs plain {flops_plain}");
         // Reconstruction holds at full precision; U-orthonormality is
         // checked on the columns above the √eps·σ_max noise floor (left
         // singular vectors of σ ≈ 1e-10 carry O(eps·σ_max/σ) error in any

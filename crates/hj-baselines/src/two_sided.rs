@@ -262,9 +262,7 @@ mod tests {
     fn agrees_with_hestenes() {
         let a = gen::uniform(10, 10, 44);
         let two = svd(&a, 30).unwrap();
-        let one = hj_core::HestenesSvd::new(hj_core::SvdOptions::default())
-            .decompose(&a)
-            .unwrap();
+        let one = hj_core::HestenesSvd::new(hj_core::SvdOptions::default()).decompose(&a).unwrap();
         let d = norms::spectrum_disagreement(&two.sigma, &one.singular_values);
         assert!(d < 1e-10, "spectra disagree by {d}");
     }

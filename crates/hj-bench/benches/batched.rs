@@ -1,0 +1,54 @@
+//! Batched SVD throughput: a loop of one-at-a-time solves vs
+//! [`HestenesSvd::decompose_batch`] fanning the same solves across the
+//! thread pool. The acceptance target is a >2× speedup at 4 threads on 64
+//! independent 64×16 decompositions (set `RAYON_NUM_THREADS=4`); results
+//! are bit-identical either way, so the bench also asserts that once up
+//! front.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hj_core::{HestenesSvd, SvdOptions};
+use hj_matrix::{gen, Matrix};
+
+const BATCH: usize = 64;
+const ROWS: usize = 64;
+const COLS: usize = 16;
+
+fn batch_inputs() -> Vec<Matrix> {
+    (0..BATCH as u64).map(|k| gen::uniform(ROWS, COLS, 1000 + k)).collect()
+}
+
+fn assert_batch_matches_loop(solver: &HestenesSvd, mats: &[Matrix]) {
+    let batch = solver.decompose_batch(mats);
+    for (k, res) in batch.iter().enumerate() {
+        let one = solver.decompose(&mats[k]).unwrap();
+        let b = res.as_ref().unwrap();
+        assert_eq!(b.singular_values, one.singular_values, "batch diverged at slot {k}");
+    }
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mats = batch_inputs();
+    let solver = HestenesSvd::new(SvdOptions::default());
+    assert_batch_matches_loop(&solver, &mats);
+
+    let mut g = c.benchmark_group("batched_svd");
+    g.sample_size(10);
+    let id = format!("{BATCH}x({ROWS}x{COLS})");
+    g.bench_with_input(BenchmarkId::new("sequential_loop", &id), &mats, |b, mats| {
+        b.iter(|| {
+            for m in mats {
+                black_box(solver.decompose(black_box(m)).unwrap());
+            }
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("decompose_batch", &id), &mats, |b, mats| {
+        b.iter(|| black_box(solver.decompose_batch(black_box(mats))))
+    });
+    g.bench_with_input(BenchmarkId::new("values_only_batch", &id), &mats, |b, mats| {
+        b.iter(|| black_box(solver.singular_values_batch(black_box(mats))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched);
+criterion_main!(benches);

@@ -18,8 +18,11 @@ fn bench_gram(c: &mut Criterion) {
             b.iter_batched(
                 || base.clone(),
                 |mut gram| {
-                    let rot =
-                        textbook_params(gram.norm_sq(0), gram.norm_sq(n - 1), gram.covariance(0, n - 1));
+                    let rot = textbook_params(
+                        gram.norm_sq(0),
+                        gram.norm_sq(n - 1),
+                        gram.covariance(0, n - 1),
+                    );
                     gram.rotate(0, n - 1, &rot);
                     black_box(gram)
                 },

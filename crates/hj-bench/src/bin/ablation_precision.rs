@@ -15,10 +15,7 @@ use hj_core::{HestenesSvd, SvdOptions};
 use hj_matrix::{gen, Matrix};
 
 fn worst_rel_error(got: &[f64], want: &[f64]) -> f64 {
-    got.iter()
-        .zip(want)
-        .map(|(g, w)| (g - w).abs() / w.max(1e-300))
-        .fold(0.0f64, f64::max)
+    got.iter().zip(want).map(|(g, w)| (g - w).abs() / w.max(1e-300)).fold(0.0f64, f64::max)
 }
 
 fn main() {

@@ -13,8 +13,10 @@ use hj_bench::{fmt_secs, print_table, write_csv};
 fn main() {
     println!("Ablation A5: preprocessor reconfiguration on/off\n");
     let with = HestenesJacobiArch::new(ArchConfig::paper());
-    let without =
-        HestenesJacobiArch::new(ArchConfig { enable_reconfiguration: false, ..ArchConfig::paper() });
+    let without = HestenesJacobiArch::new(ArchConfig {
+        enable_reconfiguration: false,
+        ..ArchConfig::paper()
+    });
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -22,12 +24,7 @@ fn main() {
         let t_on = with.estimate(m, n).seconds;
         let t_off = without.estimate(m, n).seconds;
         let gain = t_off / t_on;
-        rows.push(vec![
-            format!("{m}x{n}"),
-            fmt_secs(t_on),
-            fmt_secs(t_off),
-            format!("{gain:.2}x"),
-        ]);
+        rows.push(vec![format!("{m}x{n}"), fmt_secs(t_on), fmt_secs(t_off), format!("{gain:.2}x")]);
         csv.push(vec![
             m.to_string(),
             n.to_string(),

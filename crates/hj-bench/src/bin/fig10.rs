@@ -21,7 +21,8 @@ const SWEEPS: usize = 8;
 
 fn main() {
     let full = has_flag("--full");
-    let sizes: &[usize] = if full { &[64, 128, 256, 512, 1024, 2048] } else { &[64, 128, 256, 512] };
+    let sizes: &[usize] =
+        if full { &[64, 128, 256, 512, 1024, 2048] } else { &[64, 128, 256, 512] };
 
     println!("Fig. 10: mean |covariance| after each sweep, square n x n random matrices\n");
     let mut rows = Vec::new();

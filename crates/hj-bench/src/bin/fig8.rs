@@ -50,7 +50,13 @@ fn main() {
         }
     }
     print_table(
-        &["m x n", "architecture", "software (measured)", "software (era-scaled)", "GPU Householder"],
+        &[
+            "m x n",
+            "architecture",
+            "software (measured)",
+            "software (era-scaled)",
+            "GPU Householder",
+        ],
         &table,
     );
     println!("\nshape check: within each n-block, architecture times grow slowly with m");

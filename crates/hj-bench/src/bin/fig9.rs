@@ -37,11 +37,7 @@ fn main() {
             let raw = t_sw / t_arch;
             let era = raw * ERA_SLOWDOWN;
             era_speedups.push(era);
-            table.push(vec![
-                format!("{m}x{n}"),
-                format!("{raw:.2}x"),
-                format!("{era:.1}x"),
-            ]);
+            table.push(vec![format!("{m}x{n}"), format!("{raw:.2}x"), format!("{era:.1}x")]);
             csv.push(vec![
                 m.to_string(),
                 n.to_string(),
@@ -57,11 +53,8 @@ fn main() {
     let max = era_speedups.iter().cloned().fold(0.0f64, f64::max);
     println!("\nera-scaled speedup range over the grid: {min:.1}x .. {max:.1}x");
     println!("paper's claim for the same grid:        3.8x .. 43.6x");
-    match write_csv(
-        "fig9",
-        &["m", "n", "arch_s", "software_s", "speedup_raw", "speedup_era"],
-        &csv,
-    ) {
+    match write_csv("fig9", &["m", "n", "arch_s", "software_s", "speedup_raw", "speedup_era"], &csv)
+    {
         Ok(p) => println!("csv: {p}"),
         Err(e) => eprintln!("csv write failed: {e}"),
     }

@@ -43,12 +43,7 @@ fn main() {
     // Accuracy spot-check: the partial solver's leading values match.
     let part = randomized_svd(&a, RANK, PartialSvdOptions::default());
     let full = householder::singular_values(&a).expect("full svd");
-    let worst = part
-        .sigma
-        .iter()
-        .zip(&full)
-        .map(|(p, f)| (p - f).abs() / f)
-        .fold(0.0f64, f64::max);
+    let worst = part.sigma.iter().zip(&full).map(|(p, f)| (p - f).abs() / f).fold(0.0f64, f64::max);
 
     let rows = vec![
         vec!["15x partial (randomized)".into(), fmt_secs(t_partial)],

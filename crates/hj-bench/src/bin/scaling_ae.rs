@@ -37,8 +37,7 @@ fn main() {
     print_table(&["m x n", "1 AE", "2 AE", "4 AE (HC-2)", "8 AE"], &rows);
     println!("\nexpected: near-linear scaling while covariance updates dominate (large n),");
     println!("saturating at the serial rotation unit's 8-per-64-cycle issue rate.");
-    match write_csv("scaling_ae", &["m", "n", "engines", "cycles", "speedup", "efficiency"], &csv)
-    {
+    match write_csv("scaling_ae", &["m", "n", "engines", "cycles", "speedup", "efficiency"], &csv) {
         Ok(p) => println!("csv: {p}"),
         Err(e) => eprintln!("csv write failed: {e}"),
     }

@@ -1,0 +1,143 @@
+//! Batched solves over independent matrices.
+//!
+//! The paper's architecture processes one decomposition at a time, but the
+//! motivating workloads (PCA over many sensor windows, blocks of a larger
+//! problem) arrive as *batches* of independent matrices. These drivers fan
+//! the batch across the thread pool, one solve per matrix:
+//!
+//! * **Deterministic ordering** — result `k` always corresponds to input
+//!   `k`, regardless of which worker ran it or in what order solves
+//!   finished.
+//! * **Bit-identical results** — each solve is the exact same computation as
+//!   its one-at-a-time counterpart (the engines are bit-deterministic at any
+//!   thread count, and a solve running on a pool worker degrades its own
+//!   inner parallelism to inline execution, which computes the same bits).
+//! * **Per-solve isolation** — a bad input (e.g. NaN → `NonFiniteInput`)
+//!   yields an `Err` in its own slot and leaves every other solve untouched.
+
+use crate::svd::{HestenesSvd, SingularValues, Svd};
+use crate::SvdError;
+use hj_matrix::Matrix;
+use rayon::prelude::*;
+
+impl HestenesSvd {
+    /// Decompose every matrix of the batch with this solver's options.
+    ///
+    /// ```
+    /// use hj_core::{HestenesSvd, SvdOptions};
+    /// use hj_matrix::gen;
+    ///
+    /// let mats: Vec<_> = (0..4).map(|k| gen::uniform(16, 6, k)).collect();
+    /// let solver = HestenesSvd::new(SvdOptions::default());
+    /// let results = solver.decompose_batch(&mats);
+    /// assert_eq!(results.len(), 4);
+    /// assert!(results.iter().all(|r| r.is_ok()));
+    /// ```
+    pub fn decompose_batch(&self, mats: &[Matrix]) -> Vec<Result<Svd, SvdError>> {
+        self.batch(mats, |m| self.decompose(m))
+    }
+
+    /// Values-only counterpart of [`HestenesSvd::decompose_batch`].
+    pub fn singular_values_batch(&self, mats: &[Matrix]) -> Vec<Result<SingularValues, SvdError>> {
+        self.batch(mats, |m| self.singular_values(m))
+    }
+
+    fn batch<T, F>(&self, mats: &[Matrix], solve: F) -> Vec<Result<T, SvdError>>
+    where
+        T: Send,
+        F: Fn(&Matrix) -> Result<T, SvdError> + Sync,
+    {
+        let mut out: Vec<Option<Result<T, SvdError>>> = (0..mats.len()).map(|_| None).collect();
+        out.par_iter_mut().enumerate().for_each(|(k, slot)| *slot = Some(solve(&mats[k])));
+        out.into_iter().map(|r| r.expect("every batch slot is filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Convergence, SvdOptions};
+    use hj_matrix::gen;
+
+    fn mixed_batch() -> Vec<Matrix> {
+        vec![
+            gen::uniform(20, 6, 1),
+            gen::uniform(9, 9, 2),
+            gen::uniform(6, 20, 3), // wide
+            gen::with_singular_values(24, 4, &[8.0, 4.0, 2.0, 1.0], 4),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_bitwise() {
+        let mats = mixed_batch();
+        for parallel in [false, true] {
+            let solver = HestenesSvd::new(SvdOptions { parallel, ..Default::default() });
+            let batch = solver.decompose_batch(&mats);
+            assert_eq!(batch.len(), mats.len());
+            for (k, res) in batch.iter().enumerate() {
+                let one = solver.decompose(&mats[k]).unwrap();
+                let b = res.as_ref().unwrap();
+                assert_eq!(b.u.as_slice(), one.u.as_slice(), "U[{k}] differs");
+                assert_eq!(b.singular_values, one.singular_values, "σ[{k}] differs");
+                assert_eq!(b.v.as_slice(), one.v.as_slice(), "V[{k}] differs");
+                assert_eq!(b.sweeps, one.sweeps);
+            }
+        }
+    }
+
+    #[test]
+    fn values_batch_matches_sequential_bitwise() {
+        let mats = mixed_batch();
+        let solver = HestenesSvd::new(SvdOptions::default());
+        let batch = solver.singular_values_batch(&mats);
+        for (k, res) in batch.iter().enumerate() {
+            let one = solver.singular_values(&mats[k]).unwrap();
+            assert_eq!(res.as_ref().unwrap().values, one.values, "σ[{k}] differs");
+        }
+    }
+
+    #[test]
+    fn bad_input_does_not_poison_the_batch() {
+        let mut mats = mixed_batch();
+        let mut poisoned = Matrix::zeros(5, 3);
+        poisoned.set(2, 1, f64::NAN);
+        mats.insert(2, poisoned);
+        mats.push(Matrix::zeros(0, 4)); // empty → EmptyInput
+
+        let solver = HestenesSvd::new(SvdOptions::default());
+        let batch = solver.decompose_batch(&mats);
+        assert_eq!(batch.len(), mats.len());
+        assert!(matches!(batch[2], Err(SvdError::NonFiniteInput)));
+        assert!(matches!(batch[mats.len() - 1], Err(SvdError::EmptyInput)));
+        for (k, res) in batch.iter().enumerate() {
+            if k == 2 || k == mats.len() - 1 {
+                continue;
+            }
+            let one = solver.decompose(&mats[k]).unwrap();
+            let b = res.as_ref().expect("good input must solve");
+            assert_eq!(b.singular_values, one.singular_values, "slot {k} perturbed");
+        }
+    }
+
+    #[test]
+    fn per_solve_errors_are_positional() {
+        // An unconverged wide truncation errors in its own slot too.
+        let mats = vec![gen::uniform(6, 20, 5), gen::uniform(20, 6, 5)];
+        let opts = SvdOptions {
+            convergence: Convergence::FixedSweeps(1),
+            max_sweeps: 1,
+            ..Default::default()
+        };
+        let batch = HestenesSvd::new(opts).singular_values_batch(&mats);
+        assert!(matches!(batch[0], Err(SvdError::TruncatedTailNotNegligible)));
+        assert!(batch[1].is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let solver = HestenesSvd::new(SvdOptions::default());
+        assert!(solver.decompose_batch(&[]).is_empty());
+        assert!(solver.singular_values_batch(&[]).is_empty());
+    }
+}

@@ -143,9 +143,7 @@ mod tests {
     fn eigenvalues_are_squared_singular_values() {
         let a = gen::uniform(25, 7, 2);
         let e = eigh(&a.gram(), 1e-14).unwrap();
-        let sv = crate::HestenesSvd::new(crate::SvdOptions::default())
-            .singular_values(&a)
-            .unwrap();
+        let sv = crate::HestenesSvd::new(crate::SvdOptions::default()).singular_values(&a).unwrap();
         for (l, s) in e.eigenvalues.iter().zip(&sv.values) {
             assert!((l - s * s).abs() < 1e-9 * (s * s).max(1.0), "λ {l} vs σ² {}", s * s);
         }

@@ -12,6 +12,13 @@ pub enum SvdError {
     ParallelNeedsRoundRobin,
     /// `max_sweeps` was 0; at least one sweep is required.
     ZeroSweepBudget,
+    /// Values-only mode on a wide matrix (`m < n`) truncates the Gram
+    /// spectrum from `n` to `m` entries; the discarded tail must be
+    /// numerically zero (rank(A) ≤ m guarantees this once converged). A
+    /// non-negligible tail means the iteration had not converged enough for
+    /// the truncation to be sound, so the driver refuses to return silently
+    /// wrong values. Raise the sweep budget or loosen the stopping rule.
+    TruncatedTailNotNegligible,
 }
 
 impl fmt::Display for SvdError {
@@ -23,6 +30,11 @@ impl fmt::Display for SvdError {
                 write!(f, "parallel execution requires the round-robin ordering")
             }
             SvdError::ZeroSweepBudget => write!(f, "max_sweeps must be at least 1"),
+            SvdError::TruncatedTailNotNegligible => write!(
+                f,
+                "wide-matrix truncation would discard non-negligible spectrum mass \
+                 (iteration not converged; increase the sweep budget)"
+            ),
         }
     }
 }
@@ -39,5 +51,6 @@ mod tests {
         assert!(SvdError::NonFiniteInput.to_string().contains("NaN"));
         assert!(SvdError::ParallelNeedsRoundRobin.to_string().contains("round-robin"));
         assert!(SvdError::ZeroSweepBudget.to_string().contains("at least 1"));
+        assert!(SvdError::TruncatedTailNotNegligible.to_string().contains("non-negligible"));
     }
 }

@@ -102,6 +102,17 @@ impl GramState {
         self.d
     }
 
+    /// O(1)-swap the maintained `D` with `buf` — the publish step of the
+    /// double-buffered parallel round update ([`crate::parallel`]). `buf`
+    /// must hold a same-dimension triangle (the new `D` after the round).
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn swap_packed(&mut self, buf: &mut PackedSymmetric) {
+        assert_eq!(self.d.dim(), buf.dim(), "swap_packed: dimension mismatch");
+        self.d.swap(buf);
+    }
+
     /// Apply the plane rotation `rot` of column pair `(i, j)` to `D`
     /// (Algorithm 1 lines 15–26, with the required temporaries).
     ///

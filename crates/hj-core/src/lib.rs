@@ -18,7 +18,12 @@
 //!   row-cyclic order of the pseudocode.
 //! * [`sweep`] — sequential sweep drivers (gram-only and full).
 //! * [`parallel`] — round-synchronous rayon drivers exploiting the same
-//!   disjoint-pair structure the hardware's parallel groups use.
+//!   disjoint-pair structure the hardware's parallel groups use, built on a
+//!   reusable zero-allocation [`parallel::SweepWorkspace`].
+//! * [`batch`] — batched drivers ([`HestenesSvd::decompose_batch`]) fanning
+//!   independent solves across the pool with per-solve error isolation.
+//! * [`stats`] — [`SolveStats`] observability record (timings, rotation
+//!   counts, allocation events, Gram traffic) attached to every solve.
 //! * [`convergence`] — stopping rules and per-sweep instrumentation
 //!   (the paper's Figs. 10–11 metric).
 //! * [`svd`] — user-facing drivers: [`HestenesSvd::singular_values`]
@@ -43,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod convergence;
 pub mod eigh;
 mod error;
@@ -52,13 +58,16 @@ pub mod ordering;
 pub mod parallel;
 pub mod pca;
 pub mod rotation;
-pub mod sweep;
+pub mod stats;
 pub mod svd;
+pub mod sweep;
 
 pub use convergence::{Convergence, SweepRecord};
 pub use error::SvdError;
 pub use gram::GramState;
 pub use ordering::Ordering;
+pub use parallel::SweepWorkspace;
 pub use pca::Pca;
 pub use rotation::{hardware_params, textbook_params, Rotation};
+pub use stats::SolveStats;
 pub use svd::{HestenesSvd, SingularValues, Svd, SvdOptions};

@@ -14,8 +14,24 @@
 //!    computed from the old `D` in parallel — double-buffering instead of
 //!    locks, exactly the "compute group, then update" phasing of the
 //!    hardware's FIFO-synchronized pipeline;
-//! 3. column (and `V`) rotations touch disjoint column pairs and are
-//!    parallelized directly.
+//! 3. column (and `V`) rotations are applied the same way: the new column
+//!    set is written into a back buffer from the old one (each column reads
+//!    only itself and its round partner), then the buffers swap.
+//!
+//! # Zero allocation after warm-up
+//!
+//! All scratch — the back triangle, the per-column roles, the pair lookup,
+//! the rotation list, the triangle row offsets, and the column back buffer —
+//! lives in a reusable [`SweepWorkspace`]. A problem's first sweep sizes it
+//! (the warm-up); every later round of that problem runs with **zero heap
+//! allocations**: buffers are swapped, never reallocated, and the
+//! thread-pool dispatch itself is allocation-free. Because swap-publishing
+//! trades buffers with the caller's matrices, pointing a warm workspace at a
+//! *new* problem may cost a bounded handful of buffer exchanges in that
+//! problem's first sweep — never per round or per sweep.
+//! `tests/zero_alloc.rs` pins both halves down with a counting global
+//! allocator, and [`SweepWorkspace::allocations`] exposes the warm-up count
+//! to [`crate::SolveStats`].
 //!
 //! Determinism: given the same input and ordering, the parallel driver
 //! produces bit-identical results to itself at any thread count (the
@@ -30,7 +46,6 @@ use crate::ordering::Sweep;
 use crate::rotation::{pair_converged, textbook_params, Rotation};
 use crate::sweep::{finish_record, PAIR_TOL};
 use hj_matrix::{Matrix, PackedSymmetric};
-use rayon::prelude::*;
 
 /// Per-column rotation role within a round: `new_col_p = alpha·col_p + beta·col_partner`.
 #[derive(Clone, Copy)]
@@ -44,17 +59,119 @@ impl Role {
     const UNPAIRED: Role = Role { alpha: 1.0, beta: 0.0, partner: usize::MAX };
 }
 
-/// Compute the rotation set for one round from the current `D` snapshot.
-/// Returns the per-column roles, the per-pair rotations, and counts of
-/// applied/skipped pairs.
-/// One planned round: per-column roles, the pair rotations, and the
-/// applied/skipped counts.
-type RoundPlan = (Vec<Role>, Vec<(usize, usize, Rotation)>, usize, usize);
+/// Reusable scratch for the round-synchronous parallel drivers.
+///
+/// Holds the double-buffered packed triangle, the per-column role/pair
+/// lookups, the rotation list, the triangle row offsets, and the column
+/// back buffer. Sized lazily on first use (the warm-up) and resized only
+/// when a larger problem arrives; steady-state rounds allocate nothing.
+/// One workspace may serve solves of different shapes back to back — each
+/// `prepare` re-derives the layout from the incoming dimensions.
+///
+/// ```
+/// use hj_core::parallel::{parallel_sweep_gram_ws, SweepWorkspace};
+/// use hj_core::{ordering::round_robin, GramState};
+/// use hj_matrix::gen;
+///
+/// let a = gen::uniform(30, 12, 17);
+/// let mut g = GramState::from_matrix(&a);
+/// let order = round_robin(12);
+/// let mut ws = SweepWorkspace::new();
+/// for s in 1..=10 {
+///     parallel_sweep_gram_ws(&mut g, &order, s, &mut ws); // allocates only on s == 1
+/// }
+/// assert!(g.max_abs_covariance() < 1e-12 * g.trace());
+/// ```
+#[derive(Default)]
+pub struct SweepWorkspace {
+    /// Back buffer for the double-buffered `D` update.
+    back: PackedSymmetric,
+    /// Role of every column in the current round.
+    roles: Vec<Role>,
+    /// `pair_of[p]` = index into `rotations` if `p` is paired this round.
+    pair_of: Vec<usize>,
+    /// The current round's planned rotations.
+    rotations: Vec<(usize, usize, Rotation)>,
+    /// `n + 1` ascending offsets of the packed triangle's rows.
+    row_starts: Vec<usize>,
+    /// Back buffer for column (and `V`) rotations, resized between uses
+    /// (length changes are free once capacity covers the largest matrix).
+    col_back: Vec<f64>,
+    /// Buffer creations/growths performed so far (warm-up accounting).
+    allocations: usize,
+    /// Modeled bytes of packed-triangle traffic (see [`crate::SolveStats`]).
+    gram_bytes: u64,
+}
 
-fn plan_round(gram: &GramState, round: &[(usize, usize)]) -> RoundPlan {
+impl SweepWorkspace {
+    /// Create an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        SweepWorkspace::default()
+    }
+
+    /// Heap allocation events performed by this workspace so far. Constant
+    /// across steady-state rounds — the zero-allocation invariant.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Accumulated modeled bytes of packed-triangle (Gram) traffic.
+    pub fn gram_bytes(&self) -> u64 {
+        self.gram_bytes
+    }
+
+    /// Size the Gram-side buffers for dimension `n` (no-op once sized).
+    fn prepare(&mut self, n: usize) {
+        if self.back.dim() != n {
+            if self.back.reset_for_dim(n) {
+                self.allocations += 1;
+            }
+            self.row_starts.clear();
+            if self.row_starts.capacity() < n + 1 {
+                self.allocations += 1;
+            }
+            // Row p of the triangle starts after rows 0..p, which hold
+            // n + (n-1) + … + (n-p+1) = p·(2n − p + 1)/2 entries.
+            self.row_starts.extend((0..=n).map(|p| p * (2 * n + 1 - p) / 2));
+        }
+        if self.roles.capacity() < n {
+            self.allocations += 1;
+            self.roles.reserve(n - self.roles.capacity());
+        }
+        if self.pair_of.capacity() < n {
+            self.allocations += 1;
+            self.pair_of.reserve(n - self.pair_of.capacity());
+        }
+        if self.rotations.capacity() < n / 2 + 1 {
+            self.allocations += 1;
+            self.rotations.reserve(n / 2 + 1 - self.rotations.capacity());
+        }
+    }
+
+    /// Size the column back buffer for a `len`-element matrix, zero-filling.
+    /// Contents are fully overwritten by the round kernel before use.
+    fn prepare_cols(&mut self, len: usize) {
+        if self.col_back.capacity() < len {
+            self.allocations += 1;
+        }
+        self.col_back.clear();
+        self.col_back.resize(len, 0.0);
+    }
+}
+
+/// Compute the rotation set for one round from the current `D` snapshot into
+/// the workspace's role/pair/rotation scratch. Returns `(applied, skipped)`.
+fn plan_round(
+    gram: &GramState,
+    round: &[(usize, usize)],
+    ws: &mut SweepWorkspace,
+) -> (usize, usize) {
     let n = gram.dim();
-    let mut roles = vec![Role::UNPAIRED; n];
-    let mut rotations = Vec::with_capacity(round.len());
+    ws.roles.clear();
+    ws.roles.resize(n, Role::UNPAIRED);
+    ws.pair_of.clear();
+    ws.pair_of.resize(n, usize::MAX);
+    ws.rotations.clear();
     let mut applied = 0;
     let mut skipped = 0;
     for &(i, j) in round {
@@ -65,147 +182,180 @@ fn plan_round(gram: &GramState, round: &[(usize, usize)]) -> RoundPlan {
         }
         let rot = textbook_params(ni, nj, cov);
         // aᵢ' = cos·aᵢ − sin·aⱼ ; aⱼ' = sin·aᵢ + cos·aⱼ
-        roles[i] = Role { alpha: rot.cos, beta: -rot.sin, partner: j };
-        roles[j] = Role { alpha: rot.cos, beta: rot.sin, partner: i };
-        rotations.push((i, j, rot));
+        ws.roles[i] = Role { alpha: rot.cos, beta: -rot.sin, partner: j };
+        ws.roles[j] = Role { alpha: rot.cos, beta: rot.sin, partner: i };
+        ws.pair_of[i] = ws.rotations.len();
+        ws.pair_of[j] = ws.rotations.len();
+        ws.rotations.push((i, j, rot));
         applied += 1;
     }
-    (roles, rotations, applied, skipped)
+    (applied, skipped)
 }
 
-/// Apply one round's rotations to `D`, double-buffered and row-parallel.
-fn apply_round_to_gram(gram: &mut GramState, roles: &[Role], rotations: &[(usize, usize, Rotation)]) {
-    if rotations.is_empty() {
+/// Apply the planned round to `D`: write the new triangle into the
+/// workspace's back buffer row-parallel from the old one, then swap.
+fn apply_round_to_gram(gram: &mut GramState, ws: &mut SweepWorkspace) {
+    if ws.rotations.is_empty() {
         return;
     }
-    let n = gram.dim();
-    let old = gram.packed().clone();
-    let mut new = PackedSymmetric::zeros(n);
-
-    // Pair membership lookup for the diagonal special case.
-    // in_pair[p] = index into `rotations` if p participates, else usize::MAX.
-    let mut pair_of = vec![usize::MAX; n];
-    for (idx, &(i, j, _)) in rotations.iter().enumerate() {
-        pair_of[i] = idx;
-        pair_of[j] = idx;
-    }
-
-    // Split the packed buffer into its triangle rows so rayon can hand each
-    // row to a worker without unsafe aliasing.
-    let mut row_slices: Vec<(usize, &mut [f64])> = Vec::with_capacity(n);
+    let SweepWorkspace { back, roles, pair_of, rotations, row_starts, gram_bytes, .. } = ws;
     {
-        let mut rest = new.as_mut_slice();
-        for p in 0..n {
-            let (row, tail) = rest.split_at_mut(n - p);
-            row_slices.push((p, row));
-            rest = tail;
-        }
-    }
-
-    row_slices.par_iter_mut().for_each(|(p, row)| {
-        let p = *p;
-        let rp = roles[p];
-        for (off, out) in row.iter_mut().enumerate() {
-            let q = p + off;
-            let rq = roles[q];
-            if p == q {
-                // Diagonal: if paired, use the exact O(1) norm update
-                // (more accurate than the quadratic form).
-                *out = if pair_of[p] != usize::MAX {
-                    let (i, j, rot) = rotations[pair_of[p]];
-                    let cov = old.get(i, j);
-                    if p == i {
-                        old.get(i, i) - rot.t * cov
+        let old = gram.packed();
+        let roles = roles.as_slice();
+        let pair_of = pair_of.as_slice();
+        let rotations = rotations.as_slice();
+        rayon::par_rows_for_each(back.as_mut_slice(), row_starts, |p, row| {
+            let rp = roles[p];
+            for (off, out) in row.iter_mut().enumerate() {
+                let q = p + off;
+                let rq = roles[q];
+                if p == q {
+                    // Diagonal: if paired, use the exact O(1) norm update
+                    // (more accurate than the quadratic form).
+                    *out = if pair_of[p] != usize::MAX {
+                        let (i, j, rot) = rotations[pair_of[p]];
+                        let cov = old.get(i, j);
+                        if p == i {
+                            old.get(i, i) - rot.t * cov
+                        } else {
+                            old.get(j, j) + rot.t * cov
+                        }
                     } else {
-                        old.get(j, j) + rot.t * cov
-                    }
+                        old.get(p, p)
+                    };
+                } else if pair_of[p] != usize::MAX && pair_of[p] == pair_of[q] {
+                    // The pair's own covariance is annihilated exactly.
+                    *out = 0.0;
                 } else {
-                    old.get(p, p)
-                };
-            } else if pair_of[p] != usize::MAX && pair_of[p] == pair_of[q] {
-                // The pair's own covariance is annihilated exactly.
-                *out = 0.0;
-            } else {
-                // General entry: new_D[p][q] = (row transform p) ⊗ (row transform q).
-                let mut acc = rp.alpha * rq.alpha * old.get(p, q);
-                if rq.partner != usize::MAX {
-                    acc += rp.alpha * rq.beta * old.get(p, rq.partner);
+                    // General entry: new_D[p][q] = (row transform p) ⊗ (row transform q).
+                    let mut acc = rp.alpha * rq.alpha * old.get(p, q);
+                    if rq.partner != usize::MAX {
+                        acc += rp.alpha * rq.beta * old.get(p, rq.partner);
+                    }
+                    if rp.partner != usize::MAX {
+                        acc += rp.beta * rq.alpha * old.get(rp.partner, q);
+                    }
+                    if rp.partner != usize::MAX && rq.partner != usize::MAX {
+                        acc += rp.beta * rq.beta * old.get(rp.partner, rq.partner);
+                    }
+                    *out = acc;
                 }
-                if rp.partner != usize::MAX {
-                    acc += rp.beta * rq.alpha * old.get(rp.partner, q);
-                }
-                if rp.partner != usize::MAX && rq.partner != usize::MAX {
-                    acc += rp.beta * rq.beta * old.get(rp.partner, rq.partner);
-                }
-                *out = acc;
             }
-        }
-    });
-
-    *gram = GramState::from_packed(new);
+        });
+    }
+    // One write plus up to four reads per packed entry (SolveStats model).
+    *gram_bytes += 40 * gram.packed().len() as u64;
+    gram.swap_packed(back);
 }
 
-/// Rotate the round's column pairs of `mat` in parallel (disjoint pairs →
-/// disjoint column slices).
-fn apply_round_to_columns(mat: &mut Matrix, rotations: &[(usize, usize, Rotation)]) {
-    if rotations.is_empty() {
+/// Rotate the round's column pairs of `mat`: each new column is computed
+/// into the workspace back buffer from the old column set (itself and, if
+/// paired, its partner), then the buffers swap. Bit-identical to rotating
+/// the pairs in place (the per-element expressions commute bitwise).
+fn apply_round_to_columns(mat: &mut Matrix, ws: &mut SweepWorkspace) {
+    if ws.rotations.is_empty() {
         return;
     }
-    let m = mat.rows();
-    // Hand out one Option<&mut [f64]> slot per column, then move the needed
-    // pairs out — safe disjoint mutable access without unsafe code.
-    let mut slots: Vec<Option<&mut [f64]>> =
-        mat.as_mut_slice().chunks_exact_mut(m).map(Some).collect();
-    let mut work: Vec<(&mut [f64], &mut [f64], Rotation)> = Vec::with_capacity(rotations.len());
-    for &(i, j, rot) in rotations {
-        let ci = slots[i].take().expect("column used once per round");
-        let cj = slots[j].take().expect("column used once per round");
-        work.push((ci, cj, rot));
+    let (m, ncols) = mat.shape();
+    if m == 0 || ncols == 0 {
+        return;
     }
-    work.par_iter_mut().for_each(|(ci, cj, rot)| {
-        for (x, y) in ci.iter_mut().zip(cj.iter_mut()) {
-            let xi = *x;
-            let yj = *y;
-            *x = xi * rot.cos - yj * rot.sin;
-            *y = xi * rot.sin + yj * rot.cos;
-        }
-    });
+    // The kernel below addresses column `c` as buffer chunk `c·m..(c+1)·m`;
+    // pin that to Matrix's column-major contiguity contract.
+    debug_assert!(
+        mat.as_slice().len() == m * ncols
+            && (0..ncols).all(|c| {
+                let col = mat.col(c);
+                col.len() == m && std::ptr::eq(col.as_ptr(), mat.as_slice()[c * m..].as_ptr())
+            }),
+        "Matrix backing buffer is not contiguous column-major; chunked kernel would corrupt data"
+    );
+    debug_assert_eq!(ws.roles.len(), ncols, "round was planned for a different column count");
+    ws.prepare_cols(m * ncols);
+    let SweepWorkspace { roles, col_back, .. } = ws;
+    {
+        let roles = roles.as_slice();
+        let front = mat.as_slice();
+        rayon::par_chunks_for_each(col_back.as_mut_slice(), m, |c, out| {
+            let r = roles[c];
+            let src = &front[c * m..(c + 1) * m];
+            if r.partner == usize::MAX {
+                out.copy_from_slice(src);
+            } else {
+                let partner = &front[r.partner * m..(r.partner + 1) * m];
+                for ((o, &x), &y) in out.iter_mut().zip(src).zip(partner) {
+                    *o = r.alpha * x + r.beta * y;
+                }
+            }
+        });
+    }
+    mat.swap_data(col_back);
 }
 
-/// Parallel gram-only sweep (values-only mode). Round-synchronous.
-pub fn parallel_sweep_gram(gram: &mut GramState, order: &Sweep, sweep_index: usize) -> SweepRecord {
+/// Parallel gram-only sweep (values-only mode) with caller-owned scratch.
+/// Round-synchronous; allocation-free once `ws` is warm.
+pub fn parallel_sweep_gram_ws(
+    gram: &mut GramState,
+    order: &Sweep,
+    sweep_index: usize,
+    ws: &mut SweepWorkspace,
+) -> SweepRecord {
+    ws.prepare(gram.dim());
     let mut applied = 0;
     let mut skipped = 0;
     for round in order.rounds() {
-        let (roles, rotations, a, s) = plan_round(gram, round);
-        apply_round_to_gram(gram, &roles, &rotations);
+        let (a, s) = plan_round(gram, round, ws);
+        apply_round_to_gram(gram, ws);
         applied += a;
         skipped += s;
     }
     finish_record(gram, sweep_index, applied, skipped)
 }
 
-/// Parallel full sweep: gram + columns (+ optional `V` accumulation).
-pub fn parallel_sweep_full(
+/// Parallel gram-only sweep with a throwaway workspace. Prefer
+/// [`parallel_sweep_gram_ws`] when running more than one sweep.
+pub fn parallel_sweep_gram(gram: &mut GramState, order: &Sweep, sweep_index: usize) -> SweepRecord {
+    let mut ws = SweepWorkspace::new();
+    parallel_sweep_gram_ws(gram, order, sweep_index, &mut ws)
+}
+
+/// Parallel full sweep — gram + columns (+ optional `V` accumulation) —
+/// with caller-owned scratch. Allocation-free once `ws` is warm.
+pub fn parallel_sweep_full_ws(
     a: &mut Matrix,
     gram: &mut GramState,
     mut v: Option<&mut Matrix>,
     order: &Sweep,
     sweep_index: usize,
+    ws: &mut SweepWorkspace,
 ) -> SweepRecord {
+    ws.prepare(gram.dim());
     let mut applied = 0;
     let mut skipped = 0;
     for round in order.rounds() {
-        let (roles, rotations, ap, sk) = plan_round(gram, round);
-        apply_round_to_gram(gram, &roles, &rotations);
-        apply_round_to_columns(a, &rotations);
+        let (ap, sk) = plan_round(gram, round, ws);
+        apply_round_to_gram(gram, ws);
+        apply_round_to_columns(a, ws);
         if let Some(vm) = v.as_deref_mut() {
-            apply_round_to_columns(vm, &rotations);
+            apply_round_to_columns(vm, ws);
         }
         applied += ap;
         skipped += sk;
     }
     finish_record(gram, sweep_index, applied, skipped)
+}
+
+/// Parallel full sweep with a throwaway workspace. Prefer
+/// [`parallel_sweep_full_ws`] when running more than one sweep.
+pub fn parallel_sweep_full(
+    a: &mut Matrix,
+    gram: &mut GramState,
+    v: Option<&mut Matrix>,
+    order: &Sweep,
+    sweep_index: usize,
+) -> SweepRecord {
+    let mut ws = SweepWorkspace::new();
+    parallel_sweep_full_ws(a, gram, v, order, sweep_index, &mut ws)
 }
 
 #[cfg(test)]
@@ -250,10 +400,12 @@ mod tests {
         let mut a = gen::uniform(20, 8, 5);
         let mut g = GramState::from_matrix(&a);
         let order = round_robin(8);
+        let mut ws = SweepWorkspace::new();
+        ws.prepare(8);
         for round in order.rounds() {
-            let (roles, rotations, _, _) = plan_round(&g, round);
-            apply_round_to_gram(&mut g, &roles, &rotations);
-            apply_round_to_columns(&mut a, &rotations);
+            plan_round(&g, round, &mut ws);
+            apply_round_to_gram(&mut g, &mut ws);
+            apply_round_to_columns(&mut a, &mut ws);
             let fresh = GramState::from_matrix(&a);
             for p in 0..8 {
                 for q in p..8 {
@@ -307,5 +459,107 @@ mod tests {
         let rec = parallel_sweep_gram(&mut g, &order, 1);
         assert_eq!(rec.rotations_applied, 0);
         assert_eq!(g.packed().as_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_throwaway_workspaces_bitwise() {
+        let a = gen::uniform(35, 11, 31);
+        let order = round_robin(11);
+        let mut g_fresh = GramState::from_matrix(&a);
+        let mut g_reuse = GramState::from_matrix(&a);
+        let mut ws = SweepWorkspace::new();
+        for s in 1..=10 {
+            parallel_sweep_gram(&mut g_fresh, &order, s);
+            parallel_sweep_gram_ws(&mut g_reuse, &order, s, &mut ws);
+        }
+        assert_eq!(g_fresh.packed().as_slice(), g_reuse.packed().as_slice());
+    }
+
+    #[test]
+    fn workspace_allocations_stop_after_warmup() {
+        let a = gen::uniform(40, 16, 7);
+        let mut g = GramState::from_matrix(&a);
+        let order = round_robin(16);
+        let mut ws = SweepWorkspace::new();
+        parallel_sweep_gram_ws(&mut g, &order, 1, &mut ws);
+        let warm = ws.allocations();
+        assert!(warm > 0, "warm-up must size the buffers");
+        for s in 2..=10 {
+            parallel_sweep_gram_ws(&mut g, &order, s, &mut ws);
+        }
+        assert_eq!(ws.allocations(), warm, "steady-state sweeps must not allocate");
+    }
+
+    #[test]
+    fn workspace_serves_different_shapes_back_to_back() {
+        // One workspace across a full solve of one shape, then another —
+        // results must be bit-identical to per-solve workspaces.
+        let mut ws = SweepWorkspace::new();
+        for &(m, n, seed) in &[(20usize, 9usize, 3u64), (14, 6, 4), (25, 12, 5)] {
+            let a = gen::uniform(m, n, seed);
+            let order = round_robin(n);
+            let mut b_shared = a.clone();
+            let mut g_shared = GramState::from_matrix(&b_shared);
+            let mut v_shared = Matrix::identity(n);
+            let mut b_own = a.clone();
+            let mut g_own = GramState::from_matrix(&b_own);
+            let mut v_own = Matrix::identity(n);
+            for s in 1..=8 {
+                parallel_sweep_full_ws(
+                    &mut b_shared,
+                    &mut g_shared,
+                    Some(&mut v_shared),
+                    &order,
+                    s,
+                    &mut ws,
+                );
+                parallel_sweep_full(&mut b_own, &mut g_own, Some(&mut v_own), &order, s);
+            }
+            assert_eq!(g_shared.packed().as_slice(), g_own.packed().as_slice(), "{m}x{n}");
+            assert_eq!(b_shared.as_slice(), b_own.as_slice(), "{m}x{n}");
+            assert_eq!(v_shared.as_slice(), v_own.as_slice(), "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn column_rotation_matches_inplace_pair_kernel_bitwise() {
+        // The double-buffered column path must reproduce ColumnPair::rotate
+        // bit for bit, on non-square shapes in both aspect ratios (guards the
+        // chunks-of-m ↔ column-major layout tie-in).
+        for &(m, n, seed) in &[(9usize, 4usize, 11u64), (3, 8, 12), (17, 5, 13)] {
+            let a = gen::uniform(m, n, seed);
+            let order = round_robin(n);
+            let mut via_ws = a.clone();
+            let mut inplace = a.clone();
+            let mut g = GramState::from_matrix(&a);
+            let mut ws = SweepWorkspace::new();
+            ws.prepare(n);
+            for round in order.rounds() {
+                plan_round(&g, round, &mut ws);
+                apply_round_to_gram(&mut g, &mut ws);
+                apply_round_to_columns(&mut via_ws, &mut ws);
+                for &(i, j, rot) in &ws.rotations {
+                    inplace.column_pair(i, j).unwrap().rotate(rot.cos, rot.sin);
+                }
+                assert_eq!(via_ws.as_slice(), inplace.as_slice(), "{m}x{n} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_traffic_accumulates_only_on_applied_rounds() {
+        let q = gen::random_orthonormal(20, 6, 3);
+        let mut g = GramState::from_matrix(&q);
+        let order = round_robin(6);
+        let mut ws = SweepWorkspace::new();
+        parallel_sweep_gram_ws(&mut g, &order, 1, &mut ws);
+        assert_eq!(ws.gram_bytes(), 0, "converged input applies no rounds");
+
+        let a = gen::uniform(20, 6, 9);
+        let mut g = GramState::from_matrix(&a);
+        parallel_sweep_gram_ws(&mut g, &order, 1, &mut ws);
+        let tri = (6 * 7 / 2) as u64;
+        assert!(ws.gram_bytes() > 0);
+        assert_eq!(ws.gram_bytes() % (40 * tri), 0, "traffic is a whole number of rounds");
     }
 }

@@ -64,8 +64,7 @@ impl Pca {
         let denom = (rows - 1) as f64;
         let explained_variance: Vec<f64> =
             svd.singular_values[..k].iter().map(|s| s * s / denom).collect();
-        let total_variance: f64 =
-            svd.singular_values.iter().map(|s| s * s / denom).sum();
+        let total_variance: f64 = svd.singular_values.iter().map(|s| s * s / denom).sum();
         let components = svd.v.leading_columns(k);
         Ok(Pca { mean, components, explained_variance, total_variance })
     }

@@ -149,7 +149,8 @@ mod tests {
     fn check_orthogonalizes(norm_i: f64, norm_j: f64, cov: f64, rot: &Rotation) {
         // Rotated covariance: cs·(nᵢ − nⱼ)... derive from the quadratic:
         // cov' = cos·sin·(nᵢ − nⱼ) + (cos² − sin²)·cov  must vanish.
-        let cov_new = rot.cos * rot.sin * (norm_i - norm_j) + (rot.cos * rot.cos - rot.sin * rot.sin) * cov;
+        let cov_new =
+            rot.cos * rot.sin * (norm_i - norm_j) + (rot.cos * rot.cos - rot.sin * rot.sin) * cov;
         let scale = norm_i.abs().max(norm_j.abs()).max(cov.abs()).max(1.0);
         assert!(
             cov_new.abs() <= 1e-14 * scale,

@@ -9,10 +9,27 @@
 use crate::convergence::{is_converged, Convergence, SweepRecord, MAX_SWEEP_CAP};
 use crate::gram::GramState;
 use crate::ordering::{build_sweep, Ordering};
-use crate::parallel;
+use crate::parallel::{self, SweepWorkspace};
+use crate::stats::SolveStats;
 use crate::sweep::{sweep_full, sweep_gram_only};
 use crate::SvdError;
 use hj_matrix::{ops, Matrix};
+use std::time::Instant;
+
+/// Relative tolerance for the wide-matrix truncated-tail check: the
+/// discarded spectrum mass (sum of discarded `σ²`) must stay below this
+/// fraction of `trace(D) = ‖A‖_F²`. Converged solves leave only Gram-noise
+/// dust in the tail (≈ `n·ε·trace ≈ 1e-14·trace`), while an unconverged
+/// spectrum parks O(1) fractions of the mass there — `1e-12` separates the
+/// two regimes by orders of magnitude on both sides.
+const WIDE_TAIL_TOL: f64 = 1e-12;
+
+/// Modeled packed-triangle bytes touched by one sequential `O(n)` rotation:
+/// `4n − 2` entries (3 reads + 3 writes on the pair's own entries, then
+/// 2 reads + 2 writes for each of the `n − 2` other columns) at 8 bytes.
+fn seq_rotation_gram_bytes(n: usize) -> u64 {
+    8 * (4 * n as u64).saturating_sub(2)
+}
 
 /// Configuration for a Hestenes-Jacobi decomposition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +85,8 @@ pub struct Svd {
     pub sweeps: usize,
     /// Per-sweep convergence measurements.
     pub history: Vec<SweepRecord>,
+    /// Solve-level observability (timings, allocations, Gram traffic).
+    pub stats: SolveStats,
 }
 
 impl Svd {
@@ -113,6 +132,8 @@ pub struct SingularValues {
     pub sweeps: usize,
     /// Per-sweep convergence measurements.
     pub history: Vec<SweepRecord>,
+    /// Solve-level observability (timings, allocations, Gram traffic).
+    pub stats: SolveStats,
 }
 
 /// The Hestenes-Jacobi SVD solver.
@@ -179,23 +200,60 @@ impl HestenesSvd {
         let mut gram = GramState::from_matrix(a);
         let order = build_sweep(self.options.ordering, n);
         let mut history = Vec::new();
+        let mut stats = SolveStats::default();
+        let mut ws = SweepWorkspace::new();
+        let dispatches0 = if self.options.parallel { rayon::dispatch_count() } else { 0 };
         let cap = self.options.max_sweeps.min(MAX_SWEEP_CAP);
         for s in 1..=cap {
+            let t0 = Instant::now();
             let rec = if self.options.parallel {
-                parallel::parallel_sweep_gram(&mut gram, &order, s)
+                parallel::parallel_sweep_gram_ws(&mut gram, &order, s, &mut ws)
             } else {
                 sweep_gram_only(&mut gram, &order, s)
             };
+            stats.record_sweep(t0.elapsed().as_secs_f64(), &rec);
             history.push(rec);
             if is_converged(&self.options.convergence, &rec, gram.trace(), n) {
                 break;
             }
         }
+        self.finish_stats(&mut stats, &ws, dispatches0, n);
         let sweeps = history.len();
         let mut values = gram.singular_values_unsorted();
         values.sort_by(|x, y| y.partial_cmp(x).expect("finite values"));
-        values.truncate(a.rows().min(n));
-        Ok(SingularValues { values, sweeps, history })
+        let k = a.rows().min(n);
+        if k < values.len() {
+            // Wide matrix: the Gram spectrum has n entries but rank(A) ≤ m,
+            // so the discarded n − m values must be numerically zero. If the
+            // iteration hasn't converged they are not — refuse rather than
+            // silently truncate real spectrum mass.
+            let tail_mass: f64 = values[k..].iter().map(|s| s * s).sum();
+            let trace = gram.trace();
+            if trace > 0.0 && tail_mass > trace * WIDE_TAIL_TOL {
+                return Err(SvdError::TruncatedTailNotNegligible);
+            }
+        }
+        values.truncate(k);
+        Ok(SingularValues { values, sweeps, history, stats })
+    }
+
+    /// Fold engine-level counters into `stats` once the sweep loop is done.
+    fn finish_stats(
+        &self,
+        stats: &mut SolveStats,
+        ws: &SweepWorkspace,
+        dispatches0: usize,
+        n: usize,
+    ) {
+        if self.options.parallel {
+            stats.workspace_allocations = ws.allocations();
+            stats.gram_bytes = ws.gram_bytes();
+            stats.parallel_dispatches = rayon::dispatch_count().saturating_sub(dispatches0);
+            stats.threads = rayon::current_num_threads();
+        } else {
+            stats.gram_bytes = stats.rotations_applied as u64 * seq_rotation_gram_bytes(n);
+            stats.threads = 1;
+        }
     }
 
     /// Compute the full thin SVD `A = U Σ Vᵀ`.
@@ -212,18 +270,31 @@ impl HestenesSvd {
         let mut v = Matrix::identity(n);
         let order = build_sweep(self.options.ordering, n);
         let mut history = Vec::new();
+        let mut stats = SolveStats::default();
+        let mut ws = SweepWorkspace::new();
+        let dispatches0 = if self.options.parallel { rayon::dispatch_count() } else { 0 };
         let cap = self.options.max_sweeps.min(MAX_SWEEP_CAP);
         for s in 1..=cap {
+            let t0 = Instant::now();
             let rec = if self.options.parallel {
-                parallel::parallel_sweep_full(&mut b, &mut gram, Some(&mut v), &order, s)
+                parallel::parallel_sweep_full_ws(
+                    &mut b,
+                    &mut gram,
+                    Some(&mut v),
+                    &order,
+                    s,
+                    &mut ws,
+                )
             } else {
                 sweep_full(&mut b, &mut gram, Some(&mut v), &order, s)
             };
+            stats.record_sweep(t0.elapsed().as_secs_f64(), &rec);
             history.push(rec);
             if is_converged(&self.options.convergence, &rec, gram.trace(), n) {
                 break;
             }
         }
+        self.finish_stats(&mut stats, &ws, dispatches0, n);
         let sweeps = history.len();
 
         // Σ from the Gram diagonal; recompute from the actual rotated columns
@@ -253,7 +324,7 @@ impl HestenesSvd {
             }
             v_sorted.col_mut(t).copy_from_slice(v.col(c));
         }
-        Ok(Svd { u, singular_values: sigma, v: v_sorted, sweeps, history })
+        Ok(Svd { u, singular_values: sigma, v: v_sorted, sweeps, history, stats })
     }
 }
 
@@ -413,9 +484,69 @@ mod tests {
     }
 
     #[test]
+    fn stats_are_populated_in_both_engines() {
+        let a = gen::uniform(30, 10, 77);
+        for parallel in [false, true] {
+            let opts = SvdOptions { parallel, ..Default::default() };
+            let svd = HestenesSvd::new(opts).decompose(&a).unwrap();
+            assert_eq!(svd.stats.sweeps, svd.sweeps);
+            assert_eq!(svd.stats.sweep_seconds.len(), svd.sweeps);
+            assert_eq!(
+                svd.stats.rotations_applied,
+                svd.history.iter().map(|r| r.rotations_applied).sum::<usize>()
+            );
+            assert!(svd.stats.gram_bytes > 0, "rotations imply Gram traffic");
+            assert!(svd.stats.threads >= 1);
+            if parallel {
+                assert!(svd.stats.workspace_allocations > 0, "warm-up allocates");
+            } else {
+                assert_eq!(svd.stats.workspace_allocations, 0);
+                assert_eq!(svd.stats.parallel_dispatches, 0);
+            }
+            let sv = HestenesSvd::new(opts).singular_values(&a).unwrap();
+            assert_eq!(sv.stats.sweeps, sv.sweeps);
+            assert!(sv.stats.to_json().contains("\"sweeps\""));
+        }
+    }
+
+    #[test]
+    fn wide_values_only_truncates_only_numerically_zero_tail() {
+        // 6×20: the Gram spectrum has 20 entries, 14 of which must be dust.
+        let a = gen::uniform(6, 20, 5);
+        let solver = HestenesSvd::new(SvdOptions::default());
+        let sv = solver.singular_values(&a).unwrap();
+        assert_eq!(sv.values.len(), 6);
+        let svd = solver.decompose(&a).unwrap();
+        for (x, y) in sv.values.iter().zip(&svd.singular_values) {
+            assert!((x - y).abs() < 1e-10 * x.max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn wide_values_only_rejects_unconverged_truncation() {
+        // One sweep is nowhere near convergence for 6×20, so the 14 discarded
+        // diagonal entries still carry real spectrum mass → hard error, not
+        // silently wrong values.
+        let a = gen::uniform(6, 20, 5);
+        let opts = SvdOptions {
+            convergence: Convergence::FixedSweeps(1),
+            max_sweeps: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            HestenesSvd::new(opts).singular_values(&a),
+            Err(SvdError::TruncatedTailNotNegligible)
+        ));
+        // Tall inputs never truncate, so a single sweep still returns Ok.
+        let tall = gen::uniform(20, 6, 5);
+        assert!(HestenesSvd::new(opts).singular_values(&tall).is_ok());
+    }
+
+    #[test]
     fn invalid_option_combinations_error() {
         let a = gen::uniform(4, 4, 0);
-        let opts = SvdOptions { parallel: true, ordering: Ordering::RowCyclic, ..Default::default() };
+        let opts =
+            SvdOptions { parallel: true, ordering: Ordering::RowCyclic, ..Default::default() };
         assert!(matches!(
             HestenesSvd::new(opts).decompose(&a),
             Err(SvdError::ParallelNeedsRoundRobin)

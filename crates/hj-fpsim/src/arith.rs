@@ -120,9 +120,7 @@ pub fn add_bits(a: u64, b: u64) -> u64 {
         return CANONICAL_NAN;
     }
     match (is_inf_bits(a), is_inf_bits(b)) {
-        (true, true) => {
-            return if sign_of_bits(a) == sign_of_bits(b) { a } else { CANONICAL_NAN }
-        }
+        (true, true) => return if sign_of_bits(a) == sign_of_bits(b) { a } else { CANONICAL_NAN },
         (true, false) => return a,
         (false, true) => return b,
         _ => {}
@@ -405,9 +403,9 @@ mod tests {
         -1.0,
         2.0,
         0.5,
-        f64::MIN_POSITIVE,          // smallest normal
-        f64::MIN_POSITIVE / 2.0,    // subnormal
-        4.9e-324,                   // smallest subnormal
+        f64::MIN_POSITIVE,       // smallest normal
+        f64::MIN_POSITIVE / 2.0, // subnormal
+        4.9e-324,                // smallest subnormal
         f64::MAX,
         f64::MIN,
         f64::INFINITY,

@@ -157,8 +157,8 @@ mod tests {
         let m = PowerModel::default();
         let ops = OpCounts { muls: 1000, adds: 500, divs: 10, sqrts: 20, offchip_bytes: 4096 };
         let e = m.energy(&ops, 2.0);
-        let expect_dyn = 1000.0 * 200e-12 + 500.0 * 100e-12 + 10.0 * 2e-9 + 20.0 * 2e-9
-            + 4096.0 * 50e-12;
+        let expect_dyn =
+            1000.0 * 200e-12 + 500.0 * 100e-12 + 10.0 * 2e-9 + 20.0 * 2e-9 + 4096.0 * 50e-12;
         assert!((e.dynamic_j - expect_dyn).abs() < 1e-18);
         assert!((e.static_j - 16.0).abs() < 1e-12);
         assert!((e.total_j() - (expect_dyn + 16.0)).abs() < 1e-12);

@@ -35,12 +35,7 @@ fn check_pair(a: f64, b: f64) -> Result<(), TestCaseError> {
         }
     }
     let sa = a.abs();
-    prop_assert_eq!(
-        arith::sqrt(sa).to_bits(),
-        sa.sqrt().to_bits(),
-        "sqrt({:e})",
-        sa
-    );
+    prop_assert_eq!(arith::sqrt(sa).to_bits(), sa.sqrt().to_bits(), "sqrt({:e})", sa);
     Ok(())
 }
 

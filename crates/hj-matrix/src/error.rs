@@ -44,10 +44,9 @@ pub enum MatrixError {
 impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            MatrixError::ShapeMismatch { rows, cols, len } => write!(
-                f,
-                "buffer of length {len} cannot be shaped into a {rows}x{cols} matrix"
-            ),
+            MatrixError::ShapeMismatch { rows, cols, len } => {
+                write!(f, "buffer of length {len} cannot be shaped into a {rows}x{cols} matrix")
+            }
             MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
                 f,
                 "{op}: dimension mismatch between {}x{} and {}x{}",

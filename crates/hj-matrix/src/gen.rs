@@ -104,13 +104,7 @@ pub fn with_condition_number(rows: usize, cols: usize, cond: f64, seed: u64) -> 
     assert!(cond >= 1.0, "condition number must be ≥ 1");
     let k = rows.min(cols);
     let sigma: Vec<f64> = (0..k)
-        .map(|t| {
-            if k == 1 {
-                1.0
-            } else {
-                cond.powf(-(t as f64) / (k as f64 - 1.0))
-            }
-        })
+        .map(|t| if k == 1 { 1.0 } else { cond.powf(-(t as f64) / (k as f64 - 1.0)) })
         .collect();
     with_singular_values(rows, cols, &sigma, seed)
 }

@@ -60,7 +60,9 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "io error: {e}"),
-            CsvError::Parse { line, cell } => write!(f, "line {line}: cannot parse '{cell}' as a number"),
+            CsvError::Parse { line, cell } => {
+                write!(f, "line {line}: cannot parse '{cell}' as a number")
+            }
             CsvError::Ragged { line, expected, got } => {
                 write!(f, "line {line}: expected {expected} columns, got {got}")
             }
@@ -156,10 +158,7 @@ mod tests {
 
     #[test]
     fn roundtrip_extreme_values() {
-        let a = Matrix::from_rows(&[
-            &[0.0, -0.0, 1e-308],
-            &[1e308, f64::MIN_POSITIVE, -1.5e-300],
-        ]);
+        let a = Matrix::from_rows(&[&[0.0, -0.0, 1e-308], &[1e308, f64::MIN_POSITIVE, -1.5e-300]]);
         let b = roundtrip(&a).unwrap();
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits());

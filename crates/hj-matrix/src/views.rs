@@ -139,11 +139,7 @@ mod tests {
 
     #[test]
     fn view_reads_the_right_block() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 9.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
         let v = a.view(1, 1, 2, 2);
         assert_eq!(v.shape(), (2, 2));
         assert_eq!(v.get(0, 0), 5.0);

@@ -4,8 +4,7 @@ use hj_matrix::{gen, io, norms, ops, Matrix, PackedSymmetric};
 use proptest::prelude::*;
 
 fn small_matrix() -> impl Strategy<Value = Matrix> {
-    (1usize..12, 1usize..12, 0u64..1000)
-        .prop_map(|(m, n, seed)| gen::uniform(m, n, seed))
+    (1usize..12, 1usize..12, 0u64..1000).prop_map(|(m, n, seed)| gen::uniform(m, n, seed))
 }
 
 proptest! {

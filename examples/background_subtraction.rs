@@ -55,8 +55,13 @@ fn main() {
     // Rank-1 SVD model: the background is (nearly) constant across frames,
     // so it dominates the spectrum.
     let svd = HestenesSvd::new(SvdOptions::default()).decompose(&video).expect("valid input");
-    println!("leading singular values: {:?}", &svd.singular_values[..4.min(FRAMES)]
-        .iter().map(|s| (s * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "leading singular values: {:?}",
+        &svd.singular_values[..4.min(FRAMES)]
+            .iter()
+            .map(|s| (s * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
     let energy_1: f64 = svd.singular_values[0] * svd.singular_values[0]
         / svd.singular_values.iter().map(|s| s * s).sum::<f64>();
     println!("rank-1 energy share: {:.2}%", 100.0 * energy_1);

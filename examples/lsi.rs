@@ -46,7 +46,10 @@ fn main() {
     }
 
     let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).expect("valid input");
-    println!("singular values: {:?}\n", svd.singular_values.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "singular values: {:?}\n",
+        svd.singular_values.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
 
     // Rank-2 latent space: document d ↦ (σ₁ v_d1, σ₂ v_d2).
     let k = 2;
@@ -81,8 +84,7 @@ fn main() {
         .map(|t| ops::dot(&q, svd.u.col(t)) / svd.singular_values[t].max(f64::MIN_POSITIVE))
         .collect();
     // Compare in the same scaled space as the documents.
-    let q_scaled: Vec<f64> =
-        (0..k).map(|t| q_latent[t] * svd.singular_values[t]).collect();
+    let q_scaled: Vec<f64> = (0..k).map(|t| q_latent[t] * svd.singular_values[t]).collect();
 
     println!("\nquery {:?} ranked against documents:", query_terms);
     let mut ranked: Vec<(usize, f64)> =
@@ -96,10 +98,7 @@ fn main() {
     let rank_of = |d: usize| ranked.iter().position(|&(x, _)| x == d).unwrap();
     for g in 0..4 {
         for n in 4..8 {
-            assert!(
-                rank_of(g) < rank_of(n),
-                "graphics doc d{g} must outrank numerics doc d{n}"
-            );
+            assert!(rank_of(g) < rank_of(n), "graphics doc d{g} must outrank numerics doc d{n}");
         }
     }
     println!("\nOK: zero-term-overlap documents retrieved by topic");

@@ -14,20 +14,14 @@ use hjsvd::core::{HestenesSvd, SvdOptions};
 use hjsvd::matrix::gen;
 
 fn worst_rel(got: &[f64], want: &[f64]) -> f64 {
-    got.iter()
-        .zip(want)
-        .map(|(g, w)| (g - w).abs() / w.max(1e-300))
-        .fold(0.0f64, f64::max)
+    got.iter().zip(want).map(|(g, w)| (g - w).abs() / w.max(1e-300)).fold(0.0f64, f64::max)
 }
 
 fn main() {
     const N: usize = 10;
     const M: usize = 40;
     println!("worst relative spectrum error vs planted singular values ({M}x{N}):\n");
-    println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "method", "cond 1e3", "cond 1e6", "cond 1e9"
-    );
+    println!("{:<28} {:>12} {:>12} {:>12}", "method", "cond 1e3", "cond 1e6", "cond 1e9");
 
     let conds: [f64; 3] = [1e3, 1e6, 1e9];
     let spectra: Vec<Vec<f64>> = conds
@@ -40,7 +34,8 @@ fn main() {
         .map(|(i, s)| gen::with_singular_values(M, N, s, 100 + i as u64))
         .collect();
 
-    let methods: Vec<(&str, Box<dyn Fn(&hjsvd::matrix::Matrix) -> Vec<f64>>)> = vec![
+    type Method = Box<dyn Fn(&hjsvd::matrix::Matrix) -> Vec<f64>>;
+    let methods: Vec<(&str, Method)> = vec![
         (
             "Hestenes (this work)",
             Box::new(|a| {
@@ -56,19 +51,19 @@ fn main() {
         (
             "randomized (full rank)",
             Box::new(|a| {
-                randomized_svd(a, N, PartialSvdOptions { power_iterations: 4, ..Default::default() })
-                    .sigma
+                randomized_svd(
+                    a,
+                    N,
+                    PartialSvdOptions { power_iterations: 4, ..Default::default() },
+                )
+                .sigma
             }),
         ),
-        (
-            "Lanczos (full rank)",
-            Box::new(|a| lanczos_svd(a, N, LanczosOptions::default()).sigma),
-        ),
+        ("Lanczos (full rank)", Box::new(|a| lanczos_svd(a, N, LanczosOptions::default()).sigma)),
     ];
 
     for (name, f) in &methods {
-        let errs: Vec<f64> =
-            mats.iter().zip(&spectra).map(|(a, s)| worst_rel(&f(a), s)).collect();
+        let errs: Vec<f64> = mats.iter().zip(&spectra).map(|(a, s)| worst_rel(&f(a), s)).collect();
         println!("{name:<28} {:>12.2e} {:>12.2e} {:>12.2e}", errs[0], errs[1], errs[2]);
     }
 

@@ -51,7 +51,12 @@ fn main() {
     let mut cum = 0.0;
     for (i, s) in svd.singular_values.iter().take(5).enumerate() {
         cum += s * s;
-        println!("  PC{}: {:5.1}%  (cumulative {:5.1}%)", i + 1, 100.0 * s * s / total_var, 100.0 * cum / total_var);
+        println!(
+            "  PC{}: {:5.1}%  (cumulative {:5.1}%)",
+            i + 1,
+            100.0 * s * s / total_var,
+            100.0 * cum / total_var
+        );
     }
 
     // Project onto the first two principal components.
@@ -99,5 +104,8 @@ fn main() {
     let two_pc_share: f64 =
         svd.singular_values.iter().take(2).map(|s| s * s).sum::<f64>() / total_var;
     assert!(two_pc_share > 0.9, "two PCs must dominate ({:.1}%)", 100.0 * two_pc_share);
-    println!("\nOK: two components capture {:.1}% of variance and separate the clusters", 100.0 * two_pc_share);
+    println!(
+        "\nOK: two components capture {:.1}% of variance and separate the clusters",
+        100.0 * two_pc_share
+    );
 }

@@ -12,9 +12,7 @@ fn main() {
     let a = gen::uniform(200, 12, 42);
 
     // Full SVD with the default (threshold-converged) options.
-    let svd = HestenesSvd::new(SvdOptions::default())
-        .decompose(&a)
-        .expect("valid input");
+    let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).expect("valid input");
 
     println!("singular values ({} sweeps to converge):", svd.sweeps);
     for (i, s) in svd.singular_values.iter().enumerate() {
@@ -35,9 +33,7 @@ fn main() {
     println!("max disagreement vs Householder baseline = {disagreement:.2e}");
 
     // The paper's operating mode: exactly 6 sweeps, values only.
-    let paper = HestenesSvd::new(SvdOptions::paper())
-        .singular_values(&a)
-        .expect("valid input");
+    let paper = HestenesSvd::new(SvdOptions::paper()).singular_values(&a).expect("valid input");
     println!("\npaper mode (6 fixed sweeps): leading sigma = {:.6}", paper.values[0]);
     println!("convergence trace (mean |covariance| per sweep):");
     for rec in &paper.history {

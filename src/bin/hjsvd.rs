@@ -1,7 +1,7 @@
 //! `hjsvd` — command-line front end for the workspace.
 //!
 //! ```text
-//! hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX]
+//! hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
 //! hjsvd pca <data.csv> --components K [--out PREFIX]
 //! hjsvd eigh <symmetric.csv>
 //! hjsvd simulate --rows M --cols N [--sweeps S]
@@ -52,9 +52,11 @@ fn print_help() {
         "hjsvd — Hestenes-Jacobi SVD toolkit
 
 USAGE:
-  hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX]
+  hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
       Decompose a CSV matrix. Prints singular values; with --out, writes
       PREFIX_u.csv / PREFIX_s.csv / PREFIX_v.csv. --rank truncates.
+      --stats writes the solve's SolveStats record as JSON (PATH of '-'
+      prints it to stdout).
   hjsvd pca <data.csv> --components K [--out PREFIX]
       PCA (rows = observations). Prints explained variance; with --out,
       writes PREFIX_scores.csv and PREFIX_components.csv.
@@ -92,9 +94,8 @@ impl ParsedArgs {
                 if matches!(name, "values-only" | "help") {
                     flags.push(name.to_string());
                 } else {
-                    let v = args
-                        .get(i + 1)
-                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    let v =
+                        args.get(i + 1).ok_or_else(|| format!("option --{name} needs a value"))?;
                     options.push((name.to_string(), v.clone()));
                     i += 1;
                 }
@@ -107,10 +108,7 @@ impl ParsedArgs {
     }
 
     fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
-        self.positionals
-            .get(idx)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing {what}"))
+        self.positionals.get(idx).map(String::as_str).ok_or_else(|| format!("missing {what}"))
     }
 
     fn flag(&self, name: &str) -> bool {
@@ -124,10 +122,9 @@ impl ParsedArgs {
     fn opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.opt(name) {
             None => Ok(None),
-            Some(v) => v
-                .parse::<T>()
-                .map(Some)
-                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            Some(v) => {
+                v.parse::<T>().map(Some).map_err(|_| format!("--{name}: cannot parse '{v}'"))
+            }
         }
     }
 
@@ -144,19 +141,37 @@ fn save(m: &Matrix, path: &str) -> Result<(), String> {
     io::save_csv(m, path).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Write a solve's JSON stats to `path` (`-` = stdout).
+fn emit_stats(stats: &hjsvd::core::SolveStats, path: &str) -> Result<(), String> {
+    let json = stats.to_json();
+    if path == "-" {
+        println!("{json}");
+        Ok(())
+    } else {
+        std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))
+    }
+}
+
 fn cmd_svd(p: &mut ParsedArgs) -> Result<(), String> {
     let path = p.positional(0, "input matrix path")?.to_string();
     let a = load(&path)?;
     let solver = HestenesSvd::new(SvdOptions::default());
+    let stats_path = p.opt("stats").map(str::to_string);
     if p.flag("values-only") {
         let sv = solver.singular_values(&a).map_err(|e| e.to_string())?;
         println!("# {} singular values ({} sweeps)", sv.values.len(), sv.sweeps);
         for v in &sv.values {
             println!("{v}");
         }
+        if let Some(sp) = stats_path {
+            emit_stats(&sv.stats, &sp)?;
+        }
         return Ok(());
     }
     let svd = solver.decompose(&a).map_err(|e| e.to_string())?;
+    if let Some(sp) = stats_path {
+        emit_stats(&svd.stats, &sp)?;
+    }
     let rank: Option<usize> = p.opt_parse("rank")?;
     let k = rank.unwrap_or(svd.singular_values.len()).min(svd.singular_values.len());
     println!(
@@ -188,11 +203,8 @@ fn cmd_pca(p: &mut ParsedArgs) -> Result<(), String> {
     let data = load(&path)?;
     let pca = Pca::fit_default(&data, k).map_err(|e| e.to_string())?;
     println!("# component, explained variance, ratio");
-    for (i, (ev, r)) in pca
-        .explained_variance()
-        .iter()
-        .zip(pca.explained_variance_ratio())
-        .enumerate()
+    for (i, (ev, r)) in
+        pca.explained_variance().iter().zip(pca.explained_variance_ratio()).enumerate()
     {
         println!("{}, {ev}, {r}", i + 1);
     }
@@ -331,6 +343,23 @@ mod tests {
         run(&args(&["pca", &mp, "--components", "2"])).unwrap();
         run(&args(&["simulate", "--rows", "64", "--cols", "32"])).unwrap();
         run(&args(&["resources"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn svd_stats_export_writes_json() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mp = dir.join("m.csv").to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "10", "--cols", "5", &mp, "--seed", "3"])).unwrap();
+        let sp = dir.join("stats.json").to_str().unwrap().to_string();
+        run(&args(&["svd", &mp, "--stats", &sp])).unwrap();
+        let full = std::fs::read_to_string(&sp).unwrap();
+        assert!(full.trim_start().starts_with('{') && full.contains("\"rotations_applied\":"));
+        run(&args(&["svd", &mp, "--values-only", "--stats", &sp])).unwrap();
+        let vo = std::fs::read_to_string(&sp).unwrap();
+        assert!(vo.contains("\"sweeps\":") && vo.contains("\"gram_bytes\":"));
+        run(&args(&["svd", &mp, "--stats", "-"])).unwrap(); // stdout path
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -25,10 +25,7 @@ fn table1_every_cell_within_factor_two() {
         for (j, &m) in DIMS.iter().enumerate() {
             let t = arch.estimate(m, n).seconds;
             let p = TABLE1[i][j];
-            assert!(
-                t / p < 2.0 && p / t < 2.0,
-                "n={n} m={m}: simulated {t:.3e} vs paper {p:.3e}"
-            );
+            assert!(t / p < 2.0 && p / t < 2.0, "n={n} m={m}: simulated {t:.3e} vs paper {p:.3e}");
         }
     }
 }
@@ -48,11 +45,7 @@ fn table1_shape_matches_paper() {
     for &m in &DIMS {
         let t128 = arch.estimate(m, 128).seconds;
         let t1024 = arch.estimate(m, 1024).seconds;
-        assert!(
-            t1024 / t128 > 64.0,
-            "n-growth must be superquadratic at m={m}: {}",
-            t1024 / t128
-        );
+        assert!(t1024 / t128 > 64.0, "n-growth must be superquadratic at m={m}: {}", t1024 / t128);
     }
 }
 

@@ -60,10 +60,8 @@ fn row_dimension_barely_affects_convergence() {
 fn threshold_stopping_reaches_requested_precision() {
     let a = gen::uniform(40, 24, 3);
     for tol in [1e-6, 1e-10, 1e-14] {
-        let opts = SvdOptions {
-            convergence: Convergence::MaxCovariance { tol },
-            ..Default::default()
-        };
+        let opts =
+            SvdOptions { convergence: Convergence::MaxCovariance { tol }, ..Default::default() };
         let sv = HestenesSvd::new(opts).singular_values(&a).unwrap();
         let last = sv.history.last().unwrap();
         let scale = {
@@ -83,10 +81,8 @@ fn threshold_stopping_reaches_requested_precision() {
 fn tighter_tolerance_needs_at_least_as_many_sweeps() {
     let a = gen::uniform(60, 32, 11);
     let sweeps_at = |tol: f64| {
-        let opts = SvdOptions {
-            convergence: Convergence::MaxCovariance { tol },
-            ..Default::default()
-        };
+        let opts =
+            SvdOptions { convergence: Convergence::MaxCovariance { tol }, ..Default::default() };
         HestenesSvd::new(opts).singular_values(&a).unwrap().sweeps
     };
     assert!(sweeps_at(1e-14) >= sweeps_at(1e-6));
@@ -130,8 +126,7 @@ fn convergence_is_seed_robust() {
     for seed in 0..20 {
         let a = gen::uniform(48, 32, 1000 + seed);
         let sv = HestenesSvd::new(SvdOptions::paper()).singular_values(&a).unwrap();
-        let drop =
-            sv.history.last().unwrap().mean_abs_cov / sv.history[0].mean_abs_cov.max(1e-300);
+        let drop = sv.history.last().unwrap().mean_abs_cov / sv.history[0].mean_abs_cov.max(1e-300);
         assert!(drop < 1e-5, "seed {seed}: only dropped to {drop:.3e} after 6 sweeps");
     }
 }

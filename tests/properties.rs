@@ -10,11 +10,7 @@ use proptest::prelude::*;
 /// Strategy: a plausible (norm_i, norm_j, cov) triple satisfying
 /// Cauchy-Schwarz (what a real Gram pair always satisfies).
 fn gram_pair() -> impl Strategy<Value = (f64, f64, f64)> {
-    (
-        1e-6f64..1e6,
-        1e-6f64..1e6,
-        -0.999f64..0.999,
-    )
+    (1e-6f64..1e6, 1e-6f64..1e6, -0.999f64..0.999)
         .prop_map(|(a, b, frac)| (a, b, frac * (a * b).sqrt()))
 }
 
@@ -187,6 +183,71 @@ proptest! {
         let exact = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
         for (x, y) in rep.singular_values.iter().zip(&exact.values) {
             prop_assert!((x - y).abs() < 1e-3 * y.max(1.0), "fixed {x} vs exact {y}");
+        }
+    }
+
+    #[test]
+    fn batched_solves_are_bitwise_identical_to_sequential(
+        seed in 0u64..100,
+        count in 1usize..6,
+        engine in 0usize..2,
+    ) {
+        let parallel = engine == 1;
+        // decompose_batch must return, slot for slot, the exact bits the
+        // one-at-a-time driver produces — at whatever thread count the pool
+        // was launched with (fan-out order must never leak into results).
+        let mats: Vec<_> = (0..count)
+            .map(|k| {
+                let m = 3 + (seed as usize + 5 * k) % 14;
+                let n = 1 + (seed as usize + 3 * k) % m.min(8);
+                gen::uniform(m, n, seed.wrapping_add(k as u64))
+            })
+            .collect();
+        let solver = HestenesSvd::new(SvdOptions { parallel, ..Default::default() });
+        let batch = solver.decompose_batch(&mats);
+        prop_assert_eq!(batch.len(), mats.len());
+        for (k, res) in batch.iter().enumerate() {
+            let one = solver.decompose(&mats[k]).unwrap();
+            let b = res.as_ref().unwrap();
+            prop_assert_eq!(b.u.as_slice(), one.u.as_slice(), "U[{}] differs", k);
+            prop_assert_eq!(&b.singular_values, &one.singular_values, "sigma[{}] differs", k);
+            prop_assert_eq!(b.v.as_slice(), one.v.as_slice(), "V[{}] differs", k);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_transparent(
+        seed in 0u64..100,
+        n1 in 2usize..12,
+        n2 in 2usize..12,
+    ) {
+        // One workspace carried across two different-shaped solves produces
+        // the same bits as a fresh workspace per solve: no state leaks.
+        use hjsvd::core::parallel::{parallel_sweep_full_ws, SweepWorkspace};
+        use hjsvd::matrix::Matrix;
+        let shapes = [(2 * n1 + 1, n1), (3 * n2, n2)];
+        let mut ws = SweepWorkspace::new();
+        for (k, &(m, n)) in shapes.iter().enumerate() {
+            let src = gen::uniform(m, n, seed.wrapping_add(k as u64));
+            let order = round_robin(n);
+
+            let mut b_reused = src.clone();
+            let mut g_reused = GramState::from_matrix(&b_reused);
+            let mut v_reused = Matrix::identity(n);
+
+            let mut b_fresh = src.clone();
+            let mut g_fresh = GramState::from_matrix(&b_fresh);
+            let mut v_fresh = Matrix::identity(n);
+            let mut fresh = SweepWorkspace::new();
+
+            for s in 1..=3 {
+                parallel_sweep_full_ws(&mut b_reused, &mut g_reused, Some(&mut v_reused), &order, s, &mut ws);
+                parallel_sweep_full_ws(&mut b_fresh, &mut g_fresh, Some(&mut v_fresh), &order, s, &mut fresh);
+            }
+            prop_assert_eq!(b_reused.as_slice(), b_fresh.as_slice(), "B differs on solve {}", k);
+            prop_assert_eq!(v_reused.as_slice(), v_fresh.as_slice(), "V differs on solve {}", k);
+            prop_assert_eq!(g_reused.packed().as_slice(), g_fresh.packed().as_slice(),
+                "D differs on solve {}", k);
         }
     }
 

@@ -1,0 +1,130 @@
+//! Pins the zero-allocation invariant of the parallel sweep engine.
+//!
+//! A counting global allocator wraps `System`; after one warm-up sweep sizes
+//! the [`SweepWorkspace`], further sweeps — gram-only and full (B, Gram, V)
+//! — must perform **zero** heap allocations: rounds publish results by
+//! swapping double buffers, never by allocating fresh ones. This is the
+//! software analogue of the paper's fixed BRAM budget: the FPGA design
+//! claims all covariance/column storage up front and reuses it every sweep.
+//!
+//! Lives in the root package (not hj-core) because hj-core carries
+//! `#![forbid(unsafe_code)]` and a `GlobalAlloc` impl requires unsafe.
+
+use hjsvd::core::ordering::round_robin;
+use hjsvd::core::parallel::{parallel_sweep_full_ws, parallel_sweep_gram_ws, SweepWorkspace};
+use hjsvd::core::GramState;
+use hjsvd::matrix::{gen, Matrix};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The allocation counter is process-global and the test harness runs tests
+/// on separate threads; serialize them so one test's warm-up never lands in
+/// another's measured region.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Counts every allocation event (alloc + realloc) passing through the
+/// global allocator. Frees are not counted — the invariant under test is
+/// "no new buffers", not "no buffer returns".
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn gram_sweeps_allocate_nothing_after_warmup() {
+    let _guard = SERIAL.lock().unwrap();
+    let a = gen::uniform(48, 24, 11);
+    let mut gram = GramState::from_matrix(&a);
+    let order = round_robin(gram.dim());
+    let mut ws = SweepWorkspace::new();
+
+    // Warm-up sweep: sizes the back buffer and scratch.
+    parallel_sweep_gram_ws(&mut gram, &order, 1, &mut ws);
+    let warm = ws.allocations();
+    assert!(warm > 0, "warm-up must have sized the workspace");
+
+    let before = allocation_count();
+    for s in 2..=4 {
+        parallel_sweep_gram_ws(&mut gram, &order, s, &mut ws);
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(delta, 0, "steady-state gram sweeps allocated {delta} times");
+    assert_eq!(ws.allocations(), warm, "workspace grew after warm-up");
+}
+
+#[test]
+fn full_sweeps_allocate_nothing_after_warmup() {
+    let _guard = SERIAL.lock().unwrap();
+    let src = gen::uniform(32, 12, 13);
+    let mut b = src.clone();
+    let mut gram = GramState::from_matrix(&b);
+    let mut v = Matrix::identity(b.cols());
+    let order = round_robin(gram.dim());
+    let mut ws = SweepWorkspace::new();
+
+    parallel_sweep_full_ws(&mut b, &mut gram, Some(&mut v), &order, 1, &mut ws);
+
+    let before = allocation_count();
+    for s in 2..=4 {
+        parallel_sweep_full_ws(&mut b, &mut gram, Some(&mut v), &order, s, &mut ws);
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(delta, 0, "steady-state full sweeps allocated {delta} times");
+}
+
+#[test]
+fn reused_workspace_allocations_are_per_problem_not_per_sweep() {
+    // Swap-publishing trades buffers with the caller's matrices, so moving a
+    // warm workspace to a NEW problem can cost a bounded handful of buffer
+    // exchanges/growths in that problem's first sweep — but never more, and
+    // every subsequent sweep of the same problem allocates exactly zero.
+    let _guard = SERIAL.lock().unwrap();
+    let shapes = [(40usize, 20usize), (30, 12), (18, 6)];
+    let mut ws = SweepWorkspace::new();
+
+    for (k, &(m, n)) in shapes.iter().enumerate() {
+        let mut b = gen::uniform(m, n, 17 + k as u64);
+        let mut gram = GramState::from_matrix(&b);
+        let mut v = Matrix::identity(n);
+        let order = round_robin(gram.dim());
+
+        // First sweep of this problem: the per-problem warm-up. Bounded by a
+        // few buffer events, independent of the number of rounds or sweeps.
+        let before = allocation_count();
+        parallel_sweep_full_ws(&mut b, &mut gram, Some(&mut v), &order, 1, &mut ws);
+        let warmup = allocation_count() - before;
+        let bound = 8;
+        assert!(warmup <= bound, "warm-up on {m}x{n} allocated {warmup} times (> {bound})");
+
+        // Steady state: zero allocations per sweep, hence zero per round.
+        let before = allocation_count();
+        for s in 2..=4 {
+            parallel_sweep_full_ws(&mut b, &mut gram, Some(&mut v), &order, s, &mut ws);
+        }
+        let delta = allocation_count() - before;
+        assert_eq!(delta, 0, "steady-state sweeps on {m}x{n} allocated {delta} times");
+    }
+}

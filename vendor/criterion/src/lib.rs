@@ -1,0 +1,291 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple adaptive wall-clock measurement loop instead of criterion's
+//! statistical machinery. Each benchmark prints `name ... time per iter` to
+//! stdout. `--bench` and benchmark-name filter CLI arguments are accepted
+//! (cargo passes them) and the filter is honoured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Target measurement time per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; any other free argument is a filter.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue;
+            }
+            filter = Some(arg);
+        }
+        Criterion { filter, measure_for: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// Benchmark a closure under `id` (ungrouped).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id.full, f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive loop ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measure_for = d;
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        run_one(self.c, &full, f);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        run_one(self.c, &full, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name` plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measure_for: Duration,
+    /// (iterations, elapsed) recorded by the last `iter` call.
+    result: Option<(u64, Duration)>,
+}
+
+/// Hint for how much setup state `iter_batched` keeps alive; accepted for
+/// API compatibility and ignored by the simple runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per measured call.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Measure `routine` on fresh state from `setup` each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, T, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> T,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measure_for && iters < 1 << 24 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters, elapsed));
+    }
+
+    /// Measure `f` repeatedly: a short warm-up, then batches until the
+    /// target measurement time is reached.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while elapsed < self.measure_for {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+            // Grow batches so timer overhead stays negligible.
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.result = Some((iters, elapsed));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, full_name: &str, mut f: F) {
+    if !c.matches(full_name) {
+        return;
+    }
+    let mut b = Bencher { measure_for: c.measure_for, result: None };
+    f(&mut b);
+    match b.result {
+        Some((iters, elapsed)) if iters > 0 => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!("{full_name:<48} {} / iter ({iters} iters)", fmt_time(per_iter));
+        }
+        _ => println!("{full_name:<48} (no measurement)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion { filter: None, measure_for: Duration::from_millis(5) }
+    }
+
+    #[test]
+    fn group_and_input_benches_record_results() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        let input = vec![1.0f64; 64];
+        g.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, v| {
+            b.iter(|| v.iter().sum::<f64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nomatch".into()), ..quick() };
+        let mut hit = false;
+        c.bench_function("something_else", |b| {
+            hit = true;
+            b.iter(|| 1u8);
+        });
+        assert!(!hit, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("build", 64).full, "build/64");
+        assert_eq!(BenchmarkId::from_parameter("16x4").full, "16x4");
+    }
+}

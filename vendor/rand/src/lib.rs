@@ -1,0 +1,167 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny slice of the rand 0.9 API it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] over primitive
+//! ranges. The generator is xoshiro256** seeded through SplitMix64 — not the
+//! same stream as upstream `StdRng` (ChaCha12), but every consumer in this
+//! workspace only relies on determinism from a `u64` seed, which this
+//! provides bit-reproducibly across platforms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open, `lo..hi`).
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, &range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty f64 sample range");
+        // 53 uniform mantissa bits -> u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + u * (range.end - range.start);
+        // Guard the open upper bound against rounding in the affine map.
+        if v >= range.end {
+            f64_prev(range.end)
+        } else {
+            v
+        }
+    }
+}
+
+fn f64_prev(x: f64) -> f64 {
+    // Largest double strictly below a finite positive-direction bound.
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits - 1)
+    } else {
+        f64::from_bits(bits + 1)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty integer sample range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                // Modulo reduction: the bias is < 2^-64 per draw for every
+                // span used in this workspace — irrelevant for test workloads.
+                let r = ((rng.next_u64() as u128) % span) as $t;
+                range.start.wrapping_add(r)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (offline `StdRng` stand-in).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the full state,
+            // as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0.0f64..1.0), b.random_range(0.0f64..1.0));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random_range(0u64..u64::MAX), c.random_range(0u64..u64::MAX));
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&v), "{v} out of range");
+        }
+        for _ in 0..1_000 {
+            let v = r.random_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        let neg = r.random_range(-5i32..5);
+        assert!((-5..5).contains(&neg));
+    }
+}

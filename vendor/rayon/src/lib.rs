@@ -1,0 +1,439 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of rayon it needs. The design goal — beyond API compatibility —
+//! is **zero heap allocation per dispatch**: hj-core's round-synchronous
+//! sweep drivers call into this pool once per Jacobi round and assert (with a
+//! counting allocator) that the steady state allocates nothing.
+//!
+//! The pool is a *broadcast* pool: worker threads are spawned once, then each
+//! [`broadcast_parts`] call hands every worker the same `Fn(worker, workers)`
+//! closure through a raw pointer slot guarded by a mutex/condvar generation
+//! counter. No job queue, no boxed closures, no channels — dispatch is two
+//! mutex locks and two condvar signals.
+//!
+//! Semantics preserved from real rayon for the patterns used here:
+//! * [`prelude`] provides `par_iter_mut().for_each(..)` on slices/`Vec`s;
+//! * work partitioning is deterministic (contiguous blocks / fixed strides),
+//!   so numerical results are identical at any thread count;
+//! * nested calls from inside a worker run inline instead of deadlocking
+//!   (rayon would cooperatively schedule; inline execution is the sequential
+//!   special case of that).
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set, else `available_parallelism`.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// One broadcast job: a type-erased `&F` plus its call shim.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize, usize),
+    workers: usize,
+}
+
+// SAFETY: `data` points at a closure that outlives the job (the submitting
+// thread blocks until every worker reports completion) and the `call` shim
+// only requires `F: Sync`, which `broadcast_parts` enforces.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    seq: u64,
+    remaining: usize,
+    panicked: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    job_ready: Condvar,
+    job_done: Condvar,
+    /// Serializes submissions from independent user threads (e.g. parallel
+    /// test binaries); held across the whole broadcast.
+    submit: Mutex<()>,
+    workers: usize,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+static DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = configured_threads();
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            state: Mutex::new(PoolState { job: None, seq: 0, remaining: 0, panicked: 0 }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            submit: Mutex::new(()),
+            workers,
+        }));
+        for idx in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("hj-pool-{idx}"))
+                .spawn(move || worker_loop(pool, idx))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+fn worker_loop(pool: &'static Pool, idx: usize) {
+    IN_POOL.with(|c| c.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = pool.state.lock().expect("pool mutex");
+            loop {
+                if st.seq != seen {
+                    seen = st.seq;
+                    break st.job.expect("job present while seq advanced");
+                }
+                st = pool.job_ready.wait(st).expect("pool condvar");
+            }
+        };
+        // SAFETY: see `Job`'s Send justification.
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, idx, job.workers) }));
+        let mut st = pool.state.lock().expect("pool mutex");
+        if outcome.is_err() {
+            st.panicked += 1;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            pool.job_done.notify_all();
+        }
+    }
+}
+
+/// Run `f(worker_index, worker_count)` once on every pool worker and block
+/// until all calls return. Allocation-free after the pool has warmed up.
+///
+/// From inside a pool worker (nested parallelism) the call degenerates to
+/// `f(0, 1)` inline. A panic in any worker is re-raised on the caller.
+pub fn broadcast_parts<F>(f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if IN_POOL.with(|c| c.get()) {
+        f(0, 1);
+        return;
+    }
+    let pool = pool();
+    if pool.workers <= 1 {
+        f(0, 1);
+        return;
+    }
+    unsafe fn call_shim<F: Fn(usize, usize) + Sync>(p: *const (), i: usize, n: usize) {
+        // SAFETY: `p` was derived from `&f` below and `f` is alive for the
+        // whole broadcast because the submitter blocks on `job_done`.
+        unsafe { (*(p as *const F))(i, n) }
+    }
+    let job = Job { data: (&raw const f).cast(), call: call_shim::<F>, workers: pool.workers };
+    let _submission = pool.submit.lock().expect("pool submit mutex");
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    let panicked = {
+        let mut st = pool.state.lock().expect("pool mutex");
+        st.job = Some(job);
+        st.seq = st.seq.wrapping_add(1);
+        st.remaining = pool.workers;
+        st.panicked = 0;
+        pool.job_ready.notify_all();
+        while st.remaining != 0 {
+            st = pool.job_done.wait(st).expect("pool condvar");
+        }
+        st.job = None;
+        st.panicked
+    };
+    if panicked > 0 {
+        panic!("{panicked} pool worker(s) panicked during broadcast");
+    }
+}
+
+/// Number of threads the pool runs (spawning it on first use).
+pub fn current_num_threads() -> usize {
+    pool().workers
+}
+
+/// Total broadcasts dispatched to the pool so far (telemetry for
+/// `SolveStats`-style observability; inline/nested runs are not counted).
+pub fn dispatch_count() -> usize {
+    DISPATCHES.load(Ordering::Relaxed)
+}
+
+/// Contiguous block `[start, end)` of `len` items for worker `w` of `n`.
+#[inline]
+fn block(len: usize, w: usize, n: usize) -> (usize, usize) {
+    (len * w / n, len * (w + 1) / n)
+}
+
+/// Parallel `for_each` over disjoint `&mut` items of a slice.
+/// Deterministic: item `k` is always processed with the same inputs,
+/// regardless of thread count.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return;
+    }
+    let base = SendPtr(items.as_mut_ptr());
+    broadcast_parts(move |w, n| {
+        let (start, end) = block(len, w, n);
+        for k in start..end {
+            // SAFETY: blocks are disjoint across workers and within bounds.
+            f(unsafe { &mut *base.get().add(k) });
+        }
+    });
+}
+
+/// Parallel `for_each` over equally-sized disjoint chunks of a slice,
+/// passing each chunk's index. The trailing remainder (if `data.len()` is not
+/// a multiple of `chunk`) is left untouched, matching `chunks_exact_mut`.
+pub fn par_chunks_for_each<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let nchunks = data.len() / chunk;
+    if nchunks == 0 {
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    broadcast_parts(move |w, n| {
+        let (start, end) = block(nchunks, w, n);
+        for c in start..end {
+            // SAFETY: chunk ranges are disjoint across workers and in bounds.
+            let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(c * chunk), chunk) };
+            f(c, s);
+        }
+    });
+}
+
+/// Parallel `for_each` over variable-length disjoint partitions of a slice.
+///
+/// `starts` holds `rows + 1` ascending offsets; partition `r` is
+/// `data[starts[r]..starts[r + 1]]`. Rows are assigned to workers in stride
+/// order (`r % workers`), which balances triangular row-length profiles.
+/// The caller owns `starts`, so steady-state callers allocate nothing.
+pub fn par_rows_for_each<T, F>(data: &mut [T], starts: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let rows = starts.len().saturating_sub(1);
+    if rows == 0 {
+        return;
+    }
+    assert!(starts.windows(2).all(|w| w[0] <= w[1]), "starts must ascend");
+    assert!(starts[rows] <= data.len(), "starts exceed buffer");
+    let base = SendPtr(data.as_mut_ptr());
+    broadcast_parts(move |w, n| {
+        let mut r = w;
+        while r < rows {
+            let (lo, hi) = (starts[r], starts[r + 1]);
+            // SAFETY: ascending `starts` make rows disjoint; stride `n`
+            // partitions row indices across workers without overlap.
+            let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            f(r, s);
+            r += n;
+        }
+    });
+}
+
+/// Raw pointer wrapper so worker closures (which only capture it by value)
+/// satisfy the `Sync` bound of [`broadcast_parts`].
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Whole-struct accessor: closures must capture the `Sync` wrapper, not
+    /// the raw-pointer field (2021 disjoint capture would otherwise grab
+    /// `self.0` directly and lose the `Sync` impl).
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: only used to derive provably disjoint subslices inside this module.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// rayon-compatible import surface: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefMutIterator, ParIterMut};
+}
+
+/// Mutable parallel iteration over a collection's items.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item handed to the loop body.
+    type Item: Send + 'a;
+    /// Create the parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self.as_mut_slice() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Borrowed mutable parallel iterator (the only adaptor surface used here is
+/// `for_each`, plus `enumerate().for_each`).
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Run `f` on every item, in parallel, deterministically partitioned.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        par_for_each_mut(self.items, f);
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { items: self.items }
+    }
+}
+
+/// Index-carrying variant of [`ParIterMut`].
+pub struct ParIterMutEnumerate<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> ParIterMutEnumerate<'_, T> {
+    /// Run `f` on every `(index, item)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let len = self.items.len();
+        if len == 0 {
+            return;
+        }
+        let base = SendPtr(self.items.as_mut_ptr());
+        broadcast_parts(move |w, n| {
+            let (start, end) = block(len, w, n);
+            for k in start..end {
+                // SAFETY: blocks are disjoint across workers and in bounds.
+                f((k, unsafe { &mut *base.get().add(k) }));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_for_each_mut_touches_every_item_once() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn enumerate_gives_correct_indices() {
+        let mut v = vec![0usize; 517];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 3);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn chunks_cover_exact_prefix() {
+        let mut v = vec![0u32; 1003]; // 100 chunks of 10 + remainder 3
+        par_chunks_for_each(&mut v, 10, |c, chunk| {
+            for x in chunk {
+                *x = c as u32 + 1;
+            }
+        });
+        assert!(v[..1000].iter().all(|&x| x >= 1));
+        assert!(v[1000..].iter().all(|&x| x == 0), "remainder untouched");
+    }
+
+    #[test]
+    fn rows_partition_is_disjoint_and_complete() {
+        // Triangle rows: lengths 5, 4, 3, 2, 1.
+        let starts = [0usize, 5, 9, 12, 14, 15];
+        let mut v = vec![0u8; 15];
+        par_rows_for_each(&mut v, &starts, |r, row| {
+            for x in row {
+                *x += 1 + r as u8;
+            }
+        });
+        let mut expect = Vec::new();
+        for (r, len) in [5usize, 4, 3, 2, 1].into_iter().enumerate() {
+            expect.extend(std::iter::repeat_n(1 + r as u8, len));
+        }
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn nested_broadcast_runs_inline() {
+        let mut outer = vec![0usize; 64];
+        outer.par_iter_mut().for_each(|x| {
+            // Nested: must not deadlock; runs inline on this worker.
+            let mut inner = vec![1usize; 8];
+            inner.par_iter_mut().for_each(|y| *y += 1);
+            *x = inner.iter().sum();
+        });
+        assert!(outer.iter().all(|&x| x == 16));
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut v = vec![0u8; 100];
+            v.par_iter_mut().for_each(|_| panic!("boom"));
+        });
+        // Single-threaded pools run inline, where the panic also propagates.
+        assert!(caught.is_err());
+        // Pool still functional afterwards.
+        let mut v = vec![1u8; 100];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
