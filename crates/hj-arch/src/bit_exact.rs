@@ -47,8 +47,8 @@ pub fn singular_values_on_modeled_cores(a: &Matrix, config: &ArchConfig) -> Vec<
 
     let order = round_robin(n);
     for _ in 0..config.sweeps {
-        for group in order.grouped(config.pair_group) {
-            for (i, j) in group {
+        for group in order.grouped_iter(config.pair_group) {
+            for &(i, j) in group {
                 let cov = d[i][j];
                 if cov == 0.0 {
                     continue;
@@ -135,8 +135,8 @@ mod tests {
         }
         let order = round_robin(n);
         for _ in 0..config.sweeps {
-            for group in order.grouped(config.pair_group) {
-                for (i, j) in group {
+            for group in order.grouped_iter(config.pair_group) {
+                for &(i, j) in group {
                     let cov = d[i][j];
                     if cov == 0.0 {
                         continue;

@@ -204,8 +204,8 @@ impl HestenesJacobiArch {
             // Functional: apply the sweep's rotations in grouped cyclic
             // order with the hardware's eq. (8)–(10) arithmetic.
             if let Some(g) = gram.as_mut() {
-                for group in order.grouped(cfg.pair_group) {
-                    for (i, j) in group {
+                for group in order.grouped_iter(cfg.pair_group) {
+                    for &(i, j) in group {
                         let rot =
                             rotation_unit.compute(g.norm_sq(i), g.norm_sq(j), g.covariance(i, j));
                         if !rot.is_identity() {

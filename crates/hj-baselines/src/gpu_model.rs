@@ -122,7 +122,7 @@ pub fn run_parallel_hestenes(a: &Matrix, sweeps: usize) -> ParallelRunReport {
 /// benches that want wall-clock of an actual multicore run, the closest
 /// executable analogue to a massively-parallel device on this machine).
 pub fn parallel_svd(a: &Matrix) -> hj_core::Svd {
-    HestenesSvd::new(SvdOptions { parallel: true, ..Default::default() })
+    HestenesSvd::new(SvdOptions { engine: hj_core::EngineKind::Parallel, ..Default::default() })
         .decompose(a)
         .expect("valid input")
 }

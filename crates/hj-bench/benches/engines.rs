@@ -1,0 +1,59 @@
+//! Engine comparison: sequential vs parallel vs blocked sweep engines on the
+//! same inputs, n ∈ {32, 64, 128, 256} with m = 2n. Beyond the criterion
+//! timings, the bench emits `bench_results/engines.json` (median-of-3 wall
+//! clock per engine/size) so the engine crossover point — where the blocked
+//! engine's cache tiling and the parallel engine's round fan-out start
+//! paying for their overheads — can be plotted alongside the other
+//! `bench_results/` artifacts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hj_core::{EngineKind, HestenesSvd, SvdOptions};
+use hj_matrix::gen;
+
+const SIZES: [usize; 4] = [32, 64, 128, 256];
+const ENGINES: [EngineKind; 3] =
+    [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked];
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines");
+    g.sample_size(10);
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        let a = gen::uniform(2 * n, n, 7);
+        for engine in ENGINES {
+            let solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
+            g.bench_with_input(
+                BenchmarkId::new(engine.name(), format!("{}x{}", 2 * n, n)),
+                &a,
+                |b, a| b.iter(|| black_box(solver.singular_values(black_box(a)).unwrap())),
+            );
+            let secs = hj_bench::measure(3, || {
+                black_box(solver.singular_values(black_box(&a)).unwrap());
+            });
+            let sv = solver.singular_values(&a).unwrap();
+            rows.push(format!(
+                "    {{\"engine\":\"{}\",\"m\":{},\"n\":{},\"median_seconds\":{:e},\"sweeps\":{}}}",
+                engine.name(),
+                2 * n,
+                n,
+                secs,
+                sv.sweeps
+            ));
+        }
+    }
+    g.finish();
+
+    let json = format!("{{\n  \"engines\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+    // Criterion benches run with the package dir as CWD; anchor the artifact
+    // at the workspace-root bench_results/ next to the figure/table CSVs.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("engines.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

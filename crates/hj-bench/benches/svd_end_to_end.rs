@@ -2,7 +2,7 @@
 //! vs the rayon round-synchronous driver.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hj_core::{HestenesSvd, SvdOptions};
+use hj_core::{EngineKind, HestenesSvd, SvdOptions};
 use hj_matrix::gen;
 
 fn bench_svd(c: &mut Criterion) {
@@ -11,7 +11,8 @@ fn bench_svd(c: &mut Criterion) {
     for &(m, n) in &[(128usize, 64usize), (512, 64), (256, 128)] {
         let a = gen::uniform(m, n, 7);
         let seq = HestenesSvd::new(SvdOptions::default());
-        let par = HestenesSvd::new(SvdOptions { parallel: true, ..Default::default() });
+        let par =
+            HestenesSvd::new(SvdOptions { engine: EngineKind::Parallel, ..Default::default() });
         g.bench_with_input(BenchmarkId::new("values_seq", format!("{m}x{n}")), &a, |b, a| {
             b.iter(|| black_box(seq.singular_values(black_box(a)).unwrap()))
         });

@@ -14,11 +14,63 @@
 //!   inner parallelism to inline execution, which computes the same bits).
 //! * **Per-solve isolation** — a bad input (e.g. NaN → `NonFiniteInput`)
 //!   yields an `Err` in its own slot and leaves every other solve untouched.
+//! * **Workspace pooling** — every solve checks a [`SweepWorkspace`] out of
+//!   a shared [`WorkspacePool`] and returns it afterwards, so a fan-out of
+//!   `B` matrices over `T` workers warms at most `min(B, T)` workspaces
+//!   instead of allocating a fresh one per matrix. Pooling is transparent:
+//!   the engines record per-solve counter deltas, and a warm workspace
+//!   computes the same bits as a cold one.
 
+use crate::parallel::SweepWorkspace;
 use crate::svd::{HestenesSvd, SingularValues, Svd};
 use crate::SvdError;
 use hj_matrix::Matrix;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A checkout/checkin pool of [`SweepWorkspace`]s for fan-out solves.
+///
+/// `checkout` hands back the most recently returned workspace (warmest
+/// first) or creates a fresh one when the pool is empty; `checkin` returns
+/// it for the next solve. The pool never shrinks and is safe to share
+/// across threads.
+#[derive(Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<SweepWorkspace>>,
+    created: AtomicUsize,
+}
+
+impl WorkspacePool {
+    /// An empty pool; workspaces are created on demand.
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Take a workspace (warmest available, or a fresh one).
+    pub fn checkout(&self) -> SweepWorkspace {
+        if let Some(ws) = self.free.lock().expect("workspace pool poisoned").pop() {
+            return ws;
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        SweepWorkspace::new()
+    }
+
+    /// Return a workspace for reuse by later solves.
+    pub fn checkin(&self, ws: SweepWorkspace) {
+        self.free.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    /// Total workspaces ever created by this pool.
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Workspaces currently checked in and idle.
+    pub fn available(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+}
 
 impl HestenesSvd {
     /// Decompose every matrix of the batch with this solver's options.
@@ -34,21 +86,51 @@ impl HestenesSvd {
     /// assert!(results.iter().all(|r| r.is_ok()));
     /// ```
     pub fn decompose_batch(&self, mats: &[Matrix]) -> Vec<Result<Svd, SvdError>> {
-        self.batch(mats, |m| self.decompose(m))
+        self.decompose_batch_pooled(mats, &WorkspacePool::new())
+    }
+
+    /// [`HestenesSvd::decompose_batch`] drawing scratch from a caller-owned
+    /// pool — reuse one pool across repeated batches to keep the workspaces
+    /// warm between calls.
+    pub fn decompose_batch_pooled(
+        &self,
+        mats: &[Matrix],
+        pool: &WorkspacePool,
+    ) -> Vec<Result<Svd, SvdError>> {
+        self.batch(mats, pool, |m, ws| self.decompose_with_workspace(m, ws))
     }
 
     /// Values-only counterpart of [`HestenesSvd::decompose_batch`].
     pub fn singular_values_batch(&self, mats: &[Matrix]) -> Vec<Result<SingularValues, SvdError>> {
-        self.batch(mats, |m| self.singular_values(m))
+        self.singular_values_batch_pooled(mats, &WorkspacePool::new())
     }
 
-    fn batch<T, F>(&self, mats: &[Matrix], solve: F) -> Vec<Result<T, SvdError>>
+    /// [`HestenesSvd::singular_values_batch`] drawing scratch from a
+    /// caller-owned pool.
+    pub fn singular_values_batch_pooled(
+        &self,
+        mats: &[Matrix],
+        pool: &WorkspacePool,
+    ) -> Vec<Result<SingularValues, SvdError>> {
+        self.batch(mats, pool, |m, ws| self.singular_values_with_workspace(m, ws))
+    }
+
+    fn batch<T, F>(
+        &self,
+        mats: &[Matrix],
+        pool: &WorkspacePool,
+        solve: F,
+    ) -> Vec<Result<T, SvdError>>
     where
         T: Send,
-        F: Fn(&Matrix) -> Result<T, SvdError> + Sync,
+        F: Fn(&Matrix, &mut SweepWorkspace) -> Result<T, SvdError> + Sync,
     {
         let mut out: Vec<Option<Result<T, SvdError>>> = (0..mats.len()).map(|_| None).collect();
-        out.par_iter_mut().enumerate().for_each(|(k, slot)| *slot = Some(solve(&mats[k])));
+        out.par_iter_mut().enumerate().for_each(|(k, slot)| {
+            let mut ws = pool.checkout();
+            *slot = Some(solve(&mats[k], &mut ws));
+            pool.checkin(ws);
+        });
         out.into_iter().map(|r| r.expect("every batch slot is filled")).collect()
     }
 }
@@ -56,6 +138,7 @@ impl HestenesSvd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EngineKind;
     use crate::{Convergence, SvdOptions};
     use hj_matrix::gen;
 
@@ -71,8 +154,8 @@ mod tests {
     #[test]
     fn batch_matches_sequential_bitwise() {
         let mats = mixed_batch();
-        for parallel in [false, true] {
-            let solver = HestenesSvd::new(SvdOptions { parallel, ..Default::default() });
+        for engine in [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked] {
+            let solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
             let batch = solver.decompose_batch(&mats);
             assert_eq!(batch.len(), mats.len());
             for (k, res) in batch.iter().enumerate() {
@@ -139,5 +222,38 @@ mod tests {
         let solver = HestenesSvd::new(SvdOptions::default());
         assert!(solver.decompose_batch(&[]).is_empty());
         assert!(solver.singular_values_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn pool_bounds_workspace_creation_and_is_transparent() {
+        // 8 same-shape solves through one pool: at most one workspace per
+        // worker thread ever exists, all come back, and the results match
+        // the unpooled path bit for bit.
+        let mats: Vec<_> = (0..8).map(|k| gen::uniform(18, 7, 100 + k)).collect();
+        for engine in [EngineKind::Parallel, EngineKind::Blocked] {
+            let solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
+            let pool = WorkspacePool::new();
+            let pooled = solver.decompose_batch_pooled(&mats, &pool);
+            assert!(pool.created() >= 1);
+            assert!(
+                pool.created() <= rayon::current_num_threads().max(1),
+                "pool created {} workspaces for {} workers",
+                pool.created(),
+                rayon::current_num_threads()
+            );
+            assert_eq!(pool.available(), pool.created(), "all workspaces checked back in");
+            // A second batch over the same pool creates nothing new.
+            let again = solver.singular_values_batch_pooled(&mats, &pool);
+            assert_eq!(pool.available(), pool.created());
+            for (k, res) in pooled.iter().enumerate() {
+                let one = solver.decompose(&mats[k]).unwrap();
+                let b = res.as_ref().unwrap();
+                assert_eq!(b.singular_values, one.singular_values, "{engine:?} slot {k}");
+                assert_eq!(b.u.as_slice(), one.u.as_slice());
+                assert_eq!(b.v.as_slice(), one.v.as_slice());
+                let one_values = solver.singular_values(&mats[k]).unwrap();
+                assert_eq!(again[k].as_ref().unwrap().values, one_values.values);
+            }
+        }
     }
 }

@@ -9,9 +9,11 @@
 //! Works for indefinite symmetric matrices too (eigenvalues may be
 //! negative; nothing here assumes positive semidefiniteness).
 
+use crate::convergence::{Convergence, SweepRecord, MAX_SWEEP_CAP};
+use crate::engine::{PairGuard, RotationTarget, Sequential, SolveDriver, SweepState};
 use crate::gram::GramState;
 use crate::ordering::round_robin;
-use crate::rotation::textbook_params;
+use crate::stats::SolveStats;
 use crate::SvdError;
 use hj_matrix::{Matrix, PackedSymmetric};
 
@@ -24,16 +26,21 @@ pub struct SymmetricEigen {
     pub eigenvectors: Matrix,
     /// Sweeps used.
     pub sweeps: usize,
+    /// Per-sweep convergence measurements (same records as the SVD drivers).
+    pub history: Vec<SweepRecord>,
+    /// Solve-level observability (timings, rotation counts, Gram traffic).
+    pub stats: SolveStats,
 }
-
-/// Hard sweep cap (same rationale as the SVD driver's).
-const MAX_SWEEPS: usize = 60;
 
 /// Eigendecompose a symmetric matrix given in packed form.
 ///
-/// `tol` is the relative off-diagonal threshold: iteration stops when the
-/// largest |off-diagonal| drops below `tol · max|diagonal|` (use `1e-14`
-/// for machine-precision eigenvalues).
+/// `tol` is the relative off-diagonal threshold: pairs with
+/// `|off-diagonal| ≤ tol · max|diagonal|` are skipped, and iteration stops
+/// on the first sweep that applies no rotation (use `1e-14` for
+/// machine-precision eigenvalues). Runs on the unified
+/// [`SolveDriver`] with the [`Sequential`] engine, a
+/// [`PairGuard::DiagonalScale`] guard (valid for indefinite matrices), and
+/// the sweep budget capped at [`MAX_SWEEP_CAP`] like the SVD drivers.
 ///
 /// ```
 /// use hj_core::eigh::eigh;
@@ -58,25 +65,14 @@ pub fn eigh(s: &PackedSymmetric, tol: f64) -> Result<SymmetricEigen, SvdError> {
     let mut g = GramState::from_packed(s.clone());
     let mut v = Matrix::identity(n);
     let order = round_robin(n);
-    let mut sweeps = 0usize;
-    for _ in 0..MAX_SWEEPS {
-        sweeps += 1;
-        let scale = g.packed().diagonal().iter().fold(0.0f64, |m, &d| m.max(d.abs()));
-        let mut applied = 0usize;
-        for (i, j) in order.pairs() {
-            let cov = g.covariance(i, j);
-            if cov.abs() <= tol * scale.max(f64::MIN_POSITIVE) {
-                continue;
-            }
-            let rot = textbook_params(g.norm_sq(i), g.norm_sq(j), cov);
-            g.rotate(i, j, &rot);
-            v.column_pair(i, j).expect("valid pair").rotate(rot.cos, rot.sin);
-            applied += 1;
-        }
-        if applied == 0 {
-            break;
-        }
-    }
+    let driver = SolveDriver { convergence: Convergence::NoRotations, max_sweeps: MAX_SWEEP_CAP };
+    let mut state = SweepState {
+        gram: &mut g,
+        target: RotationTarget::accumulate(&mut v),
+        guard: PairGuard::DiagonalScale { tol },
+    };
+    let (history, stats) = driver.run(&mut Sequential, &mut state, &order);
+    let sweeps = history.len();
     // Extract, sort descending by eigenvalue.
     let diag = g.packed().diagonal();
     let mut idx: Vec<usize> = (0..n).collect();
@@ -87,7 +83,7 @@ pub fn eigh(s: &PackedSymmetric, tol: f64) -> Result<SymmetricEigen, SvdError> {
         eigenvalues.push(diag[i]);
         eigenvectors.col_mut(t).copy_from_slice(v.col(i));
     }
-    Ok(SymmetricEigen { eigenvalues, eigenvectors, sweeps })
+    Ok(SymmetricEigen { eigenvalues, eigenvectors, sweeps, history, stats })
 }
 
 /// Convenience: eigendecompose a dense symmetric matrix (symmetry is
@@ -176,6 +172,26 @@ mod tests {
         let e = eigh(&s, 1e-14).unwrap();
         assert_eq!(e.sweeps, 1);
         assert_eq!(e.eigenvalues, vec![7.0, 3.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn history_and_stats_are_populated() {
+        let a = gen::uniform(18, 5, 6);
+        let e = eigh(&a.gram(), 1e-14).unwrap();
+        assert_eq!(e.history.len(), e.sweeps);
+        assert_eq!(e.stats.sweeps, e.sweeps);
+        assert_eq!(e.stats.sweep_seconds.len(), e.sweeps);
+        assert_eq!(e.stats.engine, "sequential");
+        assert_eq!(e.stats.threads, 1);
+        assert_eq!(
+            e.stats.rotations_applied,
+            e.history.iter().map(|r| r.rotations_applied).sum::<usize>()
+        );
+        assert_eq!(e.history.last().unwrap().rotations_applied, 0, "stops on a clean sweep");
+        assert!(e
+            .history
+            .windows(2)
+            .all(|w| w[1].off_frobenius <= w[0].off_frobenius * (1.0 + 1e-12)));
     }
 
     #[test]

@@ -1,0 +1,700 @@
+//! The unified sweep-execution pipeline: one driver loop, pluggable engines.
+//!
+//! The paper's machine is a single pipeline with pluggable phases
+//! (preprocessor → rotation → update); this module is the software mirror of
+//! that structure. Every solver in the crate — [`crate::HestenesSvd`]'s
+//! values-only and full drivers, [`crate::eigh`], PCA, and the batch API —
+//! runs its sweeps through exactly one loop, [`SolveDriver::run`], against an
+//! engine implementing [`SweepEngine`]:
+//!
+//! * [`Sequential`] — faithful to Algorithm 1's data flow: pairs are visited
+//!   one at a time and `D` (plus any columns) is rotated in place.
+//! * [`crate::parallel::Parallel`] — the round-synchronous rayon engine
+//!   (double-buffered functional round updates on a reusable zero-allocation
+//!   [`crate::parallel::SweepWorkspace`]).
+//! * [`Blocked`] — a cache-tiled engine that stages round-robin pair groups
+//!   in `D`-tiles sized to L1/L2, the software analogue of the paper's
+//!   BRAM-resident covariance matrix (§V).
+//!
+//! What gets rotated is expressed once, by [`RotationTarget`]: the Gram
+//! matrix alone (values-only mode), Gram + matrix columns (maintaining
+//! `B = A·V`), Gram + columns + accumulated `V`, or Gram + `V` only (the
+//! eigensolver). Which pairs are *skipped* is expressed once too, by
+//! [`PairGuard`]: the SVD drivers' relative Drmač guard or the classical
+//! eigensolver's diagonal-scaled threshold.
+//!
+//! The driver owns the shared machinery the old per-driver loops hand-copied:
+//! per-sweep wall-clock timing, [`SweepRecord`] history, convergence
+//! checking, and [`SolveStats`] accounting (engines fold their own counters
+//! in via [`SweepEngine::finish`]).
+
+use crate::convergence::{is_converged, Convergence, SweepRecord, MAX_SWEEP_CAP};
+use crate::gram::GramState;
+use crate::ordering::Sweep;
+use crate::parallel::{plan_round, SweepWorkspace};
+use crate::rotation::{pair_converged, textbook_params};
+use crate::stats::SolveStats;
+use crate::sweep::{finish_record, PAIR_TOL};
+use hj_matrix::Matrix;
+use std::time::Instant;
+
+/// Which sweep engine a solver should run on. The string forms accepted by
+/// [`EngineKind::parse`] (`seq` / `par` / `blocked`) are what the `hjsvd`
+/// CLI's `--engine` flag takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// In-place pair-at-a-time execution ([`Sequential`]); works with any
+    /// ordering. The default.
+    #[default]
+    Sequential,
+    /// Round-synchronous rayon execution ([`crate::parallel::Parallel`]);
+    /// requires the round-robin ordering.
+    Parallel,
+    /// Cache-tiled group execution ([`Blocked`]); requires the round-robin
+    /// ordering.
+    Blocked,
+}
+
+impl EngineKind {
+    /// Parse a CLI spelling: `seq`/`sequential`, `par`/`parallel`, `blocked`.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "seq" | "sequential" => Some(EngineKind::Sequential),
+            "par" | "parallel" => Some(EngineKind::Parallel),
+            "blocked" => Some(EngineKind::Blocked),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (matches [`SweepEngine::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Sequential => "sequential",
+            EngineKind::Parallel => "parallel",
+            EngineKind::Blocked => "blocked",
+        }
+    }
+}
+
+/// Per-pair skip rule — decides, once per visited pair, whether the pair is
+/// already numerically orthogonal and needs no rotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PairGuard {
+    /// Skip when `|D_ij| ≤ tol·√(D_ii·D_jj)` — the Drmač guard the SVD
+    /// drivers use (valid for the PSD Gram matrix).
+    Relative {
+        /// Relative tolerance (the drivers use [`PAIR_TOL`]).
+        tol: f64,
+    },
+    /// Skip when `|D_ij| ≤ tol·max_k|D_kk|`, with the scale re-measured at
+    /// the start of every sweep — the classical Jacobi eigensolver guard,
+    /// valid for indefinite symmetric matrices (negative diagonals would make
+    /// the `√(D_ii·D_jj)` guard meaningless).
+    DiagonalScale {
+        /// Relative tolerance against the largest |diagonal|.
+        tol: f64,
+    },
+}
+
+impl Default for PairGuard {
+    /// The SVD drivers' guard: [`PairGuard::Relative`] at [`PAIR_TOL`].
+    fn default() -> Self {
+        PairGuard::Relative { tol: PAIR_TOL }
+    }
+}
+
+impl PairGuard {
+    /// Resolve the guard against the current `D` for one sweep (the
+    /// diagonal-scaled rule samples `max|D_kk|` here).
+    pub(crate) fn ready(&self, gram: &GramState) -> ReadyGuard {
+        match *self {
+            PairGuard::Relative { tol } => ReadyGuard { relative: true, tol, scale: 0.0 },
+            PairGuard::DiagonalScale { tol } => {
+                let scale = gram.packed().diagonal().iter().fold(0.0f64, |m, &d| m.max(d.abs()));
+                ReadyGuard { relative: false, tol, scale: scale.max(f64::MIN_POSITIVE) }
+            }
+        }
+    }
+}
+
+/// A [`PairGuard`] resolved for one sweep; cheap to copy into round kernels.
+#[derive(Clone, Copy)]
+pub(crate) struct ReadyGuard {
+    relative: bool,
+    tol: f64,
+    scale: f64,
+}
+
+impl ReadyGuard {
+    /// True if the pair is already orthogonal enough to skip.
+    #[inline]
+    pub(crate) fn skip(&self, norm_i: f64, norm_j: f64, cov: f64) -> bool {
+        if self.relative {
+            pair_converged(norm_i, norm_j, cov, self.tol)
+        } else {
+            cov.abs() <= self.tol * self.scale
+        }
+    }
+}
+
+/// What a sweep rotates besides the maintained covariance matrix `D` —
+/// the single place the Gram-only / Gram+columns / Gram+columns+V decision
+/// lives. Every engine consumes this; no driver re-encodes it.
+#[derive(Debug, Default)]
+pub struct RotationTarget<'a> {
+    /// Column data kept in sync with `D` (the evolving `B = A·V`);
+    /// `None` in values-only mode.
+    pub columns: Option<&'a mut Matrix>,
+    /// Accumulated right-rotation matrix `V`; `None` when singular/eigen
+    /// vectors are not needed.
+    pub v: Option<&'a mut Matrix>,
+}
+
+impl<'a> RotationTarget<'a> {
+    /// Rotate `D` only — the paper-faithful values-only mode.
+    pub fn gram_only() -> RotationTarget<'static> {
+        RotationTarget { columns: None, v: None }
+    }
+
+    /// Rotate `D` and the matrix columns (no `V` accumulation).
+    pub fn with_columns(columns: &'a mut Matrix) -> RotationTarget<'a> {
+        RotationTarget { columns: Some(columns), v: None }
+    }
+
+    /// Rotate `D`, the matrix columns, and accumulate `V` — full SVD mode.
+    pub fn full(columns: &'a mut Matrix, v: &'a mut Matrix) -> RotationTarget<'a> {
+        RotationTarget { columns: Some(columns), v: Some(v) }
+    }
+
+    /// Rotate `D` and accumulate `V` only — the eigensolver's mode (there is
+    /// no separate column matrix; `D` *is* the data).
+    pub fn accumulate(v: &'a mut Matrix) -> RotationTarget<'a> {
+        RotationTarget { columns: None, v: Some(v) }
+    }
+}
+
+/// Everything a sweep acts on: the maintained `D`, the rotation target, and
+/// the pair guard. Borrowed mutably by [`SweepEngine::sweep`] each sweep.
+#[derive(Debug)]
+pub struct SweepState<'a> {
+    /// The maintained covariance matrix `D`.
+    pub gram: &'a mut GramState,
+    /// What gets rotated alongside `D`.
+    pub target: RotationTarget<'a>,
+    /// The per-pair skip rule.
+    pub guard: PairGuard,
+}
+
+/// A sweep-execution strategy. Implementations run exactly one sweep per
+/// call and report it; the surrounding loop, timing, convergence checking,
+/// and stats accounting belong to [`SolveDriver`].
+pub trait SweepEngine {
+    /// Canonical lowercase engine name (recorded into [`SolveStats`]).
+    fn name(&self) -> &'static str;
+
+    /// Run sweep number `idx` (1-based, label only) over `state` in the
+    /// given pair order.
+    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord;
+
+    /// Fold engine-level counters (workspace allocations, Gram traffic,
+    /// dispatch counts, thread count) into `stats` once the solve's sweep
+    /// loop is done. `n` is the problem dimension.
+    fn finish(&mut self, stats: &mut SolveStats, n: usize);
+}
+
+/// Modeled packed-triangle bytes touched by one sequential `O(n)` rotation:
+/// `4n − 2` entries (3 reads + 3 writes on the pair's own entries, then
+/// 2 reads + 2 writes for each of the `n − 2` other columns) at 8 bytes.
+pub(crate) fn seq_rotation_gram_bytes(n: usize) -> u64 {
+    8 * (4 * n as u64).saturating_sub(2)
+}
+
+/// The in-place pair-at-a-time engine — Algorithm 1's literal data flow.
+/// Stateless and allocation-free; works with any pair ordering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sequential;
+
+impl SweepEngine for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord {
+        let guard = state.guard.ready(state.gram);
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        for (i, j) in order.pairs() {
+            let (ni, nj, cov) =
+                (state.gram.norm_sq(i), state.gram.norm_sq(j), state.gram.covariance(i, j));
+            if guard.skip(ni, nj, cov) {
+                skipped += 1;
+                continue;
+            }
+            let rot = textbook_params(ni, nj, cov);
+            state.gram.rotate(i, j, &rot);
+            if let Some(b) = state.target.columns.as_deref_mut() {
+                b.column_pair(i, j).expect("sweep pairs are valid").rotate(rot.cos, rot.sin);
+            }
+            if let Some(vm) = state.target.v.as_deref_mut() {
+                vm.column_pair(i, j).expect("sweep pairs are valid").rotate(rot.cos, rot.sin);
+            }
+            applied += 1;
+        }
+        finish_record(state.gram, idx, applied, skipped)
+    }
+
+    fn finish(&mut self, stats: &mut SolveStats, n: usize) {
+        stats.gram_bytes = stats.rotations_applied as u64 * seq_rotation_gram_bytes(n);
+        stats.threads = 1;
+    }
+}
+
+/// The cache-tiled engine: round-robin pair groups staged in `D`-tiles.
+///
+/// Each round of disjoint pairs is processed in groups of `g` pairs, where
+/// `g` is chosen so that the group's working set — the `2g` logical columns
+/// of `D` it touches, `2g·n` doubles — fits the configured tile budget
+/// (default: an L1-sized 32 KiB). One group application:
+///
+/// 1. **Stage** the group's columns of `D` into the tile (and capture the
+///    exact O(1) diagonal updates of Algorithm 1 lines 15–17);
+/// 2. apply the **column transform** `D·J` pairwise inside the tile;
+/// 3. apply the **row transform** `Jᵀ·(D·J)` on the group-row entries;
+/// 4. **write back** and pin the exactly-known entries (pair covariances to
+///    0, diagonals to the O(1) update).
+///
+/// The tile is the software analogue of the paper's BRAM-resident covariance
+/// storage (§V): a bounded on-chip working set per rotation group, with the
+/// rest of `D` untouched. Because groups are applied one after another and
+/// each group is planned from the *current* `D`, the iteration is
+/// Gauss-Seidel-like (as the sequential engine is), not round-snapshot
+/// (as the parallel engine is) — the engines agree on the converged spectrum
+/// to roundoff, which the equivalence tests pin down.
+///
+/// Scratch lives in the shared [`SweepWorkspace`]; steady-state sweeps
+/// allocate nothing (same invariant, and same test, as the parallel engine).
+pub struct Blocked<'ws> {
+    ws: &'ws mut SweepWorkspace,
+    tile_bytes: usize,
+    allocations0: usize,
+    gram_bytes0: u64,
+}
+
+impl<'ws> Blocked<'ws> {
+    /// Default tile budget: a conservative L1-data-cache size.
+    pub const DEFAULT_TILE_BYTES: usize = 32 * 1024;
+
+    /// Engine over caller-owned scratch with the default (L1) tile budget.
+    pub fn new(ws: &'ws mut SweepWorkspace) -> Blocked<'ws> {
+        Blocked::with_tile_bytes(ws, Blocked::DEFAULT_TILE_BYTES)
+    }
+
+    /// Engine with an explicit tile budget in bytes (e.g. an L2 size for
+    /// large `n`). Budgets below one column pair are rounded up.
+    pub fn with_tile_bytes(ws: &'ws mut SweepWorkspace, tile_bytes: usize) -> Blocked<'ws> {
+        let allocations0 = ws.allocations();
+        let gram_bytes0 = ws.gram_bytes();
+        Blocked { ws, tile_bytes, allocations0, gram_bytes0 }
+    }
+
+    /// Pairs per group such that the staged `2g` columns (`2g·n` doubles)
+    /// fit the tile budget; at least one pair.
+    fn group_pairs(&self, n: usize) -> usize {
+        ((self.tile_bytes / 8) / (2 * n.max(1))).max(1)
+    }
+}
+
+impl SweepEngine for Blocked<'_> {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord {
+        let n = state.gram.dim();
+        let guard = state.guard.ready(state.gram);
+        let g = self.group_pairs(n);
+        self.ws.prepare_plan(n);
+        self.ws.prepare_tile(2 * g.min(n / 2 + 1), n);
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        for round in order.rounds() {
+            for group in round.chunks(g) {
+                let (a, s) = plan_round(state.gram, group, &guard, self.ws);
+                applied += a;
+                skipped += s;
+                if a == 0 {
+                    continue;
+                }
+                apply_group_tiled(state.gram, self.ws);
+                // Column data and V are rotated pairwise in place — the
+                // columns are disjoint within a group, and the per-pair
+                // kernel is the bitwise-pinned ColumnPair::rotate.
+                for &(i, j, rot) in self.ws.rotations() {
+                    if let Some(b) = state.target.columns.as_deref_mut() {
+                        b.column_pair(i, j)
+                            .expect("group pairs are valid")
+                            .rotate(rot.cos, rot.sin);
+                    }
+                    if let Some(vm) = state.target.v.as_deref_mut() {
+                        vm.column_pair(i, j)
+                            .expect("group pairs are valid")
+                            .rotate(rot.cos, rot.sin);
+                    }
+                }
+            }
+        }
+        finish_record(state.gram, idx, applied, skipped)
+    }
+
+    fn finish(&mut self, stats: &mut SolveStats, _n: usize) {
+        stats.workspace_allocations = self.ws.allocations().saturating_sub(self.allocations0);
+        stats.gram_bytes = self.ws.gram_bytes().saturating_sub(self.gram_bytes0);
+        stats.threads = 1;
+    }
+}
+
+/// Apply the planned group (in `ws.rotations`) to `D` through the staged
+/// tile: stage the group's columns, column-transform, row-transform, write
+/// back, then pin the exactly-known entries.
+fn apply_group_tiled(gram: &mut GramState, ws: &mut SweepWorkspace) {
+    let n = gram.dim();
+    let (rotations, tile, diag_new, gram_bytes) = ws.tile_parts();
+    let cols = 2 * rotations.len();
+    diag_new.clear();
+    let d = gram.packed_mut();
+    // Stage 0: copy the group's logical columns of D into the tile; capture
+    // the exact O(1) diagonal updates (Algorithm 1 lines 15–17) before any
+    // entry changes.
+    for (r, &(i, j, rot)) in rotations.iter().enumerate() {
+        let cov = d.get(i, j);
+        diag_new.push(d.get(i, i) - rot.t * cov);
+        diag_new.push(d.get(j, j) + rot.t * cov);
+        let (ti, tj) = (2 * r * n, (2 * r + 1) * n);
+        for k in 0..n {
+            tile[ti + k] = d.get(k, i);
+            tile[tj + k] = d.get(k, j);
+        }
+    }
+    // Stage 1: column transform D·J — rotate each staged column pair
+    // element-wise over all n rows.
+    for (r, &(_, _, rot)) in rotations.iter().enumerate() {
+        let (ti, tj) = (2 * r * n, (2 * r + 1) * n);
+        for k in 0..n {
+            let x = tile[ti + k];
+            let y = tile[tj + k];
+            tile[ti + k] = rot.cos * x - rot.sin * y;
+            tile[tj + k] = rot.sin * x + rot.cos * y;
+        }
+    }
+    // Stage 2: row transform Jᵀ·(D·J) — the group's own rows of every staged
+    // column (Jᵀ rotates row pairs with the same (cos, sin) pattern).
+    for &(i, j, rot) in rotations.iter() {
+        for t in 0..cols {
+            let base = t * n;
+            let x = tile[base + i];
+            let y = tile[base + j];
+            tile[base + i] = rot.cos * x - rot.sin * y;
+            tile[base + j] = rot.sin * x + rot.cos * y;
+        }
+    }
+    // Write back, then pin entries known exactly: each pair's covariance is
+    // annihilated, and the diagonals take the O(1) norm update (more
+    // accurate than the quadratic form).
+    for (r, &(i, j, _)) in rotations.iter().enumerate() {
+        let (ti, tj) = (2 * r * n, (2 * r + 1) * n);
+        for k in 0..n {
+            d.set(k, i, tile[ti + k]);
+        }
+        for k in 0..n {
+            d.set(k, j, tile[tj + k]);
+        }
+    }
+    for (r, &(i, j, _)) in rotations.iter().enumerate() {
+        d.set(i, i, diag_new[2 * r]);
+        d.set(j, j, diag_new[2 * r + 1]);
+        d.set(i, j, 0.0);
+    }
+    // Tile traffic model: the staged columns are read once and written once.
+    *gram_bytes += 16 * (cols * n) as u64;
+}
+
+/// The one sweep loop in the crate. Owns convergence checking, per-sweep
+/// timing, history collection, and [`SolveStats`] accounting; every solver
+/// API routes through [`SolveDriver::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolveDriver {
+    /// Stopping rule evaluated after every sweep.
+    pub convergence: Convergence,
+    /// Hard sweep budget (additionally capped at [`MAX_SWEEP_CAP`]).
+    pub max_sweeps: usize,
+}
+
+impl SolveDriver {
+    /// Run sweeps until the stopping rule (or the budget) is hit; returns the
+    /// per-sweep history and the filled stats record.
+    pub fn run(
+        &self,
+        engine: &mut dyn SweepEngine,
+        state: &mut SweepState<'_>,
+        order: &Sweep,
+    ) -> (Vec<SweepRecord>, SolveStats) {
+        let n = state.gram.dim();
+        let mut history = Vec::new();
+        let mut stats = SolveStats::default();
+        let cap = self.max_sweeps.min(MAX_SWEEP_CAP);
+        for s in 1..=cap {
+            let t0 = Instant::now();
+            let rec = engine.sweep(state, order, s);
+            stats.record_sweep(t0.elapsed().as_secs_f64(), &rec);
+            history.push(rec);
+            if is_converged(&self.convergence, &rec, state.gram.trace(), n) {
+                break;
+            }
+        }
+        engine.finish(&mut stats, n);
+        stats.engine = engine.name();
+        (history, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::round_robin;
+    use crate::parallel::Parallel;
+    use hj_matrix::gen;
+
+    fn driver() -> SolveDriver {
+        SolveDriver { convergence: Convergence::default(), max_sweeps: MAX_SWEEP_CAP }
+    }
+
+    fn spectrum(gram: &GramState) -> Vec<f64> {
+        let mut s = gram.singular_values_unsorted();
+        s.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        s
+    }
+
+    #[test]
+    fn engine_kind_parses_cli_spellings() {
+        assert_eq!(EngineKind::parse("seq"), Some(EngineKind::Sequential));
+        assert_eq!(EngineKind::parse("sequential"), Some(EngineKind::Sequential));
+        assert_eq!(EngineKind::parse("par"), Some(EngineKind::Parallel));
+        assert_eq!(EngineKind::parse("parallel"), Some(EngineKind::Parallel));
+        assert_eq!(EngineKind::parse("blocked"), Some(EngineKind::Blocked));
+        assert_eq!(EngineKind::parse("simd"), None);
+        assert_eq!(EngineKind::Blocked.name(), "blocked");
+    }
+
+    #[test]
+    fn driver_times_and_records_every_sweep() {
+        let a = gen::uniform(30, 10, 5);
+        let mut gram = GramState::from_matrix(&a);
+        let order = round_robin(10);
+        let mut state = SweepState {
+            gram: &mut gram,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let (history, stats) = driver().run(&mut Sequential, &mut state, &order);
+        assert!(!history.is_empty());
+        assert_eq!(stats.sweeps, history.len());
+        assert_eq!(stats.sweep_seconds.len(), history.len());
+        assert_eq!(stats.engine, "sequential");
+        assert_eq!(stats.threads, 1);
+        assert!(stats.gram_bytes > 0);
+    }
+
+    #[test]
+    fn driver_respects_fixed_sweep_budget() {
+        let a = gen::uniform(40, 12, 9);
+        let mut gram = GramState::from_matrix(&a);
+        let order = round_robin(12);
+        let mut state = SweepState {
+            gram: &mut gram,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let d = SolveDriver { convergence: Convergence::FixedSweeps(3), max_sweeps: 10 };
+        let (history, stats) = d.run(&mut Sequential, &mut state, &order);
+        assert_eq!(history.len(), 3);
+        assert_eq!(stats.sweeps, 3);
+    }
+
+    #[test]
+    fn sequential_engine_matches_dedicated_sweeps() {
+        // The engine must be the same computation as the pre-unification
+        // sequential sweep drivers, bit for bit.
+        let a = gen::uniform(25, 8, 3);
+        let order = round_robin(8);
+        let mut g_engine = GramState::from_matrix(&a);
+        let mut g_direct = GramState::from_matrix(&a);
+        let mut state = SweepState {
+            gram: &mut g_engine,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        (1..=6).for_each(|s| {
+            Sequential.sweep(&mut state, &order, s);
+            crate::sweep::sweep_gram_only(&mut g_direct, &order, s);
+        });
+        assert_eq!(g_engine.packed().as_slice(), g_direct.packed().as_slice());
+    }
+
+    #[test]
+    fn blocked_engine_converges_to_sequential_spectrum() {
+        for &(m, n, seed) in &[(40usize, 12usize, 7u64), (16, 16, 8), (9, 30, 9)] {
+            let a = gen::uniform(m, n, seed);
+            let order = round_robin(n);
+
+            let mut g_seq = GramState::from_matrix(&a);
+            let mut st = SweepState {
+                gram: &mut g_seq,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            driver().run(&mut Sequential, &mut st, &order);
+
+            let mut g_blk = GramState::from_matrix(&a);
+            let mut ws = SweepWorkspace::new();
+            let mut st = SweepState {
+                gram: &mut g_blk,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            driver().run(&mut Blocked::new(&mut ws), &mut st, &order);
+
+            let (s1, s2) = (spectrum(&g_seq), spectrum(&g_blk));
+            let smax = s1[0].max(1e-300);
+            for (x, y) in s1.iter().zip(&s2) {
+                // Compare on the Gram spectrum (σ²): that is what both
+                // engines iterate on, and it treats the √ε·σ_max dust of
+                // numerically-zero values correctly. For the non-zero part
+                // this is 1e-13-relative agreement of σ.
+                assert!((x * x - y * y).abs() <= 1e-13 * smax * smax, "{m}x{n}: {x} vs {y}");
+                if x.min(*y) > 1e-6 * smax {
+                    assert!((x - y).abs() <= 1e-13 * smax, "{m}x{n}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_group_update_matches_gram_recomputation() {
+        // After every tiled group application, D must equal the Gram matrix
+        // recomputed from the identically-rotated columns.
+        let mut a = gen::uniform(20, 8, 5);
+        let mut g = GramState::from_matrix(&a);
+        let order = round_robin(8);
+        let mut ws = SweepWorkspace::new();
+        ws.prepare_plan(8);
+        ws.prepare_tile(8, 8);
+        let guard = PairGuard::default().ready(&g);
+        for round in order.rounds() {
+            for group in round.chunks(2) {
+                let (applied, _) = plan_round(&g, group, &guard, &mut ws);
+                if applied == 0 {
+                    continue;
+                }
+                apply_group_tiled(&mut g, &mut ws);
+                for &(i, j, rot) in ws.rotations() {
+                    a.column_pair(i, j).unwrap().rotate(rot.cos, rot.sin);
+                }
+                let fresh = GramState::from_matrix(&a);
+                for p in 0..8 {
+                    for q in p..8 {
+                        assert!(
+                            (g.covariance(p, q) - fresh.covariance(p, q)).abs() < 1e-11,
+                            "D[{p}][{q}] inconsistent after tiled group"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_tile_budget_changes_grouping_not_results_materially() {
+        let a = gen::uniform(30, 10, 21);
+        let order = round_robin(10);
+        let mut spectra = Vec::new();
+        for bytes in [1usize, 512, Blocked::DEFAULT_TILE_BYTES] {
+            let mut g = GramState::from_matrix(&a);
+            let mut ws = SweepWorkspace::new();
+            let mut st = SweepState {
+                gram: &mut g,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            driver().run(&mut Blocked::with_tile_bytes(&mut ws, bytes), &mut st, &order);
+            spectra.push(spectrum(&g));
+        }
+        let smax = spectra[0][0].max(1e-300);
+        for s in &spectra[1..] {
+            for (x, y) in spectra[0].iter().zip(s) {
+                assert!((x - y).abs() <= 1e-12 * smax, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_engines_fill_stats_consistently() {
+        let a = gen::uniform(30, 9, 4);
+        let order = round_robin(9);
+
+        let mut g = GramState::from_matrix(&a);
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let (_, seq) = driver().run(&mut Sequential, &mut st, &order);
+        assert_eq!(seq.engine, "sequential");
+        assert_eq!(seq.workspace_allocations, 0);
+
+        let mut g = GramState::from_matrix(&a);
+        let mut ws = SweepWorkspace::new();
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let (_, par) = driver().run(&mut Parallel::new(&mut ws), &mut st, &order);
+        assert_eq!(par.engine, "parallel");
+        assert!(par.workspace_allocations > 0, "warm-up must allocate");
+        assert!(par.threads >= 1);
+
+        let mut g = GramState::from_matrix(&a);
+        let mut ws = SweepWorkspace::new();
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let (_, blk) = driver().run(&mut Blocked::new(&mut ws), &mut st, &order);
+        assert_eq!(blk.engine, "blocked");
+        assert!(blk.workspace_allocations > 0, "tile warm-up must allocate");
+        assert!(blk.gram_bytes > 0);
+        assert_eq!(blk.threads, 1);
+    }
+
+    #[test]
+    fn diagonal_scale_guard_skips_relative_to_largest_diagonal() {
+        // D = diag(4, 1) with off-diagonal 1e-10: the diagonal-scaled guard
+        // at 1e-9 skips it (1e-10 ≤ 1e-9·4); at 1e-12 it rotates.
+        let mut p = hj_matrix::PackedSymmetric::zeros(2);
+        p.set(0, 0, 4.0);
+        p.set(1, 1, 1.0);
+        p.set(0, 1, 1e-10);
+        let order = round_robin(2);
+        for (tol, expect_applied) in [(1e-9, 0usize), (1e-12, 1usize)] {
+            let mut g = GramState::from_packed(p.clone());
+            let mut st = SweepState {
+                gram: &mut g,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::DiagonalScale { tol },
+            };
+            let rec = Sequential.sweep(&mut st, &order, 1);
+            assert_eq!(rec.rotations_applied, expect_applied, "tol {tol}");
+        }
+    }
+}

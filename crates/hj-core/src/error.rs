@@ -7,9 +7,9 @@ pub enum SvdError {
     EmptyInput,
     /// Input contains NaN or ±∞; the rotation kernels require finite data.
     NonFiniteInput,
-    /// `parallel: true` requires the round-robin ordering (rounds of
-    /// disjoint pairs are the unit of parallelism).
-    ParallelNeedsRoundRobin,
+    /// The selected engine (parallel or blocked) requires the round-robin
+    /// ordering (rounds of disjoint pairs are its unit of work).
+    EngineNeedsRoundRobin,
     /// `max_sweeps` was 0; at least one sweep is required.
     ZeroSweepBudget,
     /// Values-only mode on a wide matrix (`m < n`) truncates the Gram
@@ -26,8 +26,8 @@ impl fmt::Display for SvdError {
         match self {
             SvdError::EmptyInput => write!(f, "input matrix has a zero dimension"),
             SvdError::NonFiniteInput => write!(f, "input matrix contains NaN or infinite entries"),
-            SvdError::ParallelNeedsRoundRobin => {
-                write!(f, "parallel execution requires the round-robin ordering")
+            SvdError::EngineNeedsRoundRobin => {
+                write!(f, "the selected engine requires the round-robin ordering")
             }
             SvdError::ZeroSweepBudget => write!(f, "max_sweeps must be at least 1"),
             SvdError::TruncatedTailNotNegligible => write!(
@@ -49,7 +49,7 @@ mod tests {
     fn messages() {
         assert!(SvdError::EmptyInput.to_string().contains("zero dimension"));
         assert!(SvdError::NonFiniteInput.to_string().contains("NaN"));
-        assert!(SvdError::ParallelNeedsRoundRobin.to_string().contains("round-robin"));
+        assert!(SvdError::EngineNeedsRoundRobin.to_string().contains("round-robin"));
         assert!(SvdError::ZeroSweepBudget.to_string().contains("at least 1"));
         assert!(SvdError::TruncatedTailNotNegligible.to_string().contains("non-negligible"));
     }

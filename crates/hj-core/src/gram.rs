@@ -97,6 +97,13 @@ impl GramState {
         &self.d
     }
 
+    /// Mutable borrow of the underlying packed matrix — for the blocked
+    /// engine's tiled write-back, which updates `D` entries in place.
+    #[inline]
+    pub(crate) fn packed_mut(&mut self) -> &mut PackedSymmetric {
+        &mut self.d
+    }
+
     /// Consume into the underlying packed matrix.
     pub fn into_packed(self) -> PackedSymmetric {
         self.d

@@ -16,12 +16,20 @@
 //!   update (the Update operator's covariance path).
 //! * [`ordering`] — cyclic round-robin pairing (the paper's Fig. 6) and the
 //!   row-cyclic order of the pseudocode.
-//! * [`sweep`] — sequential sweep drivers (gram-only and full).
-//! * [`parallel`] — round-synchronous rayon drivers exploiting the same
-//!   disjoint-pair structure the hardware's parallel groups use, built on a
-//!   reusable zero-allocation [`parallel::SweepWorkspace`].
+//! * [`engine`] — the unified sweep pipeline: the [`engine::SweepEngine`]
+//!   trait, the [`engine::RotationTarget`] / [`engine::PairGuard`]
+//!   abstractions, the [`engine::Sequential`] and cache-tiled
+//!   [`engine::Blocked`] engines, and the single [`engine::SolveDriver`]
+//!   loop every solver runs on.
+//! * [`sweep`] — sequential single-sweep entry points (gram-only and full),
+//!   thin wrappers over the [`engine::Sequential`] engine.
+//! * [`parallel`] — the round-synchronous rayon engine
+//!   ([`parallel::Parallel`]) exploiting the same disjoint-pair structure
+//!   the hardware's parallel groups use, built on a reusable
+//!   zero-allocation [`parallel::SweepWorkspace`].
 //! * [`batch`] — batched drivers ([`HestenesSvd::decompose_batch`]) fanning
-//!   independent solves across the pool with per-solve error isolation.
+//!   independent solves across the pool with per-solve error isolation and
+//!   a shared [`batch::WorkspacePool`] of warm scratch.
 //! * [`stats`] — [`SolveStats`] observability record (timings, rotation
 //!   counts, allocation events, Gram traffic) attached to every solve.
 //! * [`convergence`] — stopping rules and per-sweep instrumentation
@@ -51,6 +59,7 @@
 pub mod batch;
 pub mod convergence;
 pub mod eigh;
+pub mod engine;
 mod error;
 pub mod gram;
 pub mod lowrank;
@@ -62,7 +71,9 @@ pub mod stats;
 pub mod svd;
 pub mod sweep;
 
+pub use batch::WorkspacePool;
 pub use convergence::{Convergence, SweepRecord};
+pub use engine::{EngineKind, PairGuard, RotationTarget, SolveDriver, SweepEngine, SweepState};
 pub use error::SvdError;
 pub use gram::GramState;
 pub use ordering::Ordering;

@@ -47,13 +47,16 @@ impl Sweep {
     /// architecture as successive groups.
     pub fn grouped(&self, group: usize) -> Vec<Vec<(usize, usize)>> {
         assert!(group > 0, "group size must be positive");
-        let mut out = Vec::new();
-        for round in &self.rounds {
-            for chunk in round.chunks(group) {
-                out.push(chunk.to_vec());
-            }
-        }
-        out
+        self.grouped_iter(group).map(|chunk| chunk.to_vec()).collect()
+    }
+
+    /// Borrowing counterpart of [`Sweep::grouped`]: iterate the same pair
+    /// groups as slices into the schedule, without allocating. Round
+    /// boundaries are preserved (a group never spans two rounds), so every
+    /// group consists of disjoint pairs.
+    pub fn grouped_iter(&self, group: usize) -> impl Iterator<Item = &[(usize, usize)]> + '_ {
+        assert!(group > 0, "group size must be positive");
+        self.rounds.iter().flat_map(move |round| round.chunks(group))
     }
 }
 
@@ -216,6 +219,21 @@ mod tests {
             let mut used = HashSet::new();
             for &(i, j) in g {
                 assert!(used.insert(i) && used.insert(j));
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_iter_matches_grouped() {
+        for n in [5usize, 8, 17, 32] {
+            let s = round_robin(n);
+            for group in [1usize, 3, 8] {
+                let owned = s.grouped(group);
+                let borrowed: Vec<&[(usize, usize)]> = s.grouped_iter(group).collect();
+                assert_eq!(owned.len(), borrowed.len(), "n={n} group={group}");
+                for (o, b) in owned.iter().zip(&borrowed) {
+                    assert_eq!(o.as_slice(), *b);
+                }
             }
         }
     }

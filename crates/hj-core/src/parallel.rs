@@ -41,10 +41,12 @@
 //! both converge to the same spectrum, which the tests verify.
 
 use crate::convergence::SweepRecord;
+use crate::engine::{PairGuard, ReadyGuard, RotationTarget, SweepEngine, SweepState};
 use crate::gram::GramState;
 use crate::ordering::Sweep;
-use crate::rotation::{pair_converged, textbook_params, Rotation};
-use crate::sweep::{finish_record, PAIR_TOL};
+use crate::rotation::{textbook_params, Rotation};
+use crate::stats::SolveStats;
+use crate::sweep::finish_record;
 use hj_matrix::{Matrix, PackedSymmetric};
 
 /// Per-column rotation role within a round: `new_col_p = alpha·col_p + beta·col_partner`.
@@ -59,27 +61,43 @@ impl Role {
     const UNPAIRED: Role = Role { alpha: 1.0, beta: 0.0, partner: usize::MAX };
 }
 
-/// Reusable scratch for the round-synchronous parallel drivers.
+/// Split borrows handed to the blocked engine's tiled group application:
+/// `(rotations, tile, diag_new, gram_bytes)`.
+pub(crate) type TileParts<'a> =
+    (&'a [(usize, usize, Rotation)], &'a mut [f64], &'a mut Vec<f64>, &'a mut u64);
+
+/// Reusable scratch for the round-synchronous parallel engine and the
+/// cache-tiled [`crate::engine::Blocked`] engine.
 ///
 /// Holds the double-buffered packed triangle, the per-column role/pair
-/// lookups, the rotation list, the triangle row offsets, and the column
-/// back buffer. Sized lazily on first use (the warm-up) and resized only
-/// when a larger problem arrives; steady-state rounds allocate nothing.
-/// One workspace may serve solves of different shapes back to back — each
-/// `prepare` re-derives the layout from the incoming dimensions.
+/// lookups, the rotation list, the triangle row offsets, the column back
+/// buffer, and the blocked engine's staging tile. Sized lazily on first use
+/// (the warm-up) and resized only when a larger problem arrives;
+/// steady-state rounds allocate nothing. One workspace may serve solves of
+/// different shapes back to back — each `prepare` re-derives the layout from
+/// the incoming dimensions.
 ///
 /// ```
-/// use hj_core::parallel::{parallel_sweep_gram_ws, SweepWorkspace};
-/// use hj_core::{ordering::round_robin, GramState};
+/// use hj_core::engine::{PairGuard, RotationTarget, SolveDriver, SweepState};
+/// use hj_core::parallel::{Parallel, SweepWorkspace};
+/// use hj_core::{ordering::round_robin, Convergence, GramState};
 /// use hj_matrix::gen;
 ///
 /// let a = gen::uniform(30, 12, 17);
 /// let mut g = GramState::from_matrix(&a);
 /// let order = round_robin(12);
-/// let mut ws = SweepWorkspace::new();
-/// for s in 1..=10 {
-///     parallel_sweep_gram_ws(&mut g, &order, s, &mut ws); // allocates only on s == 1
-/// }
+/// let mut ws = SweepWorkspace::new(); // allocates only during sweep 1
+/// let mut state = SweepState {
+///     gram: &mut g,
+///     target: RotationTarget::gram_only(),
+///     guard: PairGuard::default(),
+/// };
+/// let driver = SolveDriver {
+///     convergence: Convergence::MaxCovariance { tol: 1e-12 },
+///     max_sweeps: 30,
+/// };
+/// let (_history, stats) = driver.run(&mut Parallel::new(&mut ws), &mut state, &order);
+/// assert_eq!(stats.engine, "parallel");
 /// assert!(g.max_abs_covariance() < 1e-12 * g.trace());
 /// ```
 #[derive(Default)]
@@ -97,6 +115,11 @@ pub struct SweepWorkspace {
     /// Back buffer for column (and `V`) rotations, resized between uses
     /// (length changes are free once capacity covers the largest matrix).
     col_back: Vec<f64>,
+    /// The blocked engine's staging tile: the current group's logical
+    /// columns of `D`, column-major, `2·pairs` columns of `n` entries.
+    tile: Vec<f64>,
+    /// The blocked engine's captured exact diagonal updates (two per pair).
+    diag_new: Vec<f64>,
     /// Buffer creations/growths performed so far (warm-up accounting).
     allocations: usize,
     /// Modeled bytes of packed-triangle traffic (see [`crate::SolveStats`]).
@@ -134,6 +157,13 @@ impl SweepWorkspace {
             // n + (n-1) + … + (n-p+1) = p·(2n − p + 1)/2 entries.
             self.row_starts.extend((0..=n).map(|p| p * (2 * n + 1 - p) / 2));
         }
+        self.prepare_plan(n);
+    }
+
+    /// Size only the round-planning scratch (roles, pair lookup, rotation
+    /// list) for dimension `n` — all the blocked engine needs besides its
+    /// tile; the parallel engine's `prepare` builds on this.
+    pub(crate) fn prepare_plan(&mut self, n: usize) {
         if self.roles.capacity() < n {
             self.allocations += 1;
             self.roles.reserve(n - self.roles.capacity());
@@ -148,6 +178,31 @@ impl SweepWorkspace {
         }
     }
 
+    /// Size the blocked engine's staging tile for up to `cols` logical `D`
+    /// columns of `n` entries (plus the matching diagonal-capture scratch).
+    pub(crate) fn prepare_tile(&mut self, cols: usize, n: usize) {
+        let len = cols * n;
+        if self.tile.capacity() < len {
+            self.allocations += 1;
+        }
+        self.tile.clear();
+        self.tile.resize(len, 0.0);
+        if self.diag_new.capacity() < cols {
+            self.allocations += 1;
+            self.diag_new.reserve(cols - self.diag_new.capacity());
+        }
+    }
+
+    /// The current round's planned rotations (filled by `plan_round`).
+    pub(crate) fn rotations(&self) -> &[(usize, usize, Rotation)] {
+        &self.rotations
+    }
+
+    /// Split borrows for the blocked engine's tiled group application.
+    pub(crate) fn tile_parts(&mut self) -> TileParts<'_> {
+        (&self.rotations, &mut self.tile, &mut self.diag_new, &mut self.gram_bytes)
+    }
+
     /// Size the column back buffer for a `len`-element matrix, zero-filling.
     /// Contents are fully overwritten by the round kernel before use.
     fn prepare_cols(&mut self, len: usize) {
@@ -159,11 +214,13 @@ impl SweepWorkspace {
     }
 }
 
-/// Compute the rotation set for one round from the current `D` snapshot into
-/// the workspace's role/pair/rotation scratch. Returns `(applied, skipped)`.
-fn plan_round(
+/// Compute the rotation set for one round (or pair group) from the current
+/// `D` snapshot into the workspace's role/pair/rotation scratch. Returns
+/// `(applied, skipped)`.
+pub(crate) fn plan_round(
     gram: &GramState,
     round: &[(usize, usize)],
+    guard: &ReadyGuard,
     ws: &mut SweepWorkspace,
 ) -> (usize, usize) {
     let n = gram.dim();
@@ -176,7 +233,7 @@ fn plan_round(
     let mut skipped = 0;
     for &(i, j) in round {
         let (ni, nj, cov) = (gram.norm_sq(i), gram.norm_sq(j), gram.covariance(i, j));
-        if pair_converged(ni, nj, cov, PAIR_TOL) {
+        if guard.skip(ni, nj, cov) {
             skipped += 1;
             continue;
         }
@@ -292,6 +349,66 @@ fn apply_round_to_columns(mat: &mut Matrix, ws: &mut SweepWorkspace) {
     mat.swap_data(col_back);
 }
 
+/// The round-synchronous parallel engine over caller-owned scratch.
+///
+/// One sweep = for each round of disjoint pairs: plan from the `D` snapshot,
+/// apply `D ← JᵀDJ` functionally (row-parallel into the back triangle), then
+/// rotate the target's columns (and `V`) through the column back buffer.
+/// Allocation-free once the workspace is warm.
+///
+/// Workspace counters are sampled at construction, so the stats an engine
+/// folds into [`SolveStats`] are per-solve deltas even when the workspace is
+/// pooled and already warm.
+pub struct Parallel<'ws> {
+    ws: &'ws mut SweepWorkspace,
+    allocations0: usize,
+    gram_bytes0: u64,
+    dispatches0: usize,
+}
+
+impl<'ws> Parallel<'ws> {
+    /// Engine over caller-owned scratch (reuse the workspace across solves
+    /// to amortize warm-up).
+    pub fn new(ws: &'ws mut SweepWorkspace) -> Parallel<'ws> {
+        let allocations0 = ws.allocations();
+        let gram_bytes0 = ws.gram_bytes();
+        Parallel { ws, allocations0, gram_bytes0, dispatches0: rayon::dispatch_count() }
+    }
+}
+
+impl SweepEngine for Parallel<'_> {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord {
+        let guard = state.guard.ready(state.gram);
+        self.ws.prepare(state.gram.dim());
+        let mut applied = 0;
+        let mut skipped = 0;
+        for round in order.rounds() {
+            let (a, s) = plan_round(state.gram, round, &guard, self.ws);
+            apply_round_to_gram(state.gram, self.ws);
+            if let Some(b) = state.target.columns.as_deref_mut() {
+                apply_round_to_columns(b, self.ws);
+            }
+            if let Some(vm) = state.target.v.as_deref_mut() {
+                apply_round_to_columns(vm, self.ws);
+            }
+            applied += a;
+            skipped += s;
+        }
+        finish_record(state.gram, idx, applied, skipped)
+    }
+
+    fn finish(&mut self, stats: &mut SolveStats, _n: usize) {
+        stats.workspace_allocations = self.ws.allocations().saturating_sub(self.allocations0);
+        stats.gram_bytes = self.ws.gram_bytes().saturating_sub(self.gram_bytes0);
+        stats.parallel_dispatches = rayon::dispatch_count().saturating_sub(self.dispatches0);
+        stats.threads = rayon::current_num_threads();
+    }
+}
+
 /// Parallel gram-only sweep (values-only mode) with caller-owned scratch.
 /// Round-synchronous; allocation-free once `ws` is warm.
 pub fn parallel_sweep_gram_ws(
@@ -300,16 +417,9 @@ pub fn parallel_sweep_gram_ws(
     sweep_index: usize,
     ws: &mut SweepWorkspace,
 ) -> SweepRecord {
-    ws.prepare(gram.dim());
-    let mut applied = 0;
-    let mut skipped = 0;
-    for round in order.rounds() {
-        let (a, s) = plan_round(gram, round, ws);
-        apply_round_to_gram(gram, ws);
-        applied += a;
-        skipped += s;
-    }
-    finish_record(gram, sweep_index, applied, skipped)
+    let mut state =
+        SweepState { gram, target: RotationTarget::gram_only(), guard: PairGuard::default() };
+    Parallel::new(ws).sweep(&mut state, order, sweep_index)
 }
 
 /// Parallel gram-only sweep with a throwaway workspace. Prefer
@@ -324,25 +434,17 @@ pub fn parallel_sweep_gram(gram: &mut GramState, order: &Sweep, sweep_index: usi
 pub fn parallel_sweep_full_ws(
     a: &mut Matrix,
     gram: &mut GramState,
-    mut v: Option<&mut Matrix>,
+    v: Option<&mut Matrix>,
     order: &Sweep,
     sweep_index: usize,
     ws: &mut SweepWorkspace,
 ) -> SweepRecord {
-    ws.prepare(gram.dim());
-    let mut applied = 0;
-    let mut skipped = 0;
-    for round in order.rounds() {
-        let (ap, sk) = plan_round(gram, round, ws);
-        apply_round_to_gram(gram, ws);
-        apply_round_to_columns(a, ws);
-        if let Some(vm) = v.as_deref_mut() {
-            apply_round_to_columns(vm, ws);
-        }
-        applied += ap;
-        skipped += sk;
-    }
-    finish_record(gram, sweep_index, applied, skipped)
+    let target = match v {
+        Some(vm) => RotationTarget::full(a, vm),
+        None => RotationTarget::with_columns(a),
+    };
+    let mut state = SweepState { gram, target, guard: PairGuard::default() };
+    Parallel::new(ws).sweep(&mut state, order, sweep_index)
 }
 
 /// Parallel full sweep with a throwaway workspace. Prefer
@@ -369,9 +471,9 @@ mod tests {
         let a = gen::uniform(30, 12, 17);
         let mut g = GramState::from_matrix(&a);
         let order = round_robin(12);
-        for s in 1..=12 {
+        (1..=12).for_each(|s| {
             parallel_sweep_gram(&mut g, &order, s);
-        }
+        });
         assert!(g.max_abs_covariance() < 1e-12 * g.trace() / 12.0);
     }
 
@@ -382,10 +484,10 @@ mod tests {
 
         let mut g_seq = GramState::from_matrix(&a);
         let mut g_par = GramState::from_matrix(&a);
-        for s in 1..=15 {
+        (1..=15).for_each(|s| {
             crate::sweep::sweep_gram_only(&mut g_seq, &order, s);
             parallel_sweep_gram(&mut g_par, &order, s);
-        }
+        });
         let mut s1 = g_seq.singular_values_unsorted();
         let mut s2 = g_par.singular_values_unsorted();
         s1.sort_by(|a, b| b.partial_cmp(a).unwrap());
@@ -402,8 +504,9 @@ mod tests {
         let order = round_robin(8);
         let mut ws = SweepWorkspace::new();
         ws.prepare(8);
+        let guard = PairGuard::default().ready(&g);
         for round in order.rounds() {
-            plan_round(&g, round, &mut ws);
+            plan_round(&g, round, &guard, &mut ws);
             apply_round_to_gram(&mut g, &mut ws);
             apply_round_to_columns(&mut a, &mut ws);
             let fresh = GramState::from_matrix(&a);
@@ -425,9 +528,9 @@ mod tests {
         let mut g = GramState::from_matrix(&b);
         let mut v = Matrix::identity(9);
         let order = round_robin(9);
-        for s in 1..=12 {
+        (1..=12).for_each(|s| {
             parallel_sweep_full(&mut b, &mut g, Some(&mut v), &order, s);
-        }
+        });
         assert!(norms::orthonormality_error(&v) < 1e-12);
         let av = a0.matmul(&v).unwrap();
         let diff = norms::frobenius(&av.sub(&b).unwrap());
@@ -440,9 +543,9 @@ mod tests {
         let order = round_robin(14);
         let run = || {
             let mut g = GramState::from_matrix(&a);
-            for s in 1..=8 {
+            (1..=8).for_each(|s| {
                 parallel_sweep_gram(&mut g, &order, s);
-            }
+            });
             g.packed().as_slice().to_vec()
         };
         let r1 = run();
@@ -468,10 +571,10 @@ mod tests {
         let mut g_fresh = GramState::from_matrix(&a);
         let mut g_reuse = GramState::from_matrix(&a);
         let mut ws = SweepWorkspace::new();
-        for s in 1..=10 {
+        (1..=10).for_each(|s| {
             parallel_sweep_gram(&mut g_fresh, &order, s);
             parallel_sweep_gram_ws(&mut g_reuse, &order, s, &mut ws);
-        }
+        });
         assert_eq!(g_fresh.packed().as_slice(), g_reuse.packed().as_slice());
     }
 
@@ -504,7 +607,7 @@ mod tests {
             let mut b_own = a.clone();
             let mut g_own = GramState::from_matrix(&b_own);
             let mut v_own = Matrix::identity(n);
-            for s in 1..=8 {
+            (1..=8).for_each(|s| {
                 parallel_sweep_full_ws(
                     &mut b_shared,
                     &mut g_shared,
@@ -514,7 +617,7 @@ mod tests {
                     &mut ws,
                 );
                 parallel_sweep_full(&mut b_own, &mut g_own, Some(&mut v_own), &order, s);
-            }
+            });
             assert_eq!(g_shared.packed().as_slice(), g_own.packed().as_slice(), "{m}x{n}");
             assert_eq!(b_shared.as_slice(), b_own.as_slice(), "{m}x{n}");
             assert_eq!(v_shared.as_slice(), v_own.as_slice(), "{m}x{n}");
@@ -534,8 +637,9 @@ mod tests {
             let mut g = GramState::from_matrix(&a);
             let mut ws = SweepWorkspace::new();
             ws.prepare(n);
+            let guard = PairGuard::default().ready(&g);
             for round in order.rounds() {
-                plan_round(&g, round, &mut ws);
+                plan_round(&g, round, &guard, &mut ws);
                 apply_round_to_gram(&mut g, &mut ws);
                 apply_round_to_columns(&mut via_ws, &mut ws);
                 for &(i, j, rot) in &ws.rotations {

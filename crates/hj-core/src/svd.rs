@@ -6,15 +6,16 @@
 //! sort / normalization stage that turns the orthogonalized system into
 //! `A = U Σ Vᵀ`.
 
-use crate::convergence::{is_converged, Convergence, SweepRecord, MAX_SWEEP_CAP};
+use crate::convergence::{Convergence, SweepRecord, MAX_SWEEP_CAP};
+use crate::engine::{
+    Blocked, EngineKind, PairGuard, RotationTarget, Sequential, SolveDriver, SweepState,
+};
 use crate::gram::GramState;
-use crate::ordering::{build_sweep, Ordering};
-use crate::parallel::{self, SweepWorkspace};
+use crate::ordering::{build_sweep, Ordering, Sweep};
+use crate::parallel::{Parallel, SweepWorkspace};
 use crate::stats::SolveStats;
-use crate::sweep::{sweep_full, sweep_gram_only};
 use crate::SvdError;
 use hj_matrix::{ops, Matrix};
-use std::time::Instant;
 
 /// Relative tolerance for the wide-matrix truncated-tail check: the
 /// discarded spectrum mass (sum of discarded `σ²`) must stay below this
@@ -23,13 +24,6 @@ use std::time::Instant;
 /// spectrum parks O(1) fractions of the mass there — `1e-12` separates the
 /// two regimes by orders of magnitude on both sides.
 const WIDE_TAIL_TOL: f64 = 1e-12;
-
-/// Modeled packed-triangle bytes touched by one sequential `O(n)` rotation:
-/// `4n − 2` entries (3 reads + 3 writes on the pair's own entries, then
-/// 2 reads + 2 writes for each of the `n − 2` other columns) at 8 bytes.
-fn seq_rotation_gram_bytes(n: usize) -> u64 {
-    8 * (4 * n as u64).saturating_sub(2)
-}
 
 /// Configuration for a Hestenes-Jacobi decomposition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,10 +35,10 @@ pub struct SvdOptions {
     pub max_sweeps: usize,
     /// Pair visiting order. Default: round-robin (the paper's cyclic order).
     pub ordering: Ordering,
-    /// Use the rayon-parallel round-synchronous driver. Requires
-    /// [`Ordering::RoundRobin`]. Default: off (sequential is faithful to
+    /// Sweep engine. [`EngineKind::Parallel`] and [`EngineKind::Blocked`]
+    /// require [`Ordering::RoundRobin`]. Default: sequential (faithful to
     /// Algorithm 1's data flow).
-    pub parallel: bool,
+    pub engine: EngineKind,
 }
 
 impl Default for SvdOptions {
@@ -53,7 +47,7 @@ impl Default for SvdOptions {
             convergence: Convergence::default(),
             max_sweeps: MAX_SWEEP_CAP,
             ordering: Ordering::RoundRobin,
-            parallel: false,
+            engine: EngineKind::Sequential,
         }
     }
 }
@@ -65,7 +59,7 @@ impl SvdOptions {
             convergence: Convergence::FixedSweeps(6),
             max_sweeps: 6,
             ordering: Ordering::RoundRobin,
-            parallel: false,
+            engine: EngineKind::Sequential,
         }
     }
 }
@@ -94,9 +88,8 @@ impl Svd {
     /// `tol · max(m, n) · σ_max` (the LAPACK default rank rule).
     pub fn rank(&self, tol: f64) -> usize {
         let smax = self.singular_values.first().copied().unwrap_or(0.0);
-        let (m, k) = self.u.shape();
+        let (m, _) = self.u.shape();
         let n = self.v.rows();
-        let _ = k;
         let cutoff = tol * m.max(n) as f64 * smax;
         self.singular_values.iter().take_while(|&&s| s > cutoff).count()
     }
@@ -170,8 +163,10 @@ impl HestenesSvd {
         if !a.as_slice().iter().all(|v| v.is_finite()) {
             return Err(SvdError::NonFiniteInput);
         }
-        if self.options.parallel && self.options.ordering != Ordering::RoundRobin {
-            return Err(SvdError::ParallelNeedsRoundRobin);
+        if self.options.engine != EngineKind::Sequential
+            && self.options.ordering != Ordering::RoundRobin
+        {
+            return Err(SvdError::EngineNeedsRoundRobin);
         }
         if self.options.max_sweeps == 0 {
             return Err(SvdError::ZeroSweepBudget);
@@ -195,29 +190,24 @@ impl HestenesSvd {
     /// assert!((sv.values[0] - 4.0).abs() < 1e-9);
     /// ```
     pub fn singular_values(&self, a: &Matrix) -> Result<SingularValues, SvdError> {
+        let mut ws = SweepWorkspace::new();
+        self.singular_values_with_workspace(a, &mut ws)
+    }
+
+    /// [`Self::singular_values`] over caller-owned scratch. Reusing a warm
+    /// workspace across solves (e.g. from a [`crate::batch::WorkspacePool`])
+    /// skips the warm-up allocations of the parallel and blocked engines;
+    /// results are bit-identical either way.
+    pub fn singular_values_with_workspace(
+        &self,
+        a: &Matrix,
+        ws: &mut SweepWorkspace,
+    ) -> Result<SingularValues, SvdError> {
         self.validate(a)?;
         let n = a.cols();
         let mut gram = GramState::from_matrix(a);
         let order = build_sweep(self.options.ordering, n);
-        let mut history = Vec::new();
-        let mut stats = SolveStats::default();
-        let mut ws = SweepWorkspace::new();
-        let dispatches0 = if self.options.parallel { rayon::dispatch_count() } else { 0 };
-        let cap = self.options.max_sweeps.min(MAX_SWEEP_CAP);
-        for s in 1..=cap {
-            let t0 = Instant::now();
-            let rec = if self.options.parallel {
-                parallel::parallel_sweep_gram_ws(&mut gram, &order, s, &mut ws)
-            } else {
-                sweep_gram_only(&mut gram, &order, s)
-            };
-            stats.record_sweep(t0.elapsed().as_secs_f64(), &rec);
-            history.push(rec);
-            if is_converged(&self.options.convergence, &rec, gram.trace(), n) {
-                break;
-            }
-        }
-        self.finish_stats(&mut stats, &ws, dispatches0, n);
+        let (history, stats) = self.run_sweeps(&mut gram, RotationTarget::gram_only(), &order, ws);
         let sweeps = history.len();
         let mut values = gram.singular_values_unsorted();
         values.sort_by(|x, y| y.partial_cmp(x).expect("finite values"));
@@ -237,22 +227,24 @@ impl HestenesSvd {
         Ok(SingularValues { values, sweeps, history, stats })
     }
 
-    /// Fold engine-level counters into `stats` once the sweep loop is done.
-    fn finish_stats(
+    /// Run all sweeps for one solve through the unified [`SolveDriver`] on
+    /// the configured engine — the only place an engine is selected.
+    fn run_sweeps(
         &self,
-        stats: &mut SolveStats,
-        ws: &SweepWorkspace,
-        dispatches0: usize,
-        n: usize,
-    ) {
-        if self.options.parallel {
-            stats.workspace_allocations = ws.allocations();
-            stats.gram_bytes = ws.gram_bytes();
-            stats.parallel_dispatches = rayon::dispatch_count().saturating_sub(dispatches0);
-            stats.threads = rayon::current_num_threads();
-        } else {
-            stats.gram_bytes = stats.rotations_applied as u64 * seq_rotation_gram_bytes(n);
-            stats.threads = 1;
+        gram: &mut GramState,
+        target: RotationTarget<'_>,
+        order: &Sweep,
+        ws: &mut SweepWorkspace,
+    ) -> (Vec<SweepRecord>, SolveStats) {
+        let driver = SolveDriver {
+            convergence: self.options.convergence,
+            max_sweeps: self.options.max_sweeps,
+        };
+        let mut state = SweepState { gram, target, guard: PairGuard::default() };
+        match self.options.engine {
+            EngineKind::Sequential => driver.run(&mut Sequential, &mut state, order),
+            EngineKind::Parallel => driver.run(&mut Parallel::new(ws), &mut state, order),
+            EngineKind::Blocked => driver.run(&mut Blocked::new(ws), &mut state, order),
         }
     }
 
@@ -262,6 +254,19 @@ impl HestenesSvd {
     /// (maintaining `B = A·V`) and the rotations are accumulated into `V`;
     /// afterwards `U = B·Σ⁻¹` (paper's eq. (7)).
     pub fn decompose(&self, a: &Matrix) -> Result<Svd, SvdError> {
+        let mut ws = SweepWorkspace::new();
+        self.decompose_with_workspace(a, &mut ws)
+    }
+
+    /// [`Self::decompose`] over caller-owned scratch. Reusing a warm
+    /// workspace across solves (e.g. from a [`crate::batch::WorkspacePool`])
+    /// skips the warm-up allocations of the parallel and blocked engines;
+    /// results are bit-identical either way.
+    pub fn decompose_with_workspace(
+        &self,
+        a: &Matrix,
+        ws: &mut SweepWorkspace,
+    ) -> Result<Svd, SvdError> {
         self.validate(a)?;
         let (m, n) = a.shape();
         let k = m.min(n);
@@ -269,32 +274,8 @@ impl HestenesSvd {
         let mut gram = GramState::from_matrix(&b);
         let mut v = Matrix::identity(n);
         let order = build_sweep(self.options.ordering, n);
-        let mut history = Vec::new();
-        let mut stats = SolveStats::default();
-        let mut ws = SweepWorkspace::new();
-        let dispatches0 = if self.options.parallel { rayon::dispatch_count() } else { 0 };
-        let cap = self.options.max_sweeps.min(MAX_SWEEP_CAP);
-        for s in 1..=cap {
-            let t0 = Instant::now();
-            let rec = if self.options.parallel {
-                parallel::parallel_sweep_full_ws(
-                    &mut b,
-                    &mut gram,
-                    Some(&mut v),
-                    &order,
-                    s,
-                    &mut ws,
-                )
-            } else {
-                sweep_full(&mut b, &mut gram, Some(&mut v), &order, s)
-            };
-            stats.record_sweep(t0.elapsed().as_secs_f64(), &rec);
-            history.push(rec);
-            if is_converged(&self.options.convergence, &rec, gram.trace(), n) {
-                break;
-            }
-        }
-        self.finish_stats(&mut stats, &ws, dispatches0, n);
+        let (history, stats) =
+            self.run_sweeps(&mut gram, RotationTarget::full(&mut b, &mut v), &order, ws);
         let sweeps = history.len();
 
         // Σ from the Gram diagonal; recompute from the actual rotated columns
@@ -484,11 +465,12 @@ mod tests {
     }
 
     #[test]
-    fn stats_are_populated_in_both_engines() {
+    fn stats_are_populated_in_all_engines() {
         let a = gen::uniform(30, 10, 77);
-        for parallel in [false, true] {
-            let opts = SvdOptions { parallel, ..Default::default() };
+        for engine in [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked] {
+            let opts = SvdOptions { engine, ..Default::default() };
             let svd = HestenesSvd::new(opts).decompose(&a).unwrap();
+            assert_eq!(svd.stats.engine, engine.name());
             assert_eq!(svd.stats.sweeps, svd.sweeps);
             assert_eq!(svd.stats.sweep_seconds.len(), svd.sweeps);
             assert_eq!(
@@ -497,15 +479,53 @@ mod tests {
             );
             assert!(svd.stats.gram_bytes > 0, "rotations imply Gram traffic");
             assert!(svd.stats.threads >= 1);
-            if parallel {
-                assert!(svd.stats.workspace_allocations > 0, "warm-up allocates");
-            } else {
-                assert_eq!(svd.stats.workspace_allocations, 0);
-                assert_eq!(svd.stats.parallel_dispatches, 0);
+            match engine {
+                EngineKind::Sequential => {
+                    assert_eq!(svd.stats.workspace_allocations, 0);
+                    assert_eq!(svd.stats.parallel_dispatches, 0);
+                }
+                EngineKind::Parallel => {
+                    assert!(svd.stats.workspace_allocations > 0, "warm-up allocates");
+                }
+                EngineKind::Blocked => {
+                    assert!(svd.stats.workspace_allocations > 0, "tile warm-up allocates");
+                    assert_eq!(svd.stats.parallel_dispatches, 0);
+                    assert_eq!(svd.stats.threads, 1);
+                }
             }
             let sv = HestenesSvd::new(opts).singular_values(&a).unwrap();
             assert_eq!(sv.stats.sweeps, sv.sweeps);
             assert!(sv.stats.to_json().contains("\"sweeps\""));
+            assert!(sv.stats.to_json().contains(engine.name()));
+        }
+    }
+
+    #[test]
+    fn warm_workspace_solves_are_bit_identical_and_allocation_free() {
+        let a = gen::uniform(30, 10, 78);
+        for engine in [EngineKind::Parallel, EngineKind::Blocked] {
+            let solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
+            let cold = solver.decompose(&a).unwrap();
+            let mut ws = SweepWorkspace::new();
+            let first = solver.decompose_with_workspace(&a, &mut ws).unwrap();
+            let warm = solver.decompose_with_workspace(&a, &mut ws).unwrap();
+            assert!(first.stats.workspace_allocations > 0, "{engine:?} warm-up");
+            // A warm same-shape solve is allocation-free for the blocked
+            // engine; the parallel engine may pay the documented bounded
+            // buffer exchange (fresh `B`/`V` buffers swap through the column
+            // back buffer) in its first sweep — never more.
+            let bound = if engine == EngineKind::Parallel { 2 } else { 0 };
+            assert!(
+                warm.stats.workspace_allocations <= bound,
+                "{engine:?}: warm solve allocated {} times (bound {bound})",
+                warm.stats.workspace_allocations
+            );
+            assert!(warm.stats.workspace_allocations < first.stats.workspace_allocations);
+            for (x, y) in cold.singular_values.iter().zip(&warm.singular_values) {
+                assert_eq!(x, y, "{engine:?}: pooled workspace changed the result");
+            }
+            assert_eq!(cold.u.as_slice(), warm.u.as_slice());
+            assert_eq!(cold.v.as_slice(), warm.v.as_slice());
         }
     }
 
@@ -545,12 +565,15 @@ mod tests {
     #[test]
     fn invalid_option_combinations_error() {
         let a = gen::uniform(4, 4, 0);
-        let opts =
-            SvdOptions { parallel: true, ordering: Ordering::RowCyclic, ..Default::default() };
-        assert!(matches!(
-            HestenesSvd::new(opts).decompose(&a),
-            Err(SvdError::ParallelNeedsRoundRobin)
-        ));
+        for engine in [EngineKind::Parallel, EngineKind::Blocked] {
+            let opts = SvdOptions { engine, ordering: Ordering::RowCyclic, ..Default::default() };
+            assert!(matches!(
+                HestenesSvd::new(opts).decompose(&a),
+                Err(SvdError::EngineNeedsRoundRobin)
+            ));
+        }
+        let opts = SvdOptions { ordering: Ordering::RowCyclic, ..Default::default() };
+        assert!(HestenesSvd::new(opts).decompose(&a).is_ok(), "sequential allows any ordering");
         let opts = SvdOptions { max_sweeps: 0, ..Default::default() };
         assert!(matches!(HestenesSvd::new(opts).decompose(&a), Err(SvdError::ZeroSweepBudget)));
     }

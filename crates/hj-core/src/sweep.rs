@@ -1,4 +1,4 @@
-//! Sequential sweep drivers.
+//! Sequential single-sweep entry points.
 //!
 //! A *sweep* visits every column pair once in the chosen ordering. Two modes
 //! mirror the two phases of the paper's architecture:
@@ -9,11 +9,14 @@
 //! * [`sweep_full`] — additionally rotates the actual matrix columns
 //!   (`O(m)` per pair) and, optionally, accumulates the right singular
 //!   vectors `V`. Required for a full `A = UΣVᵀ` factorization.
+//!
+//! Both are thin wrappers over the [`crate::engine::Sequential`] engine —
+//! the actual pair loop lives there, shared with every other solver.
 
 use crate::convergence::SweepRecord;
+use crate::engine::{PairGuard, RotationTarget, Sequential, SweepEngine, SweepState};
 use crate::gram::GramState;
 use crate::ordering::Sweep;
-use crate::rotation::{pair_converged, textbook_params};
 use hj_matrix::Matrix;
 
 /// Per-pair orthogonality guard used by the sweep drivers; pairs with
@@ -27,19 +30,9 @@ pub const PAIR_TOL: f64 = 1e-15;
 /// Returns the sweep's instrumentation record; `sweep_index` is 1-based and
 /// only used to label the record.
 pub fn sweep_gram_only(gram: &mut GramState, order: &Sweep, sweep_index: usize) -> SweepRecord {
-    let mut applied = 0usize;
-    let mut skipped = 0usize;
-    for (i, j) in order.pairs() {
-        let (ni, nj, cov) = (gram.norm_sq(i), gram.norm_sq(j), gram.covariance(i, j));
-        if pair_converged(ni, nj, cov, PAIR_TOL) {
-            skipped += 1;
-            continue;
-        }
-        let rot = textbook_params(ni, nj, cov);
-        gram.rotate(i, j, &rot);
-        applied += 1;
-    }
-    finish_record(gram, sweep_index, applied, skipped)
+    let mut state =
+        SweepState { gram, target: RotationTarget::gram_only(), guard: PairGuard::default() };
+    Sequential.sweep(&mut state, order, sweep_index)
 }
 
 /// Run one full sweep: rotate `D`, the matrix columns, and (if provided) the
@@ -51,7 +44,7 @@ pub fn sweep_gram_only(gram: &mut GramState, order: &Sweep, sweep_index: usize) 
 pub fn sweep_full(
     a: &mut Matrix,
     gram: &mut GramState,
-    mut v: Option<&mut Matrix>,
+    v: Option<&mut Matrix>,
     order: &Sweep,
     sweep_index: usize,
 ) -> SweepRecord {
@@ -59,23 +52,12 @@ pub fn sweep_full(
     if let Some(vm) = v.as_deref() {
         debug_assert_eq!(vm.shape(), (a.cols(), a.cols()));
     }
-    let mut applied = 0usize;
-    let mut skipped = 0usize;
-    for (i, j) in order.pairs() {
-        let (ni, nj, cov) = (gram.norm_sq(i), gram.norm_sq(j), gram.covariance(i, j));
-        if pair_converged(ni, nj, cov, PAIR_TOL) {
-            skipped += 1;
-            continue;
-        }
-        let rot = textbook_params(ni, nj, cov);
-        gram.rotate(i, j, &rot);
-        a.column_pair(i, j).expect("sweep pairs are valid").rotate(rot.cos, rot.sin);
-        if let Some(vm) = v.as_deref_mut() {
-            vm.column_pair(i, j).expect("sweep pairs are valid").rotate(rot.cos, rot.sin);
-        }
-        applied += 1;
-    }
-    finish_record(gram, sweep_index, applied, skipped)
+    let target = match v {
+        Some(vm) => RotationTarget::full(a, vm),
+        None => RotationTarget::with_columns(a),
+    };
+    let mut state = SweepState { gram, target, guard: PairGuard::default() };
+    Sequential.sweep(&mut state, order, sweep_index)
 }
 
 pub(crate) fn finish_record(
@@ -117,9 +99,9 @@ mod tests {
         let a = gen::uniform(20, 6, 3);
         let mut g = GramState::from_matrix(&a);
         let order = build_sweep(Ordering::RoundRobin, 6);
-        for s in 1..=10 {
+        (1..=10).for_each(|s| {
             sweep_gram_only(&mut g, &order, s);
-        }
+        });
         let scale = g.trace() / 6.0;
         assert!(
             g.max_abs_covariance() <= 1e-13 * scale,
@@ -133,9 +115,9 @@ mod tests {
         let a = gen::uniform(15, 5, 9);
         let mut g = GramState::from_matrix(&a);
         let order = build_sweep(Ordering::RowCyclic, 5);
-        for s in 1..=10 {
+        (1..=10).for_each(|s| {
             sweep_gram_only(&mut g, &order, s);
-        }
+        });
         assert!(g.max_abs_covariance() <= 1e-13 * g.trace() / 5.0);
     }
 
@@ -163,9 +145,9 @@ mod tests {
         let mut g = GramState::from_matrix(&b);
         let mut v = Matrix::identity(5);
         let order = build_sweep(Ordering::RoundRobin, 5);
-        for s in 1..=8 {
+        (1..=8).for_each(|s| {
             sweep_full(&mut b, &mut g, Some(&mut v), &order, s);
-        }
+        });
         // V must stay orthogonal and satisfy A·V = B.
         assert!(norms::orthonormality_error(&v) < 1e-12);
         let av = a0.matmul(&v).unwrap();

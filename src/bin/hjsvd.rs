@@ -13,7 +13,7 @@
 //! Argument parsing is hand-rolled — the workspace takes no CLI dependency.
 
 use hjsvd::arch::{resource_usage, ArchConfig, HestenesJacobiArch};
-use hjsvd::core::{eigh, HestenesSvd, Pca, SvdOptions};
+use hjsvd::core::{eigh, EngineKind, HestenesSvd, Pca, SvdOptions};
 use hjsvd::fpsim::resources::ChipCapacity;
 use hjsvd::matrix::{gen, io, norms, Matrix};
 use std::process::ExitCode;
@@ -53,10 +53,13 @@ fn print_help() {
 
 USAGE:
   hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
+            [--engine seq|par|blocked]
       Decompose a CSV matrix. Prints singular values; with --out, writes
       PREFIX_u.csv / PREFIX_s.csv / PREFIX_v.csv. --rank truncates.
       --stats writes the solve's SolveStats record as JSON (PATH of '-'
-      prints it to stdout).
+      prints it to stdout). --engine picks the sweep engine: seq
+      (Algorithm 1, default), par (rayon round-synchronous), or blocked
+      (cache-tiled groups).
   hjsvd pca <data.csv> --components K [--out PREFIX]
       PCA (rows = observations). Prints explained variance; with --out,
       writes PREFIX_scores.csv and PREFIX_components.csv.
@@ -152,10 +155,20 @@ fn emit_stats(stats: &hjsvd::core::SolveStats, path: &str) -> Result<(), String>
     }
 }
 
+/// Parse the `--engine` option into an [`EngineKind`] (default: sequential).
+fn engine_option(p: &ParsedArgs) -> Result<EngineKind, String> {
+    match p.opt("engine") {
+        None => Ok(EngineKind::default()),
+        Some(v) => EngineKind::parse(v)
+            .ok_or_else(|| format!("--engine: unknown engine '{v}' (choose seq, par, or blocked)")),
+    }
+}
+
 fn cmd_svd(p: &mut ParsedArgs) -> Result<(), String> {
     let path = p.positional(0, "input matrix path")?.to_string();
     let a = load(&path)?;
-    let solver = HestenesSvd::new(SvdOptions::default());
+    let engine = engine_option(p)?;
+    let solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
     let stats_path = p.opt("stats").map(str::to_string);
     if p.flag("values-only") {
         let sv = solver.singular_values(&a).map_err(|e| e.to_string())?;
@@ -360,6 +373,20 @@ mod tests {
         let vo = std::fs::read_to_string(&sp).unwrap();
         assert!(vo.contains("\"sweeps\":") && vo.contains("\"gram_bytes\":"));
         run(&args(&["svd", &mp, "--stats", "-"])).unwrap(); // stdout path
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn svd_engine_option_selects_engines_and_rejects_unknown() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_engine");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mp = dir.join("m.csv").to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "12", "--cols", "5", &mp, "--seed", "9"])).unwrap();
+        run(&args(&["svd", &mp, "--engine", "par"])).unwrap();
+        run(&args(&["svd", &mp, "--values-only", "--engine", "blocked"])).unwrap();
+        run(&args(&["svd", &mp, "--engine", "sequential"])).unwrap();
+        let err = run(&args(&["svd", &mp, "--engine", "warp"])).unwrap_err();
+        assert!(err.contains("choose seq, par, or blocked"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

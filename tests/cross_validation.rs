@@ -6,7 +6,7 @@
 //! evidence all four are correct.
 
 use hjsvd::baselines::{householder, naive_hestenes, two_sided};
-use hjsvd::core::{HestenesSvd, Ordering, SvdOptions};
+use hjsvd::core::{EngineKind, HestenesSvd, Ordering, SvdOptions};
 use hjsvd::matrix::{gen, norms, Matrix};
 
 fn hestenes(a: &Matrix) -> Vec<f64> {
@@ -102,16 +102,17 @@ fn hilbert_matrix_relative_accuracy() {
 }
 
 #[test]
-fn parallel_driver_agrees_with_sequential() {
+fn parallel_and_blocked_drivers_agree_with_sequential() {
     let a = gen::uniform(50, 20, 107);
     let seq = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
-    let par = HestenesSvd::new(SvdOptions { parallel: true, ..Default::default() })
-        .decompose(&a)
-        .unwrap();
-    let d = norms::spectrum_disagreement(&seq.singular_values, &par.singular_values);
-    assert!(d < 1e-10, "parallel vs sequential spectra disagree by {d}");
-    let err = norms::reconstruction_error(&a, &par.u, &par.singular_values, &par.v);
-    assert!(err < 1e-11, "parallel reconstruction error {err}");
+    for engine in [EngineKind::Parallel, EngineKind::Blocked] {
+        let alt =
+            HestenesSvd::new(SvdOptions { engine, ..Default::default() }).decompose(&a).unwrap();
+        let d = norms::spectrum_disagreement(&seq.singular_values, &alt.singular_values);
+        assert!(d < 1e-10, "{engine:?} vs sequential spectra disagree by {d}");
+        let err = norms::reconstruction_error(&a, &alt.u, &alt.singular_values, &alt.v);
+        assert!(err < 1e-11, "{engine:?} reconstruction error {err}");
+    }
 }
 
 #[test]

@@ -96,6 +96,37 @@ fn full_sweeps_allocate_nothing_after_warmup() {
 }
 
 #[test]
+fn blocked_engine_sweeps_allocate_nothing_after_warmup() {
+    // The cache-tiled engine shares the workspace's discipline: the first
+    // sweep sizes the tile, plan, and rotation buffers; every later sweep —
+    // even with column and V accumulation — reuses them verbatim.
+    let _guard = SERIAL.lock().unwrap();
+    use hjsvd::core::engine::Blocked;
+    use hjsvd::core::{PairGuard, RotationTarget, SweepEngine, SweepState};
+    let src = gen::uniform(48, 24, 19);
+    let mut b = src.clone();
+    let mut gram = GramState::from_matrix(&b);
+    let mut v = Matrix::identity(b.cols());
+    let order = round_robin(gram.dim());
+    let mut ws = SweepWorkspace::new();
+    let mut engine = Blocked::new(&mut ws);
+    let mut state = SweepState {
+        gram: &mut gram,
+        target: RotationTarget::full(&mut b, &mut v),
+        guard: PairGuard::default(),
+    };
+
+    engine.sweep(&mut state, &order, 1);
+
+    let before = allocation_count();
+    for s in 2..=4 {
+        engine.sweep(&mut state, &order, s);
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(delta, 0, "steady-state blocked sweeps allocated {delta} times");
+}
+
+#[test]
 fn reused_workspace_allocations_are_per_problem_not_per_sweep() {
     // Swap-publishing trades buffers with the caller's matrices, so moving a
     // warm workspace to a NEW problem can cost a bounded handful of buffer
