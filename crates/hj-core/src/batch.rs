@@ -218,6 +218,40 @@ mod tests {
     }
 
     #[test]
+    fn faulted_solves_do_not_poison_the_pool() {
+        // Every solve under an already-expired deadline aborts with a
+        // structured fault in its own slot — and the workspaces those
+        // aborted solves checked back in must be indistinguishable from
+        // fresh ones for the next batch.
+        let mats = mixed_batch();
+        let pool = WorkspacePool::new();
+        let expired = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let faulty =
+            HestenesSvd::new(SvdOptions { engine: EngineKind::Blocked, ..Default::default() })
+                .with_budget(crate::SolveBudget::with_deadline(expired))
+                .with_recovery_policy(crate::RecoveryPolicy::abort_only());
+        let batch = faulty.decompose_batch_pooled(&mats, &pool);
+        for (k, res) in batch.iter().enumerate() {
+            assert!(
+                matches!(res, Err(SvdError::SolveFault { .. })),
+                "slot {k} should abort on the expired deadline, got {res:?}"
+            );
+        }
+        // Same pool, healthy solver: bit-identical to a fresh pool.
+        let clean =
+            HestenesSvd::new(SvdOptions { engine: EngineKind::Blocked, ..Default::default() });
+        let reused = clean.decompose_batch_pooled(&mats, &pool);
+        let fresh = clean.decompose_batch_pooled(&mats, &WorkspacePool::new());
+        for (k, (r, f)) in reused.iter().zip(&fresh).enumerate() {
+            let r = r.as_ref().expect("healthy solve");
+            let f = f.as_ref().expect("healthy solve");
+            assert_eq!(r.singular_values, f.singular_values, "slot {k} σ poisoned");
+            assert_eq!(r.u.as_slice(), f.u.as_slice(), "slot {k} U poisoned");
+            assert_eq!(r.v.as_slice(), f.v.as_slice(), "slot {k} V poisoned");
+        }
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let solver = HestenesSvd::new(SvdOptions::default());
         assert!(solver.decompose_batch(&[]).is_empty());

@@ -10,9 +10,10 @@
 //! negative; nothing here assumes positive semidefiniteness).
 
 use crate::convergence::{Convergence, SweepRecord, MAX_SWEEP_CAP};
-use crate::engine::{PairGuard, RotationTarget, Sequential, SolveDriver, SweepState};
+use crate::engine::{PairGuard, RotationTarget, Sequential, SolveDriver, SolveMonitor, SweepState};
 use crate::gram::GramState;
 use crate::ordering::round_robin;
+use crate::recovery::HealthCheck;
 use crate::stats::SolveStats;
 use crate::SvdError;
 use hj_matrix::{Matrix, PackedSymmetric};
@@ -71,7 +72,20 @@ pub fn eigh(s: &PackedSymmetric, tol: f64) -> Result<SymmetricEigen, SvdError> {
         target: RotationTarget::accumulate(&mut v),
         guard: PairGuard::DiagonalScale { tol },
     };
-    let (history, stats) = driver.run(&mut Sequential, &mut state, &order);
+    // Monitored run with the indefinite-safe health profile: negative
+    // diagonals are legitimate eigenvalues here, but non-finite state and
+    // stalls still abort with a structured error instead of returning a
+    // silently corrupted spectrum.
+    let mut monitor = SolveMonitor::new(Default::default(), HealthCheck::indefinite());
+    let run = driver.run_monitored(&mut Sequential, &mut state, &order, &mut monitor);
+    if let Some(fault) = run.fault {
+        return Err(SvdError::SolveFault {
+            fault,
+            sweeps_completed: run.stats.sweeps,
+            recoveries: 0,
+        });
+    }
+    let (history, stats) = (run.history, run.stats);
     let sweeps = history.len();
     // Extract, sort descending by eigenvalue.
     let diag = g.packed().diagonal();

@@ -32,6 +32,7 @@ use crate::convergence::{is_converged, Convergence, SweepRecord, MAX_SWEEP_CAP};
 use crate::gram::GramState;
 use crate::ordering::Sweep;
 use crate::parallel::{plan_round, SweepWorkspace};
+use crate::recovery::{Fault, HealthCheck, HealthState, SolveBudget};
 use crate::rotation::{pair_converged, textbook_params};
 use crate::stats::SolveStats;
 use crate::sweep::{finish_record, PAIR_TOL};
@@ -429,31 +430,138 @@ pub struct SolveDriver {
     pub max_sweeps: usize,
 }
 
+/// Monitoring attached to one [`SolveDriver::run_monitored`] call: a latency
+/// [`SolveBudget`] checked at sweep boundaries, the per-sweep
+/// [`HealthCheck`], and (under the `fault-injection` feature only) an
+/// optional injector hook for the robustness test harness.
+pub struct SolveMonitor<'a> {
+    /// Deadline/cancellation limits, checked before each sweep starts.
+    pub budget: SolveBudget,
+    /// Per-sweep `O(n)` scan of `D` for non-finite values, negative
+    /// diagonals, and convergence stalls.
+    pub health: HealthCheck,
+    /// Test-only corruption hook, called around every sweep. Absent from
+    /// production builds — the field itself compiles out without the
+    /// `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    pub injector: Option<&'a mut dyn crate::inject::FaultInjector>,
+    #[cfg(not(feature = "fault-injection"))]
+    _marker: std::marker::PhantomData<&'a mut ()>,
+}
+
+impl std::fmt::Debug for SolveMonitor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveMonitor")
+            .field("budget", &self.budget)
+            .field("health", &self.health)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SolveMonitor<'a> {
+    /// Monitor with the given budget and health check, no injector.
+    pub fn new(budget: SolveBudget, health: HealthCheck) -> SolveMonitor<'a> {
+        SolveMonitor {
+            budget,
+            health,
+            #[cfg(feature = "fault-injection")]
+            injector: None,
+            #[cfg(not(feature = "fault-injection"))]
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The do-nothing monitor [`SolveDriver::run`] uses: unlimited budget,
+    /// disabled health check — byte-for-byte the unmonitored pipeline.
+    pub fn passive() -> SolveMonitor<'static> {
+        SolveMonitor::new(SolveBudget::unlimited(), HealthCheck::disabled())
+    }
+
+    /// Attach a fault injector (test harness only).
+    #[cfg(feature = "fault-injection")]
+    pub fn with_injector(mut self, injector: &'a mut dyn crate::inject::FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+}
+
+/// The outcome of one [`SolveDriver::run_monitored`] attempt.
+#[derive(Debug)]
+pub struct MonitoredRun {
+    /// Per-sweep convergence records, in execution order.
+    pub history: Vec<SweepRecord>,
+    /// Filled stats for the attempt (`faults` counts at most the one fault
+    /// that ended it; recovery accounting belongs to the caller).
+    pub stats: SolveStats,
+    /// The fault that stopped the attempt, or `None` if it ran to
+    /// convergence or exhausted its sweep budget cleanly.
+    pub fault: Option<Fault>,
+}
+
 impl SolveDriver {
     /// Run sweeps until the stopping rule (or the budget) is hit; returns the
     /// per-sweep history and the filled stats record.
+    ///
+    /// This is [`SolveDriver::run_monitored`] with a passive monitor — no
+    /// budget, no health check — and is byte-for-byte the PR-2 pipeline.
     pub fn run(
         &self,
         engine: &mut dyn SweepEngine,
         state: &mut SweepState<'_>,
         order: &Sweep,
     ) -> (Vec<SweepRecord>, SolveStats) {
+        let run = self.run_monitored(engine, state, order, &mut SolveMonitor::passive());
+        (run.history, run.stats)
+    }
+
+    /// Run sweeps under a [`SolveMonitor`]: the budget is checked before
+    /// each sweep starts, the health check inspects `D` after each sweep
+    /// *before* convergence is evaluated (a corrupted state must never be
+    /// declared converged), and the first fault ends the attempt.
+    pub fn run_monitored(
+        &self,
+        engine: &mut dyn SweepEngine,
+        state: &mut SweepState<'_>,
+        order: &Sweep,
+        monitor: &mut SolveMonitor<'_>,
+    ) -> MonitoredRun {
         let n = state.gram.dim();
         let mut history = Vec::new();
         let mut stats = SolveStats::default();
+        let mut health_state = HealthState::new();
+        let mut fault = None;
         let cap = self.max_sweeps.min(MAX_SWEEP_CAP);
         for s in 1..=cap {
+            if let Some(f) = monitor.budget.check(s) {
+                fault = Some(f);
+                break;
+            }
+            #[cfg(feature = "fault-injection")]
+            if let Some(inj) = monitor.injector.as_deref_mut() {
+                inj.before_sweep(s, state.gram);
+            }
             let t0 = Instant::now();
             let rec = engine.sweep(state, order, s);
+            #[cfg(feature = "fault-injection")]
+            if let Some(inj) = monitor.injector.as_deref_mut() {
+                inj.after_sweep(s, state.gram);
+            }
             stats.record_sweep(t0.elapsed().as_secs_f64(), &rec);
             history.push(rec);
+            if let Some(f) = monitor.health.inspect(state.gram, &rec, &mut health_state) {
+                fault = Some(f);
+                break;
+            }
             if is_converged(&self.convergence, &rec, state.gram.trace(), n) {
                 break;
             }
         }
+        if fault.is_some() {
+            stats.faults += 1;
+        }
         engine.finish(&mut stats, n);
         stats.engine = engine.name();
-        (history, stats)
+        MonitoredRun { history, stats, fault }
     }
 }
 
@@ -675,6 +783,54 @@ mod tests {
         assert!(blk.workspace_allocations > 0, "tile warm-up must allocate");
         assert!(blk.gram_bytes > 0);
         assert_eq!(blk.threads, 1);
+    }
+
+    #[test]
+    fn monitored_run_with_health_on_matches_plain_run_bitwise() {
+        let a = gen::uniform(35, 11, 13);
+        let order = round_robin(11);
+
+        let mut g1 = GramState::from_matrix(&a);
+        let mut st = SweepState {
+            gram: &mut g1,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let (history, stats) = driver().run(&mut Sequential, &mut st, &order);
+
+        let mut g2 = GramState::from_matrix(&a);
+        let mut st = SweepState {
+            gram: &mut g2,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let mut mon = SolveMonitor::new(SolveBudget::unlimited(), HealthCheck::default());
+        let run = driver().run_monitored(&mut Sequential, &mut st, &order, &mut mon);
+
+        assert_eq!(run.fault, None);
+        assert_eq!(run.history, history);
+        assert_eq!(run.stats.sweeps, stats.sweeps);
+        assert_eq!(run.stats.faults, 0);
+        assert_eq!(g1.packed().as_slice(), g2.packed().as_slice());
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_the_first_sweep() {
+        let a = gen::uniform(30, 10, 2);
+        let order = round_robin(10);
+        let mut g = GramState::from_matrix(&a);
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let budget = SolveBudget::with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        let mut mon = SolveMonitor::new(budget, HealthCheck::default());
+        let run = driver().run_monitored(&mut Sequential, &mut st, &order, &mut mon);
+        assert_eq!(run.fault, Some(Fault::DeadlineExceeded { sweep: 1 }));
+        assert!(run.history.is_empty());
+        assert_eq!(run.stats.sweeps, 0);
+        assert_eq!(run.stats.faults, 1);
     }
 
     #[test]

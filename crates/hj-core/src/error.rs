@@ -1,3 +1,4 @@
+use crate::recovery::Fault;
 use std::fmt;
 
 /// Errors from the SVD drivers.
@@ -19,6 +20,18 @@ pub enum SvdError {
     /// the truncation to be sound, so the driver refuses to return silently
     /// wrong values. Raise the sweep budget or loosen the stopping rule.
     TruncatedTailNotNegligible,
+    /// A mid-solve fault was detected by the health check or solve budget
+    /// and the [`crate::recovery::RecoveryPolicy`] exhausted its options (or
+    /// chose to abort). The solver never returns a silently corrupted
+    /// factorization: it either recovers fully or surfaces this.
+    SolveFault {
+        /// The fault that ended the solve.
+        fault: Fault,
+        /// Sweeps executed across all attempts (including recovered ones).
+        sweeps_completed: usize,
+        /// Recovery actions taken before giving up.
+        recoveries: usize,
+    },
 }
 
 impl fmt::Display for SvdError {
@@ -34,6 +47,12 @@ impl fmt::Display for SvdError {
                 f,
                 "wide-matrix truncation would discard non-negligible spectrum mass \
                  (iteration not converged; increase the sweep budget)"
+            ),
+            SvdError::SolveFault { fault, sweeps_completed, recoveries } => write!(
+                f,
+                "solve aborted on fault [{}]: {fault} \
+                 (sweeps completed: {sweeps_completed}, recoveries attempted: {recoveries})",
+                fault.kind()
             ),
         }
     }
@@ -52,5 +71,14 @@ mod tests {
         assert!(SvdError::EngineNeedsRoundRobin.to_string().contains("round-robin"));
         assert!(SvdError::ZeroSweepBudget.to_string().contains("at least 1"));
         assert!(SvdError::TruncatedTailNotNegligible.to_string().contains("non-negligible"));
+        let fault = SvdError::SolveFault {
+            fault: Fault::NonFiniteGram { sweep: 3 },
+            sweeps_completed: 7,
+            recoveries: 2,
+        };
+        let msg = fault.to_string();
+        assert!(msg.contains("[non-finite-gram]"));
+        assert!(msg.contains("sweeps completed: 7"));
+        assert!(msg.contains("recoveries attempted: 2"));
     }
 }

@@ -177,6 +177,43 @@ impl GramState {
     pub fn singular_values_unsorted(&self) -> Vec<f64> {
         (0..self.d.dim()).map(|i| self.d.get(i, i).max(0.0).sqrt()).collect()
     }
+
+    /// One allocation-free `O(n)` pass over the diagonal of `D`, summarizing
+    /// what the per-sweep health check needs: finiteness, the smallest entry
+    /// (and where), and the largest magnitude. Unlike
+    /// [`PackedSymmetric::diagonal`], this copies nothing — it is safe to
+    /// call every sweep without breaking the engines' steady-state
+    /// zero-allocation invariant.
+    pub fn diagonal_scan(&self) -> DiagonalScan {
+        let mut scan = DiagonalScan { finite: true, min: f64::INFINITY, argmin: 0, max_abs: 0.0 };
+        for i in 0..self.d.dim() {
+            let d = self.d.get(i, i);
+            if !d.is_finite() {
+                scan.finite = false;
+                return scan;
+            }
+            scan.max_abs = scan.max_abs.max(d.abs());
+            if d < scan.min {
+                scan.min = d;
+                scan.argmin = i;
+            }
+        }
+        scan
+    }
+}
+
+/// Summary of one [`GramState::diagonal_scan`] pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiagonalScan {
+    /// All diagonal entries are finite (when `false` the other fields stop
+    /// at the first non-finite entry and are not meaningful).
+    pub finite: bool,
+    /// Smallest diagonal entry (`+∞` for an empty matrix).
+    pub min: f64,
+    /// Index of the smallest diagonal entry.
+    pub argmin: usize,
+    /// Largest absolute diagonal entry (0 for an empty matrix).
+    pub max_abs: f64,
 }
 
 #[cfg(test)]
@@ -278,6 +315,23 @@ mod tests {
             let par = GramState::from_matrix_parallel(&a);
             assert_eq!(seq.packed().as_slice(), par.packed().as_slice(), "{m}x{n}");
         }
+    }
+
+    #[test]
+    fn diagonal_scan_summarizes_without_allocating() {
+        let mut d = PackedSymmetric::zeros(4);
+        d.set(0, 0, 4.0);
+        d.set(1, 1, -2.0);
+        d.set(2, 2, 0.5);
+        d.set(3, 3, 1.0);
+        let scan = GramState::from_packed(d.clone()).diagonal_scan();
+        assert!(scan.finite);
+        assert_eq!(scan.min, -2.0);
+        assert_eq!(scan.argmin, 1);
+        assert_eq!(scan.max_abs, 4.0);
+
+        d.set(2, 2, f64::NAN);
+        assert!(!GramState::from_packed(d).diagonal_scan().finite);
     }
 
     #[test]

@@ -34,6 +34,14 @@
 //!   counts, allocation events, Gram traffic) attached to every solve.
 //! * [`convergence`] — stopping rules and per-sweep instrumentation
 //!   (the paper's Figs. 10–11 metric).
+//! * [`recovery`] — the fault-tolerance layer: [`recovery::Fault`]
+//!   taxonomy, per-sweep [`recovery::HealthCheck`], the
+//!   [`recovery::RecoveryPolicy`] lattice (rescale / engine fallback /
+//!   budget escalation / abort), and [`recovery::SolveBudget`]
+//!   deadline/cancellation.
+//! * [`inject`] *(feature `fault-injection` only)* — deterministic
+//!   fault-injection harness used by the robustness test campaign; compiles
+//!   out of production builds entirely.
 //! * [`svd`] — user-facing drivers: [`HestenesSvd::singular_values`]
 //!   (paper-faithful, D-only after the first pass) and
 //!   [`HestenesSvd::decompose`] (full `A = UΣVᵀ`).
@@ -62,10 +70,13 @@ pub mod eigh;
 pub mod engine;
 mod error;
 pub mod gram;
+#[cfg(feature = "fault-injection")]
+pub mod inject;
 pub mod lowrank;
 pub mod ordering;
 pub mod parallel;
 pub mod pca;
+pub mod recovery;
 pub mod rotation;
 pub mod stats;
 pub mod svd;
@@ -73,12 +84,18 @@ pub mod sweep;
 
 pub use batch::WorkspacePool;
 pub use convergence::{Convergence, SweepRecord};
-pub use engine::{EngineKind, PairGuard, RotationTarget, SolveDriver, SweepEngine, SweepState};
+pub use engine::{
+    EngineKind, MonitoredRun, PairGuard, RotationTarget, SolveDriver, SolveMonitor, SweepEngine,
+    SweepState,
+};
 pub use error::SvdError;
-pub use gram::GramState;
+pub use gram::{DiagonalScan, GramState};
+#[cfg(feature = "fault-injection")]
+pub use inject::{Corruption, FaultInjector, SeededInjector};
 pub use ordering::Ordering;
 pub use parallel::SweepWorkspace;
 pub use pca::Pca;
+pub use recovery::{Fault, HealthCheck, RecoveryAction, RecoveryPolicy, SolveBudget};
 pub use rotation::{hardware_params, textbook_params, Rotation};
 pub use stats::SolveStats;
 pub use svd::{HestenesSvd, SingularValues, Svd, SvdOptions};

@@ -1,0 +1,642 @@
+//! Fault taxonomy, health checking, recovery policy, and solve budgets.
+//!
+//! The paper's Algorithm 1 reads the matrix columns exactly once — every
+//! sweep after the first trusts the in-place-updated covariance matrix
+//! `D = AᵀA`. That single-pass discipline is the source of its efficiency
+//! *and* its fragility: one overflowed squared norm, one NaN escaping an
+//! ill-conditioned rotation, or one stalled off-diagonal silently corrupts
+//! every remaining sweep, because nothing downstream ever looks at the
+//! ground-truth columns again.
+//!
+//! This module is the detection/response half of the crate's fault-tolerance
+//! layer (the prevention half — power-of-two pre-scaling — lives in
+//! [`crate::svd`]):
+//!
+//! * [`Fault`] — the closed set of mid-solve failure classes.
+//! * [`HealthCheck`] — a cheap `O(n)` per-sweep scan of `D` run by
+//!   [`crate::SolveDriver::run_monitored`]: non-finite metrics, negative
+//!   diagonals (impossible for a true Gram matrix), and convergence stalls.
+//! * [`RecoveryPolicy`] — maps a detected fault to a [`RecoveryAction`]:
+//!   rescale-and-restart, fall back to the [`crate::engine::Sequential`]
+//!   engine, escalate the sweep budget, or abort with
+//!   [`crate::SvdError::SolveFault`].
+//! * [`SolveBudget`] — deadline/cancellation checked at sweep boundaries, so
+//!   batch and CLI callers can bound worst-case latency.
+
+use crate::convergence::SweepRecord;
+use crate::engine::EngineKind;
+use crate::gram::GramState;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A mid-solve failure detected by the [`HealthCheck`] or [`SolveBudget`].
+///
+/// Every variant carries the 1-based sweep index at which it was detected;
+/// the health check runs after each sweep, so detection lags the underlying
+/// corruption by at most one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A NaN or ±∞ reached the maintained covariance matrix — an overflowed
+    /// squared norm, a poisoned rotation, or injected corruption.
+    NonFiniteGram {
+        /// Sweep at which the non-finite value was detected.
+        sweep: usize,
+    },
+    /// A diagonal entry of `D` went materially negative. `D = AᵀA` is
+    /// positive semidefinite, so beyond roundoff dust this is impossible for
+    /// an uncorrupted solve (a non-orthonormal "rotation" is the classic
+    /// cause).
+    NegativeDiagonal {
+        /// Sweep at which the negative diagonal was detected.
+        sweep: usize,
+        /// Column index of the offending diagonal entry.
+        index: usize,
+    },
+    /// The off-diagonal norm stopped decreasing while still far from
+    /// convergence — the iteration is wedged (cyclically re-corrupted state,
+    /// or pathological input below the guard's resolution).
+    ConvergenceStall {
+        /// Sweep at which the stall was declared.
+        sweep: usize,
+        /// Consecutive sweeps without meaningful progress.
+        stalled_sweeps: usize,
+    },
+    /// The [`SolveBudget`] deadline passed before the solve converged.
+    DeadlineExceeded {
+        /// Sweep boundary at which the deadline was observed.
+        sweep: usize,
+    },
+    /// The [`SolveBudget`] cancellation flag was raised by the caller.
+    Cancelled {
+        /// Sweep boundary at which the cancellation was observed.
+        sweep: usize,
+    },
+}
+
+impl Fault {
+    /// Short machine-readable class name (stable; used by the CLI's
+    /// structured error lines).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::NonFiniteGram { .. } => "non-finite-gram",
+            Fault::NegativeDiagonal { .. } => "negative-diagonal",
+            Fault::ConvergenceStall { .. } => "stall",
+            Fault::DeadlineExceeded { .. } => "deadline",
+            Fault::Cancelled { .. } => "cancelled",
+        }
+    }
+
+    /// The 1-based sweep index at which the fault was detected.
+    pub fn sweep(&self) -> usize {
+        match *self {
+            Fault::NonFiniteGram { sweep }
+            | Fault::NegativeDiagonal { sweep, .. }
+            | Fault::ConvergenceStall { sweep, .. }
+            | Fault::DeadlineExceeded { sweep }
+            | Fault::Cancelled { sweep } => sweep,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::NonFiniteGram { sweep } => {
+                write!(f, "non-finite value in the covariance matrix at sweep {sweep}")
+            }
+            Fault::NegativeDiagonal { sweep, index } => {
+                write!(f, "negative diagonal D[{index}][{index}] at sweep {sweep}")
+            }
+            Fault::ConvergenceStall { sweep, stalled_sweeps } => {
+                write!(f, "convergence stalled for {stalled_sweeps} sweeps (at sweep {sweep})")
+            }
+            Fault::DeadlineExceeded { sweep } => {
+                write!(f, "deadline exceeded at sweep boundary {sweep}")
+            }
+            Fault::Cancelled { sweep } => write!(f, "cancelled at sweep boundary {sweep}"),
+        }
+    }
+}
+
+/// Relative tolerance below which a negative diagonal entry counts as
+/// roundoff dust, not a fault. Legitimate dust sits many orders below this
+/// (|D_ii| ≲ n·ε·max|D_kk| ≈ 1e-14·max), while corruption-induced negatives
+/// are O(max) — the gap is wide on both sides.
+const NEGATIVE_DIAG_TOL: f64 = 1e-10;
+
+/// Relative floor below which the off-diagonal norm counts as converged dust
+/// for stall purposes: no stall is ever declared once
+/// `off(D) ≤ floor ≈ 1e-13·n·max|D_kk|`.
+const STALL_OFF_FLOOR: f64 = 1e-13;
+
+/// Minimum relative improvement per sweep that counts as progress for the
+/// stall detector. Healthy Jacobi sweeps reduce `off(D)` by large factors
+/// (quadratically near convergence); anything under 0.1% for several
+/// consecutive sweeps means the iteration is wedged.
+const STALL_MIN_PROGRESS: f64 = 1e-3;
+
+/// The per-sweep `O(n)` health scan run by
+/// [`crate::SolveDriver::run_monitored`].
+///
+/// Checks, in order: non-finite sweep metrics (one NaN/∞ anywhere in `D`
+/// poisons the off-diagonal sums), non-finite or materially negative
+/// diagonal entries, and convergence stalls (`off(D)` not decreasing across
+/// [`HealthCheck::stall_sweeps`] sweeps while still above the dust floor).
+/// The scan iterates the diagonal in place and allocates nothing, preserving
+/// the engines' steady-state zero-allocation invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthCheck {
+    /// Master switch; `false` makes [`HealthCheck::inspect`] a no-op.
+    pub enabled: bool,
+    /// Flag materially negative diagonals. Valid for Gram matrices (PSD by
+    /// construction); must be `false` for the indefinite eigensolver, where
+    /// negative diagonals are legitimate.
+    pub negative_diagonal: bool,
+    /// Consecutive no-progress sweeps before a stall is declared; `0`
+    /// disables stall detection.
+    pub stall_sweeps: usize,
+}
+
+impl Default for HealthCheck {
+    /// Enabled, with negative-diagonal checking and a 6-sweep stall window
+    /// (Jacobi converges quadratically — six flat sweeps is decisively
+    /// wedged, while legitimate solves never produce even two).
+    fn default() -> Self {
+        HealthCheck { enabled: true, negative_diagonal: true, stall_sweeps: 6 }
+    }
+}
+
+impl HealthCheck {
+    /// A disabled check ([`HealthCheck::inspect`] always returns `None`) —
+    /// what [`crate::SolveDriver::run`] uses to stay byte-for-byte faithful
+    /// to the unmonitored pipeline.
+    pub fn disabled() -> Self {
+        HealthCheck { enabled: false, negative_diagonal: false, stall_sweeps: 0 }
+    }
+
+    /// The indefinite-safe variant used by [`crate::eigh`]: negative
+    /// diagonals are expected there, everything else still applies.
+    pub fn indefinite() -> Self {
+        HealthCheck { negative_diagonal: false, ..HealthCheck::default() }
+    }
+
+    /// Inspect the post-sweep state; returns the first fault found.
+    /// `state` carries the stall detector's memory across sweeps of one
+    /// attempt (reset it between attempts).
+    pub(crate) fn inspect(
+        &self,
+        gram: &GramState,
+        rec: &SweepRecord,
+        state: &mut HealthState,
+    ) -> Option<Fault> {
+        if !self.enabled {
+            return None;
+        }
+        // The sweep metrics are sums over every off-diagonal entry: a single
+        // NaN/∞ anywhere poisons them, making this a full-matrix finiteness
+        // probe at zero extra cost.
+        if !rec.off_frobenius.is_finite() || !rec.mean_abs_cov.is_finite() {
+            return Some(Fault::NonFiniteGram { sweep: rec.sweep });
+        }
+        // O(n) diagonal scan, allocation-free.
+        let n = gram.dim();
+        let scan = gram.diagonal_scan();
+        if !scan.finite {
+            return Some(Fault::NonFiniteGram { sweep: rec.sweep });
+        }
+        if self.negative_diagonal && scan.min < -NEGATIVE_DIAG_TOL * scan.max_abs {
+            return Some(Fault::NegativeDiagonal { sweep: rec.sweep, index: scan.argmin });
+        }
+        if self.stall_sweeps > 0 {
+            let floor = STALL_OFF_FLOOR * scan.max_abs * n as f64;
+            if rec.off_frobenius <= floor {
+                // Converged dust region — by definition not a stall.
+                state.stalled = 0;
+            } else if rec.off_frobenius < state.best_off * (1.0 - STALL_MIN_PROGRESS) {
+                state.stalled = 0;
+            } else {
+                state.stalled += 1;
+                if state.stalled >= self.stall_sweeps {
+                    return Some(Fault::ConvergenceStall {
+                        sweep: rec.sweep,
+                        stalled_sweeps: state.stalled,
+                    });
+                }
+            }
+            state.best_off = state.best_off.min(rec.off_frobenius);
+        }
+        None
+    }
+}
+
+/// The stall detector's cross-sweep memory (one per solve attempt).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HealthState {
+    best_off: f64,
+    stalled: usize,
+}
+
+impl HealthState {
+    pub(crate) fn new() -> Self {
+        HealthState { best_off: f64::INFINITY, stalled: 0 }
+    }
+}
+
+/// What the solver does about a detected [`Fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Rebuild the solve from the original input, normalized to a
+    /// power-of-two scale with max-entry exponent 0 — clears any corrupted
+    /// intermediate state and maximizes headroom against over/underflow.
+    RescaleRestart,
+    /// Restart on the [`crate::engine::Sequential`] engine — Algorithm 1's
+    /// literal data flow, the simplest and most conservative execution path.
+    FallBackToSequential,
+    /// Restart with a doubled sweep budget (capped at
+    /// [`crate::convergence::MAX_SWEEP_CAP`]) — for stalls caused by a
+    /// too-tight budget rather than corruption.
+    EscalateBudget,
+    /// Give up: surface [`crate::SvdError::SolveFault`] to the caller.
+    Abort,
+}
+
+/// Everything [`RecoveryPolicy::action_for`] needs to know about the solve's
+/// current attempt when choosing a response.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryContext {
+    /// Engine the faulting attempt ran on.
+    pub engine: EngineKind,
+    /// A rescale-restart has already been tried.
+    pub rescaled: bool,
+    /// A budget escalation has already been tried.
+    pub escalated: bool,
+    /// The sweep budget still has room below the hard cap.
+    pub can_escalate: bool,
+    /// Recovery actions taken so far in this solve.
+    pub recoveries: usize,
+}
+
+/// Maps each detected [`Fault`] to a [`RecoveryAction`] — the recovery
+/// lattice (numeric faults → rescale → sequential fallback → abort; stalls →
+/// budget escalation → sequential fallback → abort; deadline/cancellation →
+/// always abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Allow one rescale-and-restart for numeric faults.
+    pub rescale_restart: bool,
+    /// Allow falling back from the parallel/blocked engines to sequential.
+    pub engine_fallback: bool,
+    /// Allow doubling the sweep budget (once) for stalls.
+    pub escalate_budget: bool,
+    /// Hard cap on total recovery actions per solve; once reached, every
+    /// further fault aborts.
+    pub max_recoveries: usize,
+}
+
+impl Default for RecoveryPolicy {
+    /// Everything enabled, at most 3 recoveries per solve.
+    fn default() -> Self {
+        RecoveryPolicy {
+            rescale_restart: true,
+            engine_fallback: true,
+            escalate_budget: true,
+            max_recoveries: 3,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Fail-fast policy: every fault aborts immediately.
+    pub fn abort_only() -> Self {
+        RecoveryPolicy {
+            rescale_restart: false,
+            engine_fallback: false,
+            escalate_budget: false,
+            max_recoveries: 0,
+        }
+    }
+
+    /// Choose the response to `fault` given the attempt context.
+    pub fn action_for(&self, fault: &Fault, ctx: &RecoveryContext) -> RecoveryAction {
+        if ctx.recoveries >= self.max_recoveries {
+            return RecoveryAction::Abort;
+        }
+        let can_fall_back = self.engine_fallback && ctx.engine != EngineKind::Sequential;
+        match fault {
+            Fault::NonFiniteGram { .. } | Fault::NegativeDiagonal { .. } => {
+                if self.rescale_restart && !ctx.rescaled {
+                    RecoveryAction::RescaleRestart
+                } else if can_fall_back {
+                    RecoveryAction::FallBackToSequential
+                } else {
+                    RecoveryAction::Abort
+                }
+            }
+            Fault::ConvergenceStall { .. } => {
+                if self.escalate_budget && ctx.can_escalate && !ctx.escalated {
+                    RecoveryAction::EscalateBudget
+                } else if can_fall_back {
+                    RecoveryAction::FallBackToSequential
+                } else {
+                    RecoveryAction::Abort
+                }
+            }
+            // Latency faults are contractual: retrying would only blow the
+            // budget further.
+            Fault::DeadlineExceeded { .. } | Fault::Cancelled { .. } => RecoveryAction::Abort,
+        }
+    }
+}
+
+/// Latency bounds for one solve, checked at every sweep boundary by
+/// [`crate::SolveDriver::run_monitored`].
+///
+/// Both limits are optional; the default has neither and never fires. The
+/// cancellation flag is shared (`Arc`), so a batch caller can cancel many
+/// in-flight solves with one store.
+#[derive(Debug, Clone, Default)]
+pub struct SolveBudget {
+    /// Absolute wall-clock deadline; sweeps do not start past it.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag; raised by the caller, observed at
+    /// sweep boundaries.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl SolveBudget {
+    /// No deadline, no cancellation — never fires.
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    /// Budget that expires `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        SolveBudget { deadline: Some(Instant::now() + timeout), cancel: None }
+    }
+
+    /// Budget with an absolute deadline.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        SolveBudget { deadline: Some(deadline), cancel: None }
+    }
+
+    /// Attach a shared cancellation flag (builder-style).
+    pub fn cancelled_by(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True when neither limit is set (the check can be skipped wholesale).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Check both limits at the boundary before sweep `sweep` (1-based).
+    /// Cancellation is reported ahead of the deadline when both hold.
+    pub fn check(&self, sweep: usize) -> Option<Fault> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(Fault::Cancelled { sweep });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Fault::DeadlineExceeded { sweep });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::MAX_SWEEP_CAP;
+    use crate::ordering::round_robin;
+    use crate::sweep::sweep_gram_only;
+    use hj_matrix::{gen, PackedSymmetric};
+
+    fn rec(sweep: usize, off: f64) -> SweepRecord {
+        SweepRecord {
+            sweep,
+            mean_abs_cov: off,
+            off_frobenius: off,
+            max_abs_cov: off,
+            rotations_applied: 1,
+            rotations_skipped: 0,
+        }
+    }
+
+    #[test]
+    fn fault_kind_and_display_are_stable() {
+        let faults = [
+            Fault::NonFiniteGram { sweep: 2 },
+            Fault::NegativeDiagonal { sweep: 3, index: 1 },
+            Fault::ConvergenceStall { sweep: 9, stalled_sweeps: 6 },
+            Fault::DeadlineExceeded { sweep: 4 },
+            Fault::Cancelled { sweep: 5 },
+        ];
+        let kinds = ["non-finite-gram", "negative-diagonal", "stall", "deadline", "cancelled"];
+        for (f, k) in faults.iter().zip(kinds) {
+            assert_eq!(f.kind(), k);
+            assert!(!f.to_string().is_empty());
+        }
+        assert_eq!(faults[0].sweep(), 2);
+        assert_eq!(faults[2].sweep(), 9);
+    }
+
+    #[test]
+    fn healthy_solve_raises_no_fault() {
+        let a = gen::uniform(30, 8, 11);
+        let mut g = GramState::from_matrix(&a);
+        let order = round_robin(8);
+        let hc = HealthCheck::default();
+        let mut st = HealthState::new();
+        for s in 1..=10 {
+            let r = sweep_gram_only(&mut g, &order, s);
+            assert_eq!(hc.inspect(&g, &r, &mut st), None, "false positive at sweep {s}");
+        }
+    }
+
+    #[test]
+    fn nan_in_gram_is_detected_via_sweep_metrics() {
+        let a = gen::uniform(10, 4, 3);
+        let g = GramState::from_matrix(&a);
+        let hc = HealthCheck::default();
+        let mut st = HealthState::new();
+        let bad = rec(1, f64::NAN);
+        assert_eq!(hc.inspect(&g, &bad, &mut st), Some(Fault::NonFiniteGram { sweep: 1 }));
+    }
+
+    #[test]
+    fn nan_diagonal_is_detected_even_with_finite_metrics() {
+        let mut p = PackedSymmetric::zeros(3);
+        p.set(0, 0, 1.0);
+        p.set(1, 1, f64::INFINITY);
+        p.set(2, 2, 1.0);
+        let g = GramState::from_packed(p);
+        let hc = HealthCheck::default();
+        let mut st = HealthState::new();
+        assert_eq!(hc.inspect(&g, &rec(2, 0.5), &mut st), Some(Fault::NonFiniteGram { sweep: 2 }));
+    }
+
+    #[test]
+    fn negative_diagonal_detected_and_dust_tolerated() {
+        let mut p = PackedSymmetric::zeros(3);
+        p.set(0, 0, 4.0);
+        p.set(1, 1, -1e-14); // roundoff dust: fine
+        p.set(2, 2, 1.0);
+        let g = GramState::from_packed(p.clone());
+        let hc = HealthCheck::default();
+        let mut st = HealthState::new();
+        assert_eq!(hc.inspect(&g, &rec(1, 0.1), &mut st), None);
+
+        p.set(1, 1, -1.0); // material negative: fault, with the right index
+        let g = GramState::from_packed(p.clone());
+        assert_eq!(
+            hc.inspect(&g, &rec(1, 0.1), &mut st),
+            Some(Fault::NegativeDiagonal { sweep: 1, index: 1 })
+        );
+
+        // ... but the indefinite profile (eigh) accepts it.
+        let mut st2 = HealthState::new();
+        assert_eq!(HealthCheck::indefinite().inspect(&g, &rec(1, 0.1), &mut st2), None);
+    }
+
+    #[test]
+    fn stall_fires_after_window_and_resets_on_progress() {
+        let a = gen::uniform(10, 4, 5);
+        let g = GramState::from_matrix(&a);
+        let hc = HealthCheck { stall_sweeps: 3, ..HealthCheck::default() };
+        let mut st = HealthState::new();
+        let off = g.trace(); // far above the dust floor
+        assert_eq!(hc.inspect(&g, &rec(1, off), &mut st), None);
+        assert_eq!(hc.inspect(&g, &rec(2, off), &mut st), None); // stalled=1
+        assert_eq!(hc.inspect(&g, &rec(3, off * 0.5), &mut st), None); // progress resets
+        assert_eq!(hc.inspect(&g, &rec(4, off * 0.5), &mut st), None); // stalled=1
+        assert_eq!(hc.inspect(&g, &rec(5, off * 0.5), &mut st), None); // stalled=2
+        assert_eq!(
+            hc.inspect(&g, &rec(6, off * 0.5), &mut st),
+            Some(Fault::ConvergenceStall { sweep: 6, stalled_sweeps: 3 })
+        );
+    }
+
+    #[test]
+    fn stall_never_fires_in_the_dust_region() {
+        let a = gen::uniform(10, 4, 5);
+        let g = GramState::from_matrix(&a);
+        let hc = HealthCheck { stall_sweeps: 2, ..HealthCheck::default() };
+        let mut st = HealthState::new();
+        let dust = 1e-16 * g.trace();
+        for s in 1..=10 {
+            assert_eq!(hc.inspect(&g, &rec(s, dust), &mut st), None);
+        }
+    }
+
+    #[test]
+    fn disabled_check_sees_nothing() {
+        let mut p = PackedSymmetric::zeros(2);
+        p.set(0, 0, f64::NAN);
+        let g = GramState::from_packed(p);
+        let mut st = HealthState::new();
+        assert_eq!(HealthCheck::disabled().inspect(&g, &rec(1, f64::NAN), &mut st), None);
+    }
+
+    #[test]
+    fn policy_lattice_numeric_faults() {
+        let policy = RecoveryPolicy::default();
+        let fault = Fault::NonFiniteGram { sweep: 1 };
+        let mut ctx = RecoveryContext {
+            engine: EngineKind::Parallel,
+            rescaled: false,
+            escalated: false,
+            can_escalate: true,
+            recoveries: 0,
+        };
+        assert_eq!(policy.action_for(&fault, &ctx), RecoveryAction::RescaleRestart);
+        ctx.rescaled = true;
+        ctx.recoveries = 1;
+        assert_eq!(policy.action_for(&fault, &ctx), RecoveryAction::FallBackToSequential);
+        ctx.engine = EngineKind::Sequential;
+        assert_eq!(policy.action_for(&fault, &ctx), RecoveryAction::Abort);
+    }
+
+    #[test]
+    fn policy_lattice_stall() {
+        let policy = RecoveryPolicy::default();
+        let fault = Fault::ConvergenceStall { sweep: 9, stalled_sweeps: 6 };
+        let mut ctx = RecoveryContext {
+            engine: EngineKind::Blocked,
+            rescaled: false,
+            escalated: false,
+            can_escalate: true,
+            recoveries: 0,
+        };
+        assert_eq!(policy.action_for(&fault, &ctx), RecoveryAction::EscalateBudget);
+        ctx.escalated = true;
+        assert_eq!(policy.action_for(&fault, &ctx), RecoveryAction::FallBackToSequential);
+        ctx.engine = EngineKind::Sequential;
+        assert_eq!(policy.action_for(&fault, &ctx), RecoveryAction::Abort);
+        // A budget already at the cap cannot escalate.
+        ctx.engine = EngineKind::Blocked;
+        ctx.escalated = false;
+        ctx.can_escalate = false;
+        assert_eq!(policy.action_for(&fault, &ctx), RecoveryAction::FallBackToSequential);
+    }
+
+    #[test]
+    fn policy_latency_faults_always_abort_and_cap_binds() {
+        let policy = RecoveryPolicy::default();
+        let ctx = RecoveryContext {
+            engine: EngineKind::Parallel,
+            rescaled: false,
+            escalated: false,
+            can_escalate: true,
+            recoveries: 0,
+        };
+        assert_eq!(
+            policy.action_for(&Fault::DeadlineExceeded { sweep: 1 }, &ctx),
+            RecoveryAction::Abort
+        );
+        assert_eq!(policy.action_for(&Fault::Cancelled { sweep: 1 }, &ctx), RecoveryAction::Abort);
+        // max_recoveries exhausted → abort even for recoverable faults.
+        let spent = RecoveryContext { recoveries: policy.max_recoveries, ..ctx };
+        assert_eq!(
+            policy.action_for(&Fault::NonFiniteGram { sweep: 1 }, &spent),
+            RecoveryAction::Abort
+        );
+        assert_eq!(
+            RecoveryPolicy::abort_only().action_for(&Fault::NonFiniteGram { sweep: 1 }, &ctx),
+            RecoveryAction::Abort
+        );
+    }
+
+    #[test]
+    fn budget_unlimited_never_fires() {
+        let b = SolveBudget::unlimited();
+        assert!(b.is_unlimited());
+        for s in 1..=MAX_SWEEP_CAP {
+            assert_eq!(b.check(s), None);
+        }
+    }
+
+    #[test]
+    fn budget_deadline_and_cancel_fire() {
+        let expired = SolveBudget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(expired.check(3), Some(Fault::DeadlineExceeded { sweep: 3 }));
+        let future = SolveBudget::with_timeout(Duration::from_secs(3600));
+        assert!(!future.is_unlimited());
+        assert_eq!(future.check(1), None);
+
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = SolveBudget::unlimited().cancelled_by(Arc::clone(&flag));
+        assert_eq!(b.check(1), None);
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(b.check(2), Some(Fault::Cancelled { sweep: 2 }));
+        // Cancellation wins over an expired deadline.
+        let both = SolveBudget::with_deadline(Instant::now() - Duration::from_millis(1))
+            .cancelled_by(flag);
+        assert_eq!(both.check(1), Some(Fault::Cancelled { sweep: 1 }));
+    }
+}

@@ -8,11 +8,13 @@
 
 use crate::convergence::{Convergence, SweepRecord, MAX_SWEEP_CAP};
 use crate::engine::{
-    Blocked, EngineKind, PairGuard, RotationTarget, Sequential, SolveDriver, SweepState,
+    Blocked, EngineKind, MonitoredRun, PairGuard, RotationTarget, Sequential, SolveDriver,
+    SolveMonitor, SweepState,
 };
 use crate::gram::GramState;
-use crate::ordering::{build_sweep, Ordering, Sweep};
+use crate::ordering::{build_sweep, Ordering};
 use crate::parallel::{Parallel, SweepWorkspace};
+use crate::recovery::{HealthCheck, RecoveryAction, RecoveryContext, RecoveryPolicy, SolveBudget};
 use crate::stats::SolveStats;
 use crate::SvdError;
 use hj_matrix::{ops, Matrix};
@@ -24,6 +26,95 @@ use hj_matrix::{ops, Matrix};
 /// spectrum parks O(1) fractions of the mass there — `1e-12` separates the
 /// two regimes by orders of magnitude on both sides.
 const WIDE_TAIL_TOL: f64 = 1e-12;
+
+/// Guarded-numerics safe window: inputs whose largest-entry binary exponent
+/// `e` satisfies `|e| ≤ SAFE_EXP` are solved as-is, so ordinary inputs
+/// compute the exact same bits as before the guard existed. Outside the
+/// window, the input is pre-multiplied by the power of two `2^-e` — an
+/// exact operation, exactly undone on the singular values at output.
+///
+/// The bound is set by the *fourth* power of the input scale, not the
+/// second: Gram entries are squares of the input (`2^2e`), and the
+/// off-diagonal Frobenius accumulation squares those again (`2^4e`), so
+/// `4·e` plus dimension headroom must stay under the f64 exponent limit of
+/// 1024. `e = 250` (inputs up to ~1e75) leaves two decades of margin.
+const SAFE_EXP: i32 = 250;
+
+/// Above this magnitude the scale factor `2^k` itself leaves the normal
+/// range, so the scaling is applied in two exact half-steps.
+const EXP2_STEP_LIMIT: i32 = 900;
+
+/// The injector slot threaded through the guarded solve. Without the
+/// `fault-injection` feature the alias degenerates to an uninhabited option,
+/// so the production call sites pass `None` and the whole hook folds away.
+#[cfg(feature = "fault-injection")]
+type InjectorSlot<'a> = Option<&'a mut dyn crate::inject::FaultInjector>;
+#[cfg(not(feature = "fault-injection"))]
+type InjectorSlot<'a> = Option<std::convert::Infallible>;
+
+/// Binary exponent of `max_abs` (0 for zero or non-finite input).
+fn max_exponent(max_abs: f64) -> i32 {
+    if max_abs > 0.0 && max_abs.is_finite() {
+        max_abs.log2().floor() as i32
+    } else {
+        0
+    }
+}
+
+/// Pre-scaling exponent for an input whose largest entry has binary
+/// exponent `e`: 0 inside the safe window (bit-preserving fast path),
+/// `-e` outside it (normalizing the largest entry to `[1, 2)`).
+fn prescale_exponent(max_abs: f64) -> i32 {
+    let e = max_exponent(max_abs);
+    if e.abs() <= SAFE_EXP {
+        0
+    } else {
+        -e
+    }
+}
+
+/// Unconditional normalizing exponent (the rescale-and-restart recovery
+/// action): always bring the largest entry to `[1, 2)` for maximum headroom.
+fn forced_exponent(max_abs: f64) -> i32 {
+    -max_exponent(max_abs)
+}
+
+/// Multiply every entry by `2^k`, exactly (split into two half-steps when
+/// `2^k` itself would be subnormal or infinite).
+fn apply_exp2(m: &mut Matrix, k: i32) {
+    if k == 0 {
+        return;
+    }
+    if k.abs() > EXP2_STEP_LIMIT {
+        let half = k / 2;
+        m.scale_in_place(2.0f64.powi(half));
+        m.scale_in_place(2.0f64.powi(k - half));
+    } else {
+        m.scale_in_place(2.0f64.powi(k));
+    }
+}
+
+/// Undo the pre-scaling on computed singular values: `σ ← σ·2^-k` (two
+/// exact half-steps when needed, mirroring [`apply_exp2`]).
+fn unscale_values(values: &mut [f64], k: i32) {
+    if k == 0 {
+        return;
+    }
+    let mut steps = [0i32; 2];
+    if k.abs() > EXP2_STEP_LIMIT {
+        steps = [-(k / 2), -(k - k / 2)];
+    } else {
+        steps[0] = -k;
+    }
+    for s in steps {
+        if s != 0 {
+            let f = 2.0f64.powi(s);
+            for v in values.iter_mut() {
+                *v *= f;
+            }
+        }
+    }
+}
 
 /// Configuration for a Hestenes-Jacobi decomposition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,17 +234,47 @@ pub struct SingularValues {
 #[derive(Debug, Clone, Default)]
 pub struct HestenesSvd {
     options: SvdOptions,
+    budget: SolveBudget,
+    policy: RecoveryPolicy,
+    health: HealthCheck,
 }
 
 impl HestenesSvd {
-    /// Create a solver with the given options.
+    /// Create a solver with the given options, an unlimited
+    /// [`SolveBudget`], and the default [`RecoveryPolicy`] / [`HealthCheck`].
     pub fn new(options: SvdOptions) -> Self {
-        HestenesSvd { options }
+        HestenesSvd {
+            options,
+            budget: SolveBudget::unlimited(),
+            policy: RecoveryPolicy::default(),
+            health: HealthCheck::default(),
+        }
     }
 
     /// The active options.
     pub fn options(&self) -> &SvdOptions {
         &self.options
+    }
+
+    /// Bound worst-case latency: the budget's deadline/cancellation flag is
+    /// checked at every sweep boundary of every solve this solver runs.
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replace the recovery policy (e.g. [`RecoveryPolicy::abort_only`] to
+    /// fail fast instead of self-healing).
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the per-sweep health check (e.g. [`HealthCheck::disabled`]
+    /// to run the unguarded PR-2 pipeline).
+    pub fn with_health_check(mut self, health: HealthCheck) -> Self {
+        self.health = health;
+        self
     }
 
     fn validate(&self, a: &Matrix) -> Result<(), SvdError> {
@@ -204,14 +325,148 @@ impl HestenesSvd {
         ws: &mut SweepWorkspace,
     ) -> Result<SingularValues, SvdError> {
         self.validate(a)?;
+        let solved = self.solve_guarded(a, ws, false, None)?;
+        self.finish_values(a, solved)
+    }
+
+    /// [`Self::singular_values`] with a fault injector attached (robustness
+    /// test harness only — the method does not exist in production builds).
+    #[cfg(feature = "fault-injection")]
+    pub fn singular_values_injected(
+        &self,
+        a: &Matrix,
+        ws: &mut SweepWorkspace,
+        injector: &mut dyn crate::inject::FaultInjector,
+    ) -> Result<SingularValues, SvdError> {
+        self.validate(a)?;
+        let solved = self.solve_guarded(a, ws, false, Some(injector))?;
+        self.finish_values(a, solved)
+    }
+
+    /// Run the guarded solve loop: pre-scale out-of-window inputs, run the
+    /// monitored driver on the configured engine, and — when the monitor
+    /// detects a [`crate::recovery::Fault`] — apply the recovery policy
+    /// (rescale-and-restart / engine fallback / budget escalation) until the
+    /// solve succeeds or the policy aborts.
+    ///
+    /// Every restart rebuilds `D` (and `B`, `V` in full mode) from the
+    /// pristine input `a`, so no corrupted intermediate state survives a
+    /// recovery. The final stats carry the last attempt's counters plus the
+    /// cumulative `faults`/`recoveries`/`prescale_exp` accounting.
+    #[cfg_attr(not(feature = "fault-injection"), allow(unused_variables))]
+    fn solve_guarded(
+        &self,
+        a: &Matrix,
+        ws: &mut SweepWorkspace,
+        full: bool,
+        injector: InjectorSlot<'_>,
+    ) -> Result<GuardedSolve, SvdError> {
         let n = a.cols();
-        let mut gram = GramState::from_matrix(a);
         let order = build_sweep(self.options.ordering, n);
-        let (history, stats) = self.run_sweeps(&mut gram, RotationTarget::gram_only(), &order, ws);
+        // One monitor serves every attempt (run_monitored resets its own
+        // per-attempt detector state); the injector moves in once and keeps
+        // its one-shot bookkeeping across restarts.
+        let mut monitor = SolveMonitor::new(self.budget.clone(), self.health);
+        #[cfg(feature = "fault-injection")]
+        {
+            monitor.injector = injector;
+        }
+        let max_abs = a.max_abs();
+        let mut exp = prescale_exponent(max_abs);
+        let mut engine = self.options.engine;
+        let mut max_sweeps = self.options.max_sweeps.min(MAX_SWEEP_CAP);
+        let mut rescaled = exp != 0;
+        let mut escalated = false;
+        let mut recoveries = 0usize;
+        let mut total_faults = 0usize;
+        let mut cumulative_sweeps = 0usize;
+        loop {
+            // Build this attempt's working state from the pristine input.
+            let (mut gram, mut b, mut v) = if full {
+                let mut b = a.clone();
+                apply_exp2(&mut b, exp);
+                let gram = GramState::from_matrix(&b);
+                (gram, Some(b), Some(Matrix::identity(n)))
+            } else if exp == 0 {
+                // Values-only fast path: D is built straight off the caller's
+                // matrix, no clone.
+                (GramState::from_matrix(a), None, None)
+            } else {
+                let mut scaled = a.clone();
+                apply_exp2(&mut scaled, exp);
+                (GramState::from_matrix(&scaled), None, None)
+            };
+            let driver = SolveDriver { convergence: self.options.convergence, max_sweeps };
+            let target = match (b.as_mut(), v.as_mut()) {
+                (Some(b), Some(v)) => RotationTarget::full(b, v),
+                _ => RotationTarget::gram_only(),
+            };
+            let mut state = SweepState { gram: &mut gram, target, guard: PairGuard::default() };
+            let run: MonitoredRun = match engine {
+                EngineKind::Sequential => {
+                    driver.run_monitored(&mut Sequential, &mut state, &order, &mut monitor)
+                }
+                EngineKind::Parallel => {
+                    driver.run_monitored(&mut Parallel::new(ws), &mut state, &order, &mut monitor)
+                }
+                EngineKind::Blocked => {
+                    driver.run_monitored(&mut Blocked::new(ws), &mut state, &order, &mut monitor)
+                }
+            };
+            cumulative_sweeps += run.stats.sweeps;
+            total_faults += run.stats.faults;
+            let Some(fault) = run.fault else {
+                let mut stats = run.stats;
+                stats.faults = total_faults;
+                stats.recoveries = recoveries;
+                stats.prescale_exp = exp;
+                return Ok(GuardedSolve {
+                    gram,
+                    b,
+                    v,
+                    history: run.history,
+                    stats,
+                    scale_exp: exp,
+                });
+            };
+            let ctx = RecoveryContext {
+                engine,
+                rescaled,
+                escalated,
+                can_escalate: max_sweeps < MAX_SWEEP_CAP,
+                recoveries,
+            };
+            match self.policy.action_for(&fault, &ctx) {
+                RecoveryAction::Abort => {
+                    return Err(SvdError::SolveFault {
+                        fault,
+                        sweeps_completed: cumulative_sweeps,
+                        recoveries,
+                    });
+                }
+                RecoveryAction::RescaleRestart => {
+                    exp = forced_exponent(max_abs);
+                    rescaled = true;
+                }
+                RecoveryAction::FallBackToSequential => engine = EngineKind::Sequential,
+                RecoveryAction::EscalateBudget => {
+                    max_sweeps = (max_sweeps * 2).min(MAX_SWEEP_CAP);
+                    escalated = true;
+                }
+            }
+            recoveries += 1;
+        }
+    }
+
+    /// Extract sorted singular values from a finished guarded solve (the
+    /// wide-matrix tail check runs on the scaled spectrum — the ratio it
+    /// tests is invariant under the uniform pre-scaling).
+    fn finish_values(&self, a: &Matrix, solved: GuardedSolve) -> Result<SingularValues, SvdError> {
+        let GuardedSolve { gram, history, stats, scale_exp, .. } = solved;
         let sweeps = history.len();
         let mut values = gram.singular_values_unsorted();
         values.sort_by(|x, y| y.partial_cmp(x).expect("finite values"));
-        let k = a.rows().min(n);
+        let k = a.rows().min(a.cols());
         if k < values.len() {
             // Wide matrix: the Gram spectrum has n entries but rank(A) ≤ m,
             // so the discarded n − m values must be numerically zero. If the
@@ -224,28 +479,8 @@ impl HestenesSvd {
             }
         }
         values.truncate(k);
+        unscale_values(&mut values, scale_exp);
         Ok(SingularValues { values, sweeps, history, stats })
-    }
-
-    /// Run all sweeps for one solve through the unified [`SolveDriver`] on
-    /// the configured engine — the only place an engine is selected.
-    fn run_sweeps(
-        &self,
-        gram: &mut GramState,
-        target: RotationTarget<'_>,
-        order: &Sweep,
-        ws: &mut SweepWorkspace,
-    ) -> (Vec<SweepRecord>, SolveStats) {
-        let driver = SolveDriver {
-            convergence: self.options.convergence,
-            max_sweeps: self.options.max_sweeps,
-        };
-        let mut state = SweepState { gram, target, guard: PairGuard::default() };
-        match self.options.engine {
-            EngineKind::Sequential => driver.run(&mut Sequential, &mut state, order),
-            EngineKind::Parallel => driver.run(&mut Parallel::new(ws), &mut state, order),
-            EngineKind::Blocked => driver.run(&mut Blocked::new(ws), &mut state, order),
-        }
     }
 
     /// Compute the full thin SVD `A = U Σ Vᵀ`.
@@ -268,14 +503,34 @@ impl HestenesSvd {
         ws: &mut SweepWorkspace,
     ) -> Result<Svd, SvdError> {
         self.validate(a)?;
+        let solved = self.solve_guarded(a, ws, true, None)?;
+        self.finish_decompose(a, solved)
+    }
+
+    /// [`Self::decompose`] with a fault injector attached (robustness test
+    /// harness only — the method does not exist in production builds).
+    #[cfg(feature = "fault-injection")]
+    pub fn decompose_injected(
+        &self,
+        a: &Matrix,
+        ws: &mut SweepWorkspace,
+        injector: &mut dyn crate::inject::FaultInjector,
+    ) -> Result<Svd, SvdError> {
+        self.validate(a)?;
+        let solved = self.solve_guarded(a, ws, true, Some(injector))?;
+        self.finish_decompose(a, solved)
+    }
+
+    /// Extract `U`, `Σ`, `V` from a finished full-mode guarded solve. The
+    /// factors are computed on the scaled system — `U` and `V` are invariant
+    /// under the uniform pre-scaling (the scale cancels in `U = B·Σ⁻¹`), so
+    /// only `Σ` is unscaled at the end.
+    fn finish_decompose(&self, a: &Matrix, solved: GuardedSolve) -> Result<Svd, SvdError> {
+        let GuardedSolve { b, v, history, stats, scale_exp, .. } = solved;
+        let b = b.expect("full-mode solve maintains B");
+        let v = v.expect("full-mode solve accumulates V");
         let (m, n) = a.shape();
         let k = m.min(n);
-        let mut b = a.clone();
-        let mut gram = GramState::from_matrix(&b);
-        let mut v = Matrix::identity(n);
-        let order = build_sweep(self.options.ordering, n);
-        let (history, stats) =
-            self.run_sweeps(&mut gram, RotationTarget::full(&mut b, &mut v), &order, ws);
         let sweeps = history.len();
 
         // Σ from the Gram diagonal; recompute from the actual rotated columns
@@ -305,8 +560,22 @@ impl HestenesSvd {
             }
             v_sorted.col_mut(t).copy_from_slice(v.col(c));
         }
+        unscale_values(&mut sigma, scale_exp);
         Ok(Svd { u, singular_values: sigma, v: v_sorted, sweeps, history, stats })
     }
+}
+
+/// A finished guarded solve, before factor extraction: the converged `D`,
+/// the rotated columns `B` and accumulated `V` (full mode only), the last
+/// attempt's history/stats, and the pre-scaling exponent still baked into
+/// the spectrum.
+struct GuardedSolve {
+    gram: GramState,
+    b: Option<Matrix>,
+    v: Option<Matrix>,
+    history: Vec<SweepRecord>,
+    stats: SolveStats,
+    scale_exp: i32,
 }
 
 #[cfg(test)]
@@ -560,6 +829,106 @@ mod tests {
         // Tall inputs never truncate, so a single sweep still returns Ok.
         let tall = gen::uniform(20, 6, 5);
         assert!(HestenesSvd::new(opts).singular_values(&tall).is_ok());
+    }
+
+    #[test]
+    fn finite_input_with_overflowing_gram_solves_via_prescaling() {
+        // Entries ~1e160 are finite, but squaring them (the Gram build)
+        // overflows f64 — the exact hole the guarded-numerics pass closes.
+        // σ(c·A) = c·σ(A) for c > 0, so the guarded solve of the huge matrix
+        // must match the plain solve of the ordinary one, rescaled.
+        let base = gen::uniform(20, 6, 41);
+        let huge = base.scaled(1e160);
+        assert!(huge.as_slice().iter().all(|v| v.is_finite()), "input itself is finite");
+        let solver = HestenesSvd::new(SvdOptions::default());
+        let clean = solver.decompose(&base).unwrap();
+
+        for engine in [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked] {
+            let solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
+            let svd = solver.decompose(&huge).unwrap();
+            assert_ne!(svd.stats.prescale_exp, 0, "{engine:?}: guard must have engaged");
+            assert_eq!(svd.stats.faults, 0);
+            assert!(svd.singular_values.iter().all(|s| s.is_finite()));
+            assert!(svd.u.as_slice().iter().all(|v| v.is_finite()));
+            for (got, want) in svd.singular_values.iter().zip(&clean.singular_values) {
+                let scaled = want * 1e160;
+                assert!(
+                    (got - scaled).abs() <= 1e-10 * clean.singular_values[0] * 1e160,
+                    "{engine:?}: σ {got:e} vs expected {scaled:e}"
+                );
+            }
+            let sv = solver.singular_values(&huge).unwrap();
+            assert_ne!(sv.stats.prescale_exp, 0);
+            for (x, y) in sv.values.iter().zip(&svd.singular_values) {
+                assert!((x - y).abs() <= 1e-10 * svd.singular_values[0], "{x:e} vs {y:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_input_with_underflowing_gram_solves_via_prescaling() {
+        // Entries ~1e-170: every Gram entry (~1e-340) underflows to zero
+        // without the guard, silently reporting an all-zero spectrum.
+        let base = gen::uniform(15, 5, 42);
+        let tiny = base.scaled(1e-170);
+        let clean = HestenesSvd::new(SvdOptions::default()).decompose(&base).unwrap();
+        let svd = HestenesSvd::new(SvdOptions::default()).decompose(&tiny).unwrap();
+        assert_ne!(svd.stats.prescale_exp, 0);
+        assert!(svd.singular_values[0] > 0.0, "spectrum must not underflow to zero");
+        for (got, want) in svd.singular_values.iter().zip(&clean.singular_values) {
+            let scaled = want * 1e-170;
+            assert!(
+                (got - scaled).abs() <= 1e-10 * clean.singular_values[0] * 1e-170,
+                "σ {got:e} vs expected {scaled:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn prescaling_is_inactive_inside_the_safe_window() {
+        // Ordinary inputs (anything within ±250 binary orders, ~1e±75) take
+        // the bit-preserving fast path: no scaling, prescale_exp = 0.
+        for scale in [1.0, 1e-70, 1e70] {
+            let a = gen::uniform(12, 4, 9).scaled(scale);
+            let svd = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+            assert_eq!(svd.stats.prescale_exp, 0, "scale {scale:e}");
+            assert_eq!(svd.stats.faults, 0);
+            assert_eq!(svd.stats.recoveries, 0);
+        }
+    }
+
+    #[test]
+    fn expired_budget_surfaces_a_structured_solve_fault() {
+        use crate::recovery::Fault;
+        use std::time::{Duration, Instant};
+        let a = gen::uniform(20, 8, 17);
+        let solver = HestenesSvd::new(SvdOptions::default())
+            .with_budget(SolveBudget::with_deadline(Instant::now() - Duration::from_millis(1)));
+        match solver.decompose(&a) {
+            Err(SvdError::SolveFault { fault, sweeps_completed, recoveries }) => {
+                assert_eq!(fault, Fault::DeadlineExceeded { sweep: 1 });
+                assert_eq!(sweeps_completed, 0);
+                assert_eq!(recoveries, 0);
+            }
+            other => panic!("expected SolveFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_flag_stops_the_solve() {
+        use crate::recovery::Fault;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let a = gen::uniform(20, 8, 18);
+        let flag = Arc::new(AtomicBool::new(true)); // pre-cancelled
+        let solver = HestenesSvd::new(SvdOptions::default())
+            .with_budget(SolveBudget::unlimited().cancelled_by(flag));
+        match solver.singular_values(&a) {
+            Err(SvdError::SolveFault { fault, .. }) => {
+                assert_eq!(fault, Fault::Cancelled { sweep: 1 });
+            }
+            other => panic!("expected SolveFault, got {other:?}"),
+        }
     }
 
     #[test]

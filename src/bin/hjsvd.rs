@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
+//!           [--engine seq|par|blocked] [--timeout-ms T]
 //! hjsvd pca <data.csv> --components K [--out PREFIX]
 //! hjsvd eigh <symmetric.csv>
 //! hjsvd simulate --rows M --cols N [--sweeps S]
@@ -11,27 +12,75 @@
 //!
 //! Matrices are headerless CSV (one row per line, `#` comments allowed).
 //! Argument parsing is hand-rolled — the workspace takes no CLI dependency.
+//!
+//! Every failure exits with a *distinct* nonzero code and a single
+//! machine-greppable stderr line `error[<kind>]: <message>`:
+//!
+//! | code | kind            | cause                                         |
+//! |------|-----------------|-----------------------------------------------|
+//! | 2    | `usage`         | bad arguments / unknown command               |
+//! | 3    | `io`            | file read/write failure                       |
+//! | 4    | `bad-input`     | empty or non-finite input matrix              |
+//! | 5    | `bad-config`    | inconsistent solver configuration             |
+//! | 6    | `not-converged` | iteration budget exhausted before convergence |
+//! | 7    | `solve-fault`   | health check aborted the solve                |
+//! | 8    | `timeout`       | `--timeout-ms` deadline exceeded              |
+//! | 9    | `cancelled`     | solve cancelled via its cancellation flag     |
 
 use hjsvd::arch::{resource_usage, ArchConfig, HestenesJacobiArch};
-use hjsvd::core::{eigh, EngineKind, HestenesSvd, Pca, SvdOptions};
+use hjsvd::core::{eigh, EngineKind, HestenesSvd, Pca, SolveBudget, SvdError, SvdOptions};
 use hjsvd::fpsim::resources::ChipCapacity;
 use hjsvd::matrix::{gen, io, norms, Matrix};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// A CLI failure: one stable kind string, one exit code, one message line.
+#[derive(Debug)]
+struct CliError {
+    code: u8,
+    kind: &'static str,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError { code: 2, kind: "usage", message: message.into() }
+    }
+
+    fn io(message: impl Into<String>) -> CliError {
+        CliError { code: 3, kind: "io", message: message.into() }
+    }
+}
+
+impl From<SvdError> for CliError {
+    fn from(e: SvdError) -> CliError {
+        let (code, kind) = match &e {
+            SvdError::EmptyInput | SvdError::NonFiniteInput => (4, "bad-input"),
+            SvdError::EngineNeedsRoundRobin | SvdError::ZeroSweepBudget => (5, "bad-config"),
+            SvdError::TruncatedTailNotNegligible => (6, "not-converged"),
+            SvdError::SolveFault { fault, .. } => match fault.kind() {
+                "deadline" => (8, "timeout"),
+                "cancelled" => (9, "cancelled"),
+                _ => (7, "solve-fault"),
+            },
+        };
+        CliError { code, kind, message: e.to_string() }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("run `hjsvd help` for usage");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error[{}]: {}", e.kind, e.message);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let mut parsed = ParsedArgs::parse(args)?;
+fn run(args: &[String]) -> Result<(), CliError> {
+    let mut parsed = ParsedArgs::parse(args).map_err(CliError::usage)?;
     match parsed.command.as_str() {
         "svd" => cmd_svd(&mut parsed),
         "pca" => cmd_pca(&mut parsed),
@@ -43,7 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
             print_help();
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(CliError::usage(format!("unknown command '{other}'"))),
     }
 }
 
@@ -53,13 +102,14 @@ fn print_help() {
 
 USAGE:
   hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
-            [--engine seq|par|blocked]
+            [--engine seq|par|blocked] [--timeout-ms T]
       Decompose a CSV matrix. Prints singular values; with --out, writes
       PREFIX_u.csv / PREFIX_s.csv / PREFIX_v.csv. --rank truncates.
       --stats writes the solve's SolveStats record as JSON (PATH of '-'
       prints it to stdout). --engine picks the sweep engine: seq
       (Algorithm 1, default), par (rayon round-synchronous), or blocked
-      (cache-tiled groups).
+      (cache-tiled groups). --timeout-ms bounds wall-clock time: the solve
+      aborts at the next sweep boundary past the deadline (exit code 8).
   hjsvd pca <data.csv> --components K [--out PREFIX]
       PCA (rows = observations). Prints explained variance; with --out,
       writes PREFIX_scores.csv and PREFIX_components.csv.
@@ -136,42 +186,47 @@ impl ParsedArgs {
     }
 }
 
-fn load(path: &str) -> Result<Matrix, String> {
-    io::load_csv(path).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<Matrix, CliError> {
+    io::load_csv(path).map_err(|e| CliError::io(format!("{path}: {e}")))
 }
 
-fn save(m: &Matrix, path: &str) -> Result<(), String> {
-    io::save_csv(m, path).map_err(|e| format!("{path}: {e}"))
+fn save(m: &Matrix, path: &str) -> Result<(), CliError> {
+    io::save_csv(m, path).map_err(|e| CliError::io(format!("{path}: {e}")))
 }
 
 /// Write a solve's JSON stats to `path` (`-` = stdout).
-fn emit_stats(stats: &hjsvd::core::SolveStats, path: &str) -> Result<(), String> {
+fn emit_stats(stats: &hjsvd::core::SolveStats, path: &str) -> Result<(), CliError> {
     let json = stats.to_json();
     if path == "-" {
         println!("{json}");
         Ok(())
     } else {
-        std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))
+        std::fs::write(path, json + "\n").map_err(|e| CliError::io(format!("{path}: {e}")))
     }
 }
 
 /// Parse the `--engine` option into an [`EngineKind`] (default: sequential).
-fn engine_option(p: &ParsedArgs) -> Result<EngineKind, String> {
+fn engine_option(p: &ParsedArgs) -> Result<EngineKind, CliError> {
     match p.opt("engine") {
         None => Ok(EngineKind::default()),
-        Some(v) => EngineKind::parse(v)
-            .ok_or_else(|| format!("--engine: unknown engine '{v}' (choose seq, par, or blocked)")),
+        Some(v) => EngineKind::parse(v).ok_or_else(|| {
+            CliError::usage(format!("--engine: unknown engine '{v}' (choose seq, par, or blocked)"))
+        }),
     }
 }
 
-fn cmd_svd(p: &mut ParsedArgs) -> Result<(), String> {
-    let path = p.positional(0, "input matrix path")?.to_string();
+fn cmd_svd(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let path = p.positional(0, "input matrix path").map_err(CliError::usage)?.to_string();
     let a = load(&path)?;
     let engine = engine_option(p)?;
-    let solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
+    let timeout_ms: Option<u64> = p.opt_parse("timeout-ms").map_err(CliError::usage)?;
+    let mut solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
+    if let Some(ms) = timeout_ms {
+        solver = solver.with_budget(SolveBudget::with_timeout(Duration::from_millis(ms)));
+    }
     let stats_path = p.opt("stats").map(str::to_string);
     if p.flag("values-only") {
-        let sv = solver.singular_values(&a).map_err(|e| e.to_string())?;
+        let sv = solver.singular_values(&a)?;
         println!("# {} singular values ({} sweeps)", sv.values.len(), sv.sweeps);
         for v in &sv.values {
             println!("{v}");
@@ -181,11 +236,11 @@ fn cmd_svd(p: &mut ParsedArgs) -> Result<(), String> {
         }
         return Ok(());
     }
-    let svd = solver.decompose(&a).map_err(|e| e.to_string())?;
+    let svd = solver.decompose(&a)?;
     if let Some(sp) = stats_path {
         emit_stats(&svd.stats, &sp)?;
     }
-    let rank: Option<usize> = p.opt_parse("rank")?;
+    let rank: Option<usize> = p.opt_parse("rank").map_err(CliError::usage)?;
     let k = rank.unwrap_or(svd.singular_values.len()).min(svd.singular_values.len());
     println!(
         "# {}x{} matrix, {} sweeps, reconstruction error {:.3e}",
@@ -210,11 +265,11 @@ fn cmd_svd(p: &mut ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_pca(p: &mut ParsedArgs) -> Result<(), String> {
-    let path = p.positional(0, "input data path")?.to_string();
-    let k: usize = p.required("components")?;
+fn cmd_pca(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let path = p.positional(0, "input data path").map_err(CliError::usage)?.to_string();
+    let k: usize = p.required("components").map_err(CliError::usage)?;
     let data = load(&path)?;
-    let pca = Pca::fit_default(&data, k).map_err(|e| e.to_string())?;
+    let pca = Pca::fit_default(&data, k)?;
     println!("# component, explained variance, ratio");
     for (i, (ev, r)) in
         pca.explained_variance().iter().zip(pca.explained_variance_ratio()).enumerate()
@@ -230,10 +285,10 @@ fn cmd_pca(p: &mut ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eigh(p: &mut ParsedArgs) -> Result<(), String> {
-    let path = p.positional(0, "input matrix path")?.to_string();
+fn cmd_eigh(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let path = p.positional(0, "input matrix path").map_err(CliError::usage)?.to_string();
     let s = load(&path)?;
-    let e = eigh::eigh_dense(&s, 1e-14).map_err(|e| e.to_string())?;
+    let e = eigh::eigh_dense(&s, 1e-14)?;
     println!("# {} eigenvalues ({} sweeps)", e.eigenvalues.len(), e.sweeps);
     for v in &e.eigenvalues {
         println!("{v}");
@@ -241,10 +296,10 @@ fn cmd_eigh(p: &mut ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(p: &mut ParsedArgs) -> Result<(), String> {
-    let m: usize = p.required("rows")?;
-    let n: usize = p.required("cols")?;
-    let sweeps: Option<usize> = p.opt_parse("sweeps")?;
+fn cmd_simulate(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let m: usize = p.required("rows").map_err(CliError::usage)?;
+    let n: usize = p.required("cols").map_err(CliError::usage)?;
+    let sweeps: Option<usize> = p.opt_parse("sweeps").map_err(CliError::usage)?;
     let mut cfg = ArchConfig::paper();
     if let Some(s) = sweeps {
         cfg.sweeps = s;
@@ -268,7 +323,7 @@ fn cmd_simulate(p: &mut ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_resources(_p: &ParsedArgs) -> Result<(), String> {
+fn cmd_resources(_p: &ParsedArgs) -> Result<(), CliError> {
     let cfg = ArchConfig::paper();
     let usage = resource_usage(&cfg);
     let chip = ChipCapacity::XC5VLX330;
@@ -281,12 +336,12 @@ fn cmd_resources(_p: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(p: &mut ParsedArgs) -> Result<(), String> {
-    let m: usize = p.required("rows")?;
-    let n: usize = p.required("cols")?;
-    let out = p.positional(0, "output path")?.to_string();
-    let seed: u64 = p.opt_parse("seed")?.unwrap_or(42);
-    let cond: Option<f64> = p.opt_parse("cond")?;
+fn cmd_generate(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let m: usize = p.required("rows").map_err(CliError::usage)?;
+    let n: usize = p.required("cols").map_err(CliError::usage)?;
+    let out = p.positional(0, "output path").map_err(CliError::usage)?.to_string();
+    let seed: u64 = p.opt_parse("seed").map_err(CliError::usage)?.unwrap_or(42);
+    let cond: Option<f64> = p.opt_parse("cond").map_err(CliError::usage)?;
     let a = match cond {
         Some(c) => gen::with_condition_number(m, n, c, seed),
         None => gen::uniform(m, n, seed),
@@ -386,7 +441,36 @@ mod tests {
         run(&args(&["svd", &mp, "--values-only", "--engine", "blocked"])).unwrap();
         run(&args(&["svd", &mp, "--engine", "sequential"])).unwrap();
         let err = run(&args(&["svd", &mp, "--engine", "warp"])).unwrap_err();
-        assert!(err.contains("choose seq, par, or blocked"), "{err}");
+        assert!(err.message.contains("choose seq, par, or blocked"), "{}", err.message);
+        assert_eq!((err.code, err.kind), (2, "usage"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_paths_map_to_distinct_exit_codes() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_codes");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mp = dir.join("m.csv").to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "10", "--cols", "4", &mp, "--seed", "11"])).unwrap();
+
+        // usage: unknown command.
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        // io: nonexistent input file.
+        let e = run(&args(&["svd", "/nonexistent/m.csv"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (3, "io"));
+        // bad-input: NaN entry in the matrix.
+        let bad = dir.join("bad.csv").to_str().unwrap().to_string();
+        std::fs::write(&bad, "1.0,2.0\nNaN,4.0\n").unwrap();
+        let e = run(&args(&["svd", &bad])).unwrap_err();
+        assert_eq!((e.code, e.kind), (4, "bad-input"));
+        // timeout: an already-expired deadline aborts before sweep one.
+        let e = run(&args(&["svd", &mp, "--timeout-ms", "0"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (8, "timeout"));
+        assert!(e.message.contains("deadline"), "{}", e.message);
+        // A generous timeout solves normally.
+        run(&args(&["svd", &mp, "--timeout-ms", "60000"])).unwrap();
+        run(&args(&["svd", &mp, "--values-only", "--timeout-ms", "60000"])).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

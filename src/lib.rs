@@ -42,6 +42,9 @@ pub use hj_matrix as matrix;
 /// `use hjsvd::prelude::*;`
 pub mod prelude {
     pub use hj_arch::{ArchConfig, HestenesJacobiArch};
-    pub use hj_core::{Convergence, HestenesSvd, Ordering, Pca, Svd, SvdOptions};
+    pub use hj_core::{
+        Convergence, HestenesSvd, Ordering, Pca, RecoveryPolicy, SolveBudget, Svd, SvdError,
+        SvdOptions,
+    };
     pub use hj_matrix::{gen, norms, Matrix, PackedSymmetric};
 }

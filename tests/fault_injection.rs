@@ -1,0 +1,240 @@
+//! Fault-injection campaign (requires `--features fault-injection`).
+//!
+//! Drives the public solver API with a deterministic [`SeededInjector`]
+//! corrupting the solve mid-flight, and proves the ISSUE-3 contract: every
+//! fault class is detected by the health check within one sweep of firing,
+//! and each solve either *recovers* (spectrum within `1e-10 · σ_max` of the
+//! clean solve) or is *rejected* with the matching structured
+//! [`SvdError::SolveFault`] — never a silently wrong answer.
+#![cfg(feature = "fault-injection")]
+
+use hjsvd::core::{
+    Corruption, EngineKind, Fault, HestenesSvd, RecoveryPolicy, SeededInjector, SolveBudget,
+    SvdError, SvdOptions, SweepWorkspace,
+};
+use hjsvd::matrix::{gen, norms};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn solver(engine: EngineKind) -> HestenesSvd {
+    HestenesSvd::new(SvdOptions { engine, ..Default::default() })
+}
+
+/// Recovered spectra must match the clean solve to `1e-10 · σ_max`.
+fn assert_spectrum_close(got: &[f64], clean: &[f64]) {
+    assert_eq!(got.len(), clean.len());
+    let smax = clean[0].max(1e-300);
+    for (k, (g, c)) in got.iter().zip(clean).enumerate() {
+        assert!((g - c).abs() <= 1e-10 * smax, "σ[{k}] = {g} vs clean {c}");
+    }
+}
+
+#[test]
+fn transient_nan_gram_entry_is_recovered_on_every_engine() {
+    let a = gen::uniform(24, 8, 42);
+    for engine in [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked] {
+        let s = solver(engine);
+        let clean = s.singular_values(&a).unwrap();
+        let mut ws = SweepWorkspace::new();
+        let mut inj = SeededInjector::new(7)
+            .at_sweep(2, Corruption::GramEntry { i: 1, j: 4, value: f64::NAN });
+        let sv = s
+            .singular_values_injected(&a, &mut ws, &mut inj)
+            .unwrap_or_else(|e| panic!("{engine:?}: transient NaN must be recovered, got {e}"));
+        assert_eq!(inj.fired().len(), 1, "{engine:?}: corruption fired once");
+        assert_eq!(sv.stats.faults, 1, "{engine:?}: one fault observed");
+        assert!(sv.stats.recoveries >= 1, "{engine:?}: at least one recovery");
+        assert!(sv.values.iter().all(|v| v.is_finite()));
+        assert_spectrum_close(&sv.values, &clean.values);
+    }
+}
+
+#[test]
+fn transient_negative_diagonal_is_recovered() {
+    let a = gen::uniform(20, 6, 11);
+    let s = solver(EngineKind::Sequential);
+    let clean = s.decompose(&a).unwrap();
+    let mut ws = SweepWorkspace::new();
+    // A corrupted norm update: a squared column norm goes hard negative.
+    let mut inj =
+        SeededInjector::new(3).at_sweep(1, Corruption::GramEntry { i: 3, j: 3, value: -5.0 });
+    let svd = s.decompose_injected(&a, &mut ws, &mut inj).expect("transient fault must heal");
+    assert!(svd.stats.recoveries >= 1);
+    assert_spectrum_close(&svd.singular_values, &clean.singular_values);
+    assert!(svd.u.as_slice().iter().all(|v| v.is_finite()));
+    assert!(svd.v.as_slice().iter().all(|v| v.is_finite()));
+    assert!(norms::reconstruction_error(&a, &svd.u, &svd.singular_values, &svd.v) < 1e-9);
+}
+
+#[test]
+fn persistent_nan_aborts_with_non_finite_gram_fault() {
+    let a = gen::uniform(18, 6, 5);
+    let s = solver(EngineKind::Sequential);
+    let mut ws = SweepWorkspace::new();
+    let mut inj = SeededInjector::new(9)
+        .at_sweep(1, Corruption::GramEntry { i: 0, j: 2, value: f64::INFINITY })
+        .persistent();
+    let err = s.singular_values_injected(&a, &mut ws, &mut inj).unwrap_err();
+    match err {
+        SvdError::SolveFault { fault: Fault::NonFiniteGram { sweep }, recoveries, .. } => {
+            // Detected within one sweep of firing, on the original attempt
+            // and again on the recovery attempt before giving up.
+            assert_eq!(sweep, 1, "detected in the sweep the corruption fired");
+            assert_eq!(recoveries, 1, "rescale-restart was tried before aborting");
+        }
+        other => panic!("expected NonFiniteGram SolveFault, got {other:?}"),
+    }
+    assert!(inj.fired().len() >= 2, "the hard fault re-fired on the recovery attempt");
+}
+
+#[test]
+fn persistent_fault_walks_the_full_recovery_chain_on_parallel_engines() {
+    // Parallel engine + hard fault: rescale-restart, then sequential
+    // fallback, then abort — two recoveries attempted, loud error.
+    let a = gen::uniform(18, 6, 13);
+    for engine in [EngineKind::Parallel, EngineKind::Blocked] {
+        let s = solver(engine);
+        let mut ws = SweepWorkspace::new();
+        let mut inj = SeededInjector::new(21)
+            .at_sweep(1, Corruption::GramEntry { i: 2, j: 2, value: f64::NAN })
+            .persistent();
+        let err = s.singular_values_injected(&a, &mut ws, &mut inj).unwrap_err();
+        match err {
+            SvdError::SolveFault { fault: Fault::NonFiniteGram { .. }, recoveries, .. } => {
+                assert_eq!(recoveries, 2, "{engine:?}: rescale then engine fallback");
+            }
+            other => panic!("{engine:?}: expected NonFiniteGram, got {other:?}"),
+        }
+        assert_eq!(inj.fired().len(), 3, "{engine:?}: fired once per attempt");
+    }
+}
+
+#[test]
+fn persistent_bogus_rotation_never_returns_a_silent_answer() {
+    // A broken rotation kernel (cos² + sin² = 2) re-corrupts the Gram state
+    // before every sweep. Whatever path the policy takes, the one forbidden
+    // outcome is Ok with a spectrum that disagrees with the clean solve.
+    let a = gen::uniform(20, 6, 17);
+    let s = solver(EngineKind::Sequential);
+    let clean = s.singular_values(&a).unwrap();
+    let mut ws = SweepWorkspace::new();
+    let mut inj = SeededInjector::new(31)
+        .at_sweep(1, Corruption::BogusRotation { i: 1, j: 3, cos: 1.0, sin: 1.0 })
+        .persistent();
+    match s.singular_values_injected(&a, &mut ws, &mut inj) {
+        Err(SvdError::SolveFault { fault, .. }) => {
+            assert!(
+                matches!(
+                    fault,
+                    Fault::ConvergenceStall { .. }
+                        | Fault::NonFiniteGram { .. }
+                        // cos = sin = 1 makes d_j' = d_i + d_j − 2·cov, which
+                        // goes negative whenever the pair is strongly
+                        // correlated — the diagonal check fires first.
+                        | Fault::NegativeDiagonal { .. }
+                ),
+                "unexpected fault class: {fault:?}"
+            );
+        }
+        Err(other) => panic!("expected a SolveFault, got {other:?}"),
+        Ok(sv) => assert_spectrum_close(&sv.values, &clean.values),
+    }
+    assert!(!inj.fired().is_empty());
+}
+
+#[test]
+fn slow_sweeps_trip_the_deadline() {
+    let a = gen::uniform(30, 10, 23);
+    let s = solver(EngineKind::Sequential)
+        .with_budget(SolveBudget::with_timeout(Duration::from_millis(20)));
+    let mut ws = SweepWorkspace::new();
+    let mut inj = SeededInjector::new(1).at_sweep(1, Corruption::Delay { millis: 60 }).persistent();
+    let err = s.singular_values_injected(&a, &mut ws, &mut inj).unwrap_err();
+    match err {
+        SvdError::SolveFault { fault: Fault::DeadlineExceeded { sweep }, recoveries, .. } => {
+            assert!(sweep >= 2, "the first sweep ran before the deadline fired");
+            assert_eq!(recoveries, 0, "deadline faults are never retried");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancellation_flag_aborts_between_sweeps() {
+    let a = gen::uniform(16, 5, 29);
+    let flag = Arc::new(AtomicBool::new(true));
+    let s = solver(EngineKind::Sequential)
+        .with_budget(SolveBudget::unlimited().cancelled_by(flag.clone()));
+    let err = s.singular_values(&a).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SvdError::SolveFault { fault: Fault::Cancelled { sweep: 1 }, recoveries: 0, .. }
+        ),
+        "pre-set flag stops before the first sweep: {err:?}"
+    );
+    // Clearing the flag lets the same solver run to completion.
+    flag.store(false, Ordering::Relaxed);
+    assert!(s.singular_values(&a).is_ok());
+}
+
+#[test]
+fn abort_only_policy_rejects_even_transient_faults() {
+    let a = gen::uniform(14, 5, 37);
+    let s = solver(EngineKind::Sequential).with_recovery_policy(RecoveryPolicy::abort_only());
+    let mut ws = SweepWorkspace::new();
+    let mut inj =
+        SeededInjector::new(2).at_sweep(1, Corruption::GramEntry { i: 0, j: 0, value: -1.0 });
+    let err = s.singular_values_injected(&a, &mut ws, &mut inj).unwrap_err();
+    match err {
+        SvdError::SolveFault {
+            fault: Fault::NegativeDiagonal { sweep: 1, index: 0 },
+            recoveries: 0,
+            ..
+        } => {}
+        other => panic!("expected NegativeDiagonal at sweep 1, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulted_solve_does_not_poison_its_workspace() {
+    // A workspace that carried an aborted solve must compute the same bits
+    // as a fresh one on the next (clean) solve — per-slot isolation for the
+    // batch API's pooled workspaces.
+    let a = gen::uniform(22, 7, 41);
+    for engine in [EngineKind::Parallel, EngineKind::Blocked] {
+        let s = solver(engine).with_recovery_policy(RecoveryPolicy::abort_only());
+        let mut ws = SweepWorkspace::new();
+        let mut inj = SeededInjector::new(6)
+            .at_sweep(1, Corruption::GramEntry { i: 1, j: 1, value: f64::NAN })
+            .persistent();
+        assert!(s.decompose_injected(&a, &mut ws, &mut inj).is_err());
+
+        let clean = solver(engine);
+        let reused = clean.decompose_with_workspace(&a, &mut ws).unwrap();
+        let fresh = clean.decompose_with_workspace(&a, &mut SweepWorkspace::new()).unwrap();
+        assert_eq!(reused.singular_values, fresh.singular_values, "{engine:?} σ");
+        assert_eq!(reused.u.as_slice(), fresh.u.as_slice(), "{engine:?} U");
+        assert_eq!(reused.v.as_slice(), fresh.v.as_slice(), "{engine:?} V");
+    }
+}
+
+#[test]
+fn injected_run_with_no_planned_corruptions_matches_clean_run_bitwise() {
+    // The monitoring/injection plumbing itself must not perturb results.
+    let a = gen::uniform(20, 6, 53);
+    for engine in [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked] {
+        let s = solver(engine);
+        let clean = s.decompose(&a).unwrap();
+        let mut ws = SweepWorkspace::new();
+        let mut inj = SeededInjector::new(1);
+        let injected = s.decompose_injected(&a, &mut ws, &mut inj).unwrap();
+        assert!(inj.fired().is_empty());
+        assert_eq!(injected.singular_values, clean.singular_values, "{engine:?}");
+        assert_eq!(injected.u.as_slice(), clean.u.as_slice(), "{engine:?}");
+        assert_eq!(injected.v.as_slice(), clean.v.as_slice(), "{engine:?}");
+        assert_eq!(injected.stats.faults, 0);
+        assert_eq!(injected.stats.recoveries, 0);
+    }
+}
