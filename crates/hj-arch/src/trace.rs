@@ -37,16 +37,24 @@ pub enum Component {
     Fifo,
 }
 
-impl std::fmt::Display for Component {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl Component {
+    /// Stable lowercase name, as it appears in rendered timelines and in the
+    /// `component` field of emitted [`hj_core::TraceEvent::PipelineStage`]
+    /// events.
+    pub fn name(self) -> &'static str {
+        match self {
             Component::GramStore => "gram-store",
             Component::RotationUnit => "rotation",
             Component::AngleStore => "angle-store",
             Component::UpdateOperator => "update",
             Component::Fifo => "fifo",
-        };
-        write!(f, "{s}")
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
     }
 }
 
@@ -136,6 +144,21 @@ impl GroupTrace {
         out
     }
 
+    /// Replay the timeline into an `hj-core` [`hj_core::TraceSink`] as
+    /// [`hj_core::TraceEvent::PipelineStage`] events — the bridge that puts
+    /// simulator timelines and software solve traces on one stream (and one
+    /// JSONL schema), so a run of the `hjsvd` CLI and a run of the
+    /// architecture model can be diffed stage by stage.
+    pub fn emit(&self, sink: &mut dyn hj_core::TraceSink) {
+        for e in &self.events {
+            sink.record(&hj_core::TraceEvent::PipelineStage {
+                cycle: e.cycle,
+                component: e.component.name(),
+                what: e.what.clone(),
+            });
+        }
+    }
+
     /// True when the update drain, not rotation issue, bounds the sweep's
     /// steady state — the §V-C "performance is dominated by the amount of
     /// updates" regime. (The one-time rotation-latency fill is excluded:
@@ -197,6 +220,33 @@ mod tests {
         let slow = trace_group(&cfg, 8, 256, 4).completion_cycle;
         let fast = trace_group(&cfg, 8, 256, 16).completion_cycle;
         assert!(fast < slow);
+    }
+
+    #[test]
+    fn emit_bridges_every_event_into_a_core_sink() {
+        let cfg = ArchConfig::paper();
+        let t = trace_group(&cfg, 4, 64, 8);
+        let mut sink = hj_core::RingBufferSink::new(64);
+        t.emit(&mut sink);
+        assert_eq!(sink.events().len(), t.events.len());
+        for (arch, core) in t.events.iter().zip(sink.events()) {
+            match core {
+                hj_core::TraceEvent::PipelineStage { cycle, component, what } => {
+                    assert_eq!(cycle, arch.cycle);
+                    assert_eq!(component, arch.component.name());
+                    assert_eq!(what, arch.what);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // The JSONL form round-trips the component names Display uses.
+        let mut jsonl = hj_core::JsonlSink::new(Vec::new());
+        t.emit(&mut jsonl);
+        let bytes = jsonl.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), t.events.len());
+        assert!(text.contains("\"event\":\"pipeline_stage\""));
+        assert!(text.contains("\"component\":\"rotation\""));
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Reproducible per-sweep benchmark: replay square problems across all
+//! three sweep engines with the trace layer on, cross-check the trace
+//! against [`hj_core::SolveStats`], and emit a machine-readable
+//! `BENCH_sweep.json` report.
+//!
+//! For each `n ∈ {32, 64, 128, 256}` and each engine (sequential, parallel,
+//! blocked) the values-only solver runs once with a sweep-level
+//! [`hj_core::RingBufferSink`] attached. The binary then verifies, run by
+//! run, that the trace's `sweep_end` events agree with the solve's own
+//! accounting — same sweep count, same per-sweep rotation totals as the
+//! [`hj_core::SweepRecord`] history, same grand total as
+//! `SolveStats.rotations_applied` — and aborts with a nonzero exit if any
+//! run disagrees. The summary table, a per-sweep breakdown at `n = 128`,
+//! and the JSON report (schema `hjsvd-sweep-report/v1`, one entry per run
+//! with the full embedded `SolveStats` record) document the result; see
+//! EXPERIMENTS.md for the schema and regeneration instructions.
+//!
+//! Run: `cargo run --release -p hj-bench --bin sweep_report`
+
+use hj_bench::{fmt_secs, print_table};
+use hj_core::{EngineKind, HestenesSvd, RingBufferSink, SvdOptions, TraceEvent, TraceLevel};
+use hj_matrix::gen;
+
+const SIZES: [usize; 4] = [32, 64, 128, 256];
+const ENGINES: [EngineKind; 3] =
+    [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked];
+const SEED: u64 = 42;
+const BREAKDOWN_N: usize = 128;
+
+/// Per-sweep numbers reconstructed from one run's `sweep_end` trace events.
+struct SweepLine {
+    sweep: usize,
+    applied: usize,
+    skipped: usize,
+    off_frobenius: f64,
+    seconds: f64,
+}
+
+/// One (n, engine) run: the solve's own record plus the trace's view of it.
+struct Run {
+    n: usize,
+    engine: &'static str,
+    sweeps: usize,
+    trace_events: usize,
+    per_sweep: Vec<SweepLine>,
+    stats_json: String,
+    total_seconds: f64,
+    rotations_applied: u64,
+}
+
+fn main() {
+    let mut runs = Vec::new();
+    let mut failures = 0usize;
+
+    for &n in &SIZES {
+        let a = gen::uniform(n, n, SEED);
+        for &engine in &ENGINES {
+            let solver = HestenesSvd::new(SvdOptions {
+                engine,
+                trace: TraceLevel::Sweep,
+                ..SvdOptions::default()
+            });
+            // Sweep level emits 3 events per sweep (start, end, convergence
+            // check) plus recoveries; 4096 slots hold any realistic solve.
+            let mut sink = RingBufferSink::new(4096);
+            let sv = match solver.singular_values_traced(&a, &mut sink) {
+                Ok(sv) => sv,
+                Err(e) => {
+                    eprintln!("FAIL n={n} engine={}: {e}", engine.name());
+                    failures += 1;
+                    continue;
+                }
+            };
+
+            let per_sweep: Vec<SweepLine> = sink
+                .events()
+                .into_iter()
+                .filter_map(|e| match e {
+                    TraceEvent::SweepEnd {
+                        sweep,
+                        rotations_applied,
+                        rotations_skipped,
+                        off_frobenius,
+                        seconds,
+                    } => Some(SweepLine {
+                        sweep,
+                        applied: rotations_applied,
+                        skipped: rotations_skipped,
+                        off_frobenius,
+                        seconds,
+                    }),
+                    _ => None,
+                })
+                .collect();
+
+            // Cross-check: the trace and the solve must tell the same story.
+            let trace_total: u64 = per_sweep.iter().map(|s| s.applied as u64).sum();
+            if per_sweep.len() != sv.sweeps {
+                eprintln!(
+                    "FAIL n={n} engine={}: {} sweep_end events for {} sweeps",
+                    engine.name(),
+                    per_sweep.len(),
+                    sv.sweeps
+                );
+                failures += 1;
+            }
+            if trace_total != sv.stats.rotations_applied as u64 {
+                eprintln!(
+                    "FAIL n={n} engine={}: trace counts {} rotations, stats say {}",
+                    engine.name(),
+                    trace_total,
+                    sv.stats.rotations_applied
+                );
+                failures += 1;
+            }
+            for (line, rec) in per_sweep.iter().zip(&sv.history) {
+                if line.sweep != rec.sweep
+                    || line.applied != rec.rotations_applied
+                    || line.skipped != rec.rotations_skipped
+                {
+                    eprintln!(
+                        "FAIL n={n} engine={}: sweep {} trace ({}/{}) != history ({}/{})",
+                        engine.name(),
+                        rec.sweep,
+                        line.applied,
+                        line.skipped,
+                        rec.rotations_applied,
+                        rec.rotations_skipped
+                    );
+                    failures += 1;
+                }
+            }
+
+            runs.push(Run {
+                n,
+                engine: engine.name(),
+                sweeps: sv.sweeps,
+                trace_events: sink.recorded(),
+                per_sweep,
+                stats_json: sv.stats.to_json(),
+                total_seconds: sv.stats.total_seconds,
+                rotations_applied: sv.stats.rotations_applied as u64,
+            });
+        }
+    }
+
+    println!("sweep_report: engines × sizes with sweep-level tracing on (seed {SEED})\n");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.engine.to_string(),
+                r.sweeps.to_string(),
+                r.rotations_applied.to_string(),
+                r.trace_events.to_string(),
+                fmt_secs(r.total_seconds),
+            ]
+        })
+        .collect();
+    print_table(&["n", "engine", "sweeps", "rotations", "trace events", "total"], &rows);
+
+    println!("\nper-sweep breakdown at n = {BREAKDOWN_N} (from sweep_end trace events):");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .filter(|r| r.n == BREAKDOWN_N)
+        .flat_map(|r| {
+            r.per_sweep.iter().map(|s| {
+                vec![
+                    r.engine.to_string(),
+                    s.sweep.to_string(),
+                    s.applied.to_string(),
+                    s.skipped.to_string(),
+                    format!("{:.3e}", s.off_frobenius),
+                    fmt_secs(s.seconds),
+                ]
+            })
+        })
+        .collect();
+    print_table(&["engine", "sweep", "applied", "skipped", "off-frobenius", "time"], &rows);
+
+    let path = "BENCH_sweep.json";
+    match std::fs::write(path, report_json(&runs, failures)) {
+        Ok(()) => println!("\nreport: {path}"),
+        Err(e) => {
+            eprintln!("FAIL writing {path}: {e}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} cross-check failure(s): trace and stats disagree");
+        std::process::exit(1);
+    }
+    println!("all trace/stats cross-checks passed ({} runs)", runs.len());
+}
+
+/// Render the whole report as one JSON document (schema
+/// `hjsvd-sweep-report/v1`). Hand-rolled like the rest of the workspace's
+/// JSON — no serde dependency.
+fn report_json(runs: &[Run], failures: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"hjsvd-sweep-report/v1\",");
+    out.push_str(&format!("\"seed\":{SEED},\"cross_check_failures\":{failures},\"runs\":["));
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"n\":{},\"engine\":\"{}\",\"sweeps\":{},\"trace_events\":{},\"per_sweep\":[",
+            r.n, r.engine, r.sweeps, r.trace_events
+        ));
+        for (j, s) in r.per_sweep.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"sweep\":{},\"rotations_applied\":{},\"rotations_skipped\":{},\
+                 \"off_frobenius\":{:?},\"seconds\":{:?}}}",
+                s.sweep, s.applied, s.skipped, s.off_frobenius, s.seconds
+            ));
+        }
+        out.push_str("],\"stats\":");
+        out.push_str(&r.stats_json);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}

@@ -36,6 +36,7 @@ use crate::recovery::{Fault, HealthCheck, HealthState, SolveBudget};
 use crate::rotation::{pair_converged, textbook_params};
 use crate::stats::SolveStats;
 use crate::sweep::{finish_record, PAIR_TOL};
+use crate::trace::{SkipReason, TraceEvent, TraceLevel, TraceSink, Tracer};
 use hj_matrix::Matrix;
 use std::time::Instant;
 
@@ -136,6 +137,16 @@ impl ReadyGuard {
             cov.abs() <= self.tol * self.scale
         }
     }
+
+    /// The [`SkipReason`] this guard reports for skipped pairs.
+    #[inline]
+    pub(crate) fn reason(&self) -> SkipReason {
+        if self.relative {
+            SkipReason::RelativeGuard
+        } else {
+            SkipReason::DiagonalScaleGuard
+        }
+    }
 }
 
 /// What a sweep rotates besides the maintained covariance matrix `D` —
@@ -194,8 +205,24 @@ pub trait SweepEngine {
     fn name(&self) -> &'static str;
 
     /// Run sweep number `idx` (1-based, label only) over `state` in the
-    /// given pair order.
-    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord;
+    /// given pair order, emitting [`TraceEvent`]s through `tracer` at
+    /// whatever granularity its level admits. With a disabled tracer this
+    /// must be bit-identical to an untraced sweep (the emission sites cost
+    /// one branch each).
+    fn sweep_traced(
+        &mut self,
+        state: &mut SweepState<'_>,
+        order: &Sweep,
+        idx: usize,
+        tracer: &mut Tracer<'_, '_>,
+    ) -> SweepRecord;
+
+    /// Run sweep number `idx` (1-based, label only) over `state` in the
+    /// given pair order, without tracing. Provided: delegates to
+    /// [`SweepEngine::sweep_traced`] with a disabled tracer.
+    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord {
+        self.sweep_traced(state, order, idx, &mut Tracer::disabled())
+    }
 
     /// Fold engine-level counters (workspace allocations, Gram traffic,
     /// dispatch counts, thread count) into `stats` once the solve's sweep
@@ -220,7 +247,13 @@ impl SweepEngine for Sequential {
         "sequential"
     }
 
-    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord {
+    fn sweep_traced(
+        &mut self,
+        state: &mut SweepState<'_>,
+        order: &Sweep,
+        idx: usize,
+        tracer: &mut Tracer<'_, '_>,
+    ) -> SweepRecord {
         let guard = state.guard.ready(state.gram);
         let mut applied = 0usize;
         let mut skipped = 0usize;
@@ -229,6 +262,14 @@ impl SweepEngine for Sequential {
                 (state.gram.norm_sq(i), state.gram.norm_sq(j), state.gram.covariance(i, j));
             if guard.skip(ni, nj, cov) {
                 skipped += 1;
+                if tracer.rotation_enabled() {
+                    tracer.emit(TraceEvent::RotationSkipped {
+                        sweep: idx,
+                        i,
+                        j,
+                        reason: guard.reason(),
+                    });
+                }
                 continue;
             }
             let rot = textbook_params(ni, nj, cov);
@@ -240,12 +281,18 @@ impl SweepEngine for Sequential {
                 vm.column_pair(i, j).expect("sweep pairs are valid").rotate(rot.cos, rot.sin);
             }
             applied += 1;
+            if tracer.rotation_enabled() {
+                tracer.emit(TraceEvent::RotationApplied { sweep: idx, i, j });
+            }
         }
         finish_record(state.gram, idx, applied, skipped)
     }
 
     fn finish(&mut self, stats: &mut SolveStats, n: usize) {
         stats.gram_bytes = stats.rotations_applied as u64 * seq_rotation_gram_bytes(n);
+        // An in-place O(n) rotation reads and rewrites the two logical
+        // columns (rows/cols i and j) of the packed triangle.
+        stats.gram_col_touches = 2 * stats.rotations_applied as u64;
         stats.threads = 1;
     }
 }
@@ -279,6 +326,8 @@ pub struct Blocked<'ws> {
     tile_bytes: usize,
     allocations0: usize,
     gram_bytes0: u64,
+    tile_refills: u64,
+    col_touches: u64,
 }
 
 impl<'ws> Blocked<'ws> {
@@ -295,7 +344,7 @@ impl<'ws> Blocked<'ws> {
     pub fn with_tile_bytes(ws: &'ws mut SweepWorkspace, tile_bytes: usize) -> Blocked<'ws> {
         let allocations0 = ws.allocations();
         let gram_bytes0 = ws.gram_bytes();
-        Blocked { ws, tile_bytes, allocations0, gram_bytes0 }
+        Blocked { ws, tile_bytes, allocations0, gram_bytes0, tile_refills: 0, col_touches: 0 }
     }
 
     /// Pairs per group such that the staged `2g` columns (`2g·n` doubles)
@@ -310,7 +359,13 @@ impl SweepEngine for Blocked<'_> {
         "blocked"
     }
 
-    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord {
+    fn sweep_traced(
+        &mut self,
+        state: &mut SweepState<'_>,
+        order: &Sweep,
+        idx: usize,
+        tracer: &mut Tracer<'_, '_>,
+    ) -> SweepRecord {
         let n = state.gram.dim();
         let guard = state.guard.ready(state.gram);
         let g = self.group_pairs(n);
@@ -318,14 +373,27 @@ impl SweepEngine for Blocked<'_> {
         self.ws.prepare_tile(2 * g.min(n / 2 + 1), n);
         let mut applied = 0usize;
         let mut skipped = 0usize;
+        let mut group_idx = 0usize;
         for round in order.rounds() {
             for group in round.chunks(g) {
-                let (a, s) = plan_round(state.gram, group, &guard, self.ws);
+                let (a, s) = plan_round(state.gram, group, &guard, idx, tracer, self.ws);
                 applied += a;
                 skipped += s;
+                if tracer.group_enabled() {
+                    tracer.emit(TraceEvent::PairGroupDispatched {
+                        sweep: idx,
+                        round: group_idx,
+                        pairs: group.len(),
+                        applied: a,
+                        skipped: s,
+                    });
+                }
+                group_idx += 1;
                 if a == 0 {
                     continue;
                 }
+                self.tile_refills += 1;
+                self.col_touches += 2 * a as u64;
                 apply_group_tiled(state.gram, self.ws);
                 // Column data and V are rotated pairwise in place — the
                 // columns are disjoint within a group, and the per-pair
@@ -350,6 +418,8 @@ impl SweepEngine for Blocked<'_> {
     fn finish(&mut self, stats: &mut SolveStats, _n: usize) {
         stats.workspace_allocations = self.ws.allocations().saturating_sub(self.allocations0);
         stats.gram_bytes = self.ws.gram_bytes().saturating_sub(self.gram_bytes0);
+        stats.gram_col_touches = self.col_touches;
+        stats.tile_refills = self.tile_refills;
         stats.threads = 1;
     }
 }
@@ -440,6 +510,11 @@ pub struct SolveMonitor<'a> {
     /// Per-sweep `O(n)` scan of `D` for non-finite values, negative
     /// diagonals, and convergence stalls.
     pub health: HealthCheck,
+    /// Trace sink receiving [`TraceEvent`]s from the run; `None` disables
+    /// tracing entirely (the untraced pipeline, bit for bit).
+    pub trace: Option<&'a mut dyn TraceSink>,
+    /// Event granularity when a sink is attached (ignored otherwise).
+    pub trace_level: TraceLevel,
     /// Test-only corruption hook, called around every sweep. Absent from
     /// production builds — the field itself compiles out without the
     /// `fault-injection` feature.
@@ -454,21 +529,32 @@ impl std::fmt::Debug for SolveMonitor<'_> {
         f.debug_struct("SolveMonitor")
             .field("budget", &self.budget)
             .field("health", &self.health)
+            .field("trace_level", &self.trace_level)
             .finish_non_exhaustive()
     }
 }
 
 impl<'a> SolveMonitor<'a> {
-    /// Monitor with the given budget and health check, no injector.
+    /// Monitor with the given budget and health check, no trace sink, no
+    /// injector.
     pub fn new(budget: SolveBudget, health: HealthCheck) -> SolveMonitor<'a> {
         SolveMonitor {
             budget,
             health,
+            trace: None,
+            trace_level: TraceLevel::Off,
             #[cfg(feature = "fault-injection")]
             injector: None,
             #[cfg(not(feature = "fault-injection"))]
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Attach a trace sink emitting events up to `level`.
+    pub fn with_trace(mut self, sink: &'a mut dyn TraceSink, level: TraceLevel) -> Self {
+        self.trace = Some(sink);
+        self.trace_level = level;
+        self
     }
 
     /// The do-nothing monitor [`SolveDriver::run`] uses: unlimited budget,
@@ -531,6 +617,8 @@ impl SolveDriver {
         let mut health_state = HealthState::new();
         let mut fault = None;
         let cap = self.max_sweeps.min(MAX_SWEEP_CAP);
+        let trace_level = monitor.trace_level;
+        let mut tracer = Tracer::attach(monitor.trace.as_deref_mut(), trace_level);
         for s in 1..=cap {
             if let Some(f) = monitor.budget.check(s) {
                 fault = Some(f);
@@ -540,19 +628,41 @@ impl SolveDriver {
             if let Some(inj) = monitor.injector.as_deref_mut() {
                 inj.before_sweep(s, state.gram);
             }
+            if tracer.sweep_enabled() {
+                tracer.emit(TraceEvent::SweepStart { sweep: s, engine: engine.name() });
+            }
             let t0 = Instant::now();
-            let rec = engine.sweep(state, order, s);
+            let rec = engine.sweep_traced(state, order, s, &mut tracer);
             #[cfg(feature = "fault-injection")]
             if let Some(inj) = monitor.injector.as_deref_mut() {
                 inj.after_sweep(s, state.gram);
             }
-            stats.record_sweep(t0.elapsed().as_secs_f64(), &rec);
+            let seconds = t0.elapsed().as_secs_f64();
+            stats.record_sweep(seconds, &rec);
+            if tracer.sweep_enabled() {
+                tracer.emit(TraceEvent::SweepEnd {
+                    sweep: s,
+                    rotations_applied: rec.rotations_applied,
+                    rotations_skipped: rec.rotations_skipped,
+                    off_frobenius: rec.off_frobenius,
+                    seconds,
+                });
+            }
             history.push(rec);
             if let Some(f) = monitor.health.inspect(state.gram, &rec, &mut health_state) {
                 fault = Some(f);
                 break;
             }
-            if is_converged(&self.convergence, &rec, state.gram.trace(), n) {
+            let converged = is_converged(&self.convergence, &rec, state.gram.trace(), n);
+            if tracer.sweep_enabled() {
+                tracer.emit(TraceEvent::ConvergenceCheck {
+                    sweep: s,
+                    max_abs_cov: rec.max_abs_cov,
+                    off_frobenius: rec.off_frobenius,
+                    converged,
+                });
+            }
+            if converged {
                 break;
             }
         }
@@ -699,7 +809,8 @@ mod tests {
         let guard = PairGuard::default().ready(&g);
         for round in order.rounds() {
             for group in round.chunks(2) {
-                let (applied, _) = plan_round(&g, group, &guard, &mut ws);
+                let (applied, _) =
+                    plan_round(&g, group, &guard, 1, &mut Tracer::disabled(), &mut ws);
                 if applied == 0 {
                     continue;
                 }

@@ -32,6 +32,10 @@
 //!   a shared [`batch::WorkspacePool`] of warm scratch.
 //! * [`stats`] — [`SolveStats`] observability record (timings, rotation
 //!   counts, allocation events, Gram traffic) attached to every solve.
+//! * [`trace`] — structured solve tracing: the [`trace::TraceSink`]
+//!   contract, typed [`trace::TraceEvent`]s for every sweep / pair group /
+//!   rotation / recovery decision, and the no-op, ring-buffer, and JSONL
+//!   sinks. Zero cost when disabled.
 //! * [`convergence`] — stopping rules and per-sweep instrumentation
 //!   (the paper's Figs. 10–11 metric).
 //! * [`recovery`] — the fault-tolerance layer: [`recovery::Fault`]
@@ -39,7 +43,7 @@
 //!   [`recovery::RecoveryPolicy`] lattice (rescale / engine fallback /
 //!   budget escalation / abort), and [`recovery::SolveBudget`]
 //!   deadline/cancellation.
-//! * [`inject`] *(feature `fault-injection` only)* — deterministic
+//! * `inject` *(feature `fault-injection` only)* — deterministic
 //!   fault-injection harness used by the robustness test campaign; compiles
 //!   out of production builds entirely.
 //! * [`svd`] — user-facing drivers: [`HestenesSvd::singular_values`]
@@ -62,7 +66,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod convergence;
@@ -81,6 +85,7 @@ pub mod rotation;
 pub mod stats;
 pub mod svd;
 pub mod sweep;
+pub mod trace;
 
 pub use batch::WorkspacePool;
 pub use convergence::{Convergence, SweepRecord};
@@ -99,3 +104,6 @@ pub use recovery::{Fault, HealthCheck, RecoveryAction, RecoveryPolicy, SolveBudg
 pub use rotation::{hardware_params, textbook_params, Rotation};
 pub use stats::SolveStats;
 pub use svd::{HestenesSvd, SingularValues, Svd, SvdOptions};
+pub use trace::{
+    JsonlSink, NoopSink, RingBufferSink, SkipReason, TraceEvent, TraceLevel, TraceSink, Tracer,
+};

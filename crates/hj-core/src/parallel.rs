@@ -47,6 +47,7 @@ use crate::ordering::Sweep;
 use crate::rotation::{textbook_params, Rotation};
 use crate::stats::SolveStats;
 use crate::sweep::finish_record;
+use crate::trace::{TraceEvent, Tracer};
 use hj_matrix::{Matrix, PackedSymmetric};
 
 /// Per-column rotation role within a round: `new_col_p = alpha·col_p + beta·col_partner`.
@@ -215,12 +216,16 @@ impl SweepWorkspace {
 }
 
 /// Compute the rotation set for one round (or pair group) from the current
-/// `D` snapshot into the workspace's role/pair/rotation scratch. Returns
+/// `D` snapshot into the workspace's role/pair/rotation scratch, emitting
+/// per-pair trace events (the planning loop is serial, so emission here is
+/// race-free even though application is parallel). Returns
 /// `(applied, skipped)`.
 pub(crate) fn plan_round(
     gram: &GramState,
     round: &[(usize, usize)],
     guard: &ReadyGuard,
+    sweep: usize,
+    tracer: &mut Tracer<'_, '_>,
     ws: &mut SweepWorkspace,
 ) -> (usize, usize) {
     let n = gram.dim();
@@ -235,6 +240,9 @@ pub(crate) fn plan_round(
         let (ni, nj, cov) = (gram.norm_sq(i), gram.norm_sq(j), gram.covariance(i, j));
         if guard.skip(ni, nj, cov) {
             skipped += 1;
+            if tracer.rotation_enabled() {
+                tracer.emit(TraceEvent::RotationSkipped { sweep, i, j, reason: guard.reason() });
+            }
             continue;
         }
         let rot = textbook_params(ni, nj, cov);
@@ -245,6 +253,9 @@ pub(crate) fn plan_round(
         ws.pair_of[j] = ws.rotations.len();
         ws.rotations.push((i, j, rot));
         applied += 1;
+        if tracer.rotation_enabled() {
+            tracer.emit(TraceEvent::RotationApplied { sweep, i, j });
+        }
     }
     (applied, skipped)
 }
@@ -364,6 +375,7 @@ pub struct Parallel<'ws> {
     allocations0: usize,
     gram_bytes0: u64,
     dispatches0: usize,
+    col_touches: u64,
 }
 
 impl<'ws> Parallel<'ws> {
@@ -372,7 +384,13 @@ impl<'ws> Parallel<'ws> {
     pub fn new(ws: &'ws mut SweepWorkspace) -> Parallel<'ws> {
         let allocations0 = ws.allocations();
         let gram_bytes0 = ws.gram_bytes();
-        Parallel { ws, allocations0, gram_bytes0, dispatches0: rayon::dispatch_count() }
+        Parallel {
+            ws,
+            allocations0,
+            gram_bytes0,
+            dispatches0: rayon::dispatch_count(),
+            col_touches: 0,
+        }
     }
 }
 
@@ -381,13 +399,34 @@ impl SweepEngine for Parallel<'_> {
         "parallel"
     }
 
-    fn sweep(&mut self, state: &mut SweepState<'_>, order: &Sweep, idx: usize) -> SweepRecord {
+    fn sweep_traced(
+        &mut self,
+        state: &mut SweepState<'_>,
+        order: &Sweep,
+        idx: usize,
+        tracer: &mut Tracer<'_, '_>,
+    ) -> SweepRecord {
         let guard = state.guard.ready(state.gram);
-        self.ws.prepare(state.gram.dim());
+        let n = state.gram.dim();
+        self.ws.prepare(n);
         let mut applied = 0;
         let mut skipped = 0;
-        for round in order.rounds() {
-            let (a, s) = plan_round(state.gram, round, &guard, self.ws);
+        for (r, round) in order.rounds().iter().enumerate() {
+            let (a, s) = plan_round(state.gram, round, &guard, idx, tracer, self.ws);
+            if tracer.group_enabled() {
+                tracer.emit(TraceEvent::PairGroupDispatched {
+                    sweep: idx,
+                    round: r,
+                    pairs: round.len(),
+                    applied: a,
+                    skipped: s,
+                });
+            }
+            if a > 0 {
+                // The functional round update rewrites every logical column
+                // of `D` from the round snapshot.
+                self.col_touches += n as u64;
+            }
             apply_round_to_gram(state.gram, self.ws);
             if let Some(b) = state.target.columns.as_deref_mut() {
                 apply_round_to_columns(b, self.ws);
@@ -404,6 +443,7 @@ impl SweepEngine for Parallel<'_> {
     fn finish(&mut self, stats: &mut SolveStats, _n: usize) {
         stats.workspace_allocations = self.ws.allocations().saturating_sub(self.allocations0);
         stats.gram_bytes = self.ws.gram_bytes().saturating_sub(self.gram_bytes0);
+        stats.gram_col_touches = self.col_touches;
         stats.parallel_dispatches = rayon::dispatch_count().saturating_sub(self.dispatches0);
         stats.threads = rayon::current_num_threads();
     }
@@ -506,7 +546,7 @@ mod tests {
         ws.prepare(8);
         let guard = PairGuard::default().ready(&g);
         for round in order.rounds() {
-            plan_round(&g, round, &guard, &mut ws);
+            plan_round(&g, round, &guard, 1, &mut Tracer::disabled(), &mut ws);
             apply_round_to_gram(&mut g, &mut ws);
             apply_round_to_columns(&mut a, &mut ws);
             let fresh = GramState::from_matrix(&a);
@@ -639,7 +679,7 @@ mod tests {
             ws.prepare(n);
             let guard = PairGuard::default().ready(&g);
             for round in order.rounds() {
-                plan_round(&g, round, &guard, &mut ws);
+                plan_round(&g, round, &guard, 1, &mut Tracer::disabled(), &mut ws);
                 apply_round_to_gram(&mut g, &mut ws);
                 apply_round_to_columns(&mut via_ws, &mut ws);
                 for &(i, j, rot) in &ws.rotations {

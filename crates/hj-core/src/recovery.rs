@@ -148,7 +148,7 @@ const STALL_MIN_PROGRESS: f64 = 1e-3;
 /// the engines' steady-state zero-allocation invariant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthCheck {
-    /// Master switch; `false` makes [`HealthCheck::inspect`] a no-op.
+    /// Master switch; `false` disables the per-sweep inspection entirely.
     pub enabled: bool,
     /// Flag materially negative diagonals. Valid for Gram matrices (PSD by
     /// construction); must be `false` for the indefinite eigensolver, where
@@ -169,7 +169,7 @@ impl Default for HealthCheck {
 }
 
 impl HealthCheck {
-    /// A disabled check ([`HealthCheck::inspect`] always returns `None`) —
+    /// A disabled check (the per-sweep inspection always returns `None`) —
     /// what [`crate::SolveDriver::run`] uses to stay byte-for-byte faithful
     /// to the unmonitored pipeline.
     pub fn disabled() -> Self {
@@ -260,6 +260,19 @@ pub enum RecoveryAction {
     EscalateBudget,
     /// Give up: surface [`crate::SvdError::SolveFault`] to the caller.
     Abort,
+}
+
+impl RecoveryAction {
+    /// Stable machine-readable name (used by the trace stream's
+    /// `recovery_triggered` events).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryAction::RescaleRestart => "rescale-restart",
+            RecoveryAction::FallBackToSequential => "fallback-sequential",
+            RecoveryAction::EscalateBudget => "escalate-budget",
+            RecoveryAction::Abort => "abort",
+        }
+    }
 }
 
 /// Everything [`RecoveryPolicy::action_for`] needs to know about the solve's

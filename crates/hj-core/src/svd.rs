@@ -16,6 +16,7 @@ use crate::ordering::{build_sweep, Ordering};
 use crate::parallel::{Parallel, SweepWorkspace};
 use crate::recovery::{HealthCheck, RecoveryAction, RecoveryContext, RecoveryPolicy, SolveBudget};
 use crate::stats::SolveStats;
+use crate::trace::{emit_to, TraceEvent, TraceLevel, TraceSink};
 use crate::SvdError;
 use hj_matrix::{ops, Matrix};
 
@@ -117,6 +118,22 @@ fn unscale_values(values: &mut [f64], k: i32) {
 }
 
 /// Configuration for a Hestenes-Jacobi decomposition.
+///
+/// All fields have useful defaults; override selectively with struct-update
+/// syntax:
+///
+/// ```
+/// use hj_core::{EngineKind, HestenesSvd, SvdOptions, TraceLevel};
+/// use hj_matrix::gen;
+///
+/// let options = SvdOptions {
+///     engine: EngineKind::Blocked,
+///     trace: TraceLevel::Sweep,
+///     ..Default::default()
+/// };
+/// let svd = HestenesSvd::new(options).decompose(&gen::uniform(30, 8, 1)).unwrap();
+/// assert_eq!(svd.stats.engine, "blocked");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SvdOptions {
     /// Stopping rule. Default: scale-relative covariance threshold.
@@ -130,6 +147,14 @@ pub struct SvdOptions {
     /// require [`Ordering::RoundRobin`]. Default: sequential (faithful to
     /// Algorithm 1's data flow).
     pub engine: EngineKind,
+    /// Event granularity for the `*_traced` entry points
+    /// ([`HestenesSvd::decompose_traced`],
+    /// [`HestenesSvd::singular_values_traced`]). Ignored — and costless — on
+    /// the untraced entry points, which never construct events regardless of
+    /// this setting. Default: [`TraceLevel::Off`] (a traced call promotes
+    /// `Off` to [`TraceLevel::Sweep`] so an explicitly-passed sink is never
+    /// silently ignored).
+    pub trace: TraceLevel,
 }
 
 impl Default for SvdOptions {
@@ -139,6 +164,7 @@ impl Default for SvdOptions {
             max_sweeps: MAX_SWEEP_CAP,
             ordering: Ordering::RoundRobin,
             engine: EngineKind::Sequential,
+            trace: TraceLevel::Off,
         }
     }
 }
@@ -151,6 +177,17 @@ impl SvdOptions {
             max_sweeps: 6,
             ordering: Ordering::RoundRobin,
             engine: EngineKind::Sequential,
+            trace: TraceLevel::Off,
+        }
+    }
+
+    /// The level a `*_traced` entry point runs at: the configured level,
+    /// with [`TraceLevel::Off`] promoted to [`TraceLevel::Sweep`].
+    fn effective_trace_level(&self) -> TraceLevel {
+        if self.trace == TraceLevel::Off {
+            TraceLevel::Sweep
+        } else {
+            self.trace
         }
     }
 }
@@ -325,7 +362,35 @@ impl HestenesSvd {
         ws: &mut SweepWorkspace,
     ) -> Result<SingularValues, SvdError> {
         self.validate(a)?;
-        let solved = self.solve_guarded(a, ws, false, None)?;
+        let solved = self.solve_guarded(a, ws, false, None, None)?;
+        self.finish_values(a, solved)
+    }
+
+    /// [`Self::singular_values`] with every solve event streamed into
+    /// `sink` at the granularity of [`SvdOptions::trace`] ([`TraceLevel::Off`]
+    /// is promoted to [`TraceLevel::Sweep`]). Results are bit-identical to
+    /// the untraced call — events observe, never influence.
+    ///
+    /// ```
+    /// use hj_core::{HestenesSvd, RingBufferSink, SvdOptions};
+    /// use hj_matrix::gen;
+    ///
+    /// let a = gen::uniform(40, 10, 3);
+    /// let mut sink = RingBufferSink::new(1024);
+    /// let solver = HestenesSvd::new(SvdOptions::default());
+    /// let sv = solver.singular_values_traced(&a, &mut sink).unwrap();
+    /// let untraced = solver.singular_values(&a).unwrap();
+    /// assert_eq!(sv.values, untraced.values);
+    /// assert!(sink.recorded() >= 2 * sv.sweeps, "start + end per sweep");
+    /// ```
+    pub fn singular_values_traced(
+        &self,
+        a: &Matrix,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SingularValues, SvdError> {
+        self.validate(a)?;
+        let mut ws = SweepWorkspace::new();
+        let solved = self.solve_guarded(a, &mut ws, false, None, Some(sink))?;
         self.finish_values(a, solved)
     }
 
@@ -339,7 +404,7 @@ impl HestenesSvd {
         injector: &mut dyn crate::inject::FaultInjector,
     ) -> Result<SingularValues, SvdError> {
         self.validate(a)?;
-        let solved = self.solve_guarded(a, ws, false, Some(injector))?;
+        let solved = self.solve_guarded(a, ws, false, Some(injector), None)?;
         self.finish_values(a, solved)
     }
 
@@ -354,19 +419,24 @@ impl HestenesSvd {
     /// recovery. The final stats carry the last attempt's counters plus the
     /// cumulative `faults`/`recoveries`/`prescale_exp` accounting.
     #[cfg_attr(not(feature = "fault-injection"), allow(unused_variables))]
-    fn solve_guarded(
+    fn solve_guarded<'a>(
         &self,
         a: &Matrix,
         ws: &mut SweepWorkspace,
         full: bool,
-        injector: InjectorSlot<'_>,
+        injector: InjectorSlot<'a>,
+        trace: Option<&'a mut dyn TraceSink>,
     ) -> Result<GuardedSolve, SvdError> {
         let n = a.cols();
         let order = build_sweep(self.options.ordering, n);
         // One monitor serves every attempt (run_monitored resets its own
         // per-attempt detector state); the injector moves in once and keeps
-        // its one-shot bookkeeping across restarts.
+        // its one-shot bookkeeping across restarts, and the trace sink sees
+        // every attempt's events plus the recovery decisions between them.
         let mut monitor = SolveMonitor::new(self.budget.clone(), self.health);
+        if let Some(sink) = trace {
+            monitor = monitor.with_trace(sink, self.options.effective_trace_level());
+        }
         #[cfg(feature = "fault-injection")]
         {
             monitor.injector = injector;
@@ -436,7 +506,18 @@ impl HestenesSvd {
                 can_escalate: max_sweeps < MAX_SWEEP_CAP,
                 recoveries,
             };
-            match self.policy.action_for(&fault, &ctx) {
+            let action = self.policy.action_for(&fault, &ctx);
+            emit_to(
+                &mut monitor.trace,
+                monitor.trace_level,
+                TraceEvent::RecoveryTriggered {
+                    sweep: fault.sweep(),
+                    fault: fault.kind(),
+                    action: action.name(),
+                    recoveries,
+                },
+            );
+            match action {
                 RecoveryAction::Abort => {
                     return Err(SvdError::SolveFault {
                         fault,
@@ -503,7 +584,31 @@ impl HestenesSvd {
         ws: &mut SweepWorkspace,
     ) -> Result<Svd, SvdError> {
         self.validate(a)?;
-        let solved = self.solve_guarded(a, ws, true, None)?;
+        let solved = self.solve_guarded(a, ws, true, None, None)?;
+        self.finish_decompose(a, solved)
+    }
+
+    /// [`Self::decompose`] with every solve event streamed into `sink` at
+    /// the granularity of [`SvdOptions::trace`] ([`TraceLevel::Off`] is
+    /// promoted to [`TraceLevel::Sweep`]). Results are bit-identical to the
+    /// untraced call — events observe, never influence.
+    ///
+    /// ```
+    /// use hj_core::{HestenesSvd, JsonlSink, SvdOptions};
+    /// use hj_matrix::gen;
+    ///
+    /// let a = gen::uniform(30, 8, 11);
+    /// let mut sink = JsonlSink::new(Vec::new());
+    /// let svd = HestenesSvd::new(SvdOptions::default())
+    ///     .decompose_traced(&a, &mut sink)
+    ///     .unwrap();
+    /// let jsonl = String::from_utf8(sink.finish().unwrap()).unwrap();
+    /// assert_eq!(jsonl.lines().filter(|l| l.contains("sweep_end")).count(), svd.sweeps);
+    /// ```
+    pub fn decompose_traced(&self, a: &Matrix, sink: &mut dyn TraceSink) -> Result<Svd, SvdError> {
+        self.validate(a)?;
+        let mut ws = SweepWorkspace::new();
+        let solved = self.solve_guarded(a, &mut ws, true, None, Some(sink))?;
         self.finish_decompose(a, solved)
     }
 
@@ -517,7 +622,7 @@ impl HestenesSvd {
         injector: &mut dyn crate::inject::FaultInjector,
     ) -> Result<Svd, SvdError> {
         self.validate(a)?;
-        let solved = self.solve_guarded(a, ws, true, Some(injector))?;
+        let solved = self.solve_guarded(a, ws, true, Some(injector), None)?;
         self.finish_decompose(a, solved)
     }
 

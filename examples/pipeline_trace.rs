@@ -1,12 +1,16 @@
 //! Zoom into the hardware pipeline: trace one Fig. 6 pair-group through the
 //! architecture's components, cycle by cycle, for a small and a large
 //! column dimension — showing the §V-C transition from rotation-issue-bound
-//! to update-bound operation.
+//! to update-bound operation. The final section replays the same timeline
+//! through the `hj-core` trace layer, producing the JSON Lines stream the
+//! `hjsvd svd --trace` flag emits for software solves — one schema for both
+//! worlds.
 //!
 //! Run: `cargo run --release --example pipeline_trace`
 
 use hjsvd::arch::trace::trace_group;
 use hjsvd::arch::ArchConfig;
+use hjsvd::core::JsonlSink;
 
 fn main() {
     let cfg = ArchConfig::paper();
@@ -30,4 +34,14 @@ fn main() {
     println!("This is the paper's §V-C observation in miniature: for large matrices");
     println!("\"performance is dominated by the amount of updates after each rotation\",");
     println!("which is why the preprocessor is reconfigured into extra update kernels.");
+
+    // The same timeline as structured pipeline_stage events, in the JSONL
+    // schema `hjsvd svd --trace` uses — simulator and software solves can be
+    // inspected with the same tooling (grep, jq, the EXPERIMENTS.md recipes).
+    println!("\n=== the n = 32 timeline as hj-core JSONL trace events ===");
+    let t = trace_group(&cfg, 8, 32, 12);
+    let mut sink = JsonlSink::new(Vec::new());
+    t.emit(&mut sink);
+    let jsonl = String::from_utf8(sink.finish().expect("in-memory sink cannot fail")).unwrap();
+    print!("{jsonl}");
 }

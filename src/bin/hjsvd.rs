@@ -3,6 +3,7 @@
 //! ```text
 //! hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
 //!           [--engine seq|par|blocked] [--timeout-ms T]
+//!           [--trace PATH] [--trace-level off|sweep|group|rotation]
 //! hjsvd pca <data.csv> --components K [--out PREFIX]
 //! hjsvd eigh <symmetric.csv>
 //! hjsvd simulate --rows M --cols N [--sweeps S]
@@ -28,9 +29,12 @@
 //! | 9    | `cancelled`     | solve cancelled via its cancellation flag     |
 
 use hjsvd::arch::{resource_usage, ArchConfig, HestenesJacobiArch};
-use hjsvd::core::{eigh, EngineKind, HestenesSvd, Pca, SolveBudget, SvdError, SvdOptions};
+use hjsvd::core::{
+    eigh, EngineKind, HestenesSvd, JsonlSink, Pca, SolveBudget, SvdError, SvdOptions, TraceLevel,
+};
 use hjsvd::fpsim::resources::ChipCapacity;
 use hjsvd::matrix::{gen, io, norms, Matrix};
+use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -103,6 +107,7 @@ fn print_help() {
 USAGE:
   hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
             [--engine seq|par|blocked] [--timeout-ms T]
+            [--trace PATH] [--trace-level off|sweep|group|rotation]
       Decompose a CSV matrix. Prints singular values; with --out, writes
       PREFIX_u.csv / PREFIX_s.csv / PREFIX_v.csv. --rank truncates.
       --stats writes the solve's SolveStats record as JSON (PATH of '-'
@@ -110,6 +115,10 @@ USAGE:
       (Algorithm 1, default), par (rayon round-synchronous), or blocked
       (cache-tiled groups). --timeout-ms bounds wall-clock time: the solve
       aborts at the next sweep boundary past the deadline (exit code 8).
+      --trace streams structured solve events as JSON Lines to PATH ('-'
+      = stdout); --trace-level picks the verbosity (default sweep:
+      per-sweep summaries; group adds pair-group dispatches; rotation
+      adds every applied/skipped rotation).
   hjsvd pca <data.csv> --components K [--out PREFIX]
       PCA (rows = observations). Prints explained variance; with --out,
       writes PREFIX_scores.csv and PREFIX_components.csv.
@@ -205,6 +214,43 @@ fn emit_stats(stats: &hjsvd::core::SolveStats, path: &str) -> Result<(), CliErro
     }
 }
 
+/// Resolve the `--trace` / `--trace-level` pair: `Some((path, level))` when
+/// tracing is requested. `--trace-level` without `--trace` is a usage error —
+/// there would be nowhere to write the events.
+fn trace_option(p: &ParsedArgs) -> Result<Option<(String, TraceLevel)>, CliError> {
+    let level = match p.opt("trace-level") {
+        None => TraceLevel::Sweep,
+        Some(v) => TraceLevel::parse(v).ok_or_else(|| {
+            CliError::usage(format!(
+                "--trace-level: unknown level '{v}' (choose off, sweep, group, or rotation)"
+            ))
+        })?,
+    };
+    match p.opt("trace") {
+        Some(path) => Ok(Some((path.to_string(), level))),
+        None if p.opt("trace-level").is_some() => {
+            Err(CliError::usage("--trace-level requires --trace PATH"))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Open the JSONL trace sink for `path` (`-` = stdout).
+fn open_trace(path: &str) -> Result<JsonlSink<Box<dyn Write>>, CliError> {
+    let w: Box<dyn Write> = if path == "-" {
+        Box::new(std::io::stdout())
+    } else {
+        Box::new(std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?)
+    };
+    Ok(JsonlSink::new(w))
+}
+
+/// Flush the trace sink and surface any write error it swallowed mid-solve.
+fn close_trace(sink: JsonlSink<Box<dyn Write>>, path: &str) -> Result<(), CliError> {
+    let mut w = sink.finish().map_err(|e| CliError::io(format!("{path}: {e}")))?;
+    w.flush().map_err(|e| CliError::io(format!("{path}: {e}")))
+}
+
 /// Parse the `--engine` option into an [`EngineKind`] (default: sequential).
 fn engine_option(p: &ParsedArgs) -> Result<EngineKind, CliError> {
     match p.opt("engine") {
@@ -220,13 +266,24 @@ fn cmd_svd(p: &mut ParsedArgs) -> Result<(), CliError> {
     let a = load(&path)?;
     let engine = engine_option(p)?;
     let timeout_ms: Option<u64> = p.opt_parse("timeout-ms").map_err(CliError::usage)?;
-    let mut solver = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
+    let trace = trace_option(p)?;
+    let trace_level = trace.as_ref().map(|(_, l)| *l).unwrap_or(TraceLevel::Off);
+    let mut solver =
+        HestenesSvd::new(SvdOptions { engine, trace: trace_level, ..Default::default() });
     if let Some(ms) = timeout_ms {
         solver = solver.with_budget(SolveBudget::with_timeout(Duration::from_millis(ms)));
     }
     let stats_path = p.opt("stats").map(str::to_string);
     if p.flag("values-only") {
-        let sv = solver.singular_values(&a)?;
+        let sv = match &trace {
+            Some((tp, _)) => {
+                let mut sink = open_trace(tp)?;
+                let sv = solver.singular_values_traced(&a, &mut sink)?;
+                close_trace(sink, tp)?;
+                sv
+            }
+            None => solver.singular_values(&a)?,
+        };
         println!("# {} singular values ({} sweeps)", sv.values.len(), sv.sweeps);
         for v in &sv.values {
             println!("{v}");
@@ -236,7 +293,15 @@ fn cmd_svd(p: &mut ParsedArgs) -> Result<(), CliError> {
         }
         return Ok(());
     }
-    let svd = solver.decompose(&a)?;
+    let svd = match &trace {
+        Some((tp, _)) => {
+            let mut sink = open_trace(tp)?;
+            let svd = solver.decompose_traced(&a, &mut sink)?;
+            close_trace(sink, tp)?;
+            svd
+        }
+        None => solver.decompose(&a)?,
+    };
     if let Some(sp) = stats_path {
         emit_stats(&svd.stats, &sp)?;
     }
@@ -471,6 +536,73 @@ mod tests {
         // A generous timeout solves normally.
         run(&args(&["svd", &mp, "--timeout-ms", "60000"])).unwrap();
         run(&args(&["svd", &mp, "--values-only", "--timeout-ms", "60000"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn svd_trace_writes_valid_jsonl() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mp = dir.join("m.csv").to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "14", "--cols", "6", &mp, "--seed", "5"])).unwrap();
+        let tp = dir.join("trace.jsonl").to_str().unwrap().to_string();
+
+        // Default level (sweep): starts and ends pair up, every line is a
+        // one-object JSON record naming its event.
+        run(&args(&["svd", &mp, "--trace", &tp])).unwrap();
+        let text = std::fs::read_to_string(&tp).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "not JSONL: {line}");
+            assert!(line.contains("\"event\":\""), "missing event key: {line}");
+        }
+        let starts = lines.iter().filter(|l| l.contains("\"event\":\"sweep_start\"")).count();
+        let ends = lines.iter().filter(|l| l.contains("\"event\":\"sweep_end\"")).count();
+        assert!(starts > 0 && starts == ends, "unbalanced sweeps: {starts} vs {ends}");
+        assert!(!text.contains("rotation_applied"), "sweep level must not emit rotations");
+
+        // Rotation level adds per-rotation events; the grouped engines also
+        // report their round dispatches. Values-only path.
+        run(&args(&[
+            "svd",
+            &mp,
+            "--values-only",
+            "--engine",
+            "blocked",
+            "--trace",
+            &tp,
+            "--trace-level",
+            "rotation",
+        ]))
+        .unwrap();
+        let rot = std::fs::read_to_string(&tp).unwrap();
+        assert!(rot.contains("\"event\":\"rotation_applied\""));
+        assert!(rot.contains("\"event\":\"pair_group_dispatched\""));
+
+        // '-' streams to stdout without error.
+        run(&args(&["svd", &mp, "--values-only", "--trace", "-"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_usage_errors_are_code_2() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_trace_usage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mp = dir.join("m.csv").to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "8", "--cols", "4", &mp, "--seed", "2"])).unwrap();
+        // --trace-level without --trace.
+        let e = run(&args(&["svd", &mp, "--trace-level", "rotation"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        assert!(e.message.contains("--trace"), "{}", e.message);
+        // Unknown level.
+        let tp = dir.join("t.jsonl").to_str().unwrap().to_string();
+        let e = run(&args(&["svd", &mp, "--trace", &tp, "--trace-level", "verbose"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        assert!(e.message.contains("choose off, sweep, group, or rotation"), "{}", e.message);
+        // Unwritable trace path is an io error.
+        let e = run(&args(&["svd", &mp, "--trace", "/nonexistent/dir/t.jsonl"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (3, "io"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
