@@ -369,6 +369,38 @@ impl RecoveryPolicy {
 /// Both limits are optional; the default has neither and never fires. The
 /// cancellation flag is shared (`Arc`), so a batch caller can cancel many
 /// in-flight solves with one store.
+///
+/// # Granularity
+///
+/// The budget is observed **only at sweep boundaries**: the check runs
+/// immediately before each sweep starts, and a sweep in flight is never
+/// interrupted. A solve can therefore overrun its deadline by up to one full
+/// sweep (`O(n²)` rotations) before the fault surfaces — callers that need a
+/// hard wall-clock bound should budget one sweep of slack. The flip side is
+/// that an *already-expired* deadline is caught before any work happens: the
+/// boundary check for sweep 1 fires first, so zero sweeps run and the solve
+/// returns [`Fault::DeadlineExceeded`] without touching the input. All
+/// deadline arithmetic saturates ([`SolveBudget::remaining`] reports
+/// `Duration::ZERO` for a passed deadline; it never panics on underflow).
+///
+/// ```
+/// use hj_core::SolveBudget;
+/// use std::time::{Duration, Instant};
+///
+/// // Construct a budget from a wall-clock deadline (e.g. an RPC's
+/// // "respond by" timestamp translated into the solver's terms).
+/// let respond_by = Instant::now() + Duration::from_millis(250);
+/// let budget = SolveBudget::with_deadline(respond_by);
+/// assert!(budget.remaining().unwrap() <= Duration::from_millis(250));
+/// assert_eq!(budget.check(1), None, "deadline still ahead");
+///
+/// // A deadline already in the past saturates instead of underflowing:
+/// // remaining() is exactly zero and the very first boundary check —
+/// // before sweep 1 runs — reports the fault, so no sweep executes.
+/// let expired = SolveBudget::with_deadline(Instant::now() - Duration::from_millis(5));
+/// assert_eq!(expired.remaining(), Some(Duration::ZERO));
+/// assert!(expired.check(1).is_some());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SolveBudget {
     /// Absolute wall-clock deadline; sweeps do not start past it.
@@ -384,9 +416,17 @@ impl SolveBudget {
         SolveBudget::default()
     }
 
-    /// Budget that expires `timeout` from now.
+    /// Budget that expires `timeout` from now. Saturating: a `timeout` too
+    /// large for the platform's `Instant` range clamps to the farthest
+    /// representable deadline instead of panicking on overflow.
     pub fn with_timeout(timeout: Duration) -> Self {
-        SolveBudget { deadline: Some(Instant::now() + timeout), cancel: None }
+        let now = Instant::now();
+        let deadline = now
+            .checked_add(timeout)
+            // ~30 years: beyond any real solve, within Instant's range.
+            .or_else(|| now.checked_add(Duration::from_secs(30 * 365 * 24 * 3600)))
+            .unwrap_or(now);
+        SolveBudget { deadline: Some(deadline), cancel: None }
     }
 
     /// Budget with an absolute deadline.
@@ -403,6 +443,15 @@ impl SolveBudget {
     /// True when neither limit is set (the check can be skipped wholesale).
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Wall-clock time left before the deadline (`None` when no deadline is
+    /// set). Saturates at [`Duration::ZERO`] once the deadline has passed —
+    /// never an underflow panic — which is what guarantees an expired budget
+    /// yields a clean [`Fault::DeadlineExceeded`] at the first sweep
+    /// boundary rather than poisoning the solve.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     /// Check both limits at the boundary before sweep `sweep` (1-based).
@@ -632,6 +681,21 @@ mod tests {
         for s in 1..=MAX_SWEEP_CAP {
             assert_eq!(b.check(s), None);
         }
+    }
+
+    #[test]
+    fn budget_remaining_saturates_and_huge_timeouts_clamp() {
+        assert_eq!(SolveBudget::unlimited().remaining(), None);
+        let expired = SolveBudget::with_deadline(Instant::now() - Duration::from_millis(10));
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+        let ahead = SolveBudget::with_timeout(Duration::from_secs(60));
+        let left = ahead.remaining().unwrap();
+        assert!(left > Duration::from_secs(59) && left <= Duration::from_secs(60));
+        // Duration::MAX overflows Instant arithmetic on every platform;
+        // the saturating constructor must neither panic nor fire early.
+        let huge = SolveBudget::with_timeout(Duration::MAX);
+        assert_eq!(huge.check(1), None);
+        assert!(huge.remaining().unwrap() > Duration::from_secs(3600));
     }
 
     #[test]

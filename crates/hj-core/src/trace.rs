@@ -184,6 +184,55 @@ pub enum TraceEvent {
         /// Recovery actions taken before this one in the same solve.
         recoveries: usize,
     },
+    /// A job passed admission control and was enqueued (emitted by the
+    /// `hj-serve` service layer).
+    JobAdmitted {
+        /// Service-assigned job id (monotone per service instance).
+        job: u64,
+        /// Stable priority-class name (`"interactive"`, `"batch"`, …).
+        class: &'static str,
+        /// Queue depth immediately after the enqueue.
+        queue_depth: usize,
+    },
+    /// A submission was rejected by admission control.
+    JobRejected {
+        /// Stable rejection reason (`"queue-full"`, `"tenant-cap"`,
+        /// `"draining"`, …).
+        reason: &'static str,
+        /// Queue depth at the time of the rejection.
+        queue_depth: usize,
+    },
+    /// A queued job was handed to a worker.
+    JobDispatched {
+        /// Service-assigned job id.
+        job: u64,
+        /// 0-based worker index.
+        worker: usize,
+        /// 1-based attempt number (> 1 after a retry).
+        attempt: usize,
+    },
+    /// A job finished successfully on a worker.
+    JobCompleted {
+        /// Service-assigned job id.
+        job: u64,
+        /// 0-based worker index.
+        worker: usize,
+        /// Wall-clock seconds from dispatch to completion.
+        seconds: f64,
+        /// Sweeps the solve ran.
+        sweeps: usize,
+    },
+    /// A job exhausted its attempts and failed with a solve fault.
+    JobFaulted {
+        /// Service-assigned job id.
+        job: u64,
+        /// 0-based worker index.
+        worker: usize,
+        /// Stable fault class name ([`crate::recovery::Fault::kind`]).
+        fault: &'static str,
+        /// Attempts consumed, including the failing one.
+        attempts: usize,
+    },
     /// A cycle-stamped hardware-pipeline event from the `hj-arch`
     /// simulator's component timeline, mapped into the same stream shape as
     /// the software events.
@@ -209,6 +258,11 @@ impl TraceEvent {
             TraceEvent::RotationSkipped { .. } => "rotation_skipped",
             TraceEvent::ConvergenceCheck { .. } => "convergence_check",
             TraceEvent::RecoveryTriggered { .. } => "recovery_triggered",
+            TraceEvent::JobAdmitted { .. } => "job_admitted",
+            TraceEvent::JobRejected { .. } => "job_rejected",
+            TraceEvent::JobDispatched { .. } => "job_dispatched",
+            TraceEvent::JobCompleted { .. } => "job_completed",
+            TraceEvent::JobFaulted { .. } => "job_faulted",
             TraceEvent::PipelineStage { .. } => "pipeline_stage",
         }
     }
@@ -220,6 +274,11 @@ impl TraceEvent {
             | TraceEvent::SweepEnd { .. }
             | TraceEvent::ConvergenceCheck { .. }
             | TraceEvent::RecoveryTriggered { .. }
+            | TraceEvent::JobAdmitted { .. }
+            | TraceEvent::JobRejected { .. }
+            | TraceEvent::JobDispatched { .. }
+            | TraceEvent::JobCompleted { .. }
+            | TraceEvent::JobFaulted { .. }
             | TraceEvent::PipelineStage { .. } => TraceLevel::Sweep,
             TraceEvent::PairGroupDispatched { .. } => TraceLevel::Group,
             TraceEvent::RotationApplied { .. } | TraceEvent::RotationSkipped { .. } => {
@@ -228,8 +287,9 @@ impl TraceEvent {
         }
     }
 
-    /// The 1-based sweep index the event belongs to, if it has one
-    /// (everything except [`TraceEvent::PipelineStage`]).
+    /// The 1-based sweep index the event belongs to, if it has one. The
+    /// service-lifecycle (`Job*`) events and [`TraceEvent::PipelineStage`]
+    /// are not tied to a sweep and return `None`.
     pub fn sweep(&self) -> Option<usize> {
         match *self {
             TraceEvent::SweepStart { sweep, .. }
@@ -239,7 +299,12 @@ impl TraceEvent {
             | TraceEvent::RotationSkipped { sweep, .. }
             | TraceEvent::ConvergenceCheck { sweep, .. }
             | TraceEvent::RecoveryTriggered { sweep, .. } => Some(sweep),
-            TraceEvent::PipelineStage { .. } => None,
+            TraceEvent::JobAdmitted { .. }
+            | TraceEvent::JobRejected { .. }
+            | TraceEvent::JobDispatched { .. }
+            | TraceEvent::JobCompleted { .. }
+            | TraceEvent::JobFaulted { .. }
+            | TraceEvent::PipelineStage { .. } => None,
         }
     }
 
@@ -301,6 +366,32 @@ impl TraceEvent {
                 write_str(&mut s, "fault", fault);
                 write_str(&mut s, "action", action);
                 write_num(&mut s, "recoveries", *recoveries as f64);
+            }
+            TraceEvent::JobAdmitted { job, class, queue_depth } => {
+                write_num(&mut s, "job", *job as f64);
+                write_str(&mut s, "class", class);
+                write_num(&mut s, "queue_depth", *queue_depth as f64);
+            }
+            TraceEvent::JobRejected { reason, queue_depth } => {
+                write_str(&mut s, "reason", reason);
+                write_num(&mut s, "queue_depth", *queue_depth as f64);
+            }
+            TraceEvent::JobDispatched { job, worker, attempt } => {
+                write_num(&mut s, "job", *job as f64);
+                write_num(&mut s, "worker", *worker as f64);
+                write_num(&mut s, "attempt", *attempt as f64);
+            }
+            TraceEvent::JobCompleted { job, worker, seconds, sweeps } => {
+                write_num(&mut s, "job", *job as f64);
+                write_num(&mut s, "worker", *worker as f64);
+                write_f64(&mut s, "seconds", *seconds);
+                write_num(&mut s, "sweeps", *sweeps as f64);
+            }
+            TraceEvent::JobFaulted { job, worker, fault, attempts } => {
+                write_num(&mut s, "job", *job as f64);
+                write_num(&mut s, "worker", *worker as f64);
+                write_str(&mut s, "fault", fault);
+                write_num(&mut s, "attempts", *attempts as f64);
             }
             TraceEvent::PipelineStage { cycle, component, what } => {
                 write_num(&mut s, "cycle", *cycle as f64);
@@ -616,6 +707,11 @@ mod tests {
         assert_eq!(sink.recorded(), 5);
         let sweeps: Vec<usize> = sink.events().iter().filter_map(|e| e.sweep()).collect();
         assert_eq!(sweeps, vec![3, 4, 5], "oldest events are overwritten in order");
+        assert_eq!(
+            TraceEvent::JobAdmitted { job: 1, class: "batch", queue_depth: 0 }.sweep(),
+            None,
+            "service events carry no sweep index"
+        );
         sink.clear();
         assert!(sink.events().is_empty());
         assert_eq!(sink.recorded(), 5, "lifetime count survives clear");
@@ -694,6 +790,11 @@ mod tests {
                 action: "escalate-budget",
                 recoveries: 0,
             },
+            TraceEvent::JobAdmitted { job: 1, class: "interactive", queue_depth: 1 },
+            TraceEvent::JobRejected { reason: "queue-full", queue_depth: 8 },
+            TraceEvent::JobDispatched { job: 1, worker: 0, attempt: 1 },
+            TraceEvent::JobCompleted { job: 1, worker: 0, seconds: 0.01, sweeps: 6 },
+            TraceEvent::JobFaulted { job: 2, worker: 1, fault: "deadline", attempts: 3 },
             TraceEvent::PipelineStage { cycle: 0, component: "fifo", what: "drain".into() },
         ];
         for e in &events {

@@ -23,7 +23,9 @@
 //!   the unit of work of a plane rotation.
 //!
 //! plus generator ([`gen`]) and norm/validation ([`norms`]) toolkits used by
-//! the test suites and the benchmark harness.
+//! the test suites and the benchmark harness, CSV interchange ([`io`]), and
+//! the bit-exact binary frame format ([`wire`]) the solve service ships
+//! matrices through.
 //!
 //! ## Example
 //!
@@ -54,6 +56,7 @@ pub mod orth;
 mod packed;
 mod pair;
 pub mod views;
+pub mod wire;
 
 pub use error::MatrixError;
 pub use matrix::Matrix;

@@ -1,0 +1,214 @@
+//! Binary matrix frames: the bit-exact wire form used by the solve service.
+//!
+//! CSV ([`crate::io`]) is the human-facing interchange format; this module is
+//! the machine-facing one. A matrix is encoded as a fixed little-endian
+//! header followed by the raw column-major payload:
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | `rows` (u32 LE) |
+//! | 4      | 4    | `cols` (u32 LE) |
+//! | 8      | 8·rows·cols | entries, column-major, each `f64::to_bits` LE |
+//!
+//! The payload is the matrix's internal storage verbatim, so encoding and
+//! decoding are `memcpy`-shaped and the round trip is **byte-identical** —
+//! every NaN payload, signed zero, and subnormal survives. That property is
+//! what lets `hj-serve` guarantee that a spectrum computed from a matrix
+//! shipped over TCP is bitwise equal to one computed from the caller's
+//! original (pinned by `tests/serve.rs` at the workspace root).
+
+use crate::Matrix;
+
+/// Size in bytes of the fixed `rows`/`cols` header.
+pub const HEADER_BYTES: usize = 8;
+
+/// Hard ceiling on either dimension of a decoded matrix (2^20 = 1,048,576).
+/// A corrupt or malicious header cannot make the decoder attempt a
+/// multi-terabyte allocation; honest matrices in this workspace are orders
+/// of magnitude below it.
+pub const MAX_WIRE_DIM: u32 = 1 << 20;
+
+/// Decoding failures for the binary matrix frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the declared shape requires.
+    Truncated {
+        /// Bytes the header's shape implies.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// More bytes than the declared shape requires.
+    TrailingBytes {
+        /// Count of unexpected bytes after the payload.
+        extra: usize,
+    },
+    /// A dimension exceeds [`MAX_WIRE_DIM`] (or their product overflows).
+    Oversized {
+        /// Declared row count.
+        rows: u32,
+        /// Declared column count.
+        cols: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated matrix frame: need {needed} bytes, got {got}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "matrix frame has {extra} trailing bytes")
+            }
+            WireError::Oversized { rows, cols } => {
+                write!(f, "matrix dimensions {rows}x{cols} exceed the wire limit {MAX_WIRE_DIM}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Exact encoded size of a `rows × cols` matrix.
+pub fn encoded_len(rows: usize, cols: usize) -> usize {
+    HEADER_BYTES + 8 * rows * cols
+}
+
+/// Append the binary frame for `a` to `out`.
+pub fn encode_matrix_into(a: &Matrix, out: &mut Vec<u8>) {
+    out.reserve(encoded_len(a.rows(), a.cols()));
+    out.extend_from_slice(&(a.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(a.cols() as u32).to_le_bytes());
+    for &v in a.as_slice() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Encode `a` as a standalone binary frame.
+///
+/// ```
+/// use hj_matrix::{wire, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[1.0, -0.0], &[1e-308, 3.5]]);
+/// let bytes = wire::encode_matrix(&a);
+/// let back = wire::decode_matrix(&bytes).unwrap();
+/// // Byte-identical round trip, signed zero and subnormals included.
+/// for (x, y) in a.as_slice().iter().zip(back.as_slice()) {
+///     assert_eq!(x.to_bits(), y.to_bits());
+/// }
+/// ```
+pub fn encode_matrix(a: &Matrix) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_matrix_into(a, &mut out);
+    out
+}
+
+/// Decode a binary frame produced by [`encode_matrix`]. The frame must span
+/// `bytes` exactly — partial and over-long inputs are rejected, never
+/// silently truncated.
+pub fn decode_matrix(bytes: &[u8]) -> Result<Matrix, WireError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(WireError::Truncated { needed: HEADER_BYTES, got: bytes.len() });
+    }
+    let rows = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let cols = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if rows > MAX_WIRE_DIM || cols > MAX_WIRE_DIM {
+        return Err(WireError::Oversized { rows, cols });
+    }
+    let entries = rows as usize * cols as usize;
+    let needed = encoded_len(rows as usize, cols as usize);
+    if bytes.len() < needed {
+        return Err(WireError::Truncated { needed, got: bytes.len() });
+    }
+    if bytes.len() > needed {
+        return Err(WireError::TrailingBytes { extra: bytes.len() - needed });
+    }
+    let mut data = Vec::with_capacity(entries);
+    for chunk in bytes[HEADER_BYTES..].chunks_exact(8) {
+        data.push(f64::from_bits(u64::from_le_bytes(chunk.try_into().expect("8 bytes"))));
+    }
+    Ok(Matrix::from_col_major(rows as usize, cols as usize, data)
+        .expect("length checked against shape"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn assert_bit_identical(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        for (m, n, seed) in [(1usize, 1usize, 1u64), (7, 3, 2), (3, 7, 3), (16, 16, 4)] {
+            let a = gen::uniform(m, n, seed);
+            let bytes = encode_matrix(&a);
+            assert_eq!(bytes.len(), encoded_len(m, n));
+            // Encoding the same matrix twice yields the same bytes...
+            assert_eq!(bytes, encode_matrix(&a));
+            // ...and decoding restores every bit.
+            assert_bit_identical(&a, &decode_matrix(&bytes).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_special_float() {
+        let a = Matrix::from_rows(&[
+            &[0.0, -0.0, f64::MIN_POSITIVE, 1e-308],
+            &[f64::MAX, f64::MIN, 1e308, -1.5e-300],
+            &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::EPSILON],
+        ]);
+        let back = decode_matrix(&encode_matrix(&a)).unwrap();
+        assert_bit_identical(&a, &back);
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let a = Matrix::zeros(0, 5);
+        let bytes = encode_matrix(&a);
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        let back = decode_matrix(&bytes).unwrap();
+        assert_eq!(back.shape(), (0, 5));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let a = gen::uniform(4, 3, 9);
+        let bytes = encode_matrix(&a);
+        assert!(matches!(decode_matrix(&[]), Err(WireError::Truncated { .. })));
+        assert!(matches!(decode_matrix(&bytes[..6]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            decode_matrix(&bytes[..bytes.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let a = gen::uniform(2, 2, 11);
+        let mut bytes = encode_matrix(&a);
+        bytes.push(0);
+        assert_eq!(decode_matrix(&bytes), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_matrix(&bytes), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(WireError::Truncated { needed: 16, got: 8 }.to_string().contains("16"));
+        assert!(WireError::TrailingBytes { extra: 3 }.to_string().contains("3 trailing"));
+        assert!(WireError::Oversized { rows: 9, cols: 9 }.to_string().contains("9x9"));
+    }
+}

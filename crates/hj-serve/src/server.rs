@@ -1,0 +1,322 @@
+//! The TCP front-end: one accept loop, one handler thread per connection,
+//! all feeding the shared [`SolveService`].
+//!
+//! The server is deliberately framework-free (`std::net` only). Each
+//! connection speaks the [`crate::protocol`] frame format; a `Shutdown`
+//! frame drains the service, answers with the final stats snapshot, and
+//! stops the accept loop. Submissions block their own connection thread
+//! while waiting for the solve — concurrency across clients comes from the
+//! per-connection threads, and solve throughput from the worker pool behind
+//! the queue, exactly like the paper's datapath streaming many independent
+//! problems.
+
+use crate::job::{JobSpec, Priority, RejectReason};
+use crate::protocol::{Frame, ProtoError, NO_DEADLINE};
+use crate::service::{ServiceConfig, SolveService};
+use crate::stats::ServiceStats;
+use hj_core::{EngineKind, SvdError};
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wire error code for a rejected submission (the CLI exits with it).
+pub const CODE_REJECTED: u8 = 10;
+/// Wire error code for malformed requests.
+pub const CODE_BAD_REQUEST: u8 = 4;
+/// Wire error code for a solve fault other than deadline/cancellation.
+pub const CODE_SOLVE_FAULT: u8 = 7;
+/// Wire error code for a deadline-exceeded fault.
+pub const CODE_DEADLINE: u8 = 8;
+/// Wire error code for a cancelled job.
+pub const CODE_CANCELLED: u8 = 9;
+
+/// A bound server, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<SolveService>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the worker
+    /// pool.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServiceConfig) -> std::io::Result<Server> {
+        Server::with_service(addr, SolveService::start(config))
+    }
+
+    /// Bind `addr` over an already-started service (lets callers attach a
+    /// trace sink via [`SolveService::start_traced`] first).
+    pub fn with_service(
+        addr: impl ToSocketAddrs,
+        service: SolveService,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, service: Arc::new(service), stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The service behind the front-end (stats, direct submissions).
+    pub fn service(&self) -> &SolveService {
+        &self.service
+    }
+
+    /// Accept and serve connections until a `Shutdown` frame arrives, then
+    /// return the final post-drain stats snapshot.
+    pub fn run(&self) -> std::io::Result<ServiceStats> {
+        let addr = self.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let service = Arc::clone(&self.service);
+                    let stop = Arc::clone(&self.stop);
+                    std::thread::Builder::new()
+                        .name("hj-serve-conn".to_string())
+                        .spawn(move || handle_connection(stream, &service, &stop, addr))
+                        .expect("spawn connection handler");
+                }
+                Err(e) => {
+                    if self.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(self.service.stats())
+    }
+}
+
+/// Serve one connection until it closes or requests shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    service: &SolveService,
+    stop: &AtomicBool,
+    server_addr: SocketAddr,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let frame = match Frame::read_from(&mut reader) {
+            Ok(f) => f,
+            Err(ProtoError::Closed) => return,
+            Err(ProtoError::Io(_)) => return,
+            Err(e) => {
+                // Protocol violation: answer with a structured error, then
+                // close (framing can no longer be trusted).
+                let _ = Frame::Error {
+                    code: CODE_BAD_REQUEST,
+                    kind: "bad-frame".to_string(),
+                    message: e.to_string(),
+                }
+                .write_to(&mut writer);
+                return;
+            }
+        };
+        let reply = match frame {
+            Frame::Submit { priority, engine, deadline_ms, tenant, matrix } => {
+                handle_submit(service, priority, engine, deadline_ms, tenant, matrix)
+            }
+            Frame::StatsRequest => Frame::Stats { json: service.stats().to_json() },
+            Frame::Shutdown { drain_ms } => {
+                service.shutdown(Duration::from_millis(drain_ms));
+                let reply = Frame::Stats { json: service.stats().to_json() };
+                let _ = reply.write_to(&mut writer);
+                stop.store(true, Ordering::Relaxed);
+                // Unblock the accept loop so `run` can observe the flag.
+                let _ = TcpStream::connect(server_addr);
+                return;
+            }
+            // Server-to-client frames arriving at the server are protocol
+            // violations.
+            Frame::Result { .. } | Frame::Error { .. } | Frame::Stats { .. } => Frame::Error {
+                code: CODE_BAD_REQUEST,
+                kind: "bad-frame".to_string(),
+                message: "client sent a server-only frame".to_string(),
+            },
+        };
+        if reply.write_to(&mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admit, wait, and shape the outcome into a reply frame.
+fn handle_submit(
+    service: &SolveService,
+    priority: u8,
+    engine: u8,
+    deadline_ms: u64,
+    tenant: String,
+    matrix: hj_matrix::Matrix,
+) -> Frame {
+    let Some(priority) = Priority::from_index(priority as usize) else {
+        return Frame::Error {
+            code: CODE_BAD_REQUEST,
+            kind: "bad-priority".to_string(),
+            message: format!("unknown priority byte {priority}"),
+        };
+    };
+    let engine = match engine {
+        0 => EngineKind::Sequential,
+        1 => EngineKind::Parallel,
+        2 => EngineKind::Blocked,
+        b => {
+            return Frame::Error {
+                code: CODE_BAD_REQUEST,
+                kind: "bad-engine".to_string(),
+                message: format!("unknown engine byte {b}"),
+            }
+        }
+    };
+    let mut spec = JobSpec::new(matrix).engine(engine).priority(priority).tenant(tenant);
+    if deadline_ms != NO_DEADLINE {
+        let now = Instant::now();
+        spec.deadline = Some(now.checked_add(Duration::from_millis(deadline_ms)).unwrap_or(now));
+    }
+    match service.submit(spec) {
+        Err(reason) => reject_frame(reason),
+        Ok(ticket) => {
+            let outcome = ticket.wait();
+            match outcome.result {
+                Ok(sv) => {
+                    Frame::Result { job: outcome.job, sweeps: sv.sweeps as u32, values: sv.values }
+                }
+                Err(err) => Frame::Error {
+                    code: error_code(&err),
+                    kind: error_kind(&err).to_string(),
+                    message: err.to_string(),
+                },
+            }
+        }
+    }
+}
+
+fn reject_frame(reason: RejectReason) -> Frame {
+    Frame::Error {
+        code: CODE_REJECTED,
+        kind: reason.name().to_string(),
+        message: reason.to_string(),
+    }
+}
+
+/// Wire error code for a terminal solve error.
+pub fn error_code(err: &SvdError) -> u8 {
+    match err {
+        SvdError::SolveFault { fault, .. } => match fault.kind() {
+            "deadline" => CODE_DEADLINE,
+            "cancelled" => CODE_CANCELLED,
+            _ => CODE_SOLVE_FAULT,
+        },
+        _ => CODE_BAD_REQUEST,
+    }
+}
+
+/// Stable error kind string for a terminal solve error.
+pub fn error_kind(err: &SvdError) -> &'static str {
+    match err {
+        SvdError::SolveFault { fault, .. } => fault.kind(),
+        SvdError::EmptyInput => "empty-input",
+        SvdError::NonFiniteInput => "non-finite-input",
+        SvdError::EngineNeedsRoundRobin => "engine-needs-round-robin",
+        SvdError::ZeroSweepBudget => "zero-sweep-budget",
+        SvdError::TruncatedTailNotNegligible => "truncated-tail",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, ClientError, SubmitOptions};
+    use hj_core::recovery::Fault;
+    use hj_matrix::gen;
+
+    fn spawn_server(config: ServiceConfig) -> (std::thread::JoinHandle<ServiceStats>, SocketAddr) {
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (handle, addr)
+    }
+
+    #[test]
+    fn submit_stats_shutdown_over_localhost() {
+        let (handle, addr) = spawn_server(ServiceConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let a = gen::uniform(24, 6, 5);
+        let direct =
+            hj_core::HestenesSvd::new(hj_core::SvdOptions::default()).singular_values(&a).unwrap();
+        let outcome = client.submit(&a, SubmitOptions::default()).unwrap();
+        assert_eq!(outcome.values.len(), 6);
+        for (x, y) in outcome.values.iter().zip(direct.values.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "wire spectrum must be bit-identical");
+        }
+        let json = client.stats_json().unwrap();
+        assert!(json.contains("\"completed\":1"), "{json}");
+        let final_json = client.shutdown(Duration::from_secs(5)).unwrap();
+        assert!(final_json.contains("hjsvd-serve-stats/v1"));
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn deadline_and_rejection_surface_as_error_frames() {
+        let (handle, addr) = spawn_server(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let mut client = Client::connect(addr).unwrap();
+        // An already-expired deadline: structured deadline error.
+        let err = client
+            .submit(
+                &gen::uniform(30, 10, 1),
+                SubmitOptions { deadline_ms: Some(0), ..Default::default() },
+            )
+            .unwrap_err();
+        match err {
+            ClientError::Remote { code, kind, .. } => {
+                assert_eq!(code, CODE_DEADLINE);
+                assert_eq!(kind, "deadline");
+            }
+            other => panic!("expected remote error, got {other:?}"),
+        }
+        client.shutdown(Duration::from_secs(5)).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn error_codes_map_fault_kinds() {
+        let deadline = SvdError::SolveFault {
+            fault: Fault::DeadlineExceeded { sweep: 1 },
+            sweeps_completed: 0,
+            recoveries: 0,
+        };
+        assert_eq!(error_code(&deadline), CODE_DEADLINE);
+        let cancelled = SvdError::SolveFault {
+            fault: Fault::Cancelled { sweep: 1 },
+            sweeps_completed: 0,
+            recoveries: 0,
+        };
+        assert_eq!(error_code(&cancelled), CODE_CANCELLED);
+        let stall = SvdError::SolveFault {
+            fault: Fault::ConvergenceStall { sweep: 2, stalled_sweeps: 2 },
+            sweeps_completed: 2,
+            recoveries: 3,
+        };
+        assert_eq!(error_code(&stall), CODE_SOLVE_FAULT);
+        assert_eq!(error_kind(&stall), "stall");
+        assert_eq!(error_code(&SvdError::EmptyInput), CODE_BAD_REQUEST);
+        assert_eq!(error_kind(&SvdError::EmptyInput), "empty-input");
+    }
+}

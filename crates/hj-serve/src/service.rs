@@ -1,0 +1,421 @@
+//! The solve service: a fixed worker pool over the scheduler, with pooled
+//! workspaces, per-job solve budgets, bounded retries, and a graceful
+//! drain-on-shutdown lifecycle.
+
+use crate::job::{JobOutcome, JobSpec, JobTicket, RejectReason};
+use crate::queue::{QueuedJob, Scheduler};
+use crate::stats::ServiceStats;
+use hj_core::{
+    HestenesSvd, SolveBudget, SvdError, SvdOptions, TraceEvent, TraceLevel, TraceSink,
+    WorkspacePool,
+};
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service configuration. [`ServiceConfig::default`] is a small two-worker
+/// pool suitable for tests; size `workers` to the machine for production
+/// traffic.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (each owns one warm workspace). At least 1.
+    pub workers: usize,
+    /// Bounded queue capacity — submissions beyond it are rejected, never
+    /// blocked. At least 1.
+    pub queue_capacity: usize,
+    /// Per-tenant in-flight cap (queued + running); 0 disables the cap.
+    pub tenant_cap: usize,
+    /// Maximum attempts per job (first try + retries). At least 1.
+    pub max_attempts: usize,
+    /// Base retry backoff; attempt `k` waits `base · 2^(k-1)`.
+    pub retry_backoff: Duration,
+    /// Base solver options. The engine field is overridden per job by
+    /// [`JobSpec::engine`].
+    pub options: SvdOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            tenant_cap: 0,
+            max_attempts: 3,
+            retry_backoff: Duration::from_millis(10),
+            options: SvdOptions::default(),
+        }
+    }
+}
+
+/// Exponential backoff before attempt `next_attempt` (2-based: the first
+/// retry). Saturates instead of overflowing on absurd attempt counts.
+pub fn backoff_delay(base: Duration, next_attempt: usize) -> Duration {
+    let exp = next_attempt.saturating_sub(2).min(16) as u32;
+    base.saturating_mul(1u32 << exp)
+}
+
+/// Retry classification: a fault already attributed to the caller's own
+/// budget (deadline passed, cancellation raised) will only repeat —
+/// retrying it burns a worker for nothing — while numerical faults
+/// (non-finite Gram, negative diagonal, stall) are worth another attempt
+/// after the recovery chain gave up. Input errors are deterministic and
+/// never retried.
+pub fn should_retry(error: &SvdError) -> bool {
+    match error {
+        SvdError::SolveFault { fault, .. } => !matches!(fault.kind(), "deadline" | "cancelled"),
+        _ => false,
+    }
+}
+
+/// What [`SolveService::shutdown`] observed while draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// True when every admitted job reached a terminal state within the
+    /// drain deadline (no cancellation was needed).
+    pub drained_cleanly: bool,
+    /// Queued jobs force-completed with a `cancelled` fault after the
+    /// drain deadline passed.
+    pub cancelled: usize,
+}
+
+/// Shared trace fan-in: worker threads and the submit path all emit
+/// service-lifecycle events through one mutexed sink.
+struct SharedSink {
+    sink: Mutex<Box<dyn TraceSink + Send>>,
+    level: TraceLevel,
+}
+
+struct Shared {
+    scheduler: Scheduler,
+    pool: WorkspacePool,
+    config: ServiceConfig,
+    trace: Option<SharedSink>,
+}
+
+impl Shared {
+    fn emit(&self, event: TraceEvent) {
+        if let Some(t) = &self.trace {
+            if t.level >= event.level() {
+                t.sink.lock().expect("trace sink lock").record(&event);
+            }
+        }
+    }
+}
+
+/// A running multi-tenant solve service.
+///
+/// ```
+/// use hj_serve::{JobSpec, ServiceConfig, SolveService};
+/// use hj_matrix::gen;
+/// use std::time::Duration;
+///
+/// let service = SolveService::start(ServiceConfig::default());
+/// let ticket = service.submit(JobSpec::new(gen::uniform(20, 5, 1))).unwrap();
+/// let outcome = ticket.wait();
+/// assert_eq!(outcome.result.unwrap().values.len(), 5);
+/// let report = service.shutdown(Duration::from_secs(5));
+/// assert!(report.drained_cleanly);
+/// ```
+pub struct SolveService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SolveService {
+    /// Start the worker pool with no trace sink attached.
+    pub fn start(config: ServiceConfig) -> SolveService {
+        SolveService::start_inner(config, None)
+    }
+
+    /// Start with service-lifecycle events streamed into `sink` (admission,
+    /// rejection, dispatch, completion, fault — the `job_*` event family).
+    pub fn start_traced(config: ServiceConfig, sink: Box<dyn TraceSink + Send>) -> SolveService {
+        SolveService::start_inner(
+            config,
+            Some(SharedSink { sink: Mutex::new(sink), level: TraceLevel::Sweep }),
+        )
+    }
+
+    fn start_inner(mut config: ServiceConfig, trace: Option<SharedSink>) -> SolveService {
+        config.workers = config.workers.max(1);
+        config.max_attempts = config.max_attempts.max(1);
+        let shared = Arc::new(Shared {
+            scheduler: Scheduler::new(config.queue_capacity, config.tenant_cap),
+            pool: WorkspacePool::new(),
+            config: config.clone(),
+            trace,
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hj-serve-worker-{index}"))
+                    .spawn(move || worker_loop(index, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        SolveService { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Submit a job through admission control. `Ok` hands back a
+    /// [`JobTicket`] to wait on; `Err` is an immediate structured
+    /// rejection.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, RejectReason> {
+        let (result, event) = self.shared.scheduler.submit(spec);
+        self.shared.emit(event);
+        result
+    }
+
+    /// Submit and block until the outcome arrives.
+    pub fn solve(&self, spec: JobSpec) -> Result<JobOutcome, RejectReason> {
+        self.submit(spec).map(JobTicket::wait)
+    }
+
+    /// Jobs queued (admitted, not yet dispatched) right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.scheduler.depth()
+    }
+
+    /// Point-in-time counters and latency histograms.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.scheduler.stats(self.shared.config.workers)
+    }
+
+    /// Warm workspaces created by the pool so far (one per worker once the
+    /// pool is warm — observability for the allocation-free guarantee).
+    pub fn workspaces_created(&self) -> usize {
+        self.shared.pool.created()
+    }
+
+    /// Graceful shutdown: stop admitting, let the workers finish every
+    /// admitted job, and join the pool.
+    ///
+    /// If the queue has not fully drained within `drain`, every still-queued
+    /// job is force-completed with a `cancelled` fault, running jobs get
+    /// their cancellation flags raised (they abort at the next sweep
+    /// boundary), and the workers are then joined — so shutdown is bounded
+    /// even with wedged traffic. Idempotent: a second call returns
+    /// immediately.
+    pub fn shutdown(&self, drain: Duration) -> DrainReport {
+        self.shared.scheduler.close();
+        let drained_cleanly = self.shared.scheduler.wait_idle(drain);
+        let mut cancelled = 0;
+        if !drained_cleanly {
+            cancelled = self.shared.scheduler.cancel_pending();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("worker handles lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        DrainReport { drained_cleanly, cancelled }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        // Last-resort cleanup for services dropped without an explicit
+        // shutdown; gives in-flight work a short bounded drain.
+        self.shutdown(Duration::from_secs(1));
+    }
+}
+
+/// One worker: checkout a workspace once, then pull-solve-report until the
+/// scheduler signals shutdown. The workspace goes back to the pool warm, so
+/// a later restart (or test harness reuse) skips the warm-up allocations.
+fn worker_loop(index: usize, shared: &Shared) {
+    let mut ws = shared.pool.checkout();
+    while let Some(job) = shared.scheduler.next_job() {
+        shared.emit(TraceEvent::JobDispatched { job: job.id, worker: index, attempt: job.attempt });
+        let started = Instant::now();
+        let result = run_job(shared, &job, &mut ws);
+        let seconds = started.elapsed().as_secs_f64();
+        match result {
+            Ok(values) => {
+                shared.emit(TraceEvent::JobCompleted {
+                    job: job.id,
+                    worker: index,
+                    seconds,
+                    sweeps: values.sweeps,
+                });
+                shared.scheduler.complete(job, Ok(values));
+            }
+            Err(err) => {
+                let retryable = should_retry(&err);
+                if retryable && job.attempt < shared.config.max_attempts {
+                    let next = job.attempt + 1;
+                    shared.scheduler.requeue(job, backoff_delay(shared.config.retry_backoff, next));
+                } else {
+                    shared.emit(TraceEvent::JobFaulted {
+                        job: job.id,
+                        worker: index,
+                        fault: fault_kind(&err),
+                        attempts: job.attempt,
+                    });
+                    shared.scheduler.complete(job, Err(err));
+                }
+            }
+        }
+    }
+    shared.pool.checkin(ws);
+}
+
+/// Solve one dispatched job on the worker's workspace. The job's deadline
+/// and cancellation flag become the solve's [`SolveBudget`], checked at
+/// every sweep boundary — an already-expired deadline faults before any
+/// sweep runs and the workspace comes back clean.
+fn run_job(
+    shared: &Shared,
+    job: &QueuedJob,
+    ws: &mut hj_core::SweepWorkspace,
+) -> Result<hj_core::SingularValues, SvdError> {
+    let mut options = shared.config.options;
+    options.engine = job.spec.engine;
+    let mut budget = match job.spec.deadline {
+        Some(deadline) => SolveBudget::with_deadline(deadline),
+        None => SolveBudget::unlimited(),
+    };
+    budget = budget.cancelled_by(Arc::clone(&job.cancel));
+    HestenesSvd::new(options)
+        .with_budget(budget)
+        .singular_values_with_workspace(&job.spec.matrix, ws)
+}
+
+/// Stable fault-class string for an error's trace event.
+fn fault_kind(err: &SvdError) -> &'static str {
+    match err {
+        SvdError::SolveFault { fault, .. } => fault.kind(),
+        SvdError::EmptyInput => "empty-input",
+        SvdError::NonFiniteInput => "non-finite-input",
+        SvdError::EngineNeedsRoundRobin => "engine-needs-round-robin",
+        SvdError::ZeroSweepBudget => "zero-sweep-budget",
+        SvdError::TruncatedTailNotNegligible => "truncated-tail",
+    }
+}
+
+/// Convenience for tests: has the ticket's cancel flag been raised?
+pub(crate) fn _cancel_raised(ticket: &JobTicket) -> bool {
+    ticket.cancel.load(AtomicOrdering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use hj_core::recovery::Fault;
+    use hj_matrix::gen;
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff_delay(base, 2), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, 3), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, 4), Duration::from_millis(40));
+        // Far past the cap: no overflow, monotone plateau.
+        assert_eq!(backoff_delay(base, 100), backoff_delay(base, 18));
+        assert_eq!(backoff_delay(Duration::MAX, 10), Duration::MAX);
+    }
+
+    #[test]
+    fn retry_classification_follows_fault_kind() {
+        let retryable = SvdError::SolveFault {
+            fault: Fault::ConvergenceStall { sweep: 3, stalled_sweeps: 2 },
+            sweeps_completed: 3,
+            recoveries: 1,
+        };
+        assert!(should_retry(&retryable));
+        let deadline = SvdError::SolveFault {
+            fault: Fault::DeadlineExceeded { sweep: 1 },
+            sweeps_completed: 0,
+            recoveries: 0,
+        };
+        assert!(!should_retry(&deadline));
+        let cancelled = SvdError::SolveFault {
+            fault: Fault::Cancelled { sweep: 1 },
+            sweeps_completed: 0,
+            recoveries: 0,
+        };
+        assert!(!should_retry(&cancelled));
+        assert!(!should_retry(&SvdError::EmptyInput));
+        assert!(!should_retry(&SvdError::NonFiniteInput));
+    }
+
+    #[test]
+    fn service_solves_and_matches_direct_call() {
+        let service = SolveService::start(ServiceConfig::default());
+        let a = gen::uniform(30, 8, 42);
+        let direct = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
+        let outcome = service.solve(JobSpec::new(a)).unwrap();
+        let served = outcome.result.unwrap();
+        assert_eq!(outcome.attempts, 1);
+        for (x, y) in served.values.iter().zip(direct.values.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "service result must be bit-identical");
+        }
+        let report = service.shutdown(Duration::from_secs(5));
+        assert!(report.drained_cleanly);
+        assert_eq!(report.cancelled, 0);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.faulted, 0);
+    }
+
+    #[test]
+    fn expired_deadline_faults_without_running_a_sweep() {
+        let service = SolveService::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let spec = JobSpec::new(gen::uniform(40, 12, 7))
+            .deadline(Instant::now() - Duration::from_millis(5))
+            .priority(Priority::Interactive);
+        let outcome = service.solve(spec).unwrap();
+        match outcome.result {
+            Err(SvdError::SolveFault { fault: Fault::DeadlineExceeded { .. }, .. }) => {}
+            other => panic!("expected deadline fault, got {other:?}"),
+        }
+        // The worker and its workspace survive the fault and serve the next
+        // job normally.
+        let ok = service.solve(JobSpec::new(gen::uniform(20, 5, 8))).unwrap();
+        assert!(ok.result.is_ok());
+        service.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn input_errors_are_not_retried() {
+        let service = SolveService::start(ServiceConfig::default());
+        let outcome = service.solve(JobSpec::new(hj_matrix::Matrix::zeros(0, 3))).unwrap();
+        assert!(matches!(outcome.result, Err(SvdError::EmptyInput)));
+        assert_eq!(outcome.attempts, 1);
+        service.shutdown(Duration::from_secs(2));
+        assert_eq!(service.stats().retries, 0);
+    }
+
+    #[test]
+    fn cancellation_via_ticket_aborts_the_job() {
+        // One worker pinned by a first job keeps the second queued long
+        // enough to cancel it deterministically.
+        let service = SolveService::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let blocker = service.submit(JobSpec::new(gen::uniform(120, 60, 1))).unwrap();
+        let victim = service.submit(JobSpec::new(gen::uniform(60, 30, 2))).unwrap();
+        victim.cancel();
+        assert!(super::_cancel_raised(&victim));
+        let outcome = victim.wait();
+        match outcome.result {
+            Err(SvdError::SolveFault { fault: Fault::Cancelled { .. }, .. }) => {}
+            other => panic!("expected cancelled fault, got {other:?}"),
+        }
+        assert!(blocker.wait().result.is_ok());
+        service.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_bounded() {
+        let service = SolveService::start(ServiceConfig::default());
+        let r1 = service.shutdown(Duration::from_secs(1));
+        assert!(r1.drained_cleanly);
+        let r2 = service.shutdown(Duration::from_secs(1));
+        assert!(r2.drained_cleanly, "second shutdown is a no-op");
+        assert!(matches!(
+            service.submit(JobSpec::new(gen::uniform(4, 2, 1))),
+            Err(RejectReason::Draining)
+        ));
+    }
+}

@@ -9,10 +9,18 @@
 //! hjsvd simulate --rows M --cols N [--sweeps S]
 //! hjsvd resources
 //! hjsvd generate --rows M --cols N <out.csv> [--seed S] [--cond C]
+//! hjsvd serve --addr HOST:PORT [--workers N] [--queue-cap N] [--tenant-cap N]
+//! hjsvd submit <matrix.csv> --addr HOST:PORT [--deadline-ms T]
+//!             [--priority interactive|batch] [--engine seq|par|blocked] [--tenant NAME]
+//! hjsvd shutdown --addr HOST:PORT [--drain-ms T]
 //! ```
 //!
 //! Matrices are headerless CSV (one row per line, `#` comments allowed).
 //! Argument parsing is hand-rolled — the workspace takes no CLI dependency.
+//!
+//! When both `--stats -` and `--trace -` are requested, stdout belongs to
+//! the JSONL trace stream and the stats object is routed to **stderr**
+//! instead — two JSON documents never interleave on one stream.
 //!
 //! Every failure exits with a *distinct* nonzero code and a single
 //! machine-greppable stderr line `error[<kind>]: <message>`:
@@ -27,6 +35,7 @@
 //! | 7    | `solve-fault`   | health check aborted the solve                |
 //! | 8    | `timeout`       | `--timeout-ms` deadline exceeded              |
 //! | 9    | `cancelled`     | solve cancelled via its cancellation flag     |
+//! | 10   | `rejected`      | serve admission control rejected the job      |
 
 use hjsvd::arch::{resource_usage, ArchConfig, HestenesJacobiArch};
 use hjsvd::core::{
@@ -34,6 +43,10 @@ use hjsvd::core::{
 };
 use hjsvd::fpsim::resources::ChipCapacity;
 use hjsvd::matrix::{gen, io, norms, Matrix};
+use hjsvd::serve::{
+    Client, ClientError, Priority, Server, ServiceConfig, SubmitOptions, CODE_BAD_REQUEST,
+    CODE_CANCELLED, CODE_DEADLINE, CODE_REJECTED,
+};
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -92,6 +105,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "simulate" => cmd_simulate(&mut parsed),
         "resources" => cmd_resources(&parsed),
         "generate" => cmd_generate(&mut parsed),
+        "serve" => cmd_serve(&mut parsed),
+        "submit" => cmd_submit(&mut parsed),
+        "shutdown" => cmd_shutdown(&mut parsed),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -129,7 +145,24 @@ USAGE:
   hjsvd resources
       Resource utilization of the architecture on the XC5VLX330 (Table II).
   hjsvd generate --rows M --cols N <out.csv> [--seed S] [--cond C]
-      Write a random test matrix (uniform, or graded to condition number C)."
+      Write a random test matrix (uniform, or graded to condition number C).
+  hjsvd serve --addr HOST:PORT [--workers N] [--queue-cap N] [--tenant-cap N]
+              [--max-attempts N]
+      Run the multi-tenant solve service. Prints 'listening on HOST:PORT'
+      (port 0 resolves to an ephemeral port), serves until a shutdown
+      frame arrives, then prints the final stats JSON. --workers sizes
+      the worker pool, --queue-cap bounds the admission queue,
+      --tenant-cap limits per-tenant in-flight jobs (0 = unlimited).
+  hjsvd submit <matrix.csv> --addr HOST:PORT [--deadline-ms T]
+              [--priority interactive|batch] [--engine seq|par|blocked]
+              [--tenant NAME]
+      Submit a matrix to a running server and print the singular values
+      (bit-identical to a local 'svd --values-only' run). --deadline-ms
+      bounds the job's wall-clock time (exit code 8 when exceeded);
+      rejected submissions exit with code 10.
+  hjsvd shutdown --addr HOST:PORT [--drain-ms T]
+      Gracefully stop a running server: drain in-flight jobs for up to
+      --drain-ms (default 5000), then print the final stats JSON."
     );
 }
 
@@ -203,11 +236,22 @@ fn save(m: &Matrix, path: &str) -> Result<(), CliError> {
     io::save_csv(m, path).map_err(|e| CliError::io(format!("{path}: {e}")))
 }
 
-/// Write a solve's JSON stats to `path` (`-` = stdout).
-fn emit_stats(stats: &hjsvd::core::SolveStats, path: &str) -> Result<(), CliError> {
+/// Write a solve's JSON stats to `path` (`-` = stdout). When the trace
+/// stream already owns stdout (`--trace -`), `-` routes to stderr instead:
+/// interleaving a JSON object into a JSONL stream would corrupt both
+/// documents, and consumers piping the trace must keep getting pure JSONL.
+fn emit_stats(
+    stats: &hjsvd::core::SolveStats,
+    path: &str,
+    trace_owns_stdout: bool,
+) -> Result<(), CliError> {
     let json = stats.to_json();
     if path == "-" {
-        println!("{json}");
+        if trace_owns_stdout {
+            eprintln!("{json}");
+        } else {
+            println!("{json}");
+        }
         Ok(())
     } else {
         std::fs::write(path, json + "\n").map_err(|e| CliError::io(format!("{path}: {e}")))
@@ -274,6 +318,7 @@ fn cmd_svd(p: &mut ParsedArgs) -> Result<(), CliError> {
         solver = solver.with_budget(SolveBudget::with_timeout(Duration::from_millis(ms)));
     }
     let stats_path = p.opt("stats").map(str::to_string);
+    let trace_owns_stdout = matches!(&trace, Some((tp, _)) if tp == "-");
     if p.flag("values-only") {
         let sv = match &trace {
             Some((tp, _)) => {
@@ -289,7 +334,7 @@ fn cmd_svd(p: &mut ParsedArgs) -> Result<(), CliError> {
             println!("{v}");
         }
         if let Some(sp) = stats_path {
-            emit_stats(&sv.stats, &sp)?;
+            emit_stats(&sv.stats, &sp, trace_owns_stdout)?;
         }
         return Ok(());
     }
@@ -303,7 +348,7 @@ fn cmd_svd(p: &mut ParsedArgs) -> Result<(), CliError> {
         None => solver.decompose(&a)?,
     };
     if let Some(sp) = stats_path {
-        emit_stats(&svd.stats, &sp)?;
+        emit_stats(&svd.stats, &sp, trace_owns_stdout)?;
     }
     let rank: Option<usize> = p.opt_parse("rank").map_err(CliError::usage)?;
     let k = rank.unwrap_or(svd.singular_values.len()).min(svd.singular_values.len());
@@ -413,6 +458,93 @@ fn cmd_generate(p: &mut ParsedArgs) -> Result<(), CliError> {
     };
     save(&a, &out)?;
     println!("# wrote {m}x{n} matrix to {out}");
+    Ok(())
+}
+
+/// Map a serve-client failure onto the CLI's exit-code/kind table. Remote
+/// error frames carry the wire code, which doubles as the exit code.
+fn client_error(e: ClientError) -> CliError {
+    match e {
+        ClientError::Io(err) => CliError::io(err.to_string()),
+        ClientError::Protocol(err) => CliError::io(format!("protocol error: {err}")),
+        ClientError::Unexpected(what) => CliError::io(format!("unexpected server reply: {what}")),
+        ClientError::Remote { code, kind, message } => {
+            let static_kind = match code {
+                CODE_REJECTED => "rejected",
+                CODE_DEADLINE => "timeout",
+                CODE_CANCELLED => "cancelled",
+                CODE_BAD_REQUEST => "bad-input",
+                _ => "solve-fault",
+            };
+            // Exit codes below 2 collide with success/panic conventions.
+            let code = if code >= 2 { code } else { 7 };
+            CliError { code, kind: static_kind, message: format!("[{kind}] {message}") }
+        }
+    }
+}
+
+fn cmd_serve(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let addr = p.opt("addr").ok_or_else(|| CliError::usage("--addr is required"))?.to_string();
+    let mut config = ServiceConfig::default();
+    if let Some(w) = p.opt_parse::<usize>("workers").map_err(CliError::usage)? {
+        config.workers = w.max(1);
+    }
+    if let Some(c) = p.opt_parse::<usize>("queue-cap").map_err(CliError::usage)? {
+        config.queue_capacity = c.max(1);
+    }
+    if let Some(t) = p.opt_parse::<usize>("tenant-cap").map_err(CliError::usage)? {
+        config.tenant_cap = t;
+    }
+    if let Some(a) = p.opt_parse::<usize>("max-attempts").map_err(CliError::usage)? {
+        config.max_attempts = a.max(1);
+    }
+    let server = Server::bind(&addr, config).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let local = server.local_addr().map_err(|e| CliError::io(e.to_string()))?;
+    // One parseable line so scripts (and CI) can discover the ephemeral port.
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+    let stats = server.run().map_err(|e| CliError::io(e.to_string()))?;
+    println!("{}", stats.to_json());
+    Ok(())
+}
+
+fn cmd_submit(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let path = p.positional(0, "input matrix path").map_err(CliError::usage)?.to_string();
+    let addr = p.opt("addr").ok_or_else(|| CliError::usage("--addr is required"))?.to_string();
+    let a = load(&path)?;
+    let engine = engine_option(p)?;
+    let priority = match p.opt("priority") {
+        None => Priority::Interactive,
+        Some(v) => Priority::parse(v).ok_or_else(|| {
+            CliError::usage(format!(
+                "--priority: unknown class '{v}' (choose interactive or batch)"
+            ))
+        })?,
+    };
+    let deadline_ms: Option<u64> = p.opt_parse("deadline-ms").map_err(CliError::usage)?;
+    let tenant = p.opt("tenant").unwrap_or("").to_string();
+    let mut client = Client::connect(&addr).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let outcome = client
+        .submit(&a, SubmitOptions { engine, priority, deadline_ms, tenant })
+        .map_err(client_error)?;
+    println!(
+        "# {} singular values ({} sweeps, job {})",
+        outcome.values.len(),
+        outcome.sweeps,
+        outcome.job
+    );
+    for v in &outcome.values {
+        println!("{v}");
+    }
+    Ok(())
+}
+
+fn cmd_shutdown(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let addr = p.opt("addr").ok_or_else(|| CliError::usage("--addr is required"))?.to_string();
+    let drain_ms: u64 = p.opt_parse("drain-ms").map_err(CliError::usage)?.unwrap_or(5000);
+    let mut client = Client::connect(&addr).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let json = client.shutdown(Duration::from_millis(drain_ms)).map_err(client_error)?;
+    println!("{json}");
     Ok(())
 }
 
@@ -604,6 +736,65 @@ mod tests {
         let e = run(&args(&["svd", &mp, "--trace", "/nonexistent/dir/t.jsonl"])).unwrap_err();
         assert_eq!((e.code, e.kind), (3, "io"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_commands_validate_usage_and_connectivity() {
+        // Missing --addr everywhere.
+        let e = run(&args(&["serve"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        let e = run(&args(&["shutdown"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        let dir = std::env::temp_dir().join("hjsvd_cli_submit_usage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mp = dir.join("m.csv").to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "6", "--cols", "3", &mp, "--seed", "1"])).unwrap();
+        let e = run(&args(&["submit", &mp])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        // Bad priority spelling.
+        let e = run(&args(&["submit", &mp, "--addr", "127.0.0.1:1", "--priority", "urgent"]))
+            .unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        assert!(e.message.contains("interactive or batch"), "{}", e.message);
+        // A dead address is an io error, not a hang: bind an ephemeral port
+        // and drop the listener so connecting to it is refused.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let e = run(&args(&["submit", &mp, "--addr", &dead])).unwrap_err();
+        assert_eq!((e.code, e.kind), (3, "io"));
+        let e = run(&args(&["shutdown", "--addr", &dead])).unwrap_err();
+        assert_eq!((e.code, e.kind), (3, "io"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_error_mapping_covers_remote_codes() {
+        let e = client_error(ClientError::Remote {
+            code: CODE_REJECTED,
+            kind: "queue-full".into(),
+            message: "full".into(),
+        });
+        assert_eq!((e.code, e.kind), (10, "rejected"));
+        assert!(e.message.contains("[queue-full]"));
+        let e = client_error(ClientError::Remote {
+            code: CODE_DEADLINE,
+            kind: "deadline".into(),
+            message: "late".into(),
+        });
+        assert_eq!((e.code, e.kind), (8, "timeout"));
+        let e = client_error(ClientError::Remote {
+            code: CODE_CANCELLED,
+            kind: "cancelled".into(),
+            message: "".into(),
+        });
+        assert_eq!((e.code, e.kind), (9, "cancelled"));
+        let e =
+            client_error(ClientError::Remote { code: 0, kind: "weird".into(), message: "".into() });
+        assert_eq!(e.code, 7, "codes below 2 are remapped");
+        let e = client_error(ClientError::Unexpected("x"));
+        assert_eq!((e.code, e.kind), (3, "io"));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   resource accounting).
 //! * [`arch`] — the paper's architecture assembled from those components,
 //!   with timing and resource reports.
+//! * [`serve`] — the multi-tenant solve service: bounded job queue,
+//!   deadline-aware scheduler, worker pool, and the TCP wire protocol
+//!   behind `hjsvd serve` / `hjsvd submit`.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@ pub use hj_baselines as baselines;
 pub use hj_core as core;
 pub use hj_fpsim as fpsim;
 pub use hj_matrix as matrix;
+pub use hj_serve as serve;
 
 /// The names most programs need, importable in one line:
 /// `use hjsvd::prelude::*;`
@@ -47,4 +51,5 @@ pub mod prelude {
         SvdOptions,
     };
     pub use hj_matrix::{gen, norms, Matrix, PackedSymmetric};
+    pub use hj_serve::{JobSpec, ServiceConfig, SolveService};
 }

@@ -127,6 +127,52 @@ fn blocked_engine_sweeps_allocate_nothing_after_warmup() {
 }
 
 #[test]
+fn serving_loop_reuses_one_workspace_and_bounds_per_job_allocations() {
+    // The hj-serve worker checks out ONE workspace at startup and keeps it
+    // for the life of the pool, so the serving steady state inherits the
+    // sweep engines' zero-allocation discipline: solving a stream of
+    // same-shape jobs creates no further workspaces, and the remaining
+    // per-job allocation events (ticket, completion slot, result vector)
+    // are a small constant independent of how many jobs have been served.
+    let _guard = SERIAL.lock().unwrap();
+    use hjsvd::serve::{JobSpec, ServiceConfig, SolveService};
+    use std::time::Duration;
+
+    let service = SolveService::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+
+    // Pre-generate every matrix so measured deltas are service-side only.
+    let mats: Vec<Matrix> = (0..9).map(|k| gen::uniform(32, 12, 50 + k)).collect();
+    let mut mats = mats.into_iter();
+
+    // Warm-up: the first jobs size the worker's workspace, the queue spine,
+    // and the tenant table.
+    for _ in 0..3 {
+        assert!(service.solve(JobSpec::new(mats.next().unwrap())).unwrap().result.is_ok());
+    }
+    assert_eq!(service.workspaces_created(), 1, "worker must own exactly one workspace");
+
+    // Steady state: per-job allocation events stay bounded by a constant.
+    let mut deltas = Vec::new();
+    for m in mats {
+        let before = allocation_count();
+        assert!(service.solve(JobSpec::new(m)).unwrap().result.is_ok());
+        deltas.push(allocation_count() - before);
+    }
+    let bound = 64;
+    let worst = deltas.iter().copied().max().unwrap();
+    assert!(worst <= bound, "a served job allocated {worst} times (> {bound}): {deltas:?}");
+    // No drift: late jobs cost no more than early ones (same shape, warm
+    // everything) — the loop is not accumulating per-job state.
+    assert!(
+        deltas.last().unwrap() <= deltas.first().unwrap(),
+        "per-job allocations grew across the serving loop: {deltas:?}"
+    );
+    // And the pool never created a second workspace.
+    assert_eq!(service.workspaces_created(), 1);
+    assert!(service.shutdown(Duration::from_secs(5)).drained_cleanly);
+}
+
+#[test]
 fn reused_workspace_allocations_are_per_problem_not_per_sweep() {
     // Swap-publishing trades buffers with the caller's matrices, so moving a
     // warm workspace to a NEW problem can cost a bounded handful of buffer
