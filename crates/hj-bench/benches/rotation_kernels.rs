@@ -1,10 +1,16 @@
 //! Microbench: rotation-parameter kernels — the textbook ρ→t chain vs the
 //! paper's flattened hardware equations (8)–(10) (both produce the same
 //! rotation; the hardware form exists for datapath parallelism, and this
-//! bench shows the two are also comparable in software cost).
+//! bench shows the two are also comparable in software cost) — plus the
+//! vectorized kernel layer against the scalar paths it replaced: SoA
+//! `batch_params` vs a scalar parameter loop, and the packed three-region
+//! `rotate_packed` walk vs the historical per-element `get`/`set` update.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hj_core::rotation::{hardware_params, textbook_params};
+use hj_core::kernel::{batch_params, rotate_packed};
+use hj_core::rotation::{hardware_params, textbook_params, Rotation};
+use hj_core::GramState;
+use hj_matrix::{gen, PackedSymmetric};
 
 fn bench_rotation_kernels(c: &mut Criterion) {
     // A mix of magnitudes so branch behaviour is realistic.
@@ -37,6 +43,88 @@ fn bench_rotation_kernels(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    let mut g = c.benchmark_group("rotation_params_batch");
+    let ni: Vec<f64> = inputs.iter().map(|t| t.0).collect();
+    let nj: Vec<f64> = inputs.iter().map(|t| t.1).collect();
+    let cv: Vec<f64> = inputs.iter().map(|t| t.2).collect();
+    g.bench_function("scalar_loop_256", |b| {
+        let mut cos = vec![0.0; ni.len()];
+        let mut sin = vec![0.0; ni.len()];
+        let mut t = vec![0.0; ni.len()];
+        b.iter(|| {
+            for k in 0..ni.len() {
+                let r = textbook_params(black_box(ni[k]), black_box(nj[k]), black_box(cv[k]));
+                cos[k] = r.cos;
+                sin[k] = r.sin;
+                t[k] = r.t;
+            }
+            black_box(cos[0] + sin[0] + t[0])
+        })
+    });
+    g.bench_function("batch_soa_256", |b| {
+        let mut cos = vec![0.0; ni.len()];
+        let mut sin = vec![0.0; ni.len()];
+        let mut t = vec![0.0; ni.len()];
+        b.iter(|| {
+            batch_params(
+                black_box(&ni),
+                black_box(&nj),
+                black_box(&cv),
+                &mut cos,
+                &mut sin,
+                &mut t,
+            );
+            black_box(cos[0] + sin[0] + t[0])
+        })
+    });
+    g.finish();
+
+    // The O(n) Gram update at n = 128: the historical per-element
+    // `get`/`set` walk vs the kernel's three-region split over the packed
+    // triangle. This pair is the inner loop the engine inversion traced to.
+    let n = 128;
+    let a = gen::uniform(2 * n, n, 7);
+    let gram = GramState::from_matrix(&a);
+    let rot = textbook_params(gram.norm_sq(3), gram.norm_sq(90), gram.covariance(3, 90));
+
+    let mut g = c.benchmark_group("packed_rotate_n128");
+    g.bench_function("scalar_get_set", |b| {
+        let mut d = gram.packed().clone();
+        b.iter(|| {
+            rotate_packed_scalar(&mut d, black_box(3), black_box(90), &rot);
+            black_box(d.get(3, 3))
+        })
+    });
+    g.bench_function("kernel_three_region", |b| {
+        let mut d = gram.packed().clone();
+        b.iter(|| {
+            rotate_packed(&mut d, black_box(3), black_box(90), &rot);
+            black_box(d.get(3, 3))
+        })
+    });
+    g.finish();
+}
+
+/// The pre-kernel packed rotation: one `get`/`set` pair per touched entry,
+/// each paying the triangle index computation. Kept here as the bench
+/// baseline the kernel is measured against.
+fn rotate_packed_scalar(d: &mut PackedSymmetric, i: usize, j: usize, rot: &Rotation) {
+    let n = d.dim();
+    let cov = d.get(i, j);
+    let (ni, nj) = (d.get(i, i), d.get(j, j));
+    d.set(i, i, ni - rot.t * cov);
+    d.set(j, j, nj + rot.t * cov);
+    d.set(i, j, 0.0);
+    for k in 0..n {
+        if k == i || k == j {
+            continue;
+        }
+        let dik = d.get(k, i);
+        let djk = d.get(k, j);
+        d.set(k, i, dik * rot.cos - djk * rot.sin);
+        d.set(k, j, dik * rot.sin + djk * rot.cos);
+    }
 }
 
 criterion_group!(benches, bench_rotation_kernels);

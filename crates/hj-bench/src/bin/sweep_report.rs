@@ -16,6 +16,12 @@
 //! EXPERIMENTS.md for the schema and regeneration instructions.
 //!
 //! Run: `cargo run --release -p hj-bench --bin sweep_report`
+//!
+//! With `--perf-smoke` the binary additionally enforces the engine
+//! performance contract fixed by the kernel rewrite: blocked wall-clock at
+//! the largest size must stay within [`PERF_SMOKE_RATIO`]x of sequential
+//! (the historical inversion had it ~2x slower). CI runs this mode; any
+//! cross-check failure or ratio breach exits nonzero.
 
 use hj_bench::{fmt_secs, print_table};
 use hj_core::{EngineKind, HestenesSvd, RingBufferSink, SvdOptions, TraceEvent, TraceLevel};
@@ -26,6 +32,12 @@ const ENGINES: [EngineKind; 3] =
     [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked];
 const SEED: u64 = 42;
 const BREAKDOWN_N: usize = 128;
+/// `--perf-smoke`: blocked may cost at most this multiple of sequential at
+/// the largest benchmarked size. The two do bit-identical work below the
+/// single-tile bound and near-identical above it, so 1.5 leaves generous
+/// headroom for scheduler noise while still catching a 2x inversion.
+const PERF_SMOKE_RATIO: f64 = 1.5;
+const PERF_SMOKE_N: usize = 256;
 
 /// Per-sweep numbers reconstructed from one run's `sweep_end` trace events.
 struct SweepLine {
@@ -49,6 +61,7 @@ struct Run {
 }
 
 fn main() {
+    let perf_smoke = std::env::args().skip(1).any(|a| a == "--perf-smoke");
     let mut runs = Vec::new();
     let mut failures = 0usize;
 
@@ -179,6 +192,10 @@ fn main() {
         .collect();
     print_table(&["engine", "sweep", "applied", "skipped", "off-frobenius", "time"], &rows);
 
+    if perf_smoke {
+        failures += perf_smoke_check(&runs);
+    }
+
     let path = "BENCH_sweep.json";
     match std::fs::write(path, report_json(&runs, failures)) {
         Ok(()) => println!("\nreport: {path}"),
@@ -193,6 +210,34 @@ fn main() {
         std::process::exit(1);
     }
     println!("all trace/stats cross-checks passed ({} runs)", runs.len());
+}
+
+/// `--perf-smoke`: fail if blocked wall-clock exceeds
+/// [`PERF_SMOKE_RATIO`] times sequential at n = [`PERF_SMOKE_N`]. Returns
+/// the number of failures to fold into the exit status.
+fn perf_smoke_check(runs: &[Run]) -> usize {
+    let total = |name: &str| {
+        runs.iter().find(|r| r.n == PERF_SMOKE_N && r.engine == name).map(|r| r.total_seconds)
+    };
+    let (Some(seq), Some(blk)) = (total("sequential"), total("blocked")) else {
+        eprintln!("FAIL perf-smoke: no n={PERF_SMOKE_N} sequential/blocked runs to compare");
+        return 1;
+    };
+    let ratio = blk / seq.max(1e-12);
+    println!(
+        "\nperf-smoke at n={PERF_SMOKE_N}: blocked {} / sequential {} = {ratio:.2}x \
+         (budget {PERF_SMOKE_RATIO}x)",
+        fmt_secs(blk),
+        fmt_secs(seq)
+    );
+    if ratio > PERF_SMOKE_RATIO {
+        eprintln!(
+            "FAIL perf-smoke: blocked is {ratio:.2}x sequential at n={PERF_SMOKE_N} \
+             (budget {PERF_SMOKE_RATIO}x) — the engine inversion is back"
+        );
+        return 1;
+    }
+    0
 }
 
 /// Render the whole report as one JSON document (schema

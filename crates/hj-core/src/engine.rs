@@ -319,6 +319,13 @@ impl SweepEngine for Sequential {
 /// (as the parallel engine is) — the engines agree on the converged spectrum
 /// to roundoff, which the equivalence tests pin down.
 ///
+/// When the **whole packed triangle fits the tile budget** — the common case
+/// under [`Blocked::for_dim`], which sizes the budget from `n` — staging
+/// would copy all of `D` back and forth per group for no locality gain, so
+/// the engine takes a single-tile fast path instead: pairs are rotated in
+/// place with the packed three-region kernel, bit-identical to the
+/// [`Sequential`] engine, and `tile_refills` stays 0.
+///
 /// Scratch lives in the shared [`SweepWorkspace`]; steady-state sweeps
 /// allocate nothing (same invariant, and same test, as the parallel engine).
 pub struct Blocked<'ws> {
@@ -328,15 +335,39 @@ pub struct Blocked<'ws> {
     gram_bytes0: u64,
     tile_refills: u64,
     col_touches: u64,
+    /// Rotations applied through the single-tile fast path (billed at the
+    /// sequential engine's per-rotation traffic model in `finish`).
+    fast_applied: u64,
 }
 
 impl<'ws> Blocked<'ws> {
     /// Default tile budget: a conservative L1-data-cache size.
     pub const DEFAULT_TILE_BYTES: usize = 32 * 1024;
 
+    /// Ceiling for the dimension-derived budget of [`Blocked::for_dim`]:
+    /// a conservative per-core L2 slice. The whole packed triangle fits
+    /// under it up to `n = 362`, which covers the paper's `n ≤ 256` range —
+    /// the same "keep all of `D` on chip" regime as the FPGA's BRAM (§V).
+    pub const MAX_TILE_BYTES: usize = 512 * 1024;
+
     /// Engine over caller-owned scratch with the default (L1) tile budget.
     pub fn new(ws: &'ws mut SweepWorkspace) -> Blocked<'ws> {
         Blocked::with_tile_bytes(ws, Blocked::DEFAULT_TILE_BYTES)
+    }
+
+    /// Engine with the tile budget derived from the problem dimension: the
+    /// whole packed triangle (`8·n(n+1)/2` bytes) when it fits under
+    /// [`Blocked::MAX_TILE_BYTES`] — enabling the single-tile fast path —
+    /// and the default L1 budget otherwise. This is what the solver front
+    /// ends construct.
+    pub fn for_dim(ws: &'ws mut SweepWorkspace, n: usize) -> Blocked<'ws> {
+        let triangle = 8 * (n * (n + 1) / 2);
+        let bytes = if triangle <= Blocked::MAX_TILE_BYTES {
+            triangle.max(Blocked::DEFAULT_TILE_BYTES)
+        } else {
+            Blocked::DEFAULT_TILE_BYTES
+        };
+        Blocked::with_tile_bytes(ws, bytes)
     }
 
     /// Engine with an explicit tile budget in bytes (e.g. an L2 size for
@@ -344,13 +375,91 @@ impl<'ws> Blocked<'ws> {
     pub fn with_tile_bytes(ws: &'ws mut SweepWorkspace, tile_bytes: usize) -> Blocked<'ws> {
         let allocations0 = ws.allocations();
         let gram_bytes0 = ws.gram_bytes();
-        Blocked { ws, tile_bytes, allocations0, gram_bytes0, tile_refills: 0, col_touches: 0 }
+        Blocked {
+            ws,
+            tile_bytes,
+            allocations0,
+            gram_bytes0,
+            tile_refills: 0,
+            col_touches: 0,
+            fast_applied: 0,
+        }
     }
 
     /// Pairs per group such that the staged `2g` columns (`2g·n` doubles)
     /// fit the tile budget; at least one pair.
     fn group_pairs(&self, n: usize) -> usize {
         ((self.tile_bytes / 8) / (2 * n.max(1))).max(1)
+    }
+
+    /// True when the entire packed triangle fits the tile budget — staging
+    /// would copy all of `D` per group for nothing, so the sweep runs the
+    /// in-place packed kernel directly (the fast path).
+    fn single_tile(&self, n: usize) -> bool {
+        8 * (n * (n + 1) / 2) <= self.tile_bytes
+    }
+
+    /// The single-tile fast path: `D` already fits the cache budget, so
+    /// rotate it in place pair by pair with the packed three-region kernel —
+    /// bit-identical to the [`Sequential`] engine — while keeping the
+    /// blocked engine's group trace events and counters. `tile_refills`
+    /// stays 0: nothing is ever staged.
+    fn sweep_single_tile(
+        &mut self,
+        state: &mut SweepState<'_>,
+        order: &Sweep,
+        idx: usize,
+        tracer: &mut Tracer<'_, '_>,
+    ) -> SweepRecord {
+        let guard = state.guard.ready(state.gram);
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        for (group_idx, round) in order.rounds().iter().enumerate() {
+            let mut a = 0usize;
+            let mut s = 0usize;
+            for &(i, j) in round.iter() {
+                let (ni, nj, cov) =
+                    (state.gram.norm_sq(i), state.gram.norm_sq(j), state.gram.covariance(i, j));
+                if guard.skip(ni, nj, cov) {
+                    s += 1;
+                    if tracer.rotation_enabled() {
+                        tracer.emit(TraceEvent::RotationSkipped {
+                            sweep: idx,
+                            i,
+                            j,
+                            reason: guard.reason(),
+                        });
+                    }
+                    continue;
+                }
+                let rot = textbook_params(ni, nj, cov);
+                state.gram.rotate(i, j, &rot);
+                if let Some(b) = state.target.columns.as_deref_mut() {
+                    b.column_pair(i, j).expect("round pairs are valid").rotate(rot.cos, rot.sin);
+                }
+                if let Some(vm) = state.target.v.as_deref_mut() {
+                    vm.column_pair(i, j).expect("round pairs are valid").rotate(rot.cos, rot.sin);
+                }
+                a += 1;
+                if tracer.rotation_enabled() {
+                    tracer.emit(TraceEvent::RotationApplied { sweep: idx, i, j });
+                }
+            }
+            if tracer.group_enabled() {
+                tracer.emit(TraceEvent::PairGroupDispatched {
+                    sweep: idx,
+                    round: group_idx,
+                    pairs: round.len(),
+                    applied: a,
+                    skipped: s,
+                });
+            }
+            self.fast_applied += a as u64;
+            self.col_touches += 2 * a as u64;
+            applied += a;
+            skipped += s;
+        }
+        finish_record(state.gram, idx, applied, skipped)
     }
 }
 
@@ -367,6 +476,9 @@ impl SweepEngine for Blocked<'_> {
         tracer: &mut Tracer<'_, '_>,
     ) -> SweepRecord {
         let n = state.gram.dim();
+        if self.single_tile(n) {
+            return self.sweep_single_tile(state, order, idx, tracer);
+        }
         let guard = state.guard.ready(state.gram);
         let g = self.group_pairs(n);
         self.ws.prepare_plan(n);
@@ -415,9 +527,13 @@ impl SweepEngine for Blocked<'_> {
         finish_record(state.gram, idx, applied, skipped)
     }
 
-    fn finish(&mut self, stats: &mut SolveStats, _n: usize) {
+    fn finish(&mut self, stats: &mut SolveStats, n: usize) {
         stats.workspace_allocations = self.ws.allocations().saturating_sub(self.allocations0);
-        stats.gram_bytes = self.ws.gram_bytes().saturating_sub(self.gram_bytes0);
+        // Staged groups are metered by the tile model in the workspace;
+        // fast-path rotations are in-place O(n) updates and bill at the
+        // sequential engine's per-rotation rate.
+        stats.gram_bytes = self.ws.gram_bytes().saturating_sub(self.gram_bytes0)
+            + self.fast_applied * seq_rotation_gram_bytes(n);
         stats.gram_col_touches = self.col_touches;
         stats.tile_refills = self.tile_refills;
         stats.threads = 1;
@@ -433,52 +549,46 @@ fn apply_group_tiled(gram: &mut GramState, ws: &mut SweepWorkspace) {
     let cols = 2 * rotations.len();
     diag_new.clear();
     let d = gram.packed_mut();
-    // Stage 0: copy the group's logical columns of D into the tile; capture
-    // the exact O(1) diagonal updates (Algorithm 1 lines 15–17) before any
-    // entry changes.
+    // Stage 0: gather the group's logical columns of D into the tile
+    // (contiguous row tail + strided head per column, no per-element offset
+    // math — [`crate::kernel::gather_column`]); capture the exact O(1)
+    // diagonal updates (Algorithm 1 lines 15–17) before any entry changes.
     for (r, &(i, j, rot)) in rotations.iter().enumerate() {
         let cov = d.get(i, j);
         diag_new.push(d.get(i, i) - rot.t * cov);
         diag_new.push(d.get(j, j) + rot.t * cov);
         let (ti, tj) = (2 * r * n, (2 * r + 1) * n);
-        for k in 0..n {
-            tile[ti + k] = d.get(k, i);
-            tile[tj + k] = d.get(k, j);
-        }
+        crate::kernel::gather_column(d, i, &mut tile[ti..ti + n]);
+        crate::kernel::gather_column(d, j, &mut tile[tj..tj + n]);
     }
-    // Stage 1: column transform D·J — rotate each staged column pair
-    // element-wise over all n rows.
+    // Stage 1: column transform D·J — each staged column pair is one
+    // lane-friendly paired rotate over all n rows (bit-identical to the
+    // element-wise loop; see `hj_matrix::ops::rotate_pair`).
     for (r, &(_, _, rot)) in rotations.iter().enumerate() {
         let (ti, tj) = (2 * r * n, (2 * r + 1) * n);
-        for k in 0..n {
-            let x = tile[ti + k];
-            let y = tile[tj + k];
-            tile[ti + k] = rot.cos * x - rot.sin * y;
-            tile[tj + k] = rot.sin * x + rot.cos * y;
+        let (head, tail) = tile.split_at_mut(tj);
+        hj_matrix::ops::rotate_pair(&mut head[ti..], &mut tail[..n], rot.cos, rot.sin);
+    }
+    // Stage 2: row transform Jᵀ·(D·J) — the group's own rows of every
+    // staged column. Column-outer, rotations-inner: the tile streams
+    // linearly and each column's row pairs are rotated in one pass.
+    // Bit-identical to the rotations-outer order (the group's pairs are
+    // disjoint, so every element is touched by exactly one rotation).
+    for col in tile[..cols * n].chunks_exact_mut(n) {
+        for &(i, j, rot) in rotations.iter() {
+            let x = col[i];
+            let y = col[j];
+            col[i] = rot.cos * x - rot.sin * y;
+            col[j] = rot.sin * x + rot.cos * y;
         }
     }
-    // Stage 2: row transform Jᵀ·(D·J) — the group's own rows of every staged
-    // column (Jᵀ rotates row pairs with the same (cos, sin) pattern).
-    for &(i, j, rot) in rotations.iter() {
-        for t in 0..cols {
-            let base = t * n;
-            let x = tile[base + i];
-            let y = tile[base + j];
-            tile[base + i] = rot.cos * x - rot.sin * y;
-            tile[base + j] = rot.sin * x + rot.cos * y;
-        }
-    }
-    // Write back, then pin entries known exactly: each pair's covariance is
-    // annihilated, and the diagonals take the O(1) norm update (more
-    // accurate than the quadratic form).
+    // Write back (the mirror of stage 0's gather), then pin entries known
+    // exactly: each pair's covariance is annihilated, and the diagonals
+    // take the O(1) norm update (more accurate than the quadratic form).
     for (r, &(i, j, _)) in rotations.iter().enumerate() {
         let (ti, tj) = (2 * r * n, (2 * r + 1) * n);
-        for k in 0..n {
-            d.set(k, i, tile[ti + k]);
-        }
-        for k in 0..n {
-            d.set(k, j, tile[tj + k]);
-        }
+        crate::kernel::scatter_column(d, i, &tile[ti..ti + n]);
+        crate::kernel::scatter_column(d, j, &tile[tj..tj + n]);
     }
     for (r, &(i, j, _)) in rotations.iter().enumerate() {
         d.set(i, i, diag_new[2 * r]);
@@ -877,11 +987,31 @@ mod tests {
             target: RotationTarget::gram_only(),
             guard: PairGuard::default(),
         };
-        let (_, par) = driver().run(&mut Parallel::new(&mut ws), &mut st, &order);
+        let (_, par) = driver().run(&mut Parallel::round_synchronous(&mut ws), &mut st, &order);
         assert_eq!(par.engine, "parallel");
         assert!(par.workspace_allocations > 0, "warm-up must allocate");
         assert!(par.threads >= 1);
 
+        // Parallel::new at one worker thread reports the sequential model
+        // (the fallback), with zero workspace use and zero dispatches.
+        if rayon::current_num_threads() == 1 {
+            let mut g = GramState::from_matrix(&a);
+            let mut ws = SweepWorkspace::new();
+            let mut st = SweepState {
+                gram: &mut g,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            let (_, fb) = driver().run(&mut Parallel::new(&mut ws), &mut st, &order);
+            assert_eq!(fb.engine, "parallel");
+            assert_eq!(fb.workspace_allocations, 0);
+            assert_eq!(fb.parallel_dispatches, 0);
+            assert_eq!(fb.threads, 1);
+            assert!(fb.gram_bytes > 0);
+        }
+
+        // n = 9 fits a single default tile, so the blocked engine takes the
+        // in-place fast path: no staging, no workspace growth, no refills.
         let mut g = GramState::from_matrix(&a);
         let mut ws = SweepWorkspace::new();
         let mut st = SweepState {
@@ -891,9 +1021,56 @@ mod tests {
         };
         let (_, blk) = driver().run(&mut Blocked::new(&mut ws), &mut st, &order);
         assert_eq!(blk.engine, "blocked");
-        assert!(blk.workspace_allocations > 0, "tile warm-up must allocate");
+        assert_eq!(blk.workspace_allocations, 0, "fast path must not stage");
+        assert_eq!(blk.tile_refills, 0);
         assert!(blk.gram_bytes > 0);
         assert_eq!(blk.threads, 1);
+
+        // A deliberately tiny budget forces the tiled path and its staging
+        // allocations.
+        let mut g = GramState::from_matrix(&a);
+        let mut ws = SweepWorkspace::new();
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let (_, tiled) = driver().run(&mut Blocked::with_tile_bytes(&mut ws, 256), &mut st, &order);
+        assert_eq!(tiled.engine, "blocked");
+        assert!(tiled.workspace_allocations > 0, "tile warm-up must allocate");
+        assert!(tiled.tile_refills > 0);
+        assert!(tiled.gram_bytes > 0);
+    }
+
+    #[test]
+    fn blocked_fast_path_is_bit_identical_to_sequential() {
+        // Under `for_dim` every n ≤ 362 fits one tile; the fast path must
+        // reproduce the sequential engine bit for bit and never refill.
+        for &(m, n, seed) in &[(30usize, 8usize, 6u64), (50, 24, 7), (20, 33, 8)] {
+            let a = gen::uniform(m, n, seed);
+            let order = round_robin(n);
+
+            let mut g_seq = GramState::from_matrix(&a);
+            let mut st = SweepState {
+                gram: &mut g_seq,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            driver().run(&mut Sequential, &mut st, &order);
+
+            let mut g_blk = GramState::from_matrix(&a);
+            let mut ws = SweepWorkspace::new();
+            let mut st = SweepState {
+                gram: &mut g_blk,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            let (_, stats) = driver().run(&mut Blocked::for_dim(&mut ws, n), &mut st, &order);
+
+            assert_eq!(g_seq.packed().as_slice(), g_blk.packed().as_slice(), "{m}x{n}");
+            assert_eq!(stats.tile_refills, 0, "{m}x{n}: single tile must never refill");
+            assert_eq!(stats.workspace_allocations, 0, "{m}x{n}");
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! [`GramState`] owns that matrix and implements the update — with the
 //! temporaries that the paper's pseudocode forgets (see DESIGN.md).
 
-use crate::rotation::{rotate_norms, Rotation};
-use hj_matrix::{Matrix, PackedSymmetric};
+use crate::rotation::Rotation;
+use hj_matrix::{Matrix, OffDiagonalSummary, PackedSymmetric};
 
 /// The covariance matrix `D` of Algorithm 1, plus rotation bookkeeping.
 ///
@@ -125,29 +125,11 @@ impl GramState {
     ///
     /// Cost: `O(n)` — this is the work the paper's Update operator performs
     /// for the covariances, `n − 2` element-pair rotations plus the O(1)
-    /// diagonal update.
+    /// diagonal update. Runs on [`crate::kernel::rotate_packed`], the
+    /// three-region slice kernel that is bit-identical to the scalar
+    /// `get`/`set` traversal of "all k ≠ i, j".
     pub fn rotate(&mut self, i: usize, j: usize, rot: &Rotation) {
-        debug_assert!(i != j, "degenerate pair");
-        let n = self.d.dim();
-        debug_assert!(i < n && j < n);
-        let (cos, sin) = (rot.cos, rot.sin);
-        // Diagonal + annihilated covariance (lines 15–17).
-        let cov = self.d.get(i, j);
-        let (ni, nj, _) = rotate_norms(self.d.get(i, i), self.d.get(j, j), cov, rot);
-        self.d.set(i, i, ni);
-        self.d.set(j, j, nj);
-        self.d.set(i, j, 0.0);
-        // Affected covariances (lines 18–26; the three loop regions of the
-        // pseudocode are just the packed-triangle traversal of "all k ≠ i, j").
-        for k in 0..n {
-            if k == i || k == j {
-                continue;
-            }
-            let dki = self.d.get(k, i);
-            let dkj = self.d.get(k, j);
-            self.d.set(k, i, dki * cos - dkj * sin);
-            self.d.set(k, j, dki * sin + dkj * cos);
-        }
+        crate::kernel::rotate_packed(&mut self.d, i, j, rot);
     }
 
     /// Mean absolute off-diagonal covariance — the paper's convergence metric
@@ -164,6 +146,15 @@ impl GramState {
     /// Largest absolute off-diagonal covariance.
     pub fn max_abs_covariance(&self) -> f64 {
         self.d.off_diagonal_max_abs()
+    }
+
+    /// All three off-diagonal convergence reductions in one fused pass over
+    /// the packed triangle (see [`PackedSymmetric::off_diagonal_summary`]);
+    /// each field is bit-identical to the corresponding standalone metric.
+    /// The per-sweep record uses this so instrumentation reads `D` once per
+    /// sweep instead of three times.
+    pub fn off_summary(&self) -> OffDiagonalSummary {
+        self.d.off_diagonal_summary()
     }
 
     /// Trace of `D` (= `‖A‖_F²`), invariant under rotations.

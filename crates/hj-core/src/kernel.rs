@@ -1,0 +1,304 @@
+//! Vectorization-friendly inner kernels — the software mirror of the
+//! paper's concurrent-dataflow units (Fig. 4).
+//!
+//! Every hot loop of the three sweep engines routes through this module.
+//! Before it existed, the engines walked the packed covariance triangle
+//! through [`PackedSymmetric::get`]/[`set`](PackedSymmetric::set) — a
+//! branch (argument swap), a multiply (row-offset polynomial), and a bounds
+//! check *per element*, which kept LLVM from vectorizing anything and made
+//! the cache-tiled engine slower than the sequential one (the ROADMAP item-1
+//! inversion). The kernels here replace that with slice traversals:
+//!
+//! * [`rotate_packed`] — the `O(n)` in-place Gram rotation of Algorithm 1
+//!   lines 15–26, decomposed into the triangle's three natural regions so
+//!   the dominant region runs on two contiguous slices (autovectorized via
+//!   [`ops::rotate_pair`]) and the strided regions walk incrementally with
+//!   no per-element offset math.
+//! * [`gather_column`] / [`scatter_column`] — the blocked engine's tile
+//!   staging: a logical column of `D` moved to/from a dense slice, with the
+//!   `k ≥ c` majority as a single `memcpy`.
+//! * [`batch_params`] — rotation parameters for a whole round-robin pair
+//!   group at once, structure-of-arrays in (`D_ii`, `D_jj`, `D_ij` lanes)
+//!   and SoA out (`cos`, `sin`, `t` lanes), mirroring the independent
+//!   per-pair parameter units the paper's Fig. 6 schedules concurrently.
+//!
+//! # Bit-compat policy
+//!
+//! Every kernel computes **exactly** the elementwise expressions of the
+//! scalar path it replaces — same operations, same order per element, no
+//! re-association, no FMA contraction — so results are bit-identical to the
+//! pre-kernel code. The only freedom taken is *traversal* order across
+//! independent elements (chunking, region splitting, loop interchange),
+//! which cannot change any bit because each element is read and written by
+//! exactly one rotation expression. In particular [`batch_params`] runs the
+//! `ρ → t → cos → sin` chain of [`crate::rotation::textbook_params`] per lane —
+//! the SoA layout gives the batched shape of the paper's eqs. (8)–(10)
+//! dataflow while keeping the engines' pinned bit-compat (the flattened
+//! hardware form itself differs from the textbook chain by re-association;
+//! `tests/kernel_compat.rs` carries the same `1e-12`-absolute pin on
+//! `cos`/`sin` that the two scalar formulations have always had). Nothing
+//! in this module needs a looser budget of its own: the kernel-compat
+//! tests pin exact equality against the scalar references.
+//!
+//! # Lane layout and tails
+//!
+//! Contiguous runs are processed in [`ops::ROTATE_LANES`]-wide chunks with a
+//! scalar tail (odd `n`, non-multiple-of-lane lengths — proptested). Strided
+//! runs (the `k < i` head of a logical column) cannot vectorize on packed
+//! storage; they instead walk with two adds per step, replacing the offset
+//! polynomial + branch of the `get`/`set` path.
+
+use crate::rotation::{rotate_norms, Rotation};
+use hj_matrix::{ops, PackedSymmetric};
+
+/// Apply the plane rotation `rot` of column pair `(i, j)`, `i < j`, to the
+/// packed triangle in place — Algorithm 1 lines 15–26, bit-identical to the
+/// scalar `get`/`set` loop it replaces.
+///
+/// The "all `k ≠ i, j`" loop of the pseudocode splits into the triangle's
+/// three regions, each with its own memory shape:
+///
+/// ```text
+/// k < i     : (k,i) and (k,j) both strided — incremental walk, stride n−k−1
+/// i < k < j : (i,k) contiguous in row i; (k,j) strided
+/// k > j     : (i,k) and (j,k) two contiguous row tails — rotate_pair (SIMD)
+/// ```
+///
+/// For a random pair each region averages a third of the column, and the
+/// contiguous share grows as the round-robin ordering visits large `j`.
+pub fn rotate_packed(d: &mut PackedSymmetric, i: usize, j: usize, rot: &Rotation) {
+    debug_assert!(i != j, "degenerate pair");
+    let n = d.dim();
+    debug_assert!(i < n && j < n);
+    let (i, j) = if i < j { (i, j) } else { (j, i) };
+    let (cos, sin) = (rot.cos, rot.sin);
+    let ri = d.row_offset(i);
+    let rj = d.row_offset(j);
+    let data = d.as_mut_slice();
+    // Diagonal + annihilated covariance (lines 15–17): the exact O(1)
+    // updates, identical to the rotate_norms expressions.
+    let cov = data[ri + (j - i)];
+    let (ni, nj, _) = rotate_norms(data[ri], data[rj], cov, rot);
+    data[ri] = ni;
+    data[rj] = nj;
+    data[ri + (j - i)] = 0.0;
+    // Region 1, k < i: offsets (k,i) and (k,j) start at i and j in row 0 and
+    // advance by n − k − 1 per step (row k+1 is one entry shorter).
+    let mut oi = i;
+    let mut oj = j;
+    for k in 0..i {
+        let x = data[oi];
+        let y = data[oj];
+        data[oi] = x * cos - y * sin;
+        data[oj] = x * sin + y * cos;
+        let step = n - k - 1;
+        oi += step;
+        oj += step;
+    }
+    // Region 2, i < k < j: (i,k) walks row i contiguously; (k,j) continues
+    // the strided walk below row i.
+    let mut okj = ri + (n - i) + (j - i - 1); // offset(i+1, j)
+    for (oik, k) in (ri + 1..).zip((i + 1)..j) {
+        let x = data[oik];
+        let y = data[okj];
+        data[oik] = x * cos - y * sin;
+        data[okj] = x * sin + y * cos;
+        okj += n - k - 1;
+    }
+    // Region 3, k > j: two contiguous row tails — the vectorized majority.
+    let tail = n - j - 1;
+    if tail > 0 {
+        let (head, row_j) = data.split_at_mut(rj + 1);
+        let row_i = &mut head[ri + (j - i) + 1..ri + (j - i) + 1 + tail];
+        ops::rotate_pair(row_i, &mut row_j[..tail], cos, sin);
+    }
+}
+
+/// Copy logical column `c` of the packed triangle (`out[k] = D[k][c]` for
+/// all `k`) into a dense slice — the blocked engine's tile staging read.
+///
+/// The `k < c` head is the strided walk described on
+/// [`PackedSymmetric::row_offset`]; the `k ≥ c` tail is row `c` itself,
+/// copied with one `memcpy`.
+///
+/// # Panics
+/// Panics if `out.len() != n` or `c ≥ n` (debug: explicit asserts; release:
+/// slice bounds).
+pub fn gather_column(d: &PackedSymmetric, c: usize, out: &mut [f64]) {
+    let n = d.dim();
+    debug_assert!(c < n);
+    debug_assert_eq!(out.len(), n);
+    let data = d.as_slice();
+    let mut o = c;
+    for (k, slot) in out[..c].iter_mut().enumerate() {
+        *slot = data[o];
+        o += n - k - 1;
+    }
+    let rc = d.row_offset(c);
+    out[c..n].copy_from_slice(&data[rc..rc + (n - c)]);
+}
+
+/// Write a dense slice back as logical column `c` of the packed triangle
+/// (`D[k][c] = src[k]` for all `k`) — the blocked engine's tile write-back.
+/// Mirror image of [`gather_column`].
+pub fn scatter_column(d: &mut PackedSymmetric, c: usize, src: &[f64]) {
+    let n = d.dim();
+    debug_assert!(c < n);
+    debug_assert_eq!(src.len(), n);
+    let rc = d.row_offset(c);
+    let data = d.as_mut_slice();
+    let mut o = c;
+    for (k, &v) in src[..c].iter().enumerate() {
+        data[o] = v;
+        o += n - k - 1;
+    }
+    data[rc..rc + (n - c)].copy_from_slice(&src[c..n]);
+}
+
+/// Rotation parameters for a whole pair group at once, SoA in / SoA out.
+///
+/// `norms_i[k]`, `norms_j[k]`, `covs[k]` are the `(D_ii, D_jj, D_ij)` of the
+/// group's `k`-th pair; the outputs land in `cos[k]`, `sin[k]`, `t[k]`.
+/// Each lane runs exactly the [`crate::rotation::textbook_params`] chain
+/// (including its `cov == 0 → identity` case and `sign(0) = +1`
+/// convention), so the batched output is bit-identical to calling the
+/// scalar kernel per pair — the bit-compat policy above. The SoA shape is
+/// what lets the round planner compute a whole round-robin group's
+/// parameters in one straight-line loop, the software analogue of the
+/// paper's concurrently-scheduled parameter units.
+///
+/// # Panics
+/// Panics in debug builds if the six slices disagree on length.
+pub fn batch_params(
+    norms_i: &[f64],
+    norms_j: &[f64],
+    covs: &[f64],
+    cos: &mut [f64],
+    sin: &mut [f64],
+    t: &mut [f64],
+) {
+    let len = norms_i.len();
+    debug_assert!(
+        norms_j.len() == len
+            && covs.len() == len
+            && cos.len() == len
+            && sin.len() == len
+            && t.len() == len,
+        "batch_params: SoA lanes disagree on length"
+    );
+    for k in 0..len {
+        let (ni, nj, cov) = (norms_i[k], norms_j[k], covs[k]);
+        if cov == 0.0 {
+            cos[k] = 1.0;
+            sin[k] = 0.0;
+            t[k] = 0.0;
+            continue;
+        }
+        let zeta = (nj - ni) / (2.0 * cov);
+        let sign = if zeta >= 0.0 { 1.0 } else { -1.0 };
+        let tk = sign / (zeta.abs() + f64::hypot(1.0, zeta));
+        let ck = 1.0 / f64::hypot(1.0, tk);
+        cos[k] = ck;
+        sin[k] = ck * tk;
+        t[k] = tk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::textbook_params;
+    use hj_matrix::gen;
+
+    fn packed_from_seed(n: usize, seed: u64) -> PackedSymmetric {
+        let a = gen::uniform(2 * n + 3, n, seed);
+        a.gram()
+    }
+
+    /// The scalar reference: the pre-kernel get/set loop, verbatim.
+    fn rotate_reference(d: &mut PackedSymmetric, i: usize, j: usize, rot: &Rotation) {
+        let n = d.dim();
+        let (cos, sin) = (rot.cos, rot.sin);
+        let cov = d.get(i, j);
+        let (ni, nj, _) = rotate_norms(d.get(i, i), d.get(j, j), cov, rot);
+        d.set(i, i, ni);
+        d.set(j, j, nj);
+        d.set(i, j, 0.0);
+        for k in 0..n {
+            if k == i || k == j {
+                continue;
+            }
+            let dki = d.get(k, i);
+            let dkj = d.get(k, j);
+            d.set(k, i, dki * cos - dkj * sin);
+            d.set(k, j, dki * sin + dkj * cos);
+        }
+    }
+
+    #[test]
+    fn rotate_packed_is_bit_identical_to_scalar_reference() {
+        for n in [2usize, 3, 5, 8, 13, 17] {
+            let base = packed_from_seed(n, 7 + n as u64);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let rot = {
+                        let g = &base;
+                        textbook_params(g.get(i, i), g.get(j, j), g.get(i, j))
+                    };
+                    let mut fast = base.clone();
+                    let mut refr = base.clone();
+                    rotate_packed(&mut fast, i, j, &rot);
+                    rotate_reference(&mut refr, i, j, &rot);
+                    assert_eq!(fast.as_slice(), refr.as_slice(), "n={n} pair ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_packed_accepts_swapped_pair_order() {
+        let base = packed_from_seed(6, 3);
+        let rot = textbook_params(base.get(1, 1), base.get(4, 4), base.get(1, 4));
+        let mut a = base.clone();
+        let mut b = base;
+        rotate_packed(&mut a, 1, 4, &rot);
+        rotate_packed(&mut b, 4, 1, &rot);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn gather_scatter_round_trip_every_column() {
+        for n in [1usize, 2, 4, 7, 12] {
+            let d = packed_from_seed(n, 100 + n as u64);
+            for c in 0..n {
+                let mut col = vec![0.0; n];
+                gather_column(&d, c, &mut col);
+                for (k, &v) in col.iter().enumerate() {
+                    assert_eq!(v, d.get(k, c), "n={n} col {c} row {k}");
+                }
+                let mut back = d.clone();
+                scatter_column(&mut back, c, &col);
+                assert_eq!(back.as_slice(), d.as_slice(), "n={n} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_params_matches_scalar_textbook_bitwise() {
+        let inputs: Vec<(f64, f64, f64)> = (0..64)
+            .map(|k| {
+                let x = (k as f64 + 1.0) * 0.7;
+                (x, 65.0 - x, if k % 3 == 0 { 0.0 } else { (k as f64 - 30.0) * 0.11 })
+            })
+            .collect();
+        let ni: Vec<f64> = inputs.iter().map(|p| p.0).collect();
+        let nj: Vec<f64> = inputs.iter().map(|p| p.1).collect();
+        let cv: Vec<f64> = inputs.iter().map(|p| p.2).collect();
+        let (mut c, mut s, mut t) = (vec![0.0; 64], vec![0.0; 64], vec![0.0; 64]);
+        batch_params(&ni, &nj, &cv, &mut c, &mut s, &mut t);
+        for k in 0..64 {
+            let r = textbook_params(ni[k], nj[k], cv[k]);
+            assert_eq!((c[k], s[k], t[k]), (r.cos, r.sin, r.t), "lane {k}");
+        }
+    }
+}

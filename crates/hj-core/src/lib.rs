@@ -14,6 +14,10 @@
 //!   `ρ→t→cos→sin` chain and the paper's flattened eqs. (8)–(10).
 //! * [`gram`] — the maintained covariance matrix and its O(n) rotation
 //!   update (the Update operator's covariance path).
+//! * [`kernel`] — the vectorization-friendly inner kernels every engine's
+//!   hot loop runs on: the three-region packed rotation, tile
+//!   gather/scatter, and SoA-batched rotation parameters (bit-identical to
+//!   the scalar paths; see the module's bit-compat policy).
 //! * [`ordering`] — cyclic round-robin pairing (the paper's Fig. 6) and the
 //!   row-cyclic order of the pseudocode.
 //! * [`engine`] — the unified sweep pipeline: the [`engine::SweepEngine`]
@@ -76,6 +80,7 @@ mod error;
 pub mod gram;
 #[cfg(feature = "fault-injection")]
 pub mod inject;
+pub mod kernel;
 pub mod lowrank;
 pub mod ordering;
 pub mod parallel;

@@ -33,18 +33,26 @@
 //! allocator, and [`SweepWorkspace::allocations`] exposes the warm-up count
 //! to [`crate::SolveStats`].
 //!
-//! Determinism: given the same input and ordering, the parallel driver
-//! produces bit-identical results to itself at any thread count (the
-//! reduction order within each output entry is fixed). It differs from the
-//! sequential driver only in rounding (sequential applies rotations of a
-//! round one-by-one; this applies them jointly from the round snapshot) —
+//! Determinism: given the same input and ordering, the round-synchronous
+//! path produces bit-identical results to itself at any thread count ≥ 2
+//! (the reduction order within each output entry is fixed). It differs from
+//! the sequential driver only in rounding (sequential applies rotations of
+//! a round one-by-one; this applies them jointly from the round snapshot) —
 //! both converge to the same spectrum, which the tests verify.
+//!
+//! On a **single-threaded** pool the engine does not run that machinery at
+//! all: [`Parallel::new`] detects `rayon::current_num_threads() == 1` and
+//! falls through to the in-place [`Sequential`] kernels, which are strictly
+//! faster there (no double-buffer traffic, no functional `JᵀDJ`). The
+//! fallback is bit-identical to the sequential engine — so results at one
+//! thread differ in rounding from results at two or more, exactly as the
+//! sequential and parallel engines always have.
 
 use crate::convergence::SweepRecord;
-use crate::engine::{PairGuard, ReadyGuard, RotationTarget, SweepEngine, SweepState};
+use crate::engine::{PairGuard, ReadyGuard, RotationTarget, Sequential, SweepEngine, SweepState};
 use crate::gram::GramState;
 use crate::ordering::Sweep;
-use crate::rotation::{textbook_params, Rotation};
+use crate::rotation::Rotation;
 use crate::stats::SolveStats;
 use crate::sweep::finish_record;
 use crate::trace::{TraceEvent, Tracer};
@@ -121,6 +129,13 @@ pub struct SweepWorkspace {
     tile: Vec<f64>,
     /// The blocked engine's captured exact diagonal updates (two per pair).
     diag_new: Vec<f64>,
+    /// The unskipped pairs of the round being planned, in visit order —
+    /// the index map for the batched rotation-parameter lanes.
+    batch_pairs: Vec<(usize, usize)>,
+    /// One buffer holding the six SoA lanes of the batched
+    /// rotation-parameter kernel (`ni | nj | cov | cos | sin | t`, each
+    /// `n/2 + 1` wide) — a single allocation, split per round.
+    batch_soa: Vec<f64>,
     /// Buffer creations/growths performed so far (warm-up accounting).
     allocations: usize,
     /// Modeled bytes of packed-triangle traffic (see [`crate::SolveStats`]).
@@ -176,6 +191,17 @@ impl SweepWorkspace {
         if self.rotations.capacity() < n / 2 + 1 {
             self.allocations += 1;
             self.rotations.reserve(n / 2 + 1 - self.rotations.capacity());
+        }
+        let lanes = n / 2 + 1;
+        if self.batch_pairs.capacity() < lanes {
+            self.allocations += 1;
+            self.batch_pairs.reserve(lanes - self.batch_pairs.capacity());
+        }
+        if self.batch_soa.len() < 6 * lanes {
+            if self.batch_soa.capacity() < 6 * lanes {
+                self.allocations += 1;
+            }
+            self.batch_soa.resize(6 * lanes, 0.0);
         }
     }
 
@@ -234,8 +260,19 @@ pub(crate) fn plan_round(
     ws.pair_of.clear();
     ws.pair_of.resize(n, usize::MAX);
     ws.rotations.clear();
-    let mut applied = 0;
+    ws.batch_pairs.clear();
     let mut skipped = 0;
+    let lanes = ws.batch_soa.len() / 6;
+    debug_assert!(lanes >= round.len(), "workspace not prepared for this round size");
+    let (ni_l, rest) = ws.batch_soa.split_at_mut(lanes);
+    let (nj_l, rest) = rest.split_at_mut(lanes);
+    let (cov_l, rest) = rest.split_at_mut(lanes);
+    let (cos_l, rest) = rest.split_at_mut(lanes);
+    let (sin_l, t_l) = rest.split_at_mut(lanes);
+    // Pass 1 — guard every pair against the round snapshot, gathering the
+    // survivors' (D_ii, D_jj, D_ij) triples into the SoA input lanes. Trace
+    // events are emitted here, in visit order, so the stream is identical
+    // to the one the old fused per-pair loop produced.
     for &(i, j) in round {
         let (ni, nj, cov) = (gram.norm_sq(i), gram.norm_sq(j), gram.covariance(i, j));
         if guard.skip(ni, nj, cov) {
@@ -245,17 +282,35 @@ pub(crate) fn plan_round(
             }
             continue;
         }
-        let rot = textbook_params(ni, nj, cov);
+        let k = ws.batch_pairs.len();
+        ni_l[k] = ni;
+        nj_l[k] = nj;
+        cov_l[k] = cov;
+        ws.batch_pairs.push((i, j));
+        if tracer.rotation_enabled() {
+            tracer.emit(TraceEvent::RotationApplied { sweep, i, j });
+        }
+    }
+    let applied = ws.batch_pairs.len();
+    // Pass 2 — one batched SoA kernel call computes every survivor's
+    // (cos, sin, t); bit-identical to calling `textbook_params` per pair.
+    crate::kernel::batch_params(
+        &ni_l[..applied],
+        &nj_l[..applied],
+        &cov_l[..applied],
+        &mut cos_l[..applied],
+        &mut sin_l[..applied],
+        &mut t_l[..applied],
+    );
+    // Pass 3 — scatter the parameters into the role/pair/rotation scratch.
+    for (k, &(i, j)) in ws.batch_pairs.iter().enumerate() {
+        let rot = Rotation { cos: cos_l[k], sin: sin_l[k], t: t_l[k] };
         // aᵢ' = cos·aᵢ − sin·aⱼ ; aⱼ' = sin·aᵢ + cos·aⱼ
         ws.roles[i] = Role { alpha: rot.cos, beta: -rot.sin, partner: j };
         ws.roles[j] = Role { alpha: rot.cos, beta: rot.sin, partner: i };
         ws.pair_of[i] = ws.rotations.len();
         ws.pair_of[j] = ws.rotations.len();
         ws.rotations.push((i, j, rot));
-        applied += 1;
-        if tracer.rotation_enabled() {
-            tracer.emit(TraceEvent::RotationApplied { sweep, i, j });
-        }
     }
     (applied, skipped)
 }
@@ -376,12 +431,34 @@ pub struct Parallel<'ws> {
     gram_bytes0: u64,
     dispatches0: usize,
     col_touches: u64,
+    /// With a single worker thread the round-synchronous machinery (double
+    /// buffering, functional `JᵀDJ`) is pure overhead over the in-place
+    /// `O(n)`-per-pair kernels, so the engine falls through to the
+    /// [`Sequential`] sweep. Detected once at construction.
+    sequential_fallback: bool,
 }
 
 impl<'ws> Parallel<'ws> {
     /// Engine over caller-owned scratch (reuse the workspace across solves
-    /// to amortize warm-up).
+    /// to amortize warm-up). On a single-threaded pool this engine runs the
+    /// sequential in-place sweep instead of the round-synchronous one —
+    /// same converged spectrum, none of the double-buffering overhead.
     pub fn new(ws: &'ws mut SweepWorkspace) -> Parallel<'ws> {
+        Parallel::with_fallback(ws, rayon::current_num_threads() <= 1)
+    }
+
+    /// Force the round-synchronous path even on a single-threaded pool.
+    ///
+    /// [`Parallel::new`] falls back to the sequential kernels at one worker
+    /// because the double-buffered machinery is pure overhead there; this
+    /// constructor opts out of the fallback. Useful for tests (and
+    /// cross-machine reproducibility checks) that need the round-snapshot
+    /// arithmetic regardless of the host's core count.
+    pub fn round_synchronous(ws: &'ws mut SweepWorkspace) -> Parallel<'ws> {
+        Parallel::with_fallback(ws, false)
+    }
+
+    fn with_fallback(ws: &'ws mut SweepWorkspace, sequential_fallback: bool) -> Parallel<'ws> {
         let allocations0 = ws.allocations();
         let gram_bytes0 = ws.gram_bytes();
         Parallel {
@@ -390,6 +467,7 @@ impl<'ws> Parallel<'ws> {
             gram_bytes0,
             dispatches0: rayon::dispatch_count(),
             col_touches: 0,
+            sequential_fallback,
         }
     }
 }
@@ -406,6 +484,9 @@ impl SweepEngine for Parallel<'_> {
         idx: usize,
         tracer: &mut Tracer<'_, '_>,
     ) -> SweepRecord {
+        if self.sequential_fallback {
+            return Sequential.sweep_traced(state, order, idx, tracer);
+        }
         let guard = state.guard.ready(state.gram);
         let n = state.gram.dim();
         self.ws.prepare(n);
@@ -440,7 +521,15 @@ impl SweepEngine for Parallel<'_> {
         finish_record(state.gram, idx, applied, skipped)
     }
 
-    fn finish(&mut self, stats: &mut SolveStats, _n: usize) {
+    fn finish(&mut self, stats: &mut SolveStats, n: usize) {
+        if self.sequential_fallback {
+            // The sweeps ran on the sequential kernels; report their cost
+            // model, plus the (zero) workspace/dispatch deltas honestly.
+            Sequential.finish(stats, n);
+            stats.workspace_allocations = self.ws.allocations().saturating_sub(self.allocations0);
+            stats.parallel_dispatches = rayon::dispatch_count().saturating_sub(self.dispatches0);
+            return;
+        }
         stats.workspace_allocations = self.ws.allocations().saturating_sub(self.allocations0);
         stats.gram_bytes = self.ws.gram_bytes().saturating_sub(self.gram_bytes0);
         stats.gram_col_touches = self.col_touches;
@@ -506,15 +595,70 @@ mod tests {
     use crate::ordering::round_robin;
     use hj_matrix::{gen, norms};
 
+    /// One round-synchronous gram-only sweep (bypasses the single-thread
+    /// sequential fallback so the double-buffered machinery is exercised
+    /// regardless of the host's core count).
+    fn rs_sweep_gram(
+        gram: &mut GramState,
+        order: &Sweep,
+        sweep_index: usize,
+        ws: &mut SweepWorkspace,
+    ) -> SweepRecord {
+        let mut state =
+            SweepState { gram, target: RotationTarget::gram_only(), guard: PairGuard::default() };
+        Parallel::round_synchronous(ws).sweep(&mut state, order, sweep_index)
+    }
+
+    /// One round-synchronous full sweep (gram + columns + optional `V`).
+    fn rs_sweep_full(
+        a: &mut Matrix,
+        gram: &mut GramState,
+        v: Option<&mut Matrix>,
+        order: &Sweep,
+        sweep_index: usize,
+        ws: &mut SweepWorkspace,
+    ) -> SweepRecord {
+        let target = match v {
+            Some(vm) => RotationTarget::full(a, vm),
+            None => RotationTarget::with_columns(a),
+        };
+        let mut state = SweepState { gram, target, guard: PairGuard::default() };
+        Parallel::round_synchronous(ws).sweep(&mut state, order, sweep_index)
+    }
+
     #[test]
     fn parallel_gram_sweep_converges() {
         let a = gen::uniform(30, 12, 17);
         let mut g = GramState::from_matrix(&a);
         let order = round_robin(12);
+        let mut ws = SweepWorkspace::new();
         (1..=12).for_each(|s| {
-            parallel_sweep_gram(&mut g, &order, s);
+            rs_sweep_gram(&mut g, &order, s, &mut ws);
         });
         assert!(g.max_abs_covariance() < 1e-12 * g.trace() / 12.0);
+    }
+
+    #[test]
+    fn single_thread_pool_falls_back_to_sequential_bitwise() {
+        // On a one-thread pool, Parallel::new must be the sequential engine
+        // bit for bit (and report sequential-model stats with zero
+        // dispatches). On wider pools the engines legitimately differ in
+        // rounding, so the bitwise half only runs where the fallback does.
+        if rayon::current_num_threads() > 1 {
+            return;
+        }
+        let a = gen::uniform(40, 10, 23);
+        let order = round_robin(10);
+        let mut g_seq = GramState::from_matrix(&a);
+        let mut g_par = GramState::from_matrix(&a);
+        let mut ws = SweepWorkspace::new();
+        (1..=10).for_each(|s| {
+            crate::sweep::sweep_gram_only(&mut g_seq, &order, s);
+            parallel_sweep_gram_ws(&mut g_par, &order, s, &mut ws);
+        });
+        assert_eq!(g_seq.packed().as_slice(), g_par.packed().as_slice());
+        assert_eq!(ws.allocations(), 0, "fallback must not touch the workspace");
+        assert_eq!(ws.gram_bytes(), 0);
     }
 
     #[test]
@@ -524,9 +668,10 @@ mod tests {
 
         let mut g_seq = GramState::from_matrix(&a);
         let mut g_par = GramState::from_matrix(&a);
+        let mut ws = SweepWorkspace::new();
         (1..=15).for_each(|s| {
             crate::sweep::sweep_gram_only(&mut g_seq, &order, s);
-            parallel_sweep_gram(&mut g_par, &order, s);
+            rs_sweep_gram(&mut g_par, &order, s, &mut ws);
         });
         let mut s1 = g_seq.singular_values_unsorted();
         let mut s2 = g_par.singular_values_unsorted();
@@ -568,8 +713,9 @@ mod tests {
         let mut g = GramState::from_matrix(&b);
         let mut v = Matrix::identity(9);
         let order = round_robin(9);
+        let mut ws = SweepWorkspace::new();
         (1..=12).for_each(|s| {
-            parallel_sweep_full(&mut b, &mut g, Some(&mut v), &order, s);
+            rs_sweep_full(&mut b, &mut g, Some(&mut v), &order, s, &mut ws);
         });
         assert!(norms::orthonormality_error(&v) < 1e-12);
         let av = a0.matmul(&v).unwrap();
@@ -583,8 +729,9 @@ mod tests {
         let order = round_robin(14);
         let run = || {
             let mut g = GramState::from_matrix(&a);
+            let mut ws = SweepWorkspace::new();
             (1..=8).for_each(|s| {
-                parallel_sweep_gram(&mut g, &order, s);
+                rs_sweep_gram(&mut g, &order, s, &mut ws);
             });
             g.packed().as_slice().to_vec()
         };
@@ -599,7 +746,7 @@ mod tests {
         let mut g = GramState::from_matrix(&q);
         let before = g.packed().clone();
         let order = round_robin(6);
-        let rec = parallel_sweep_gram(&mut g, &order, 1);
+        let rec = rs_sweep_gram(&mut g, &order, 1, &mut SweepWorkspace::new());
         assert_eq!(rec.rotations_applied, 0);
         assert_eq!(g.packed().as_slice(), before.as_slice());
     }
@@ -612,8 +759,8 @@ mod tests {
         let mut g_reuse = GramState::from_matrix(&a);
         let mut ws = SweepWorkspace::new();
         (1..=10).for_each(|s| {
-            parallel_sweep_gram(&mut g_fresh, &order, s);
-            parallel_sweep_gram_ws(&mut g_reuse, &order, s, &mut ws);
+            rs_sweep_gram(&mut g_fresh, &order, s, &mut SweepWorkspace::new());
+            rs_sweep_gram(&mut g_reuse, &order, s, &mut ws);
         });
         assert_eq!(g_fresh.packed().as_slice(), g_reuse.packed().as_slice());
     }
@@ -624,11 +771,11 @@ mod tests {
         let mut g = GramState::from_matrix(&a);
         let order = round_robin(16);
         let mut ws = SweepWorkspace::new();
-        parallel_sweep_gram_ws(&mut g, &order, 1, &mut ws);
+        rs_sweep_gram(&mut g, &order, 1, &mut ws);
         let warm = ws.allocations();
         assert!(warm > 0, "warm-up must size the buffers");
         for s in 2..=10 {
-            parallel_sweep_gram_ws(&mut g, &order, s, &mut ws);
+            rs_sweep_gram(&mut g, &order, s, &mut ws);
         }
         assert_eq!(ws.allocations(), warm, "steady-state sweeps must not allocate");
     }
@@ -648,7 +795,7 @@ mod tests {
             let mut g_own = GramState::from_matrix(&b_own);
             let mut v_own = Matrix::identity(n);
             (1..=8).for_each(|s| {
-                parallel_sweep_full_ws(
+                rs_sweep_full(
                     &mut b_shared,
                     &mut g_shared,
                     Some(&mut v_shared),
@@ -656,7 +803,14 @@ mod tests {
                     s,
                     &mut ws,
                 );
-                parallel_sweep_full(&mut b_own, &mut g_own, Some(&mut v_own), &order, s);
+                rs_sweep_full(
+                    &mut b_own,
+                    &mut g_own,
+                    Some(&mut v_own),
+                    &order,
+                    s,
+                    &mut SweepWorkspace::new(),
+                );
             });
             assert_eq!(g_shared.packed().as_slice(), g_own.packed().as_slice(), "{m}x{n}");
             assert_eq!(b_shared.as_slice(), b_own.as_slice(), "{m}x{n}");
@@ -696,12 +850,12 @@ mod tests {
         let mut g = GramState::from_matrix(&q);
         let order = round_robin(6);
         let mut ws = SweepWorkspace::new();
-        parallel_sweep_gram_ws(&mut g, &order, 1, &mut ws);
+        rs_sweep_gram(&mut g, &order, 1, &mut ws);
         assert_eq!(ws.gram_bytes(), 0, "converged input applies no rounds");
 
         let a = gen::uniform(20, 6, 9);
         let mut g = GramState::from_matrix(&a);
-        parallel_sweep_gram_ws(&mut g, &order, 1, &mut ws);
+        rs_sweep_gram(&mut g, &order, 1, &mut ws);
         let tri = (6 * 7 / 2) as u64;
         assert!(ws.gram_bytes() > 0);
         assert_eq!(ws.gram_bytes() % (40 * tri), 0, "traffic is a whole number of rounds");

@@ -479,9 +479,12 @@ impl HestenesSvd {
                 EngineKind::Parallel => {
                     driver.run_monitored(&mut Parallel::new(ws), &mut state, &order, &mut monitor)
                 }
-                EngineKind::Blocked => {
-                    driver.run_monitored(&mut Blocked::new(ws), &mut state, &order, &mut monitor)
-                }
+                EngineKind::Blocked => driver.run_monitored(
+                    &mut Blocked::for_dim(ws, n),
+                    &mut state,
+                    &order,
+                    &mut monitor,
+                ),
             };
             cumulative_sweeps += run.stats.sweeps;
             total_faults += run.stats.faults;
@@ -859,10 +862,19 @@ mod tests {
                     assert_eq!(svd.stats.parallel_dispatches, 0);
                 }
                 EngineKind::Parallel => {
-                    assert!(svd.stats.workspace_allocations > 0, "warm-up allocates");
+                    if svd.stats.threads == 1 {
+                        // Sequential fallback: no workspace, no dispatches.
+                        assert_eq!(svd.stats.workspace_allocations, 0);
+                        assert_eq!(svd.stats.parallel_dispatches, 0);
+                    } else {
+                        assert!(svd.stats.workspace_allocations > 0, "warm-up allocates");
+                    }
                 }
                 EngineKind::Blocked => {
-                    assert!(svd.stats.workspace_allocations > 0, "tile warm-up allocates");
+                    // n = 10 fits one `for_dim` tile: the in-place fast
+                    // path never stages or grows the workspace.
+                    assert_eq!(svd.stats.workspace_allocations, 0);
+                    assert_eq!(svd.stats.tile_refills, 0);
                     assert_eq!(svd.stats.parallel_dispatches, 0);
                     assert_eq!(svd.stats.threads, 1);
                 }
@@ -883,18 +895,19 @@ mod tests {
             let mut ws = SweepWorkspace::new();
             let first = solver.decompose_with_workspace(&a, &mut ws).unwrap();
             let warm = solver.decompose_with_workspace(&a, &mut ws).unwrap();
-            assert!(first.stats.workspace_allocations > 0, "{engine:?} warm-up");
-            // A warm same-shape solve is allocation-free for the blocked
-            // engine; the parallel engine may pay the documented bounded
-            // buffer exchange (fresh `B`/`V` buffers swap through the column
-            // back buffer) in its first sweep — never more.
+            // At n = 10 the blocked engine takes the single-tile fast path
+            // (no staging at all), and the parallel engine either falls back
+            // to the sequential kernels (one-thread pool; workspace untouched)
+            // or pays the documented bounded buffer exchange (fresh `B`/`V`
+            // buffers swap through the column back buffer) per solve — never
+            // more, and never growing on a warm same-shape solve.
             let bound = if engine == EngineKind::Parallel { 2 } else { 0 };
             assert!(
                 warm.stats.workspace_allocations <= bound,
                 "{engine:?}: warm solve allocated {} times (bound {bound})",
                 warm.stats.workspace_allocations
             );
-            assert!(warm.stats.workspace_allocations < first.stats.workspace_allocations);
+            assert!(warm.stats.workspace_allocations <= first.stats.workspace_allocations);
             for (x, y) in cold.singular_values.iter().zip(&warm.singular_values) {
                 assert_eq!(x, y, "{engine:?}: pooled workspace changed the result");
             }

@@ -60,7 +60,7 @@ pub mod wire;
 
 pub use error::MatrixError;
 pub use matrix::Matrix;
-pub use packed::PackedSymmetric;
+pub use packed::{OffDiagonalSummary, PackedSymmetric};
 pub use pair::ColumnPair;
 
 /// Convenience result alias used throughout the crate.

@@ -84,6 +84,49 @@ pub fn rel_diff(a: f64, b: f64) -> f64 {
     (a - b).abs() / a.abs().max(b.abs()).max(1.0)
 }
 
+/// Lane width of [`rotate_pair`]'s unrolled body. Four doubles fill one
+/// AVX2 register (or two NEON registers); the paper's update kernel likewise
+/// processes a fixed-width slab of column elements per cycle.
+pub const ROTATE_LANES: usize = 4;
+
+/// Apply the plane rotation `[c, s; −s, c]` to two equal-length column
+/// slices in place (the paper's eqs. (11)–(12)):
+///
+/// ```text
+/// x' = x·cos − y·sin
+/// y' = x·sin + y·cos
+/// ```
+///
+/// The body runs in [`ROTATE_LANES`]-wide chunks with a scalar tail so LLVM
+/// reliably autovectorizes it; each element's arithmetic is exactly the
+/// two-multiply-one-add/sub expression of the scalar loop, so the result is
+/// **bit-identical** to rotating the elements one at a time (no
+/// re-association, no FMA contraction — the kernel-compat tests pin this).
+///
+/// Panics in debug builds on a length mismatch.
+#[inline]
+pub fn rotate_pair(x: &mut [f64], y: &mut [f64], cos: f64, sin: f64) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len().min(y.len());
+    let split = n - n % ROTATE_LANES;
+    let (xh, xt) = x[..n].split_at_mut(split);
+    let (yh, yt) = y[..n].split_at_mut(split);
+    for (xs, ys) in xh.chunks_exact_mut(ROTATE_LANES).zip(yh.chunks_exact_mut(ROTATE_LANES)) {
+        for l in 0..ROTATE_LANES {
+            let a = xs[l];
+            let b = ys[l];
+            xs[l] = a * cos - b * sin;
+            ys[l] = a * sin + b * cos;
+        }
+    }
+    for (a, b) in xt.iter_mut().zip(yt.iter_mut()) {
+        let xi = *a;
+        let yj = *b;
+        *a = xi * cos - yj * sin;
+        *b = xi * sin + yj * cos;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +187,27 @@ mod tests {
     fn robust_norm_matches_plain_in_normal_range() {
         let x = [3.0, -4.0, 12.0];
         assert!((robust_norm(&x) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_pair_matches_scalar_loop_bitwise() {
+        // Lengths straddling the lane width, including 0 and odd tails.
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 13, 64, 65] {
+            let mut x: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+            let mut y: Vec<f64> = (0..len).map(|i| (i as f64 * 0.11).cos() - 0.4).collect();
+            let (mut xs, mut ys) = (x.clone(), y.clone());
+            let theta: f64 = 0.71;
+            let (c, s) = (theta.cos(), theta.sin());
+            rotate_pair(&mut x, &mut y, c, s);
+            for (a, b) in xs.iter_mut().zip(ys.iter_mut()) {
+                let xi = *a;
+                let yj = *b;
+                *a = xi * c - yj * s;
+                *b = xi * s + yj * c;
+            }
+            assert_eq!(x, xs, "len {len}");
+            assert_eq!(y, ys, "len {len}");
+        }
     }
 
     #[test]

@@ -50,6 +50,21 @@ impl PackedSymmetric {
         i * (2 * self.n - i + 1) / 2 + (j - i)
     }
 
+    /// Offset of triangle row `i`'s first entry — the diagonal `(i, i)` — in
+    /// the raw packed buffer ([`PackedSymmetric::as_slice`]). Row `i` then
+    /// holds `(i, i), (i, i+1), …, (i, n−1)` contiguously (`n − i` entries).
+    ///
+    /// This is the layout contract hj-core's vectorized rotation kernels
+    /// build on: entries `(k, c)` with `k ≥ c` of a logical column `c` are
+    /// the contiguous slice starting at `row_offset(c)`, while entries with
+    /// `k < c` sit at `row_offset(k) + (c − k)`, i.e. a walk with a
+    /// decreasing stride of `n − k − 1` between consecutive `k`.
+    #[inline]
+    pub fn row_offset(&self, i: usize) -> usize {
+        debug_assert!(i <= self.n);
+        i * (2 * self.n - i + 1) / 2
+    }
+
     /// Read entry `(i, j)`; symmetric, so argument order is irrelevant.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
@@ -82,13 +97,31 @@ impl PackedSymmetric {
     /// symmetric pair once. This is the "covariance mass" whose decay the
     /// paper's Figs. 10–11 track.
     pub fn off_diagonal_abs_sum(&self) -> f64 {
-        let mut s = 0.0;
+        self.off_diagonal_summary().abs_sum
+    }
+
+    /// One fused pass over the strictly-off-diagonal entries, walking the
+    /// packed rows as contiguous slices (no per-element offset arithmetic).
+    ///
+    /// Computes all three convergence metrics the per-sweep record needs —
+    /// Σ|dᵢⱼ|, Σdᵢⱼ², max|dᵢⱼ| — in a single traversal, in the same
+    /// element order as the individual metric methods, so each accumulator
+    /// is bit-identical to its standalone counterpart while the triangle is
+    /// read once instead of three times.
+    pub fn off_diagonal_summary(&self) -> OffDiagonalSummary {
+        let mut sum = OffDiagonalSummary { abs_sum: 0.0, sum_sq: 0.0, max_abs: 0.0 };
+        let mut start = 0usize;
         for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                s += self.get(i, j).abs();
+            // Row i holds (i, i)..(i, n-1); skip the leading diagonal entry.
+            for &v in &self.data[start + 1..start + (self.n - i)] {
+                let a = v.abs();
+                sum.abs_sum += a;
+                sum.sum_sq += v * v;
+                sum.max_abs = sum.max_abs.max(a);
             }
+            start += self.n - i;
         }
-        s
+        sum
     }
 
     /// Mean absolute deviation from zero of the off-diagonal covariances —
@@ -107,25 +140,12 @@ impl PackedSymmetric {
     /// i.e. `off(D) = sqrt(2 · Σ_{i<j} D[i][j]²)`. The classical Jacobi
     /// convergence quantity.
     pub fn off_diagonal_frobenius(&self) -> f64 {
-        let mut s = 0.0;
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                let v = self.get(i, j);
-                s += v * v;
-            }
-        }
-        (2.0 * s).sqrt()
+        (2.0 * self.off_diagonal_summary().sum_sq).sqrt()
     }
 
     /// Largest absolute off-diagonal entry.
     pub fn off_diagonal_max_abs(&self) -> f64 {
-        let mut s = 0.0f64;
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                s = s.max(self.get(i, j).abs());
-            }
-        }
-        s
+        self.off_diagonal_summary().max_abs
     }
 
     /// Trace (sum of diagonal entries). For a Gram matrix this equals
@@ -180,6 +200,18 @@ impl PackedSymmetric {
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
+}
+
+/// The three off-diagonal reductions of one
+/// [`PackedSymmetric::off_diagonal_summary`] pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffDiagonalSummary {
+    /// `Σ_{i<j} |D[i][j]|` — each symmetric pair counted once.
+    pub abs_sum: f64,
+    /// `Σ_{i<j} D[i][j]²` (single-triangle; `off(D)² = 2·sum_sq`).
+    pub sum_sq: f64,
+    /// `max_{i<j} |D[i][j]|`.
+    pub max_abs: f64,
 }
 
 impl std::fmt::Debug for PackedSymmetric {

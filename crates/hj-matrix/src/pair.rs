@@ -60,15 +60,12 @@ impl<'a> ColumnPair<'a> {
     /// ```
     ///
     /// This is the elementwise kernel a single hardware "update kernel"
-    /// executes (4 multipliers, 1 adder, 1 subtractor per element pair).
+    /// executes (4 multipliers, 1 adder, 1 subtractor per element pair);
+    /// it runs through the lane-chunked [`crate::ops::rotate_pair`], which is
+    /// bit-identical to the one-element-at-a-time loop.
     #[inline]
     pub fn rotate(&mut self, cos: f64, sin: f64) {
-        for (x, y) in self.left.iter_mut().zip(self.right.iter_mut()) {
-            let xi = *x;
-            let yj = *y;
-            *x = xi * cos - yj * sin;
-            *y = xi * sin + yj * cos;
-        }
+        crate::ops::rotate_pair(self.left, self.right, cos, sin);
     }
 
     /// Dot product of the two columns (their covariance).

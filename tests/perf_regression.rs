@@ -1,0 +1,51 @@
+//! Wall-clock regression pins for the engine performance-inversion fix.
+//!
+//! The historical bug: `Parallel` on a one-thread pool still paid for round
+//! planning, buffer swaps, and dispatch accounting, losing ~2x to
+//! `Sequential` on the same input. The fix routes a one-thread `Parallel`
+//! straight through the sequential kernel path, so its wall-clock must now
+//! track `Sequential` closely. Timing tests are noisy, so each engine is
+//! measured as a min-of-several and the ratio bound is generous (1.2x)
+//! relative to the ~2x inversion being pinned against.
+
+use hjsvd::core::{EngineKind, HestenesSvd, SvdOptions};
+use hjsvd::matrix::gen;
+use std::time::{Duration, Instant};
+
+fn min_solve_time(engine: EngineKind, reps: usize) -> Duration {
+    let a = gen::uniform(96, 64, 7);
+    let svd = HestenesSvd::new(SvdOptions { engine, ..Default::default() });
+    // Warm caches and (for Parallel/Blocked) the engine's workspace sizing
+    // before taking any measurement.
+    svd.decompose(&a).unwrap();
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = svd.decompose(&a).unwrap();
+            let dt = t0.elapsed();
+            assert!(out.sweeps > 0, "solve must have swept for timing to be comparable");
+            dt
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn parallel_tracks_sequential_on_one_thread_at_n64() {
+    // Only meaningful where the fallback engages; on a real multi-thread
+    // pool the engines are allowed to trade throughput for parallelism.
+    let probe = HestenesSvd::new(SvdOptions { engine: EngineKind::Parallel, ..Default::default() })
+        .decompose(&gen::uniform(12, 6, 1))
+        .unwrap();
+    if probe.stats.threads != 1 {
+        return;
+    }
+    let seq = min_solve_time(EngineKind::Sequential, 5);
+    let par = min_solve_time(EngineKind::Parallel, 5);
+    let ratio = par.as_secs_f64() / seq.as_secs_f64().max(1e-9);
+    assert!(
+        ratio <= 1.2,
+        "one-thread Parallel took {ratio:.2}x Sequential at n=64 \
+         (par {par:?} vs seq {seq:?}); the fallback should make these equal"
+    );
+}
