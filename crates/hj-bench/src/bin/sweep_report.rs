@@ -1,35 +1,66 @@
 //! Reproducible per-sweep benchmark: replay square problems across all
-//! three sweep engines with the trace layer on, cross-check the trace
-//! against [`hj_core::SolveStats`], and emit a machine-readable
-//! `BENCH_sweep.json` report.
+//! three sweep engines and all pair-ordering strategies with the trace
+//! layer on, cross-check the trace against [`hj_core::SolveStats`], and
+//! emit a machine-readable `BENCH_sweep.json` report.
 //!
-//! For each `n ∈ {32, 64, 128, 256}` and each engine (sequential, parallel,
-//! blocked) the values-only solver runs once with a sweep-level
-//! [`hj_core::RingBufferSink`] attached. The binary then verifies, run by
-//! run, that the trace's `sweep_end` events agree with the solve's own
-//! accounting — same sweep count, same per-sweep rotation totals as the
-//! [`hj_core::SweepRecord`] history, same grand total as
-//! `SolveStats.rotations_applied` — and aborts with a nonzero exit if any
-//! run disagrees. The summary table, a per-sweep breakdown at `n = 128`,
-//! and the JSON report (schema `hjsvd-sweep-report/v1`, one entry per run
-//! with the full embedded `SolveStats` record) document the result; see
-//! EXPERIMENTS.md for the schema and regeneration instructions.
+//! Two grids run back to back:
+//!
+//! * **Engine grid** — for each `n ∈ {32, 64, 128, 256}` and each engine
+//!   (sequential, parallel, blocked) the values-only solver runs once under
+//!   the default cyclic ordering with a sweep-level
+//!   [`hj_core::RingBufferSink`] attached. The binary then verifies, run by
+//!   run, that the trace's `sweep_end` events agree with the solve's own
+//!   accounting — same sweep count, same per-sweep rotation totals as the
+//!   [`hj_core::SweepRecord`] history, same grand total as
+//!   `SolveStats.rotations_applied` — and aborts with a nonzero exit if any
+//!   run disagrees.
+//! * **Ordering grid** — for each `n`, the sequential engine runs every
+//!   non-default ordering (row-cyclic, sorted-greedy, de Rijk presort) plus
+//!   the threshold-schedule composition of cyclic, greedy, and presort, so
+//!   the report records `sweeps_to_converge` per (n, engine, ordering).
+//!
+//! The summary tables, a per-sweep breakdown at `n = 128`, and the JSON
+//! report (schema `hjsvd-sweep-report/v2`, one entry per run with the full
+//! embedded `SolveStats` record) document the result; see EXPERIMENTS.md
+//! for the schema and regeneration instructions.
 //!
 //! Run: `cargo run --release -p hj-bench --bin sweep_report`
 //!
-//! With `--perf-smoke` the binary additionally enforces the engine
-//! performance contract fixed by the kernel rewrite: blocked wall-clock at
-//! the largest size must stay within [`PERF_SMOKE_RATIO`]x of sequential
-//! (the historical inversion had it ~2x slower). CI runs this mode; any
-//! cross-check failure or ratio breach exits nonzero.
+//! With `--perf-smoke` the binary additionally enforces two contracts:
+//!
+//! * the engine performance contract fixed by the kernel rewrite: blocked
+//!   wall-clock at the largest size must stay within [`PERF_SMOKE_RATIO`]x
+//!   of sequential (the historical inversion had it ~2x slower);
+//! * the ordering contract from the scheduling subsystem: no plain
+//!   (threshold-free) non-cyclic ordering may need *more* sweeps than
+//!   cyclic at `n = `[`PERF_SMOKE_N`].
+//!
+//! CI runs this mode; any cross-check failure or contract breach exits
+//! nonzero.
 
 use hj_bench::{fmt_secs, print_table};
-use hj_core::{EngineKind, HestenesSvd, RingBufferSink, SvdOptions, TraceEvent, TraceLevel};
+use hj_core::{
+    EngineKind, HestenesSvd, Ordering, RingBufferSink, SvdOptions, ThresholdSchedule, TraceEvent,
+    TraceLevel,
+};
 use hj_matrix::gen;
 
 const SIZES: [usize; 4] = [32, 64, 128, 256];
 const ENGINES: [EngineKind; 3] =
     [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked];
+/// The ordering grid: every non-default strategy plain, plus the
+/// threshold-schedule composition of the three orderings where thresholding
+/// is productive or load-bearing (row-cyclic + threshold is a known
+/// regression — single-pair rounds defer too much work — so it is excluded
+/// from the grid rather than silently reported as a recommendation).
+const ORDERING_GRID: [(Ordering, bool); 6] = [
+    (Ordering::RowCyclic, false),
+    (Ordering::SortedGreedy, false),
+    (Ordering::ColumnNormPresort, false),
+    (Ordering::RoundRobin, true),
+    (Ordering::SortedGreedy, true),
+    (Ordering::ColumnNormPresort, true),
+];
 const SEED: u64 = 42;
 const BREAKDOWN_N: usize = 128;
 /// `--perf-smoke`: blocked may cost at most this multiple of sequential at
@@ -48,16 +79,130 @@ struct SweepLine {
     seconds: f64,
 }
 
-/// One (n, engine) run: the solve's own record plus the trace's view of it.
+/// One (n, engine, ordering) run: the solve's own record plus the trace's
+/// view of it.
 struct Run {
     n: usize,
     engine: &'static str,
+    ordering: &'static str,
+    threshold: bool,
     sweeps: usize,
     trace_events: usize,
     per_sweep: Vec<SweepLine>,
     stats_json: String,
     total_seconds: f64,
     rotations_applied: u64,
+    final_off_frobenius: f64,
+}
+
+/// Run one traced solve and cross-check trace against stats; pushes the run
+/// (on success) and returns the number of cross-check failures.
+fn run_one(
+    a: &hj_matrix::Matrix,
+    n: usize,
+    engine: EngineKind,
+    ordering: Ordering,
+    threshold: bool,
+    runs: &mut Vec<Run>,
+) -> usize {
+    let solver = HestenesSvd::new(SvdOptions {
+        engine,
+        ordering,
+        threshold: threshold.then(ThresholdSchedule::default),
+        trace: TraceLevel::Sweep,
+        ..SvdOptions::default()
+    });
+    // Sweep level emits 3 events per sweep (start, end, convergence check)
+    // plus recoveries; 4096 slots hold any realistic solve.
+    let mut sink = RingBufferSink::new(4096);
+    let label = if threshold {
+        format!("{}+threshold", ordering.name())
+    } else {
+        ordering.name().to_string()
+    };
+    let sv = match solver.singular_values_traced(a, &mut sink) {
+        Ok(sv) => sv,
+        Err(e) => {
+            eprintln!("FAIL n={n} engine={} ordering={label}: {e}", engine.name());
+            return 1;
+        }
+    };
+
+    let per_sweep: Vec<SweepLine> = sink
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            TraceEvent::SweepEnd {
+                sweep,
+                rotations_applied,
+                rotations_skipped,
+                off_frobenius,
+                seconds,
+            } => Some(SweepLine {
+                sweep,
+                applied: rotations_applied,
+                skipped: rotations_skipped,
+                off_frobenius,
+                seconds,
+            }),
+            _ => None,
+        })
+        .collect();
+
+    // Cross-check: the trace and the solve must tell the same story.
+    let mut failures = 0usize;
+    let trace_total: u64 = per_sweep.iter().map(|s| s.applied as u64).sum();
+    if per_sweep.len() != sv.sweeps {
+        eprintln!(
+            "FAIL n={n} engine={} ordering={label}: {} sweep_end events for {} sweeps",
+            engine.name(),
+            per_sweep.len(),
+            sv.sweeps
+        );
+        failures += 1;
+    }
+    if trace_total != sv.stats.rotations_applied as u64 {
+        eprintln!(
+            "FAIL n={n} engine={} ordering={label}: trace counts {} rotations, stats say {}",
+            engine.name(),
+            trace_total,
+            sv.stats.rotations_applied
+        );
+        failures += 1;
+    }
+    for (line, rec) in per_sweep.iter().zip(&sv.history) {
+        if line.sweep != rec.sweep
+            || line.applied != rec.rotations_applied
+            || line.skipped != rec.rotations_skipped
+        {
+            eprintln!(
+                "FAIL n={n} engine={} ordering={label}: sweep {} trace ({}/{}) != history ({}/{})",
+                engine.name(),
+                rec.sweep,
+                line.applied,
+                line.skipped,
+                rec.rotations_applied,
+                rec.rotations_skipped
+            );
+            failures += 1;
+        }
+    }
+
+    let final_off = per_sweep.last().map(|s| s.off_frobenius).unwrap_or(0.0);
+    runs.push(Run {
+        n,
+        engine: engine.name(),
+        ordering: ordering.name(),
+        threshold,
+        sweeps: sv.sweeps,
+        trace_events: sink.recorded(),
+        per_sweep,
+        stats_json: sv.stats.to_json(),
+        total_seconds: sv.stats.total_seconds,
+        rotations_applied: sv.stats.rotations_applied as u64,
+        final_off_frobenius: final_off,
+    });
+    failures
 }
 
 fn main() {
@@ -67,116 +212,69 @@ fn main() {
 
     for &n in &SIZES {
         let a = gen::uniform(n, n, SEED);
+        // Engine grid under the cyclic default.
         for &engine in &ENGINES {
-            let solver = HestenesSvd::new(SvdOptions {
-                engine,
-                trace: TraceLevel::Sweep,
-                ..SvdOptions::default()
-            });
-            // Sweep level emits 3 events per sweep (start, end, convergence
-            // check) plus recoveries; 4096 slots hold any realistic solve.
-            let mut sink = RingBufferSink::new(4096);
-            let sv = match solver.singular_values_traced(&a, &mut sink) {
-                Ok(sv) => sv,
-                Err(e) => {
-                    eprintln!("FAIL n={n} engine={}: {e}", engine.name());
-                    failures += 1;
-                    continue;
-                }
-            };
-
-            let per_sweep: Vec<SweepLine> = sink
-                .events()
-                .into_iter()
-                .filter_map(|e| match e {
-                    TraceEvent::SweepEnd {
-                        sweep,
-                        rotations_applied,
-                        rotations_skipped,
-                        off_frobenius,
-                        seconds,
-                    } => Some(SweepLine {
-                        sweep,
-                        applied: rotations_applied,
-                        skipped: rotations_skipped,
-                        off_frobenius,
-                        seconds,
-                    }),
-                    _ => None,
-                })
-                .collect();
-
-            // Cross-check: the trace and the solve must tell the same story.
-            let trace_total: u64 = per_sweep.iter().map(|s| s.applied as u64).sum();
-            if per_sweep.len() != sv.sweeps {
-                eprintln!(
-                    "FAIL n={n} engine={}: {} sweep_end events for {} sweeps",
-                    engine.name(),
-                    per_sweep.len(),
-                    sv.sweeps
-                );
-                failures += 1;
-            }
-            if trace_total != sv.stats.rotations_applied as u64 {
-                eprintln!(
-                    "FAIL n={n} engine={}: trace counts {} rotations, stats say {}",
-                    engine.name(),
-                    trace_total,
-                    sv.stats.rotations_applied
-                );
-                failures += 1;
-            }
-            for (line, rec) in per_sweep.iter().zip(&sv.history) {
-                if line.sweep != rec.sweep
-                    || line.applied != rec.rotations_applied
-                    || line.skipped != rec.rotations_skipped
-                {
-                    eprintln!(
-                        "FAIL n={n} engine={}: sweep {} trace ({}/{}) != history ({}/{})",
-                        engine.name(),
-                        rec.sweep,
-                        line.applied,
-                        line.skipped,
-                        rec.rotations_applied,
-                        rec.rotations_skipped
-                    );
-                    failures += 1;
-                }
-            }
-
-            runs.push(Run {
-                n,
-                engine: engine.name(),
-                sweeps: sv.sweeps,
-                trace_events: sink.recorded(),
-                per_sweep,
-                stats_json: sv.stats.to_json(),
-                total_seconds: sv.stats.total_seconds,
-                rotations_applied: sv.stats.rotations_applied as u64,
-            });
+            failures += run_one(&a, n, engine, Ordering::RoundRobin, false, &mut runs);
+        }
+        // Ordering grid on the sequential engine.
+        for &(ordering, threshold) in &ORDERING_GRID {
+            failures += run_one(&a, n, EngineKind::Sequential, ordering, threshold, &mut runs);
         }
     }
 
-    println!("sweep_report: engines × sizes with sweep-level tracing on (seed {SEED})\n");
+    println!(
+        "sweep_report: engines × sizes × orderings with sweep-level tracing on (seed {SEED})\n"
+    );
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
             vec![
                 r.n.to_string(),
                 r.engine.to_string(),
+                ordering_label(r),
                 r.sweeps.to_string(),
                 r.rotations_applied.to_string(),
-                r.trace_events.to_string(),
+                format!("{:.3e}", r.final_off_frobenius),
                 fmt_secs(r.total_seconds),
             ]
         })
         .collect();
-    print_table(&["n", "engine", "sweeps", "rotations", "trace events", "total"], &rows);
+    print_table(&["n", "engine", "ordering", "sweeps", "rotations", "final off-F", "total"], &rows);
+
+    println!("\nsweeps_to_converge by ordering (sequential engine):");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &n in &SIZES {
+        let sweeps_of = |ordering: &str, threshold: bool| {
+            runs.iter()
+                .find(|r| {
+                    r.n == n
+                        && r.engine == "sequential"
+                        && r.ordering == ordering
+                        && r.threshold == threshold
+                })
+                .map(|r| r.sweeps.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        rows.push(vec![
+            n.to_string(),
+            sweeps_of("cyclic", false),
+            sweeps_of("row-cyclic", false),
+            sweeps_of("greedy", false),
+            sweeps_of("presort", false),
+            sweeps_of("cyclic", true),
+            sweeps_of("greedy", true),
+            sweeps_of("presort", true),
+        ]);
+    }
+    print_table(
+        &["n", "cyclic", "row", "greedy", "presort", "cyclic+th", "greedy+th", "presort+th"],
+        &rows,
+    );
 
     println!("\nper-sweep breakdown at n = {BREAKDOWN_N} (from sweep_end trace events):");
     let rows: Vec<Vec<String>> = runs
         .iter()
-        .filter(|r| r.n == BREAKDOWN_N)
+        .filter(|r| r.n == BREAKDOWN_N && r.ordering == "cyclic" && !r.threshold)
         .flat_map(|r| {
             r.per_sweep.iter().map(|s| {
                 vec![
@@ -194,6 +292,7 @@ fn main() {
 
     if perf_smoke {
         failures += perf_smoke_check(&runs);
+        failures += ordering_smoke_check(&runs);
     }
 
     let path = "BENCH_sweep.json";
@@ -206,10 +305,18 @@ fn main() {
     }
 
     if failures > 0 {
-        eprintln!("\n{failures} cross-check failure(s): trace and stats disagree");
+        eprintln!("\n{failures} check failure(s)");
         std::process::exit(1);
     }
     println!("all trace/stats cross-checks passed ({} runs)", runs.len());
+}
+
+fn ordering_label(r: &Run) -> String {
+    if r.threshold {
+        format!("{}+th", r.ordering)
+    } else {
+        r.ordering.to_string()
+    }
 }
 
 /// `--perf-smoke`: fail if blocked wall-clock exceeds
@@ -217,7 +324,9 @@ fn main() {
 /// the number of failures to fold into the exit status.
 fn perf_smoke_check(runs: &[Run]) -> usize {
     let total = |name: &str| {
-        runs.iter().find(|r| r.n == PERF_SMOKE_N && r.engine == name).map(|r| r.total_seconds)
+        runs.iter()
+            .find(|r| r.n == PERF_SMOKE_N && r.engine == name && r.ordering == "cyclic")
+            .map(|r| r.total_seconds)
     };
     let (Some(seq), Some(blk)) = (total("sequential"), total("blocked")) else {
         eprintln!("FAIL perf-smoke: no n={PERF_SMOKE_N} sequential/blocked runs to compare");
@@ -240,20 +349,62 @@ fn perf_smoke_check(runs: &[Run]) -> usize {
     0
 }
 
+/// `--perf-smoke`: fail if any plain (threshold-free) non-cyclic ordering
+/// needs more sweeps than cyclic at n = [`PERF_SMOKE_N`]. The adaptive
+/// orderings exist to cut sweep counts; a regression here means a strategy
+/// change made scheduling worse than the default it is meant to beat.
+fn ordering_smoke_check(runs: &[Run]) -> usize {
+    let sweeps = |ordering: &str| {
+        runs.iter()
+            .find(|r| {
+                r.n == PERF_SMOKE_N
+                    && r.engine == "sequential"
+                    && r.ordering == ordering
+                    && !r.threshold
+            })
+            .map(|r| r.sweeps)
+    };
+    let Some(cyclic) = sweeps("cyclic") else {
+        eprintln!("FAIL ordering-smoke: no n={PERF_SMOKE_N} cyclic baseline run");
+        return 1;
+    };
+    let mut failures = 0usize;
+    println!("\nordering-smoke at n={PERF_SMOKE_N}: cyclic baseline = {cyclic} sweeps");
+    for name in ["row-cyclic", "greedy", "presort"] {
+        match sweeps(name) {
+            Some(s) if s > cyclic => {
+                eprintln!(
+                    "FAIL ordering-smoke: {name} needs {s} sweeps at n={PERF_SMOKE_N}, \
+                     cyclic needs {cyclic} — a non-cyclic ordering must never be slower"
+                );
+                failures += 1;
+            }
+            Some(s) => println!("  {name}: {s} sweeps (<= {cyclic})"),
+            None => {
+                eprintln!("FAIL ordering-smoke: no n={PERF_SMOKE_N} {name} run");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
 /// Render the whole report as one JSON document (schema
-/// `hjsvd-sweep-report/v1`). Hand-rolled like the rest of the workspace's
-/// JSON — no serde dependency.
+/// `hjsvd-sweep-report/v2` — v2 added the `ordering`, `threshold_schedule`,
+/// and `sweeps_to_converge` fields). Hand-rolled like the rest of the
+/// workspace's JSON — no serde dependency.
 fn report_json(runs: &[Run], failures: usize) -> String {
     let mut out = String::new();
-    out.push_str("{\"schema\":\"hjsvd-sweep-report/v1\",");
+    out.push_str("{\"schema\":\"hjsvd-sweep-report/v2\",");
     out.push_str(&format!("\"seed\":{SEED},\"cross_check_failures\":{failures},\"runs\":["));
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"n\":{},\"engine\":\"{}\",\"sweeps\":{},\"trace_events\":{},\"per_sweep\":[",
-            r.n, r.engine, r.sweeps, r.trace_events
+            "{{\"n\":{},\"engine\":\"{}\",\"ordering\":\"{}\",\"threshold_schedule\":{},\
+             \"sweeps_to_converge\":{},\"trace_events\":{},\"per_sweep\":[",
+            r.n, r.engine, r.ordering, r.threshold, r.sweeps, r.trace_events
         ));
         for (j, s) in r.per_sweep.iter().enumerate() {
             if j > 0 {

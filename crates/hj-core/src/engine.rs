@@ -30,7 +30,7 @@
 
 use crate::convergence::{is_converged, Convergence, SweepRecord, MAX_SWEEP_CAP};
 use crate::gram::GramState;
-use crate::ordering::Sweep;
+use crate::ordering::{Preplanned, Sweep, SweepSchedule};
 use crate::parallel::{plan_round, SweepWorkspace};
 use crate::recovery::{Fault, HealthCheck, HealthState, SolveBudget};
 use crate::rotation::{pair_converged, textbook_params};
@@ -50,10 +50,10 @@ pub enum EngineKind {
     #[default]
     Sequential,
     /// Round-synchronous rayon execution ([`crate::parallel::Parallel`]);
-    /// requires the round-robin ordering.
+    /// requires an ordering with disjoint rounds (any but row-cyclic).
     Parallel,
-    /// Cache-tiled group execution ([`Blocked`]); requires the round-robin
-    /// ordering.
+    /// Cache-tiled group execution ([`Blocked`]); requires an ordering with
+    /// disjoint rounds (any but row-cyclic).
     Blocked,
 }
 
@@ -96,6 +96,15 @@ pub enum PairGuard {
         /// Relative tolerance against the largest |diagonal|.
         tol: f64,
     },
+    /// The same `|D_ij| ≤ tol·√(D_ii·D_jj)` rule as [`PairGuard::Relative`]
+    /// but with a *per-sweep* tolerance set by an active
+    /// [`crate::ordering::ThresholdSchedule`] ramp — skipped pairs report
+    /// [`SkipReason::ThresholdGuard`] so traces distinguish "converged"
+    /// from "deferred by the ramp". Installed by the driver, not by callers.
+    Threshold {
+        /// This sweep's ramp tolerance (≥ [`PAIR_TOL`]).
+        tol: f64,
+    },
 }
 
 impl Default for PairGuard {
@@ -110,10 +119,20 @@ impl PairGuard {
     /// diagonal-scaled rule samples `max|D_kk|` here).
     pub(crate) fn ready(&self, gram: &GramState) -> ReadyGuard {
         match *self {
-            PairGuard::Relative { tol } => ReadyGuard { relative: true, tol, scale: 0.0 },
+            PairGuard::Relative { tol } => {
+                ReadyGuard { relative: true, tol, scale: 0.0, reason: SkipReason::RelativeGuard }
+            }
+            PairGuard::Threshold { tol } => {
+                ReadyGuard { relative: true, tol, scale: 0.0, reason: SkipReason::ThresholdGuard }
+            }
             PairGuard::DiagonalScale { tol } => {
                 let scale = gram.packed().diagonal().iter().fold(0.0f64, |m, &d| m.max(d.abs()));
-                ReadyGuard { relative: false, tol, scale: scale.max(f64::MIN_POSITIVE) }
+                ReadyGuard {
+                    relative: false,
+                    tol,
+                    scale: scale.max(f64::MIN_POSITIVE),
+                    reason: SkipReason::DiagonalScaleGuard,
+                }
             }
         }
     }
@@ -125,6 +144,7 @@ pub(crate) struct ReadyGuard {
     relative: bool,
     tol: f64,
     scale: f64,
+    reason: SkipReason,
 }
 
 impl ReadyGuard {
@@ -141,11 +161,7 @@ impl ReadyGuard {
     /// The [`SkipReason`] this guard reports for skipped pairs.
     #[inline]
     pub(crate) fn reason(&self) -> SkipReason {
-        if self.relative {
-            SkipReason::RelativeGuard
-        } else {
-            SkipReason::DiagonalScaleGuard
-        }
+        self.reason
     }
 }
 
@@ -344,10 +360,13 @@ impl<'ws> Blocked<'ws> {
     /// Default tile budget: a conservative L1-data-cache size.
     pub const DEFAULT_TILE_BYTES: usize = 32 * 1024;
 
-    /// Ceiling for the dimension-derived budget of [`Blocked::for_dim`]:
-    /// a conservative per-core L2 slice. The whole packed triangle fits
-    /// under it up to `n = 362`, which covers the paper's `n ≤ 256` range —
-    /// the same "keep all of `D` on chip" regime as the FPGA's BRAM (§V).
+    /// Fallback ceiling for the dimension-derived budget of
+    /// [`Blocked::for_dim`] when the host probe finds nothing: a
+    /// conservative per-core L2 slice. The whole packed triangle fits under
+    /// it up to `n = 362`, which covers the paper's `n ≤ 256` range — the
+    /// same "keep all of `D` on chip" regime as the FPGA's BRAM (§V).
+    /// [`Blocked::host_tile_budget`] may raise (or an `HJ_TILE_BYTES`
+    /// override may move) this ceiling per host.
     pub const MAX_TILE_BYTES: usize = 512 * 1024;
 
     /// Engine over caller-owned scratch with the default (L1) tile budget.
@@ -355,17 +374,44 @@ impl<'ws> Blocked<'ws> {
         Blocked::with_tile_bytes(ws, Blocked::DEFAULT_TILE_BYTES)
     }
 
-    /// Engine with the tile budget derived from the problem dimension: the
-    /// whole packed triangle (`8·n(n+1)/2` bytes) when it fits under
-    /// [`Blocked::MAX_TILE_BYTES`] — enabling the single-tile fast path —
-    /// and the default L1 budget otherwise. This is what the solver front
-    /// ends construct.
+    /// The per-host tile-budget ceiling, probed once at first use:
+    /// the `HJ_TILE_BYTES` environment override if set (plain bytes or a
+    /// `512K`/`1M`-style suffix), else the L2 cache size from
+    /// `/sys/devices/system/cpu/cpu0/cache/index2/size`, else the
+    /// conservative [`Blocked::MAX_TILE_BYTES`] fallback.
+    pub fn host_tile_budget() -> usize {
+        static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *BUDGET.get_or_init(|| {
+            let env = std::env::var("HJ_TILE_BYTES").ok();
+            let sysfs =
+                std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cache/index2/size").ok();
+            resolve_tile_budget(env.as_deref(), sysfs.as_deref())
+        })
+    }
+
+    /// Engine with the tile budget derived from the problem dimension and
+    /// the host: the whole packed triangle (`8·n(n+1)/2` bytes) when it fits
+    /// under [`Blocked::host_tile_budget`] — enabling the single-tile fast
+    /// path — and an L1-class slice of the host budget otherwise. This is
+    /// what the solver front ends construct.
     pub fn for_dim(ws: &'ws mut SweepWorkspace, n: usize) -> Blocked<'ws> {
+        Blocked::for_dim_with_budget(ws, n, Blocked::host_tile_budget())
+    }
+
+    /// [`Blocked::for_dim`] against an explicit host budget (testable form).
+    pub fn for_dim_with_budget(
+        ws: &'ws mut SweepWorkspace,
+        n: usize,
+        budget: usize,
+    ) -> Blocked<'ws> {
         let triangle = 8 * (n * (n + 1) / 2);
-        let bytes = if triangle <= Blocked::MAX_TILE_BYTES {
+        let bytes = if triangle <= budget {
             triangle.max(Blocked::DEFAULT_TILE_BYTES)
         } else {
-            Blocked::DEFAULT_TILE_BYTES
+            // Tiled regime: stage in L1-class slices of the host budget
+            // (1/16 of L2 ≈ 32 KiB on the 512 KiB fallback — identical to
+            // the pre-autotune constant there).
+            Blocked::DEFAULT_TILE_BYTES.max(budget / 16)
         };
         Blocked::with_tile_bytes(ws, bytes)
     }
@@ -536,8 +582,38 @@ impl SweepEngine for Blocked<'_> {
             + self.fast_applied * seq_rotation_gram_bytes(n);
         stats.gram_col_touches = self.col_touches;
         stats.tile_refills = self.tile_refills;
+        stats.tile_bytes = self.tile_bytes as u64;
         stats.threads = 1;
     }
+}
+
+/// Resolve the host tile-budget ceiling from an `HJ_TILE_BYTES` override
+/// and/or a sysfs L2-size string, falling back to
+/// [`Blocked::MAX_TILE_BYTES`]. Nonsense inputs fall through to the next
+/// source; budgets are clamped to at least one pair column (4 KiB floor
+/// keeps degenerate overrides from planning 1-pair groups forever).
+pub(crate) fn resolve_tile_budget(env: Option<&str>, sysfs: Option<&str>) -> usize {
+    let floor = 4 * 1024;
+    if let Some(bytes) = env.and_then(parse_byte_size) {
+        return bytes.max(floor);
+    }
+    if let Some(bytes) = sysfs.and_then(parse_byte_size) {
+        return bytes.max(floor);
+    }
+    Blocked::MAX_TILE_BYTES
+}
+
+/// Parse `"524288"`, `"512K"`, or `"8M"` (sysfs spelling, trailing
+/// whitespace tolerated) into bytes. Returns `None` for anything else.
+fn parse_byte_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024usize),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    let value: usize = digits.trim().parse().ok()?;
+    value.checked_mul(mult).filter(|&b| b > 0)
 }
 
 /// Apply the planned group (in `ws.rotations`) to `D` through the staged
@@ -698,27 +774,53 @@ impl SolveDriver {
     /// Run sweeps until the stopping rule (or the budget) is hit; returns the
     /// per-sweep history and the filled stats record.
     ///
-    /// This is [`SolveDriver::run_monitored`] with a passive monitor — no
-    /// budget, no health check — and is byte-for-byte the PR-2 pipeline.
+    /// This is [`SolveDriver::run_monitored`] over the given fixed plan with
+    /// a passive monitor — no budget, no health check, no replanning — and
+    /// is byte-for-byte the PR-2 pipeline.
     pub fn run(
         &self,
         engine: &mut dyn SweepEngine,
         state: &mut SweepState<'_>,
         order: &Sweep,
     ) -> (Vec<SweepRecord>, SolveStats) {
-        let run = self.run_monitored(engine, state, order, &mut SolveMonitor::passive());
+        let run = self.run_monitored_static(engine, state, order, &mut SolveMonitor::passive());
         (run.history, run.stats)
     }
 
-    /// Run sweeps under a [`SolveMonitor`]: the budget is checked before
-    /// each sweep starts, the health check inspects `D` after each sweep
-    /// *before* convergence is evaluated (a corrupted state must never be
-    /// declared converged), and the first fault ends the attempt.
-    pub fn run_monitored(
+    /// [`SolveDriver::run_monitored`] over a fixed, caller-built plan: the
+    /// same `order` is executed every sweep (no replanning, no threshold
+    /// ramp), as the pre-subsystem driver did.
+    pub fn run_monitored_static(
         &self,
         engine: &mut dyn SweepEngine,
         state: &mut SweepState<'_>,
         order: &Sweep,
+        monitor: &mut SolveMonitor<'_>,
+    ) -> MonitoredRun {
+        let mut strategy = Preplanned;
+        let mut plan = order.clone();
+        let mut schedule =
+            SweepSchedule { strategy: &mut strategy, plan: &mut plan, threshold: None };
+        self.run_monitored(engine, state, &mut schedule, monitor)
+    }
+
+    /// Run sweeps under a [`SolveMonitor`]: the budget is checked before
+    /// each sweep starts, the schedule's strategy (re)plans the sweep's
+    /// rounds from the current `D`, the health check inspects `D` after each
+    /// sweep *before* convergence is evaluated (a corrupted state must never
+    /// be declared converged), and the first fault ends the attempt.
+    ///
+    /// When the schedule carries a [`crate::ordering::ThresholdSchedule`],
+    /// the driver installs a [`PairGuard::Threshold`] for every sweep whose
+    /// ramp tolerance is still above [`PAIR_TOL`], restores the caller's
+    /// guard once the ramp bottoms out, and suppresses the
+    /// [`Convergence::NoRotations`] stopping rule while the ramp is active
+    /// (a coarse guard's idle sweep is not convergence).
+    pub fn run_monitored(
+        &self,
+        engine: &mut dyn SweepEngine,
+        state: &mut SweepState<'_>,
+        schedule: &mut SweepSchedule<'_>,
         monitor: &mut SolveMonitor<'_>,
     ) -> MonitoredRun {
         let n = state.gram.dim();
@@ -729,6 +831,7 @@ impl SolveDriver {
         let cap = self.max_sweeps.min(MAX_SWEEP_CAP);
         let trace_level = monitor.trace_level;
         let mut tracer = Tracer::attach(monitor.trace.as_deref_mut(), trace_level);
+        let base_guard = state.guard;
         for s in 1..=cap {
             if let Some(f) = monitor.budget.check(s) {
                 fault = Some(f);
@@ -738,17 +841,41 @@ impl SolveDriver {
             if let Some(inj) = monitor.injector.as_deref_mut() {
                 inj.before_sweep(s, state.gram);
             }
+            let replanned = schedule.strategy.plan_sweep(state.gram, s, schedule.plan);
+            if replanned {
+                stats.replans += 1;
+            }
+            let threshold_active = schedule.threshold.is_some_and(|th| th.active(s));
+            if let Some(th) = schedule.threshold {
+                state.guard = if threshold_active {
+                    PairGuard::Threshold { tol: th.tol(s) }
+                } else {
+                    base_guard
+                };
+            }
             if tracer.sweep_enabled() {
                 tracer.emit(TraceEvent::SweepStart { sweep: s, engine: engine.name() });
             }
+            if tracer.group_enabled() {
+                tracer.emit(TraceEvent::SweepPlanned {
+                    sweep: s,
+                    ordering: schedule.strategy.name(),
+                    rounds: schedule.plan.round_count(),
+                    pairs: schedule.plan.pair_count(),
+                    replanned,
+                });
+            }
             let t0 = Instant::now();
-            let rec = engine.sweep_traced(state, order, s, &mut tracer);
+            let rec = engine.sweep_traced(state, schedule.plan, s, &mut tracer);
             #[cfg(feature = "fault-injection")]
             if let Some(inj) = monitor.injector.as_deref_mut() {
                 inj.after_sweep(s, state.gram);
             }
             let seconds = t0.elapsed().as_secs_f64();
             stats.record_sweep(seconds, &rec);
+            if threshold_active {
+                stats.pairs_skipped_by_threshold += rec.rotations_skipped;
+            }
             if tracer.sweep_enabled() {
                 tracer.emit(TraceEvent::SweepEnd {
                     sweep: s,
@@ -763,7 +890,12 @@ impl SolveDriver {
                 fault = Some(f);
                 break;
             }
-            let converged = is_converged(&self.convergence, &rec, state.gram.trace(), n);
+            let converged =
+                if threshold_active && matches!(self.convergence, Convergence::NoRotations) {
+                    false
+                } else {
+                    is_converged(&self.convergence, &rec, state.gram.trace(), n)
+                };
             if tracer.sweep_enabled() {
                 tracer.emit(TraceEvent::ConvergenceCheck {
                     sweep: s,
@@ -776,11 +908,13 @@ impl SolveDriver {
                 break;
             }
         }
+        state.guard = base_guard;
         if fault.is_some() {
             stats.faults += 1;
         }
         engine.finish(&mut stats, n);
         stats.engine = engine.name();
+        stats.ordering = schedule.strategy.name();
         MonitoredRun { history, stats, fault }
     }
 }
@@ -1093,7 +1227,7 @@ mod tests {
             guard: PairGuard::default(),
         };
         let mut mon = SolveMonitor::new(SolveBudget::unlimited(), HealthCheck::default());
-        let run = driver().run_monitored(&mut Sequential, &mut st, &order, &mut mon);
+        let run = driver().run_monitored_static(&mut Sequential, &mut st, &order, &mut mon);
 
         assert_eq!(run.fault, None);
         assert_eq!(run.history, history);
@@ -1114,11 +1248,225 @@ mod tests {
         };
         let budget = SolveBudget::with_deadline(Instant::now() - std::time::Duration::from_secs(1));
         let mut mon = SolveMonitor::new(budget, HealthCheck::default());
-        let run = driver().run_monitored(&mut Sequential, &mut st, &order, &mut mon);
+        let run = driver().run_monitored_static(&mut Sequential, &mut st, &order, &mut mon);
         assert_eq!(run.fault, Some(Fault::DeadlineExceeded { sweep: 1 }));
         assert!(run.history.is_empty());
         assert_eq!(run.stats.sweeps, 0);
         assert_eq!(run.stats.faults, 1);
+    }
+
+    #[test]
+    fn scheduled_cyclic_run_is_bit_identical_to_static_run() {
+        // The schedule-driven driver with the Cyclic strategy must be the
+        // pre-subsystem static round-robin loop, bit for bit — on all three
+        // engines.
+        use crate::ordering::{Cyclic, PlanBuffers, SweepSchedule};
+        let a = gen::uniform(40, 12, 31);
+        let order = round_robin(12);
+        let run_static = |engine: &mut dyn SweepEngine| {
+            let mut g = GramState::from_matrix(&a);
+            let mut st = SweepState {
+                gram: &mut g,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            let (h, stats) = driver().run(engine, &mut st, &order);
+            (g.packed().as_slice().to_vec(), h, stats)
+        };
+        let run_scheduled = |engine: &mut dyn SweepEngine| {
+            let mut g = GramState::from_matrix(&a);
+            let mut st = SweepState {
+                gram: &mut g,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            let mut strat = Cyclic::new();
+            let mut plan = crate::ordering::Sweep::new();
+            let mut schedule =
+                SweepSchedule { strategy: &mut strat, plan: &mut plan, threshold: None };
+            let run = driver().run_monitored(
+                engine,
+                &mut st,
+                &mut schedule,
+                &mut SolveMonitor::passive(),
+            );
+            (g.packed().as_slice().to_vec(), run.history, run.stats)
+        };
+
+        let (d1, h1, s1) = run_static(&mut Sequential);
+        let (d2, h2, s2) = run_scheduled(&mut Sequential);
+        assert_eq!(d1, d2);
+        assert_eq!(h1, h2);
+        assert_eq!(s2.ordering, "cyclic");
+        assert_eq!(s1.ordering, "", "preplanned runs report no ordering");
+        assert_eq!(s2.replans, 1, "cyclic plans once");
+
+        let mut ws1 = SweepWorkspace::new();
+        let mut ws2 = SweepWorkspace::new();
+        let (d1, h1, _) = run_static(&mut Parallel::round_synchronous(&mut ws1));
+        let (d2, h2, _) = run_scheduled(&mut Parallel::round_synchronous(&mut ws2));
+        assert_eq!(d1, d2);
+        assert_eq!(h1, h2);
+
+        let mut ws1 = SweepWorkspace::new();
+        let mut ws2 = SweepWorkspace::new();
+        let (d1, h1, _) = run_static(&mut Blocked::for_dim(&mut ws1, 12));
+        let (d2, h2, _) = run_scheduled(&mut Blocked::for_dim(&mut ws2, 12));
+        assert_eq!(d1, d2);
+        assert_eq!(h1, h2);
+
+        // PlanBuffers parts drive the same loop identically.
+        let mut g = GramState::from_matrix(&a);
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let mut bufs = PlanBuffers::new();
+        let (strategy, plan) = bufs.schedule_parts(crate::ordering::Ordering::RoundRobin);
+        let mut schedule = SweepSchedule { strategy, plan, threshold: None };
+        driver().run_monitored(
+            &mut Sequential,
+            &mut st,
+            &mut schedule,
+            &mut SolveMonitor::passive(),
+        );
+        assert_eq!(g.packed().as_slice(), d1.as_slice());
+    }
+
+    #[test]
+    fn greedy_schedule_converges_and_counts_replans() {
+        use crate::ordering::{SortedGreedy, SweepSchedule};
+        let a = gen::uniform(40, 14, 17);
+        let mut g = GramState::from_matrix(&a);
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let mut strat = SortedGreedy::new();
+        let mut plan = crate::ordering::Sweep::new();
+        let mut schedule = SweepSchedule { strategy: &mut strat, plan: &mut plan, threshold: None };
+        let run = driver().run_monitored(
+            &mut Sequential,
+            &mut st,
+            &mut schedule,
+            &mut SolveMonitor::passive(),
+        );
+        assert_eq!(run.fault, None);
+        assert_eq!(run.stats.ordering, "greedy");
+        assert_eq!(run.stats.replans, run.stats.sweeps, "greedy replans every sweep");
+        assert!(g.max_abs_covariance() <= 1e-14 * (g.trace() / 14.0).max(f64::MIN_POSITIVE));
+    }
+
+    #[test]
+    fn threshold_schedule_defers_pairs_then_restores_the_guard() {
+        use crate::ordering::{Cyclic, SweepSchedule, ThresholdSchedule};
+        let a = gen::uniform(40, 10, 23);
+        let mut g = GramState::from_matrix(&a);
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let mut strat = Cyclic::new();
+        let mut plan = crate::ordering::Sweep::new();
+        // A deliberately coarse ramp: sweep 1 skips almost everything.
+        let th = ThresholdSchedule::new(0.5, 1e-3);
+        let mut schedule =
+            SweepSchedule { strategy: &mut strat, plan: &mut plan, threshold: Some(th) };
+        let run = driver().run_monitored(
+            &mut Sequential,
+            &mut st,
+            &mut schedule,
+            &mut SolveMonitor::passive(),
+        );
+        assert_eq!(run.fault, None);
+        assert!(
+            run.stats.pairs_skipped_by_threshold > 0,
+            "the coarse early ramp must defer some pairs"
+        );
+        // The caller's guard is restored after the run.
+        assert_eq!(st.guard, PairGuard::default());
+        // And the solve still reaches the default convergence target.
+        assert!(g.max_abs_covariance() <= 1e-14 * (g.trace() / 10.0).max(f64::MIN_POSITIVE));
+    }
+
+    #[test]
+    fn no_rotations_rule_is_suppressed_while_the_ramp_is_active() {
+        use crate::ordering::{Cyclic, SweepSchedule, ThresholdSchedule};
+        // With a guard so coarse that sweep 1 rotates nothing, NoRotations
+        // must NOT stop the solve while the ramp is above the floor.
+        let a = gen::uniform(30, 8, 41);
+        let mut g = GramState::from_matrix(&a);
+        let mut st = SweepState {
+            gram: &mut g,
+            target: RotationTarget::gram_only(),
+            guard: PairGuard::default(),
+        };
+        let mut strat = Cyclic::new();
+        let mut plan = crate::ordering::Sweep::new();
+        let th = ThresholdSchedule::new(10.0, 1e-2); // sweep 1 skips all pairs
+        let mut schedule =
+            SweepSchedule { strategy: &mut strat, plan: &mut plan, threshold: Some(th) };
+        let d = SolveDriver { convergence: Convergence::NoRotations, max_sweeps: MAX_SWEEP_CAP };
+        let run =
+            d.run_monitored(&mut Sequential, &mut st, &mut schedule, &mut SolveMonitor::passive());
+        assert!(run.history[0].rotations_applied == 0, "sweep 1 must be fully deferred");
+        assert!(run.history.len() > 1, "NoRotations must not fire on a deferred sweep");
+        assert_eq!(run.history.last().unwrap().rotations_applied, 0, "real convergence at the end");
+    }
+
+    #[test]
+    fn tile_budget_resolution_prefers_env_then_sysfs_then_fallback() {
+        assert_eq!(resolve_tile_budget(Some("65536"), Some("512K")), 65536);
+        assert_eq!(resolve_tile_budget(Some("256K"), None), 256 * 1024);
+        assert_eq!(resolve_tile_budget(Some("1M"), None), 1024 * 1024);
+        assert_eq!(resolve_tile_budget(None, Some("512K\n")), 512 * 1024);
+        assert_eq!(resolve_tile_budget(None, Some("8M\n")), 8 * 1024 * 1024);
+        assert_eq!(resolve_tile_budget(None, None), Blocked::MAX_TILE_BYTES);
+        // Garbage falls through; tiny overrides are floored.
+        assert_eq!(resolve_tile_budget(Some("zap"), Some("oops")), Blocked::MAX_TILE_BYTES);
+        assert_eq!(resolve_tile_budget(Some("1"), None), 4 * 1024);
+    }
+
+    #[test]
+    fn for_dim_budget_keeps_fast_path_and_reports_tile_bytes() {
+        // Any n whose triangle fits the host budget takes the single-tile
+        // fast path regardless of what the probe found, so for_dim results
+        // stay bit-identical across hosts in the paper's n ≤ 256 range.
+        let a = gen::uniform(30, 9, 4);
+        let order = round_robin(9);
+        let mut baseline = None;
+        for budget in [Blocked::MAX_TILE_BYTES, 4 * 1024 * 1024] {
+            let mut g = GramState::from_matrix(&a);
+            let mut ws = SweepWorkspace::new();
+            let mut st = SweepState {
+                gram: &mut g,
+                target: RotationTarget::gram_only(),
+                guard: PairGuard::default(),
+            };
+            let (_, stats) = driver().run(
+                &mut Blocked::for_dim_with_budget(&mut ws, 9, budget),
+                &mut st,
+                &order,
+            );
+            assert_eq!(stats.tile_refills, 0);
+            assert_eq!(stats.tile_bytes, Blocked::DEFAULT_TILE_BYTES as u64);
+            let d = g.packed().as_slice().to_vec();
+            match &baseline {
+                None => baseline = Some(d),
+                Some(b) => assert_eq!(b, &d),
+            }
+        }
+        // Above the fast-path range the tiled slice scales with the budget
+        // (n = 1100: the packed triangle is ~4.6 MiB, over both budgets).
+        let mut ws = SweepWorkspace::new();
+        let big = Blocked::for_dim_with_budget(&mut ws, 1100, 4 * 1024 * 1024);
+        assert_eq!(big.tile_bytes, 256 * 1024);
+        let mut ws = SweepWorkspace::new();
+        let small = Blocked::for_dim_with_budget(&mut ws, 1100, Blocked::MAX_TILE_BYTES);
+        assert_eq!(small.tile_bytes, Blocked::DEFAULT_TILE_BYTES);
     }
 
     #[test]

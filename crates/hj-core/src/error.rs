@@ -11,6 +11,16 @@ pub enum SvdError {
     /// The selected engine (parallel or blocked) requires the round-robin
     /// ordering (rounds of disjoint pairs are its unit of work).
     EngineNeedsRoundRobin,
+    /// The selected ordering is not valid in this context — e.g.
+    /// [`crate::ordering::Ordering::ColumnNormPresort`] on the indefinite
+    /// eigensolver path, where sign-indefinite diagonals make descending-norm
+    /// pivot ordering meaningless.
+    OrderingUnsupported {
+        /// Canonical name of the rejected ordering.
+        ordering: &'static str,
+        /// Short description of the context that rejects it.
+        context: &'static str,
+    },
     /// `max_sweeps` was 0; at least one sweep is required.
     ZeroSweepBudget,
     /// Values-only mode on a wide matrix (`m < n`) truncates the Gram
@@ -42,6 +52,9 @@ impl fmt::Display for SvdError {
             SvdError::EngineNeedsRoundRobin => {
                 write!(f, "the selected engine requires the round-robin ordering")
             }
+            SvdError::OrderingUnsupported { ordering, context } => {
+                write!(f, "the {ordering} ordering is not supported by {context}")
+            }
             SvdError::ZeroSweepBudget => write!(f, "max_sweeps must be at least 1"),
             SvdError::TruncatedTailNotNegligible => write!(
                 f,
@@ -69,6 +82,10 @@ mod tests {
         assert!(SvdError::EmptyInput.to_string().contains("zero dimension"));
         assert!(SvdError::NonFiniteInput.to_string().contains("NaN"));
         assert!(SvdError::EngineNeedsRoundRobin.to_string().contains("round-robin"));
+        let unsupported =
+            SvdError::OrderingUnsupported { ordering: "presort", context: "the eigensolver" };
+        assert!(unsupported.to_string().contains("presort"));
+        assert!(unsupported.to_string().contains("eigensolver"));
         assert!(SvdError::ZeroSweepBudget.to_string().contains("at least 1"));
         assert!(SvdError::TruncatedTailNotNegligible.to_string().contains("non-negligible"));
         let fault = SvdError::SolveFault {

@@ -18,8 +18,13 @@
 //!   hot loop runs on: the three-region packed rotation, tile
 //!   gather/scatter, and SoA-batched rotation parameters (bit-identical to
 //!   the scalar paths; see the module's bit-compat policy).
-//! * [`ordering`] — cyclic round-robin pairing (the paper's Fig. 6) and the
-//!   row-cyclic order of the pseudocode.
+//! * [`ordering`] — the pluggable sweep-schedule subsystem: the
+//!   [`ordering::OrderingStrategy`] trait planning each sweep's rounds of
+//!   disjoint pairs, the cyclic round-robin pairing (the paper's Fig. 6),
+//!   the row-cyclic order of the pseudocode, the adaptive sorted-greedy
+//!   planner, the de Rijk column-norm presort, and the
+//!   [`ordering::ThresholdSchedule`] rotation-threshold ramp composable
+//!   with any ordering.
 //! * [`engine`] — the unified sweep pipeline: the [`engine::SweepEngine`]
 //!   trait, the [`engine::RotationTarget`] / [`engine::PairGuard`]
 //!   abstractions, the [`engine::Sequential`] and cache-tiled
@@ -102,7 +107,9 @@ pub use error::SvdError;
 pub use gram::{DiagonalScan, GramState};
 #[cfg(feature = "fault-injection")]
 pub use inject::{Corruption, FaultInjector, SeededInjector};
-pub use ordering::Ordering;
+pub use ordering::{
+    Ordering, OrderingKind, OrderingStrategy, PlanBuffers, SweepSchedule, ThresholdSchedule,
+};
 pub use parallel::SweepWorkspace;
 pub use pca::Pca;
 pub use recovery::{Fault, HealthCheck, RecoveryAction, RecoveryPolicy, SolveBudget};

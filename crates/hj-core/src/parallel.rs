@@ -136,6 +136,10 @@ pub struct SweepWorkspace {
     /// rotation-parameter kernel (`ni | nj | cov | cos | sin | t`, each
     /// `n/2 + 1` wide) — a single allocation, split per round.
     batch_soa: Vec<f64>,
+    /// Pooled ordering strategies + plan buffers for the scheduled solve
+    /// path (`None` while a solve has them checked out). Not charged to
+    /// `allocations`: planning happens outside the sweep engines.
+    plan: Option<Box<crate::ordering::PlanBuffers>>,
     /// Buffer creations/growths performed so far (warm-up accounting).
     allocations: usize,
     /// Modeled bytes of packed-triangle traffic (see [`crate::SolveStats`]).
@@ -157,6 +161,18 @@ impl SweepWorkspace {
     /// Accumulated modeled bytes of packed-triangle (Gram) traffic.
     pub fn gram_bytes(&self) -> u64 {
         self.gram_bytes
+    }
+
+    /// Check out the pooled ordering scratch (fresh buffers the first time;
+    /// the warmed pool on every later solve). Pair with
+    /// [`SweepWorkspace::put_plan_buffers`].
+    pub(crate) fn take_plan_buffers(&mut self) -> Box<crate::ordering::PlanBuffers> {
+        self.plan.take().unwrap_or_default()
+    }
+
+    /// Return checked-out ordering scratch to the pool for the next solve.
+    pub(crate) fn put_plan_buffers(&mut self, buffers: Box<crate::ordering::PlanBuffers>) {
+        self.plan = Some(buffers);
     }
 
     /// Size the Gram-side buffers for dimension `n` (no-op once sized).

@@ -12,7 +12,7 @@ use crate::engine::{
     SolveMonitor, SweepState,
 };
 use crate::gram::GramState;
-use crate::ordering::{build_sweep, Ordering};
+use crate::ordering::{Ordering, SweepSchedule, ThresholdSchedule};
 use crate::parallel::{Parallel, SweepWorkspace};
 use crate::recovery::{HealthCheck, RecoveryAction, RecoveryContext, RecoveryPolicy, SolveBudget};
 use crate::stats::SolveStats;
@@ -141,10 +141,17 @@ pub struct SvdOptions {
     /// Hard upper bound on sweeps regardless of the stopping rule.
     /// Default: [`MAX_SWEEP_CAP`].
     pub max_sweeps: usize,
-    /// Pair visiting order. Default: round-robin (the paper's cyclic order).
+    /// Pair visiting order (see [`crate::ordering`] for the strategy
+    /// catalogue). Default: round-robin (the paper's cyclic order,
+    /// bit-identical to the pre-subsystem schedule).
     pub ordering: Ordering,
+    /// Optional per-sweep rotation-threshold ramp, composable with any
+    /// ordering. `None` (the default) keeps the standard fixed pair guard —
+    /// and the bit-identical default solve path.
+    pub threshold: Option<ThresholdSchedule>,
     /// Sweep engine. [`EngineKind::Parallel`] and [`EngineKind::Blocked`]
-    /// require [`Ordering::RoundRobin`]. Default: sequential (faithful to
+    /// require an ordering with disjoint rounds (any but
+    /// [`Ordering::RowCyclic`]). Default: sequential (faithful to
     /// Algorithm 1's data flow).
     pub engine: EngineKind,
     /// Event granularity for the `*_traced` entry points
@@ -163,6 +170,7 @@ impl Default for SvdOptions {
             convergence: Convergence::default(),
             max_sweeps: MAX_SWEEP_CAP,
             ordering: Ordering::RoundRobin,
+            threshold: None,
             engine: EngineKind::Sequential,
             trace: TraceLevel::Off,
         }
@@ -176,6 +184,7 @@ impl SvdOptions {
             convergence: Convergence::FixedSweeps(6),
             max_sweeps: 6,
             ordering: Ordering::RoundRobin,
+            threshold: None,
             engine: EngineKind::Sequential,
             trace: TraceLevel::Off,
         }
@@ -322,8 +331,11 @@ impl HestenesSvd {
             return Err(SvdError::NonFiniteInput);
         }
         if self.options.engine != EngineKind::Sequential
-            && self.options.ordering != Ordering::RoundRobin
+            && self.options.ordering == Ordering::RowCyclic
         {
+            // Parallel/blocked engines consume rounds of disjoint pairs;
+            // row-cyclic's one-pair rounds defeat them. Every other ordering
+            // (cyclic, greedy, presort) produces legal disjoint rounds.
             return Err(SvdError::EngineNeedsRoundRobin);
         }
         if self.options.max_sweeps == 0 {
@@ -428,7 +440,6 @@ impl HestenesSvd {
         trace: Option<&'a mut dyn TraceSink>,
     ) -> Result<GuardedSolve, SvdError> {
         let n = a.cols();
-        let order = build_sweep(self.options.ordering, n);
         // One monitor serves every attempt (run_monitored resets its own
         // per-attempt detector state); the injector moves in once and keeps
         // its one-shot bookkeeping across restarts, and the trace sink sees
@@ -444,19 +455,47 @@ impl HestenesSvd {
         let max_abs = a.max_abs();
         let mut exp = prescale_exponent(max_abs);
         let mut engine = self.options.engine;
+        let mut ordering = self.options.ordering;
         let mut max_sweeps = self.options.max_sweeps.min(MAX_SWEEP_CAP);
         let mut rescaled = exp != 0;
         let mut escalated = false;
+        let mut ordering_fell_back = false;
         let mut recoveries = 0usize;
         let mut total_faults = 0usize;
         let mut cumulative_sweeps = 0usize;
+        // Strategy + plan scratch pooled in the workspace: repeated solves
+        // over a warm workspace replan without reallocating.
+        let mut plan_buffers = ws.take_plan_buffers();
         loop {
+            let presort = ordering == Ordering::ColumnNormPresort;
             // Build this attempt's working state from the pristine input.
             let (mut gram, mut b, mut v) = if full {
                 let mut b = a.clone();
                 apply_exp2(&mut b, exp);
-                let gram = GramState::from_matrix(&b);
-                (gram, Some(b), Some(Matrix::identity(n)))
+                if presort {
+                    // de Rijk presort: permute the working columns into
+                    // descending-norm order and fold the permutation into
+                    // V's starting value (B = A·V holds from sweep 0, so no
+                    // undo pass is needed on output).
+                    let perm = presort_permutation(&b);
+                    let b = permuted_columns(&b, &perm);
+                    let mut v = Matrix::zeros(n, n);
+                    for (t, &c) in perm.iter().enumerate() {
+                        v.set(c, t, 1.0);
+                    }
+                    let gram = GramState::from_matrix(&b);
+                    (gram, Some(b), Some(v))
+                } else {
+                    let gram = GramState::from_matrix(&b);
+                    (gram, Some(b), Some(Matrix::identity(n)))
+                }
+            } else if presort {
+                // Values-only: the spectrum is permutation-invariant, so the
+                // presorted Gram needs no bookkeeping at all.
+                let mut scaled = a.clone();
+                apply_exp2(&mut scaled, exp);
+                let perm = presort_permutation(&scaled);
+                (GramState::from_matrix(&permuted_columns(&scaled, &perm)), None, None)
             } else if exp == 0 {
                 // Values-only fast path: D is built straight off the caller's
                 // matrix, no clone.
@@ -472,17 +511,22 @@ impl HestenesSvd {
                 _ => RotationTarget::gram_only(),
             };
             let mut state = SweepState { gram: &mut gram, target, guard: PairGuard::default() };
+            let (strategy, plan) = plan_buffers.schedule_parts(ordering);
+            let mut schedule = SweepSchedule { strategy, plan, threshold: self.options.threshold };
             let run: MonitoredRun = match engine {
                 EngineKind::Sequential => {
-                    driver.run_monitored(&mut Sequential, &mut state, &order, &mut monitor)
+                    driver.run_monitored(&mut Sequential, &mut state, &mut schedule, &mut monitor)
                 }
-                EngineKind::Parallel => {
-                    driver.run_monitored(&mut Parallel::new(ws), &mut state, &order, &mut monitor)
-                }
+                EngineKind::Parallel => driver.run_monitored(
+                    &mut Parallel::new(ws),
+                    &mut state,
+                    &mut schedule,
+                    &mut monitor,
+                ),
                 EngineKind::Blocked => driver.run_monitored(
                     &mut Blocked::for_dim(ws, n),
                     &mut state,
-                    &order,
+                    &mut schedule,
                     &mut monitor,
                 ),
             };
@@ -493,6 +537,7 @@ impl HestenesSvd {
                 stats.faults = total_faults;
                 stats.recoveries = recoveries;
                 stats.prescale_exp = exp;
+                ws.put_plan_buffers(plan_buffers);
                 return Ok(GuardedSolve {
                     gram,
                     b,
@@ -507,6 +552,8 @@ impl HestenesSvd {
                 rescaled,
                 escalated,
                 can_escalate: max_sweeps < MAX_SWEEP_CAP,
+                adaptive_ordering: ordering.adaptive(),
+                ordering_fell_back,
                 recoveries,
             };
             let action = self.policy.action_for(&fault, &ctx);
@@ -522,6 +569,7 @@ impl HestenesSvd {
             );
             match action {
                 RecoveryAction::Abort => {
+                    ws.put_plan_buffers(plan_buffers);
                     return Err(SvdError::SolveFault {
                         fault,
                         sweeps_completed: cumulative_sweeps,
@@ -536,6 +584,10 @@ impl HestenesSvd {
                 RecoveryAction::EscalateBudget => {
                     max_sweeps = (max_sweeps * 2).min(MAX_SWEEP_CAP);
                     escalated = true;
+                }
+                RecoveryAction::FallBackToCyclic => {
+                    ordering = Ordering::RoundRobin;
+                    ordering_fell_back = true;
                 }
             }
             recoveries += 1;
@@ -671,6 +723,28 @@ impl HestenesSvd {
         unscale_values(&mut sigma, scale_exp);
         Ok(Svd { u, singular_values: sigma, v: v_sorted, sweeps, history, stats })
     }
+}
+
+/// Descending-column-norm permutation for the de Rijk presort: `perm[t]` is
+/// the source column holding the `t`-th largest norm (ties break by column
+/// index, keeping the permutation — and the whole solve — deterministic;
+/// same comparator as [`crate::ordering::column_norm_permutation`]).
+fn presort_permutation(b: &Matrix) -> Vec<usize> {
+    let n = b.cols();
+    let norms: Vec<f64> = (0..n).map(|c| ops::norm(b.col(c))).collect();
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by(|&x, &y| norms[y].total_cmp(&norms[x]).then(x.cmp(&y)));
+    perm
+}
+
+/// A copy of `b` with column `t` taken from source column `perm[t]`.
+fn permuted_columns(b: &Matrix, perm: &[usize]) -> Matrix {
+    let (m, n) = b.shape();
+    let mut out = Matrix::zeros(m, n);
+    for (t, &c) in perm.iter().enumerate() {
+        out.col_mut(t).copy_from_slice(b.col(c));
+    }
+    out
 }
 
 /// A finished guarded solve, before factor extraction: the converged `D`,
@@ -1058,10 +1132,98 @@ mod tests {
                 HestenesSvd::new(opts).decompose(&a),
                 Err(SvdError::EngineNeedsRoundRobin)
             ));
+            // The disjoint-round orderings are legal on every engine.
+            for ordering in [Ordering::SortedGreedy, Ordering::ColumnNormPresort] {
+                let opts = SvdOptions { engine, ordering, ..Default::default() };
+                assert!(HestenesSvd::new(opts).decompose(&a).is_ok(), "{engine:?}/{ordering:?}");
+            }
         }
         let opts = SvdOptions { ordering: Ordering::RowCyclic, ..Default::default() };
         assert!(HestenesSvd::new(opts).decompose(&a).is_ok(), "sequential allows any ordering");
         let opts = SvdOptions { max_sweeps: 0, ..Default::default() };
         assert!(matches!(HestenesSvd::new(opts).decompose(&a), Err(SvdError::ZeroSweepBudget)));
+    }
+
+    #[test]
+    fn every_ordering_converges_on_every_legal_engine() {
+        let a = gen::uniform(40, 12, 19);
+        let reference = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        for ordering in Ordering::ALL {
+            for engine in [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked] {
+                if engine != EngineKind::Sequential && ordering == Ordering::RowCyclic {
+                    continue;
+                }
+                let opts = SvdOptions { engine, ordering, ..Default::default() };
+                let svd = HestenesSvd::new(opts).decompose(&a).unwrap();
+                check_svd(&a, &svd, 1e-11);
+                assert_eq!(svd.stats.ordering, ordering.name(), "{engine:?}/{ordering:?}");
+                assert!(svd.stats.replans >= 1, "scheduled solves must plan at least once");
+                for (x, y) in svd.singular_values.iter().zip(&reference.singular_values) {
+                    assert!(
+                        (x - y).abs() < 1e-10 * y.max(1.0),
+                        "{engine:?}/{ordering:?}: σ {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_ordering_is_bit_identical_to_the_default_path() {
+        // The Cyclic strategy must reproduce the pre-subsystem round-robin
+        // schedule exactly, so the default options' results are pinned bitwise
+        // across the refactor (same rotations in the same order).
+        let a = gen::uniform(36, 11, 23);
+        for engine in [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked] {
+            let opts = SvdOptions { engine, ordering: Ordering::RoundRobin, ..Default::default() };
+            let one = HestenesSvd::new(opts).decompose(&a).unwrap();
+            let two = HestenesSvd::new(opts).decompose(&a).unwrap();
+            assert_eq!(one.singular_values, two.singular_values);
+            assert_eq!(one.u.as_slice(), two.u.as_slice());
+            assert_eq!(one.v.as_slice(), two.v.as_slice());
+            assert_eq!(one.stats.ordering, "cyclic");
+        }
+    }
+
+    #[test]
+    fn presort_folds_the_permutation_into_the_factors() {
+        // Columns generated in descending-norm order make the presort
+        // permutation the identity: the presorted solve must then be
+        // bit-identical to the cyclic solve (same data, same plan). A
+        // shuffled copy of the same matrix must still reconstruct exactly.
+        let sigma = [9.0, 5.0, 3.0, 1.5, 0.75, 0.2];
+        let a = gen::with_singular_values(24, 6, &sigma, 55);
+        let cyclic = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        let presorted = HestenesSvd::new(SvdOptions {
+            ordering: Ordering::ColumnNormPresort,
+            ..Default::default()
+        })
+        .decompose(&a)
+        .unwrap();
+        check_svd(&a, &presorted, 1e-12);
+        assert_eq!(presorted.stats.ordering, "presort");
+        for (x, y) in presorted.singular_values.iter().zip(&cyclic.singular_values) {
+            assert!((x - y).abs() < 1e-12 * y.max(1.0), "{x} vs {y}");
+        }
+        // U/V round-trip: the permutation is folded into V, so U·Σ·Vᵀ
+        // reconstructs A without any undo pass, and V stays orthonormal.
+        assert!(norms::orthonormality_error(&presorted.u) < 1e-12);
+        assert!(norms::orthonormality_error(&presorted.v) < 1e-12);
+    }
+
+    #[test]
+    fn threshold_schedule_converges_and_reports_skips() {
+        let a = gen::uniform(48, 16, 29);
+        let opts =
+            SvdOptions { threshold: Some(ThresholdSchedule::default()), ..Default::default() };
+        let svd = HestenesSvd::new(opts).decompose(&a).unwrap();
+        check_svd(&a, &svd, 1e-11);
+        assert!(
+            svd.stats.pairs_skipped_by_threshold > 0,
+            "the early coarse sweeps must defer some pairs"
+        );
+        // The default path must not carry threshold accounting.
+        let plain = HestenesSvd::new(SvdOptions::default()).decompose(&a).unwrap();
+        assert_eq!(plain.stats.pairs_skipped_by_threshold, 0);
     }
 }

@@ -86,6 +86,10 @@ pub enum SkipReason {
     /// The eigensolver's diagonal-scaled guard held:
     /// `|D_ij| ≤ tol·max_k|D_kk|`.
     DiagonalScaleGuard,
+    /// An active [`crate::ordering::ThresholdSchedule`] ramp deferred the
+    /// pair: `|D_ij| ≤ tol_sweep·√(D_ii·D_jj)` with `tol_sweep` still above
+    /// the [`crate::sweep::PAIR_TOL`] floor.
+    ThresholdGuard,
 }
 
 impl SkipReason {
@@ -94,6 +98,7 @@ impl SkipReason {
         match self {
             SkipReason::RelativeGuard => "relative-guard",
             SkipReason::DiagonalScaleGuard => "diagonal-scale-guard",
+            SkipReason::ThresholdGuard => "threshold-guard",
         }
     }
 }
@@ -112,6 +117,23 @@ pub enum TraceEvent {
         sweep: usize,
         /// Canonical engine name (`"sequential"`, `"parallel"`, `"blocked"`).
         engine: &'static str,
+    },
+    /// The ordering strategy produced (or reused) this sweep's plan of
+    /// disjoint rounds (emitted by the [`crate::SolveDriver`] loop when a
+    /// [`crate::ordering::SweepSchedule`] drives the solve).
+    SweepPlanned {
+        /// 1-based sweep index.
+        sweep: usize,
+        /// Canonical ordering name (`"cyclic"`, `"row-cyclic"`, `"greedy"`,
+        /// `"presort"`).
+        ordering: &'static str,
+        /// Rounds in the plan.
+        rounds: usize,
+        /// Total pairs across all rounds.
+        pairs: usize,
+        /// Whether the strategy rebuilt the plan for this sweep (false when
+        /// a static ordering reused the cached plan).
+        replanned: bool,
     },
     /// A sweep finished; carries its rotation counts and timing.
     SweepEnd {
@@ -252,6 +274,7 @@ impl TraceEvent {
     pub fn name(&self) -> &'static str {
         match self {
             TraceEvent::SweepStart { .. } => "sweep_start",
+            TraceEvent::SweepPlanned { .. } => "sweep_planned",
             TraceEvent::SweepEnd { .. } => "sweep_end",
             TraceEvent::PairGroupDispatched { .. } => "pair_group_dispatched",
             TraceEvent::RotationApplied { .. } => "rotation_applied",
@@ -280,7 +303,9 @@ impl TraceEvent {
             | TraceEvent::JobCompleted { .. }
             | TraceEvent::JobFaulted { .. }
             | TraceEvent::PipelineStage { .. } => TraceLevel::Sweep,
-            TraceEvent::PairGroupDispatched { .. } => TraceLevel::Group,
+            TraceEvent::SweepPlanned { .. } | TraceEvent::PairGroupDispatched { .. } => {
+                TraceLevel::Group
+            }
             TraceEvent::RotationApplied { .. } | TraceEvent::RotationSkipped { .. } => {
                 TraceLevel::Rotation
             }
@@ -293,6 +318,7 @@ impl TraceEvent {
     pub fn sweep(&self) -> Option<usize> {
         match *self {
             TraceEvent::SweepStart { sweep, .. }
+            | TraceEvent::SweepPlanned { sweep, .. }
             | TraceEvent::SweepEnd { sweep, .. }
             | TraceEvent::PairGroupDispatched { sweep, .. }
             | TraceEvent::RotationApplied { sweep, .. }
@@ -322,6 +348,14 @@ impl TraceEvent {
             TraceEvent::SweepStart { sweep, engine } => {
                 write_num(&mut s, "sweep", *sweep as f64);
                 write_str(&mut s, "engine", engine);
+            }
+            TraceEvent::SweepPlanned { sweep, ordering, rounds, pairs, replanned } => {
+                write_num(&mut s, "sweep", *sweep as f64);
+                write_str(&mut s, "ordering", ordering);
+                write_num(&mut s, "rounds", *rounds as f64);
+                write_num(&mut s, "pairs", *pairs as f64);
+                s.push_str(",\"replanned\":");
+                s.push_str(if *replanned { "true" } else { "false" });
             }
             TraceEvent::SweepEnd {
                 sweep,
@@ -762,6 +796,13 @@ mod tests {
     fn every_event_names_its_level() {
         let events = [
             TraceEvent::SweepStart { sweep: 1, engine: "sequential" },
+            TraceEvent::SweepPlanned {
+                sweep: 1,
+                ordering: "greedy",
+                rounds: 7,
+                pairs: 28,
+                replanned: true,
+            },
             TraceEvent::SweepEnd {
                 sweep: 1,
                 rotations_applied: 1,

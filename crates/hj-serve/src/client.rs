@@ -3,7 +3,7 @@
 
 use crate::job::Priority;
 use crate::protocol::{Frame, ProtoError, NO_DEADLINE};
-use hj_core::EngineKind;
+use hj_core::{EngineKind, OrderingKind};
 use hj_matrix::Matrix;
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -14,6 +14,8 @@ use std::time::Duration;
 pub struct SubmitOptions {
     /// Sweep engine to run the solve on.
     pub engine: EngineKind,
+    /// Pair-ordering strategy for the sweeps.
+    pub ordering: OrderingKind,
     /// Priority class.
     pub priority: Priority,
     /// Relative deadline in milliseconds (None = no deadline).
@@ -26,6 +28,7 @@ impl Default for SubmitOptions {
     fn default() -> Self {
         SubmitOptions {
             engine: EngineKind::Sequential,
+            ordering: OrderingKind::default(),
             priority: Priority::Interactive,
             deadline_ms: None,
             tenant: String::new(),
@@ -132,6 +135,7 @@ impl Client {
         let frame = Frame::Submit {
             priority: options.priority.index() as u8,
             engine: engine_byte,
+            ordering: options.ordering.index() as u8,
             deadline_ms: options.deadline_ms.unwrap_or(NO_DEADLINE),
             tenant: options.tenant,
             matrix: matrix.clone(),

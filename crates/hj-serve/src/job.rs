@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use hj_core::EngineKind;
+use hj_core::{EngineKind, OrderingKind};
 
 /// Priority class of a job. Dispatch is strict-priority between classes and
 /// earliest-deadline-first within a class.
@@ -70,6 +70,8 @@ pub struct JobSpec {
     pub matrix: Matrix,
     /// Which sweep engine runs the solve.
     pub engine: EngineKind,
+    /// Which pair-ordering strategy plans the sweeps.
+    pub ordering: OrderingKind,
     /// Priority class for dispatch ordering.
     pub priority: Priority,
     /// Optional absolute wall-clock deadline; translated into the solve's
@@ -87,6 +89,7 @@ impl JobSpec {
         JobSpec {
             matrix,
             engine: EngineKind::Sequential,
+            ordering: OrderingKind::default(),
             priority: Priority::Interactive,
             deadline: None,
             tenant: String::new(),
@@ -96,6 +99,12 @@ impl JobSpec {
     /// Select the sweep engine.
     pub fn engine(mut self, engine: EngineKind) -> JobSpec {
         self.engine = engine;
+        self
+    }
+
+    /// Select the pair-ordering strategy.
+    pub fn ordering(mut self, ordering: OrderingKind) -> JobSpec {
+        self.ordering = ordering;
         self
     }
 
@@ -280,10 +289,12 @@ mod tests {
     fn spec_builder_sets_every_field() {
         let spec = JobSpec::new(Matrix::zeros(2, 2))
             .engine(EngineKind::Blocked)
+            .ordering(OrderingKind::SortedGreedy)
             .priority(Priority::Batch)
             .deadline_in(Duration::from_secs(1))
             .tenant("acme");
         assert_eq!(spec.engine, EngineKind::Blocked);
+        assert_eq!(spec.ordering, OrderingKind::SortedGreedy);
         assert_eq!(spec.priority, Priority::Batch);
         assert!(spec.deadline.is_some());
         assert_eq!(spec.tenant, "acme");

@@ -13,7 +13,7 @@
 //!
 //! | type | name | body |
 //! |------|------|------|
-//! | 1 | submit | `u8` priority, `u8` engine, `u64` deadline_ms ([`NO_DEADLINE`] = none), `u16` tenant length + tenant bytes (UTF-8), then an [`hj_matrix::wire`] matrix frame |
+//! | 1 | submit | `u8` priority, `u8` engine, `u8` ordering ([`hj_core::OrderingKind::index`]), `u64` deadline_ms ([`NO_DEADLINE`] = none), `u16` tenant length + tenant bytes (UTF-8), then an [`hj_matrix::wire`] matrix frame |
 //! | 2 | result | `u64` job id, `u32` sweeps, `u32` n, then n × `f64::to_bits` LE values |
 //! | 3 | error | `u8` code, `u16` kind length + kind bytes, `u16` message length + message bytes |
 //! | 4 | stats request | empty |
@@ -29,7 +29,8 @@ use hj_matrix::Matrix;
 use std::io::{Read, Write};
 
 /// Current protocol version; frames with any other version are rejected.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 2 added the submit frame's ordering byte.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Sentinel `deadline_ms` meaning "no deadline".
 pub const NO_DEADLINE: u64 = u64::MAX;
@@ -47,6 +48,9 @@ pub enum Frame {
         priority: u8,
         /// Engine byte (0 sequential, 1 parallel, 2 blocked).
         engine: u8,
+        /// Ordering byte ([`hj_core::OrderingKind::index`]: 0 cyclic,
+        /// 1 row-cyclic, 2 greedy, 3 presort).
+        ordering: u8,
         /// Relative deadline in milliseconds from receipt, or
         /// [`NO_DEADLINE`].
         deadline_ms: u64,
@@ -160,9 +164,10 @@ impl Frame {
         payload.push(PROTOCOL_VERSION);
         payload.push(self.type_byte());
         match self {
-            Frame::Submit { priority, engine, deadline_ms, tenant, matrix } => {
+            Frame::Submit { priority, engine, ordering, deadline_ms, tenant, matrix } => {
                 payload.push(*priority);
                 payload.push(*engine);
+                payload.push(*ordering);
                 payload.extend_from_slice(&deadline_ms.to_le_bytes());
                 put_str16(&mut payload, tenant);
                 wire::encode_matrix_into(matrix, &mut payload);
@@ -232,10 +237,11 @@ impl Frame {
             1 => {
                 let priority = c.u8()?;
                 let engine = c.u8()?;
+                let ordering = c.u8()?;
                 let deadline_ms = c.u64()?;
                 let tenant = c.str16()?;
                 let matrix = wire::decode_matrix(c.rest())?;
-                Frame::Submit { priority, engine, deadline_ms, tenant, matrix }
+                Frame::Submit { priority, engine, ordering, deadline_ms, tenant, matrix }
             }
             2 => {
                 let job = c.u64()?;
@@ -352,6 +358,7 @@ mod tests {
             Frame::Submit {
                 priority: 1,
                 engine: 2,
+                ordering: 3,
                 deadline_ms: 1500,
                 tenant: "acme".into(),
                 matrix: a,
@@ -380,6 +387,7 @@ mod tests {
         let frame = Frame::Submit {
             priority: 0,
             engine: 0,
+            ordering: 0,
             deadline_ms: NO_DEADLINE,
             tenant: String::new(),
             matrix: a.clone(),
@@ -412,6 +420,9 @@ mod tests {
     #[test]
     fn bad_version_type_length_are_rejected() {
         assert!(matches!(Frame::decode_payload(&[9, 4]), Err(ProtoError::BadVersion(9))));
+        // Version 1 predates the submit ordering byte; it is rejected, not
+        // misparsed.
+        assert!(matches!(Frame::decode_payload(&[1, 4]), Err(ProtoError::BadVersion(1))));
         assert!(matches!(
             Frame::decode_payload(&[PROTOCOL_VERSION, 99]),
             Err(ProtoError::BadType(99))

@@ -14,7 +14,7 @@ use crate::job::{JobSpec, Priority, RejectReason};
 use crate::protocol::{Frame, ProtoError, NO_DEADLINE};
 use crate::service::{ServiceConfig, SolveService};
 use crate::stats::ServiceStats;
-use hj_core::{EngineKind, SvdError};
+use hj_core::{EngineKind, OrderingKind, SvdError};
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -125,8 +125,8 @@ fn handle_connection(
             }
         };
         let reply = match frame {
-            Frame::Submit { priority, engine, deadline_ms, tenant, matrix } => {
-                handle_submit(service, priority, engine, deadline_ms, tenant, matrix)
+            Frame::Submit { priority, engine, ordering, deadline_ms, tenant, matrix } => {
+                handle_submit(service, priority, engine, ordering, deadline_ms, tenant, matrix)
             }
             Frame::StatsRequest => Frame::Stats { json: service.stats().to_json() },
             Frame::Shutdown { drain_ms } => {
@@ -157,6 +157,7 @@ fn handle_submit(
     service: &SolveService,
     priority: u8,
     engine: u8,
+    ordering: u8,
     deadline_ms: u64,
     tenant: String,
     matrix: hj_matrix::Matrix,
@@ -180,7 +181,15 @@ fn handle_submit(
             }
         }
     };
-    let mut spec = JobSpec::new(matrix).engine(engine).priority(priority).tenant(tenant);
+    let Some(ordering) = OrderingKind::from_index(ordering as usize) else {
+        return Frame::Error {
+            code: CODE_BAD_REQUEST,
+            kind: "bad-ordering".to_string(),
+            message: format!("unknown ordering byte {ordering}"),
+        };
+    };
+    let mut spec =
+        JobSpec::new(matrix).engine(engine).ordering(ordering).priority(priority).tenant(tenant);
     if deadline_ms != NO_DEADLINE {
         let now = Instant::now();
         spec.deadline = Some(now.checked_add(Duration::from_millis(deadline_ms)).unwrap_or(now));
@@ -230,6 +239,7 @@ pub fn error_kind(err: &SvdError) -> &'static str {
         SvdError::EmptyInput => "empty-input",
         SvdError::NonFiniteInput => "non-finite-input",
         SvdError::EngineNeedsRoundRobin => "engine-needs-round-robin",
+        SvdError::OrderingUnsupported { .. } => "ordering-unsupported",
         SvdError::ZeroSweepBudget => "zero-sweep-budget",
         SvdError::TruncatedTailNotNegligible => "truncated-tail",
     }
@@ -267,6 +277,77 @@ mod tests {
         assert!(final_json.contains("hjsvd-serve-stats/v1"));
         let stats = handle.join().unwrap();
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn ordering_travels_the_wire_and_bad_bytes_are_rejected() {
+        let (handle, addr) = spawn_server(ServiceConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let a = gen::uniform(24, 8, 17);
+        // A greedy-ordered remote solve is bit-identical to the local one.
+        let direct = hj_core::HestenesSvd::new(hj_core::SvdOptions {
+            ordering: OrderingKind::SortedGreedy,
+            ..Default::default()
+        })
+        .singular_values(&a)
+        .unwrap();
+        let outcome = client
+            .submit(
+                &a,
+                SubmitOptions { ordering: OrderingKind::SortedGreedy, ..Default::default() },
+            )
+            .unwrap();
+        assert_eq!(outcome.sweeps, direct.sweeps);
+        for (x, y) in outcome.values.iter().zip(direct.values.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "greedy wire spectrum must be bit-identical");
+        }
+        // Row-cyclic on a grouped engine surfaces the structured config error.
+        let err = client
+            .submit(
+                &a,
+                SubmitOptions {
+                    ordering: OrderingKind::RowCyclic,
+                    engine: EngineKind::Blocked,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        match err {
+            ClientError::Remote { code, kind, .. } => {
+                assert_eq!(code, CODE_BAD_REQUEST);
+                assert_eq!(kind, "engine-needs-round-robin");
+            }
+            other => panic!("expected remote error, got {other:?}"),
+        }
+        // An out-of-range ordering byte is rejected before admission.
+        let raw = Frame::Submit {
+            priority: 0,
+            engine: 0,
+            ordering: 9,
+            deadline_ms: crate::protocol::NO_DEADLINE,
+            tenant: String::new(),
+            matrix: a.clone(),
+        };
+        let reply = handle_submit_frame(addr, raw);
+        match reply {
+            Frame::Error { code, kind, .. } => {
+                assert_eq!(code, CODE_BAD_REQUEST);
+                assert_eq!(kind, "bad-ordering");
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        client.shutdown(Duration::from_secs(5)).unwrap();
+        handle.join().unwrap();
+    }
+
+    /// Send one raw frame and read the single reply (bypasses the typed
+    /// client, which cannot produce invalid bytes).
+    fn handle_submit_frame(addr: SocketAddr, frame: Frame) -> Frame {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let mut writer = BufWriter::new(stream);
+        frame.write_to(&mut writer).unwrap();
+        Frame::read_from(&mut reader).unwrap()
     }
 
     #[test]

@@ -272,6 +272,7 @@ fn run_job(
 ) -> Result<hj_core::SingularValues, SvdError> {
     let mut options = shared.config.options;
     options.engine = job.spec.engine;
+    options.ordering = job.spec.ordering;
     let mut budget = match job.spec.deadline {
         Some(deadline) => SolveBudget::with_deadline(deadline),
         None => SolveBudget::unlimited(),
@@ -289,6 +290,7 @@ fn fault_kind(err: &SvdError) -> &'static str {
         SvdError::EmptyInput => "empty-input",
         SvdError::NonFiniteInput => "non-finite-input",
         SvdError::EngineNeedsRoundRobin => "engine-needs-round-robin",
+        SvdError::OrderingUnsupported { .. } => "ordering-unsupported",
         SvdError::ZeroSweepBudget => "zero-sweep-budget",
         SvdError::TruncatedTailNotNegligible => "truncated-tail",
     }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
-//!           [--engine seq|par|blocked] [--timeout-ms T]
+//!           [--engine seq|par|blocked] [--ordering cyclic|row|greedy|presort]
+//!           [--threshold-schedule] [--timeout-ms T]
 //!           [--trace PATH] [--trace-level off|sweep|group|rotation]
 //! hjsvd pca <data.csv> --components K [--out PREFIX]
 //! hjsvd eigh <symmetric.csv>
@@ -11,7 +12,8 @@
 //! hjsvd generate --rows M --cols N <out.csv> [--seed S] [--cond C]
 //! hjsvd serve --addr HOST:PORT [--workers N] [--queue-cap N] [--tenant-cap N]
 //! hjsvd submit <matrix.csv> --addr HOST:PORT [--deadline-ms T]
-//!             [--priority interactive|batch] [--engine seq|par|blocked] [--tenant NAME]
+//!             [--priority interactive|batch] [--engine seq|par|blocked]
+//!             [--ordering cyclic|row|greedy|presort] [--tenant NAME]
 //! hjsvd shutdown --addr HOST:PORT [--drain-ms T]
 //! ```
 //!
@@ -39,7 +41,8 @@
 
 use hjsvd::arch::{resource_usage, ArchConfig, HestenesJacobiArch};
 use hjsvd::core::{
-    eigh, EngineKind, HestenesSvd, JsonlSink, Pca, SolveBudget, SvdError, SvdOptions, TraceLevel,
+    eigh, EngineKind, HestenesSvd, JsonlSink, Ordering, Pca, SolveBudget, SvdError, SvdOptions,
+    ThresholdSchedule, TraceLevel,
 };
 use hjsvd::fpsim::resources::ChipCapacity;
 use hjsvd::matrix::{gen, io, norms, Matrix};
@@ -73,7 +76,9 @@ impl From<SvdError> for CliError {
     fn from(e: SvdError) -> CliError {
         let (code, kind) = match &e {
             SvdError::EmptyInput | SvdError::NonFiniteInput => (4, "bad-input"),
-            SvdError::EngineNeedsRoundRobin | SvdError::ZeroSweepBudget => (5, "bad-config"),
+            SvdError::EngineNeedsRoundRobin
+            | SvdError::OrderingUnsupported { .. }
+            | SvdError::ZeroSweepBudget => (5, "bad-config"),
             SvdError::TruncatedTailNotNegligible => (6, "not-converged"),
             SvdError::SolveFault { fault, .. } => match fault.kind() {
                 "deadline" => (8, "timeout"),
@@ -122,14 +127,21 @@ fn print_help() {
 
 USAGE:
   hjsvd svd <matrix.csv> [--values-only] [--rank K] [--out PREFIX] [--stats PATH]
-            [--engine seq|par|blocked] [--timeout-ms T]
+            [--engine seq|par|blocked] [--ordering cyclic|row|greedy|presort]
+            [--threshold-schedule] [--timeout-ms T]
             [--trace PATH] [--trace-level off|sweep|group|rotation]
       Decompose a CSV matrix. Prints singular values; with --out, writes
       PREFIX_u.csv / PREFIX_s.csv / PREFIX_v.csv. --rank truncates.
       --stats writes the solve's SolveStats record as JSON (PATH of '-'
       prints it to stdout). --engine picks the sweep engine: seq
       (Algorithm 1, default), par (rayon round-synchronous), or blocked
-      (cache-tiled groups). --timeout-ms bounds wall-clock time: the solve
+      (cache-tiled groups). --ordering picks the sweep pair schedule:
+      cyclic (round-robin, default), row (row-cyclic, seq only), greedy
+      (largest off-diagonal pairs first, replanned every sweep), or
+      presort (de Rijk descending-column-norm permutation up front).
+      --threshold-schedule ramps the early-sweep rotation threshold down
+      to the convergence tolerance, skipping negligible pairs early.
+      --timeout-ms bounds wall-clock time: the solve
       aborts at the next sweep boundary past the deadline (exit code 8).
       --trace streams structured solve events as JSON Lines to PATH ('-'
       = stdout); --trace-level picks the verbosity (default sweep:
@@ -138,8 +150,9 @@ USAGE:
   hjsvd pca <data.csv> --components K [--out PREFIX]
       PCA (rows = observations). Prints explained variance; with --out,
       writes PREFIX_scores.csv and PREFIX_components.csv.
-  hjsvd eigh <symmetric.csv>
-      Eigendecompose a symmetric matrix (Jacobi).
+  hjsvd eigh <symmetric.csv> [--ordering cyclic|row|greedy]
+      Eigendecompose a symmetric matrix (Jacobi). presort is rejected:
+      descending-norm pivoting assumes a PSD spectrum.
   hjsvd simulate --rows M --cols N [--sweeps S]
       Cycle-level timing estimate of the paper's architecture (150 MHz).
   hjsvd resources
@@ -155,7 +168,7 @@ USAGE:
       --tenant-cap limits per-tenant in-flight jobs (0 = unlimited).
   hjsvd submit <matrix.csv> --addr HOST:PORT [--deadline-ms T]
               [--priority interactive|batch] [--engine seq|par|blocked]
-              [--tenant NAME]
+              [--ordering cyclic|row|greedy|presort] [--tenant NAME]
       Submit a matrix to a running server and print the singular values
       (bit-identical to a local 'svd --values-only' run). --deadline-ms
       bounds the job's wall-clock time (exit code 8 when exceeded);
@@ -186,7 +199,7 @@ impl ParsedArgs {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
                 // Boolean flags take no value; everything else consumes one.
-                if matches!(name, "values-only" | "help") {
+                if matches!(name, "values-only" | "threshold-schedule" | "help") {
                     flags.push(name.to_string());
                 } else {
                     let v =
@@ -305,15 +318,34 @@ fn engine_option(p: &ParsedArgs) -> Result<EngineKind, CliError> {
     }
 }
 
+/// Parse the `--ordering` option into an [`Ordering`] (default: cyclic).
+fn ordering_option(p: &ParsedArgs) -> Result<Ordering, CliError> {
+    match p.opt("ordering") {
+        None => Ok(Ordering::default()),
+        Some(v) => Ordering::parse(v).ok_or_else(|| {
+            CliError::usage(format!(
+                "--ordering: unknown ordering '{v}' (choose cyclic, row, greedy, or presort)"
+            ))
+        }),
+    }
+}
+
 fn cmd_svd(p: &mut ParsedArgs) -> Result<(), CliError> {
     let path = p.positional(0, "input matrix path").map_err(CliError::usage)?.to_string();
     let a = load(&path)?;
     let engine = engine_option(p)?;
+    let ordering = ordering_option(p)?;
+    let threshold = p.flag("threshold-schedule").then(ThresholdSchedule::default);
     let timeout_ms: Option<u64> = p.opt_parse("timeout-ms").map_err(CliError::usage)?;
     let trace = trace_option(p)?;
     let trace_level = trace.as_ref().map(|(_, l)| *l).unwrap_or(TraceLevel::Off);
-    let mut solver =
-        HestenesSvd::new(SvdOptions { engine, trace: trace_level, ..Default::default() });
+    let mut solver = HestenesSvd::new(SvdOptions {
+        engine,
+        ordering,
+        threshold,
+        trace: trace_level,
+        ..Default::default()
+    });
     if let Some(ms) = timeout_ms {
         solver = solver.with_budget(SolveBudget::with_timeout(Duration::from_millis(ms)));
     }
@@ -397,8 +429,9 @@ fn cmd_pca(p: &mut ParsedArgs) -> Result<(), CliError> {
 
 fn cmd_eigh(p: &mut ParsedArgs) -> Result<(), CliError> {
     let path = p.positional(0, "input matrix path").map_err(CliError::usage)?.to_string();
+    let ordering = ordering_option(p)?;
     let s = load(&path)?;
-    let e = eigh::eigh_dense(&s, 1e-14)?;
+    let e = eigh::eigh_dense_ordered(&s, 1e-14, ordering)?;
     println!("# {} eigenvalues ({} sweeps)", e.eigenvalues.len(), e.sweeps);
     for v in &e.eigenvalues {
         println!("{v}");
@@ -513,6 +546,7 @@ fn cmd_submit(p: &mut ParsedArgs) -> Result<(), CliError> {
     let addr = p.opt("addr").ok_or_else(|| CliError::usage("--addr is required"))?.to_string();
     let a = load(&path)?;
     let engine = engine_option(p)?;
+    let ordering = ordering_option(p)?;
     let priority = match p.opt("priority") {
         None => Priority::Interactive,
         Some(v) => Priority::parse(v).ok_or_else(|| {
@@ -525,7 +559,7 @@ fn cmd_submit(p: &mut ParsedArgs) -> Result<(), CliError> {
     let tenant = p.opt("tenant").unwrap_or("").to_string();
     let mut client = Client::connect(&addr).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
     let outcome = client
-        .submit(&a, SubmitOptions { engine, priority, deadline_ms, tenant })
+        .submit(&a, SubmitOptions { engine, ordering, priority, deadline_ms, tenant })
         .map_err(client_error)?;
     println!(
         "# {} singular values ({} sweeps, job {})",
@@ -640,6 +674,41 @@ mod tests {
         let err = run(&args(&["svd", &mp, "--engine", "warp"])).unwrap_err();
         assert!(err.message.contains("choose seq, par, or blocked"), "{}", err.message);
         assert_eq!((err.code, err.kind), (2, "usage"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn svd_ordering_options_select_strategies_and_reject_unknown() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_ordering");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mp = dir.join("m.csv").to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "12", "--cols", "5", &mp, "--seed", "9"])).unwrap();
+        run(&args(&["svd", &mp, "--ordering", "greedy"])).unwrap();
+        run(&args(&["svd", &mp, "--ordering", "presort", "--engine", "blocked"])).unwrap();
+        run(&args(&["svd", &mp, "--values-only", "--ordering", "cyclic", "--threshold-schedule"]))
+            .unwrap();
+        run(&args(&["svd", &mp, "--ordering", "row"])).unwrap();
+        // Row-cyclic on a grouped engine is an invalid configuration.
+        let e = run(&args(&["svd", &mp, "--ordering", "row", "--engine", "par"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (5, "bad-config"));
+        let e = run(&args(&["svd", &mp, "--ordering", "zigzag"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        assert!(e.message.contains("choose cyclic, row, greedy, or presort"), "{}", e.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eigh_rejects_presort_ordering_with_bad_config() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_eigh_ordering");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.csv");
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        io::save_csv(&s, &path).unwrap();
+        let sp = path.to_str().unwrap().to_string();
+        run(&args(&["eigh", &sp, "--ordering", "greedy"])).unwrap();
+        let e = run(&args(&["eigh", &sp, "--ordering", "presort"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (5, "bad-config"));
+        assert!(e.message.contains("presort"), "{}", e.message);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and
 //! numerical invariants of the workspace.
 
-use hjsvd::core::ordering::{round_robin, row_cyclic};
+use hjsvd::core::ordering::{round_robin, row_cyclic, Ordering, PlanBuffers};
 use hjsvd::core::rotation::{hardware_params, rotate_norms, textbook_params};
 use hjsvd::core::{EngineKind, GramState, HestenesSvd, SvdOptions};
 use hjsvd::matrix::{gen, norms, PackedSymmetric};
@@ -331,6 +331,143 @@ proptest! {
                 "σ[{}] bits differ", t
             );
             prop_assert_eq!(svd.v.col(t), v.col(c), "V column {} bits differ", t);
+        }
+    }
+
+    #[test]
+    fn every_ordering_plans_disjoint_rounds_and_visits_pairs_at_most_once(
+        seed in 0u64..100,
+        n in 2usize..24,
+    ) {
+        // The scheduling contract every strategy must honor, sweep after
+        // sweep: pairs are (i, j) with i < j < n, no pair is visited twice
+        // within one sweep, no column appears twice within one round, and —
+        // for the strategies shipped today, which are all full-coverage —
+        // every pair is visited exactly once per sweep.
+        let a = gen::uniform(2 * n + 1, n, seed);
+        let gram = GramState::from_matrix(&a);
+        let mut buffers = PlanBuffers::new();
+        for kind in Ordering::ALL {
+            let (strategy, plan) = buffers.schedule_parts(kind);
+            for sweep_index in 1..=3usize {
+                strategy.plan_sweep(&gram, sweep_index, plan);
+                let mut seen = std::collections::HashSet::new();
+                for round in plan.rounds() {
+                    let mut used = std::collections::HashSet::new();
+                    for &(i, j) in round {
+                        prop_assert!(i < j && j < n,
+                            "{}: bad pair ({i},{j}) for n={n}", kind.name());
+                        prop_assert!(seen.insert((i, j)),
+                            "{}: pair ({i},{j}) visited twice in sweep {sweep_index}", kind.name());
+                        prop_assert!(used.insert(i) && used.insert(j),
+                            "{}: column reused within a round", kind.name());
+                    }
+                }
+                prop_assert_eq!(seen.len(), n * (n - 1) / 2,
+                    "{}: sweep {} must cover every pair", kind.name(), sweep_index);
+            }
+        }
+    }
+
+    #[test]
+    fn presort_folds_the_permutation_into_v_bit_exactly(seed in 0u64..60, n in 2usize..12) {
+        // The de Rijk presort is "cyclic on the column-permuted matrix with
+        // the permutation folded into V's starting value" — so against a
+        // manual permute-then-cyclic solve it must reproduce U and σ bit for
+        // bit, and V row-permuted by the same permutation, with no undo pass.
+        use hjsvd::matrix::{ops, Matrix};
+        let m = 2 * n + 3;
+        let a = gen::uniform(m, n, seed);
+
+        // Replicate the solver's permutation: descending column norm, ties
+        // (and NaN) by column index via total_cmp.
+        let norms_v: Vec<f64> = (0..n).map(|c| ops::norm(a.col(c))).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_by(|&x, &y| norms_v[y].total_cmp(&norms_v[x]).then(x.cmp(&y)));
+        let mut ap = Matrix::zeros(m, n);
+        for (t, &c) in perm.iter().enumerate() {
+            ap.col_mut(t).copy_from_slice(a.col(c));
+        }
+
+        let pre = HestenesSvd::new(SvdOptions {
+            ordering: Ordering::ColumnNormPresort,
+            ..Default::default()
+        })
+        .decompose(&a)
+        .unwrap();
+        let cyc = HestenesSvd::new(SvdOptions::default()).decompose(&ap).unwrap();
+
+        prop_assert_eq!(pre.sweeps, cyc.sweeps, "sweep counts differ");
+        prop_assert_eq!(pre.u.as_slice(), cyc.u.as_slice(), "U bits differ");
+        for (s_pre, s_cyc) in pre.singular_values.iter().zip(&cyc.singular_values) {
+            prop_assert_eq!(s_pre.to_bits(), s_cyc.to_bits(), "σ bits differ");
+        }
+        // V_presort = P·V_cyclic: row perm[t] of the presort V is row t of
+        // the cyclic-on-permuted V, bitwise.
+        for k in 0..pre.v.cols() {
+            let (col_pre, col_cyc) = (pre.v.col(k), cyc.v.col(k));
+            for t in 0..n {
+                prop_assert_eq!(col_pre[perm[t]].to_bits(), col_cyc[t].to_bits(),
+                    "V row permutation broken at (t={t}, k={k})");
+            }
+        }
+        // And the presorted solve still factors the *original* matrix.
+        let err = norms::reconstruction_error(&a, &pre.u, &pre.singular_values, &pre.v);
+        prop_assert!(err < 1e-10, "presort reconstruction error {err}");
+    }
+
+    #[test]
+    fn cyclic_ordering_is_bit_identical_to_the_fixed_plan_on_every_engine(
+        seed in 0u64..60,
+        n in 2usize..12,
+        which in 0usize..3,
+    ) {
+        // The ordering refactor moved plan construction behind
+        // OrderingStrategy + PlanBuffers; the default cyclic schedule must
+        // still produce the exact bits of the pre-refactor fixed
+        // round_robin(n) sweep loop — on all three engines (below the
+        // single-tile bound the blocked engine does bit-identical work).
+        use hjsvd::core::convergence::{is_converged, Convergence, MAX_SWEEP_CAP};
+        use hjsvd::core::sweep::sweep_full;
+        use hjsvd::matrix::{ops, Matrix};
+        let engine = [EngineKind::Sequential, EngineKind::Parallel, EngineKind::Blocked][which];
+        let m = 2 * n + 3;
+        let a = gen::uniform(m, n, seed);
+
+        let mut b = a.clone();
+        let mut g = GramState::from_matrix(&b);
+        let mut v = Matrix::identity(n);
+        let order = round_robin(n);
+        let crit = Convergence::default();
+        let mut sweeps = 0usize;
+        while sweeps < MAX_SWEEP_CAP {
+            sweeps += 1;
+            let rec = sweep_full(&mut b, &mut g, Some(&mut v), &order, sweeps);
+            if is_converged(&crit, &rec, g.trace(), n) {
+                break;
+            }
+        }
+
+        let svd = HestenesSvd::new(SvdOptions {
+            engine,
+            ordering: Ordering::RoundRobin,
+            ..Default::default()
+        })
+        .decompose(&a)
+        .unwrap();
+        prop_assert_eq!(svd.sweeps, sweeps, "{}: sweep count changed", engine.name());
+
+        let mut idx: Vec<usize> = (0..n).collect();
+        let col_norms: Vec<f64> = (0..n).map(|c| ops::norm(b.col(c))).collect();
+        idx.sort_by(|&x, &y| col_norms[y].partial_cmp(&col_norms[x]).unwrap());
+        for (t, &c) in idx.iter().take(m.min(n)).enumerate() {
+            prop_assert_eq!(
+                svd.singular_values[t].to_bits(),
+                col_norms[c].to_bits(),
+                "{}: σ[{}] bits differ", engine.name(), t
+            );
+            prop_assert_eq!(svd.v.col(t), v.col(c), "{}: V column {} bits differ",
+                engine.name(), t);
         }
     }
 
