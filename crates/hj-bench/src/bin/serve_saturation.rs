@@ -125,7 +125,11 @@ fn run_point(workers: usize, queue_cap: usize, per_producer: usize) -> Point {
                     let spec = JobSpec::new(gen::uniform(ROWS, COLS, seed));
                     match service.submit(spec) {
                         Ok(ticket) => {
-                            ticket.wait().result.expect("benchmark solves are well-conditioned");
+                            ticket
+                                .wait()
+                                .result
+                                .into_single()
+                                .expect("benchmark solves are well-conditioned");
                             done += 1;
                         }
                         Err(RejectReason::QueueFull { .. }) => {

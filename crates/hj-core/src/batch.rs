@@ -25,7 +25,6 @@ use crate::parallel::SweepWorkspace;
 use crate::svd::{HestenesSvd, SingularValues, Svd};
 use crate::SvdError;
 use hj_matrix::Matrix;
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -101,7 +100,31 @@ impl HestenesSvd {
     }
 
     /// Values-only counterpart of [`HestenesSvd::decompose_batch`].
+    ///
+    /// Uniform-shape batches of small problems (`2 ≤ n ≤ 32`, default
+    /// sequential engine and cyclic ordering) dispatch to the batched SoA
+    /// engine ([`HestenesSvd::singular_values_batch_soa`]), which sweeps
+    /// every problem together — same per-slot error isolation, results
+    /// within the documented `1e-12·σ_max` envelope of the looped path.
+    /// Everything else (mixed shapes, larger problems, explicit engine or
+    /// threshold configurations) takes the looped per-matrix path, which
+    /// stays bit-identical to one-at-a-time solves.
     pub fn singular_values_batch(&self, mats: &[Matrix]) -> Vec<Result<SingularValues, SvdError>> {
+        if crate::batch_engine::soa_eligible(self, mats) {
+            return self.singular_values_batch_soa(mats);
+        }
+        self.singular_values_batch_looped(mats)
+    }
+
+    /// The looped per-matrix batch path, bypassing the SoA dispatch of
+    /// [`HestenesSvd::singular_values_batch`] — one full scalar solve per
+    /// matrix, bit-identical to [`HestenesSvd::singular_values`] per slot.
+    /// This is the baseline the `batch_throughput` benchmark compares the
+    /// SoA engine against.
+    pub fn singular_values_batch_looped(
+        &self,
+        mats: &[Matrix],
+    ) -> Vec<Result<SingularValues, SvdError>> {
         self.singular_values_batch_pooled(mats, &WorkspacePool::new())
     }
 
@@ -125,10 +148,20 @@ impl HestenesSvd {
         T: Send,
         F: Fn(&Matrix, &mut SweepWorkspace) -> Result<T, SvdError> + Sync,
     {
+        // One checkout per worker-sized chunk, not per matrix: per-item
+        // checkout/checkin let a large batch cycle workspaces through the
+        // pool faster than warm ones came back, re-creating (and re-warming)
+        // workspaces mid-batch. Chunking pins the checkout count to the
+        // chunk count — at most one workspace per worker, deterministically.
+        let chunk = mats.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let parts = mats.len().div_ceil(chunk);
+        let starts: Vec<usize> = (0..=parts).map(|r| (r * chunk).min(mats.len())).collect();
         let mut out: Vec<Option<Result<T, SvdError>>> = (0..mats.len()).map(|_| None).collect();
-        out.par_iter_mut().enumerate().for_each(|(k, slot)| {
+        rayon::par_rows_for_each(&mut out, &starts, |r, slots| {
             let mut ws = pool.checkout();
-            *slot = Some(solve(&mats[k], &mut ws));
+            for (off, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(solve(&mats[r * chunk + off], &mut ws));
+            }
             pool.checkin(ws);
         });
         out.into_iter().map(|r| r.expect("every batch slot is filled")).collect()
@@ -249,6 +282,52 @@ mod tests {
             assert_eq!(r.u.as_slice(), f.u.as_slice(), "slot {k} U poisoned");
             assert_eq!(r.v.as_slice(), f.v.as_slice(), "slot {k} V poisoned");
         }
+    }
+
+    #[test]
+    fn uniform_small_batches_dispatch_to_the_soa_engine() {
+        // Uniform shapes at n ≤ 32 under the default options take the SoA
+        // path (visible through the stats engine name); mixed shapes keep
+        // the looped path and its bit-identical guarantee.
+        let uniform: Vec<_> = (0..6).map(|k| gen::uniform(20, 8, 50 + k)).collect();
+        let solver = HestenesSvd::new(SvdOptions::default());
+        let batch = solver.singular_values_batch(&uniform);
+        for (k, res) in batch.iter().enumerate() {
+            let sv = res.as_ref().unwrap();
+            assert_eq!(sv.stats.engine, "batch-soa", "slot {k} should take the SoA path");
+            let one = solver.singular_values(&uniform[k]).unwrap();
+            let smax = one.values[0];
+            for (x, y) in sv.values.iter().zip(&one.values) {
+                assert!((x - y).abs() <= 1e-12 * smax, "slot {k}");
+            }
+        }
+        let looped = solver.singular_values_batch(&mixed_batch());
+        for res in &looped {
+            assert_eq!(res.as_ref().unwrap().stats.engine, "sequential");
+        }
+        // The explicit escape hatch never dispatches.
+        for res in solver.singular_values_batch_looped(&uniform) {
+            assert_eq!(res.unwrap().stats.engine, "sequential");
+        }
+    }
+
+    #[test]
+    fn pool_checkout_is_chunk_deterministic() {
+        // Regression: the per-item checkout/checkin cycle could create more
+        // workspaces than workers when a big batch outpaced checkins. The
+        // chunked path pins creation to min(batch, threads) exactly — and a
+        // second batch over the warm pool creates nothing.
+        let mats: Vec<_> = (0..64).map(|k| gen::uniform(12, 5, 300 + k)).collect();
+        let solver =
+            HestenesSvd::new(SvdOptions { engine: EngineKind::Blocked, ..Default::default() });
+        let pool = WorkspacePool::new();
+        solver.decompose_batch_pooled(&mats, &pool);
+        let cap = rayon::current_num_threads().max(1).min(mats.len());
+        assert!(pool.created() <= cap, "created {} workspaces for a cap of {cap}", pool.created());
+        assert_eq!(pool.available(), pool.created());
+        let created = pool.created();
+        solver.decompose_batch_pooled(&mats, &pool);
+        assert_eq!(pool.created(), created, "warm pool must not re-create workspaces");
     }
 
     #[test]

@@ -39,6 +39,12 @@
 //! * [`batch`] — batched drivers ([`HestenesSvd::decompose_batch`]) fanning
 //!   independent solves across the pool with per-solve error isolation and
 //!   a shared [`batch::WorkspacePool`] of warm scratch.
+//! * [`batch_engine`] — the batched SoA engine for many tiny SVDs:
+//!   `k` interleaved Gram triangles swept together by one lanes-wide kernel
+//!   invocation per pair ([`batch_engine::BatchWorkspace`] /
+//!   [`batch_engine::BatchDriver`]), with a per-problem active mask and
+//!   per-problem fault isolation. [`HestenesSvd::singular_values_batch`]
+//!   dispatches uniform small-`n` batches here automatically.
 //! * [`stats`] — [`SolveStats`] observability record (timings, rotation
 //!   counts, allocation events, Gram traffic) attached to every solve.
 //! * [`trace`] — structured solve tracing: the [`trace::TraceSink`]
@@ -78,6 +84,7 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod batch_engine;
 pub mod convergence;
 pub mod eigh;
 pub mod engine;
@@ -98,6 +105,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use batch::WorkspacePool;
+pub use batch_engine::{BatchDriver, BatchWorkspace};
 pub use convergence::{Convergence, SweepRecord};
 pub use engine::{
     EngineKind, MonitoredRun, PairGuard, RotationTarget, SolveDriver, SolveMonitor, SweepEngine,

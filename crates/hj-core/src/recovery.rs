@@ -124,18 +124,18 @@ impl fmt::Display for Fault {
 /// roundoff dust, not a fault. Legitimate dust sits many orders below this
 /// (|D_ii| ≲ n·ε·max|D_kk| ≈ 1e-14·max), while corruption-induced negatives
 /// are O(max) — the gap is wide on both sides.
-const NEGATIVE_DIAG_TOL: f64 = 1e-10;
+pub(crate) const NEGATIVE_DIAG_TOL: f64 = 1e-10;
 
 /// Relative floor below which the off-diagonal norm counts as converged dust
 /// for stall purposes: no stall is ever declared once
 /// `off(D) ≤ floor ≈ 1e-13·n·max|D_kk|`.
-const STALL_OFF_FLOOR: f64 = 1e-13;
+pub(crate) const STALL_OFF_FLOOR: f64 = 1e-13;
 
 /// Minimum relative improvement per sweep that counts as progress for the
 /// stall detector. Healthy Jacobi sweeps reduce `off(D)` by large factors
 /// (quadratically near convergence); anything under 0.1% for several
 /// consecutive sweeps means the iteration is wedged.
-const STALL_MIN_PROGRESS: f64 = 1e-3;
+pub(crate) const STALL_MIN_PROGRESS: f64 = 1e-3;
 
 /// The per-sweep `O(n)` health scan run by
 /// [`crate::SolveDriver::run_monitored`].

@@ -26,7 +26,7 @@ use hj_matrix::{ops, Matrix};
 /// dust in the tail (≈ `n·ε·trace ≈ 1e-14·trace`), while an unconverged
 /// spectrum parks O(1) fractions of the mass there — `1e-12` separates the
 /// two regimes by orders of magnitude on both sides.
-const WIDE_TAIL_TOL: f64 = 1e-12;
+pub(crate) const WIDE_TAIL_TOL: f64 = 1e-12;
 
 /// Guarded-numerics safe window: inputs whose largest-entry binary exponent
 /// `e` satisfies `|e| ≤ SAFE_EXP` are solved as-is, so ordinary inputs
@@ -65,7 +65,7 @@ fn max_exponent(max_abs: f64) -> i32 {
 /// Pre-scaling exponent for an input whose largest entry has binary
 /// exponent `e`: 0 inside the safe window (bit-preserving fast path),
 /// `-e` outside it (normalizing the largest entry to `[1, 2)`).
-fn prescale_exponent(max_abs: f64) -> i32 {
+pub(crate) fn prescale_exponent(max_abs: f64) -> i32 {
     let e = max_exponent(max_abs);
     if e.abs() <= SAFE_EXP {
         0
@@ -82,7 +82,7 @@ fn forced_exponent(max_abs: f64) -> i32 {
 
 /// Multiply every entry by `2^k`, exactly (split into two half-steps when
 /// `2^k` itself would be subnormal or infinite).
-fn apply_exp2(m: &mut Matrix, k: i32) {
+pub(crate) fn apply_exp2(m: &mut Matrix, k: i32) {
     if k == 0 {
         return;
     }
@@ -97,7 +97,7 @@ fn apply_exp2(m: &mut Matrix, k: i32) {
 
 /// Undo the pre-scaling on computed singular values: `σ ← σ·2^-k` (two
 /// exact half-steps when needed, mirroring [`apply_exp2`]).
-fn unscale_values(values: &mut [f64], k: i32) {
+pub(crate) fn unscale_values(values: &mut [f64], k: i32) {
     if k == 0 {
         return;
     }
@@ -302,6 +302,18 @@ impl HestenesSvd {
         &self.options
     }
 
+    /// The active solve budget (the batch engine checks it at shared sweep
+    /// boundaries).
+    pub(crate) fn budget(&self) -> &SolveBudget {
+        &self.budget
+    }
+
+    /// The active health check (the batch engine runs its per-lane analogue
+    /// with the same thresholds).
+    pub(crate) fn health(&self) -> &HealthCheck {
+        &self.health
+    }
+
     /// Bound worst-case latency: the budget's deadline/cancellation flag is
     /// checked at every sweep boundary of every solve this solver runs.
     pub fn with_budget(mut self, budget: SolveBudget) -> Self {
@@ -323,7 +335,7 @@ impl HestenesSvd {
         self
     }
 
-    fn validate(&self, a: &Matrix) -> Result<(), SvdError> {
+    pub(crate) fn validate(&self, a: &Matrix) -> Result<(), SvdError> {
         if a.is_empty() {
             return Err(SvdError::EmptyInput);
         }

@@ -55,6 +55,7 @@ pub mod ops;
 pub mod orth;
 mod packed;
 mod pair;
+pub mod soa;
 pub mod views;
 pub mod wire;
 

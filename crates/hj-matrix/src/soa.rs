@@ -1,0 +1,87 @@
+//! Structure-of-arrays (SoA) interleaving helpers for batched solvers.
+//!
+//! The batch engine in `hj-core` packs `k` independent problems so that the
+//! *problem index is the fastest-moving dimension*: logical element `e` of
+//! problem `p` lives at `buf[e · lanes + p]`, where `lanes` is `k` rounded up
+//! to the [`ops::ROTATE_LANES`] vector width ([`lane_padded`]). Any loop over
+//! a logical element then touches one contiguous `lanes`-wide slice — the
+//! layout the GPU batch-SVD literature uses to vectorize *across* problems
+//! instead of within one, and the software mirror of scheduling the same
+//! rotation unit over many tiny matrices.
+//!
+//! Padding lanes (indices `k..lanes`) belong to no problem; callers keep
+//! them zeroed, which is stable under every lanes-wide kernel (identity
+//! rotations of zeros are zeros).
+
+use crate::ops;
+
+/// Round a problem count up to the SIMD lane width the rotation kernels
+/// chunk by ([`ops::ROTATE_LANES`]). `lane_padded(0) == 0`.
+pub fn lane_padded(problems: usize) -> usize {
+    problems.div_ceil(ops::ROTATE_LANES.max(1)) * ops::ROTATE_LANES.max(1)
+}
+
+/// Scatter a dense problem-local buffer into lane `lane` of an interleaved
+/// SoA buffer: `dst[e · lanes + lane] = src[e]`.
+///
+/// # Panics
+/// Panics if `lane ≥ lanes` or `dst` is shorter than `src.len() · lanes`.
+pub fn interleave(src: &[f64], lane: usize, lanes: usize, dst: &mut [f64]) {
+    assert!(lane < lanes, "lane {lane} out of {lanes}");
+    assert!(dst.len() >= src.len() * lanes, "SoA destination too short");
+    for (e, &v) in src.iter().enumerate() {
+        dst[e * lanes + lane] = v;
+    }
+}
+
+/// Gather lane `lane` of an interleaved SoA buffer back into a dense
+/// problem-local buffer: `dst[e] = src[e · lanes + lane]`.
+///
+/// # Panics
+/// Panics if `lane ≥ lanes` or `src` is shorter than `dst.len() · lanes`.
+pub fn deinterleave(src: &[f64], lane: usize, lanes: usize, dst: &mut [f64]) {
+    assert!(lane < lanes, "lane {lane} out of {lanes}");
+    assert!(src.len() >= dst.len() * lanes, "SoA source too short");
+    for (e, v) in dst.iter_mut().enumerate() {
+        *v = src[e * lanes + lane];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_padded_rounds_up_to_the_vector_width() {
+        assert_eq!(lane_padded(0), 0);
+        for k in 1..=3 * ops::ROTATE_LANES {
+            let lanes = lane_padded(k);
+            assert!(lanes >= k);
+            assert_eq!(lanes % ops::ROTATE_LANES, 0);
+            assert!(lanes - k < ops::ROTATE_LANES, "k={k} padded to {lanes}");
+        }
+    }
+
+    #[test]
+    fn interleave_deinterleave_round_trip() {
+        let lanes = lane_padded(3);
+        let mut buf = vec![0.0; 5 * lanes];
+        let problems: Vec<Vec<f64>> =
+            (0..3).map(|p| (0..5).map(|e| (p * 10 + e) as f64).collect()).collect();
+        for (p, src) in problems.iter().enumerate() {
+            interleave(src, p, lanes, &mut buf);
+        }
+        // Problem index is fastest-moving: element e of problem p at e·lanes+p.
+        assert_eq!(buf[1], 10.0); // element 0 of problem 1: 0·lanes + 1
+        assert_eq!(buf[4 * lanes + 2], 24.0);
+        for (p, src) in problems.iter().enumerate() {
+            let mut back = vec![0.0; 5];
+            deinterleave(&buf, p, lanes, &mut back);
+            assert_eq!(&back, src, "problem {p}");
+        }
+        // Padding lanes untouched.
+        for e in 0..5 {
+            assert_eq!(buf[e * lanes + 3], 0.0);
+        }
+    }
+}

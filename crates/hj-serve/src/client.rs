@@ -2,7 +2,7 @@
 //! saturation benchmark are built on.
 
 use crate::job::Priority;
-use crate::protocol::{Frame, ProtoError, NO_DEADLINE};
+use crate::protocol::{BatchItem, Frame, ProtoError, NO_DEADLINE};
 use hj_core::{EngineKind, OrderingKind};
 use hj_matrix::Matrix;
 use std::io::BufWriter;
@@ -45,6 +45,37 @@ pub struct RemoteOutcome {
     pub sweeps: usize,
     /// Singular values, descending — bit-identical to a direct local solve.
     pub values: Vec<f64>,
+}
+
+/// One solved slot of a remote batch.
+#[derive(Debug, Clone)]
+pub struct RemoteSpectrum {
+    /// Sweeps the slot's solve ran.
+    pub sweeps: usize,
+    /// Singular values, descending — bit-identical to a local batch solve.
+    pub values: Vec<f64>,
+}
+
+/// One failed slot of a remote batch (same code/kind vocabulary as
+/// [`ClientError::Remote`]).
+#[derive(Debug, Clone)]
+pub struct RemoteFailure {
+    /// Wire error code.
+    pub code: u8,
+    /// Stable error kind (`"non-finite-input"`, `"deadline"`, …).
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A completed remote batch: one slot per submitted matrix, in submission
+/// order, each independently solved or failed.
+#[derive(Debug, Clone)]
+pub struct RemoteBatchOutcome {
+    /// Service-assigned job id (the whole batch is one job).
+    pub job: u64,
+    /// Per-problem outcomes, aligned with the submitted matrices.
+    pub items: Vec<Result<RemoteSpectrum, RemoteFailure>>,
 }
 
 /// Client-side failures.
@@ -148,6 +179,50 @@ impl Client {
                 Err(ClientError::Remote { code, kind, message })
             }
             _ => Err(ClientError::Unexpected("submit wants result or error")),
+        }
+    }
+
+    /// Submit `matrices` as one bulk job and block until every slot's
+    /// spectrum (or per-slot error) comes back in a single reply frame.
+    /// Whole-batch failures (queue rejection, bad options) surface as
+    /// [`ClientError::Remote`].
+    pub fn submit_batch(
+        &mut self,
+        matrices: &[Matrix],
+        options: SubmitOptions,
+    ) -> Result<RemoteBatchOutcome, ClientError> {
+        let engine_byte = match options.engine {
+            EngineKind::Sequential => 0u8,
+            EngineKind::Parallel => 1,
+            EngineKind::Blocked => 2,
+        };
+        let frame = Frame::SubmitBatch {
+            priority: options.priority.index() as u8,
+            engine: engine_byte,
+            ordering: options.ordering.index() as u8,
+            deadline_ms: options.deadline_ms.unwrap_or(NO_DEADLINE),
+            tenant: options.tenant,
+            matrices: matrices.to_vec(),
+        };
+        match self.request(&frame)? {
+            Frame::BatchResult { job, items } => {
+                let items = items
+                    .into_iter()
+                    .map(|item| match item {
+                        BatchItem::Ok { sweeps, values } => {
+                            Ok(RemoteSpectrum { sweeps: sweeps as usize, values })
+                        }
+                        BatchItem::Err { code, kind, message } => {
+                            Err(RemoteFailure { code, kind, message })
+                        }
+                    })
+                    .collect();
+                Ok(RemoteBatchOutcome { job, items })
+            }
+            Frame::Error { code, kind, message } => {
+                Err(ClientError::Remote { code, kind, message })
+            }
+            _ => Err(ClientError::Unexpected("submit-batch wants a batch result or error")),
         }
     }
 

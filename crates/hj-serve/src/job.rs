@@ -59,6 +59,32 @@ impl Priority {
     }
 }
 
+/// What one job asks the workers to solve: a single matrix, or a whole
+/// batch of independent matrices carried as one queue entry.
+///
+/// A bulk job occupies **one** queue slot, counts once against its tenant's
+/// in-flight cap, and completes as one unit — the per-problem fan-out
+/// happens inside the worker via [`hj_core::HestenesSvd::singular_values_batch`]
+/// semantics (uniform small batches ride the SoA batch engine), with
+/// per-problem error isolation in the result.
+#[derive(Debug, Clone)]
+pub enum JobPayload {
+    /// One matrix, one spectrum.
+    Single(Matrix),
+    /// Many independent matrices solved as one job, results in slot order.
+    Bulk(Vec<Matrix>),
+}
+
+impl JobPayload {
+    /// Number of problems this payload carries (1 for a single).
+    pub fn problems(&self) -> usize {
+        match self {
+            JobPayload::Single(_) => 1,
+            JobPayload::Bulk(mats) => mats.len(),
+        }
+    }
+}
+
 /// One solve request, as admitted into the service queue.
 ///
 /// The builder methods cover the optional fields; a bare
@@ -66,8 +92,8 @@ impl Priority {
 /// on the sequential engine.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
-    /// The matrix to decompose (values-only solve).
-    pub matrix: Matrix,
+    /// What to solve: one matrix or a bulk batch.
+    pub payload: JobPayload,
     /// Which sweep engine runs the solve.
     pub engine: EngineKind,
     /// Which pair-ordering strategy plans the sweeps.
@@ -86,8 +112,19 @@ impl JobSpec {
     /// An interactive, deadline-free job for `matrix` on the sequential
     /// engine under the anonymous tenant.
     pub fn new(matrix: Matrix) -> JobSpec {
+        JobSpec::with_payload(JobPayload::Single(matrix))
+    }
+
+    /// A bulk job solving every matrix of `matrices` as one queue entry
+    /// (defaults match [`JobSpec::new`]; batch jobs often also want
+    /// [`JobSpec::priority`]​`(Priority::Batch)`).
+    pub fn bulk(matrices: Vec<Matrix>) -> JobSpec {
+        JobSpec::with_payload(JobPayload::Bulk(matrices))
+    }
+
+    fn with_payload(payload: JobPayload) -> JobSpec {
         JobSpec {
-            matrix,
+            payload,
             engine: EngineKind::Sequential,
             ordering: OrderingKind::default(),
             priority: Priority::Interactive,
@@ -182,15 +219,63 @@ impl std::fmt::Display for RejectReason {
 
 impl std::error::Error for RejectReason {}
 
+/// Terminal result of a job, shaped like its payload.
+// One `JobResult` exists per job and is consumed immediately by the
+// responder, so the `Single`/`Bulk` size gap never multiplies across a
+// collection — boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum JobResult {
+    /// Outcome of a [`JobPayload::Single`] job — bit-identical to a direct
+    /// [`hj_core::HestenesSvd::singular_values`] call on the same matrix
+    /// and engine.
+    Single(Result<SingularValues, SvdError>),
+    /// Per-problem outcomes of a [`JobPayload::Bulk`] job, in slot order.
+    /// A failed slot (bad input, mid-solve fault) never disturbs its
+    /// neighbors.
+    Bulk(Vec<Result<SingularValues, SvdError>>),
+}
+
+impl JobResult {
+    /// True when every problem solved (all slots `Ok` for a bulk job).
+    pub fn is_ok(&self) -> bool {
+        match self {
+            JobResult::Single(r) => r.is_ok(),
+            JobResult::Bulk(rs) => rs.iter().all(Result::is_ok),
+        }
+    }
+
+    /// Unwrap a single-solve result.
+    ///
+    /// # Panics
+    /// Panics if the job was a bulk submission.
+    pub fn into_single(self) -> Result<SingularValues, SvdError> {
+        match self {
+            JobResult::Single(r) => r,
+            JobResult::Bulk(_) => panic!("bulk job result treated as a single solve"),
+        }
+    }
+
+    /// Unwrap a bulk-solve result.
+    ///
+    /// # Panics
+    /// Panics if the job was a single submission.
+    pub fn into_bulk(self) -> Vec<Result<SingularValues, SvdError>> {
+        match self {
+            JobResult::Bulk(rs) => rs,
+            JobResult::Single(_) => panic!("single job result treated as a bulk solve"),
+        }
+    }
+}
+
 /// Terminal state of one admitted job.
 #[derive(Debug)]
 pub struct JobOutcome {
     /// Service-assigned job id.
     pub job: u64,
-    /// The solve result — bit-identical to a direct
-    /// [`hj_core::HestenesSvd::singular_values`] call on the same matrix
-    /// and engine.
-    pub result: Result<SingularValues, SvdError>,
+    /// The result, shaped like the submission ([`JobResult::into_single`] /
+    /// [`JobResult::into_bulk`]).
+    pub result: JobResult,
     /// Attempts consumed (1 for a first-try success; more after retries).
     pub attempts: usize,
     /// Wall-clock seconds from admission to completion (queue wait
@@ -283,6 +368,15 @@ mod tests {
         assert_eq!(RejectReason::Draining.name(), "draining");
         assert!(RejectReason::QueueFull { capacity: 4 }.to_string().contains("capacity 4"));
         assert!(RejectReason::TenantCap { cap: 2 }.to_string().contains("cap (2)"));
+    }
+
+    #[test]
+    fn payloads_count_their_problems() {
+        assert_eq!(JobPayload::Single(Matrix::zeros(2, 2)).problems(), 1);
+        assert_eq!(JobPayload::Bulk(vec![Matrix::zeros(2, 2); 5]).problems(), 5);
+        assert_eq!(JobPayload::Bulk(Vec::new()).problems(), 0);
+        assert!(matches!(JobSpec::new(Matrix::zeros(2, 2)).payload, JobPayload::Single(_)));
+        assert!(matches!(JobSpec::bulk(vec![Matrix::zeros(2, 2)]).payload, JobPayload::Bulk(_)));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!
 //! * **Jobs** ([`JobSpec`], [`Priority`], [`JobTicket`]) — a solve request
 //!   with an engine, a priority class, an optional wall-clock deadline, and
-//!   a tenant identity.
+//!   a tenant identity. A job's [`JobPayload`] is either one matrix or a
+//!   **bulk** batch of many ([`JobSpec::bulk`]): one queue entry, one
+//!   ticket, per-problem results ([`JobResult`]). Uniform small-`n` bulk
+//!   jobs ride `hj-core`'s SoA batch engine on the worker.
 //! * **Queue + scheduler** (internal) — a bounded queue with
 //!   reject-with-reason admission control ([`RejectReason`]) and per-tenant
 //!   in-flight caps; dispatch is strict priority between classes and
@@ -31,7 +34,10 @@
 //! * **Wire front-end** ([`Server`], [`Client`], [`protocol`]) — a
 //!   framework-free length-prefixed TCP protocol whose matrix and spectrum
 //!   payloads are raw `f64::to_bits`, so results over the wire are
-//!   **bit-identical** to direct [`hj_core::HestenesSvd`] calls.
+//!   **bit-identical** to direct [`hj_core::HestenesSvd`] calls. Protocol
+//!   v3 adds the bulk frames: one `SubmitBatch` carries many matrices, one
+//!   `BatchResult` brings back every slot's spectrum or structured error
+//!   ([`Client::submit_batch`], [`RemoteBatchOutcome`]).
 //!
 //! ## Quickstart
 //!
@@ -42,7 +48,7 @@
 //!
 //! let service = SolveService::start(ServiceConfig::default());
 //! let outcome = service.solve(JobSpec::new(gen::uniform(32, 8, 9))).unwrap();
-//! assert_eq!(outcome.result.unwrap().values.len(), 8);
+//! assert_eq!(outcome.result.into_single().unwrap().values.len(), 8);
 //! assert!(service.shutdown(Duration::from_secs(5)).drained_cleanly);
 //! ```
 
@@ -57,8 +63,13 @@ mod server;
 mod service;
 mod stats;
 
-pub use client::{Client, ClientError, RemoteOutcome, SubmitOptions};
-pub use job::{JobOutcome, JobSpec, JobTicket, Priority, RejectReason, PRIORITY_CLASSES};
+pub use client::{
+    Client, ClientError, RemoteBatchOutcome, RemoteFailure, RemoteOutcome, RemoteSpectrum,
+    SubmitOptions,
+};
+pub use job::{
+    JobOutcome, JobPayload, JobResult, JobSpec, JobTicket, Priority, RejectReason, PRIORITY_CLASSES,
+};
 pub use server::{
     error_code, error_kind, Server, CODE_BAD_REQUEST, CODE_CANCELLED, CODE_DEADLINE, CODE_REJECTED,
     CODE_SOLVE_FAULT,

@@ -19,18 +19,26 @@
 //! | 4 | stats request | empty |
 //! | 5 | stats | UTF-8 JSON object (the [`crate::ServiceStats`] schema) |
 //! | 6 | shutdown | `u64` drain_ms |
+//! | 7 | submit-batch | `u8` priority, `u8` engine, `u8` ordering, `u64` deadline_ms, `u16` tenant length + tenant bytes, `u32` matrix count, then per matrix a `u32` byte length + an [`hj_matrix::wire`] matrix frame |
+//! | 8 | batch-result | `u64` job id, `u32` item count, then per item a `u8` status: `0` (ok) followed by `u32` sweeps, `u32` n, n × `f64::to_bits` LE values; `1` (error) followed by `u8` code, `u16` kind length + kind bytes, `u16` message length + message bytes |
 //!
 //! Singular values travel as raw `f64::to_bits` exactly like the matrix
 //! payload, so a spectrum crosses the wire bit-identically — the round trip
-//! adds *zero* rounding.
+//! adds *zero* rounding. A batch submission is **one** frame carrying many
+//! matrices and its reply is **one** frame carrying a per-problem status for
+//! every slot, so a million tiny solves need not pay a frame round trip
+//! each.
 
 use hj_matrix::wire::{self, WireError};
 use hj_matrix::Matrix;
 use std::io::{Read, Write};
 
-/// Current protocol version; frames with any other version are rejected.
-/// Version 2 added the submit frame's ordering byte.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Current protocol version; frames with any other version are rejected
+/// (the server answers version mismatches with a structured
+/// `unsupported-version` error frame before closing).
+/// Version 2 added the submit frame's ordering byte; version 3 added the
+/// bulk submit-batch / batch-result frames.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Sentinel `deadline_ms` meaning "no deadline".
 pub const NO_DEADLINE: u64 = u64::MAX;
@@ -89,6 +97,51 @@ pub enum Frame {
     Shutdown {
         /// Drain deadline in milliseconds.
         drain_ms: u64,
+    },
+    /// Client → server: solve this whole batch as one job (one queue slot,
+    /// one ticket, one reply frame).
+    SubmitBatch {
+        /// Priority class byte ([`crate::Priority::index`]).
+        priority: u8,
+        /// Engine byte (0 sequential, 1 parallel, 2 blocked).
+        engine: u8,
+        /// Ordering byte ([`hj_core::OrderingKind::index`]).
+        ordering: u8,
+        /// Relative deadline in milliseconds from receipt, or
+        /// [`NO_DEADLINE`]. The deadline covers the whole batch.
+        deadline_ms: u64,
+        /// Tenant identity (may be empty).
+        tenant: String,
+        /// The matrices to decompose, in slot order.
+        matrices: Vec<Matrix>,
+    },
+    /// Server → client: per-problem outcomes of a batch job, in slot order.
+    BatchResult {
+        /// Service-assigned job id (one id covers the whole batch).
+        job: u64,
+        /// One status per submitted matrix.
+        items: Vec<BatchItem>,
+    },
+}
+
+/// Per-problem status inside a [`Frame::BatchResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// The slot solved; its spectrum crossed the wire bit-exactly.
+    Ok {
+        /// Sweeps this problem ran.
+        sweeps: u32,
+        /// Singular values, descending, bit-exact.
+        values: Vec<f64>,
+    },
+    /// The slot failed; its neighbors are unaffected.
+    Err {
+        /// Machine-readable error code (same space as [`Frame::Error`]).
+        code: u8,
+        /// Stable error kind (e.g. `"non-finite-input"`, `"stall"`).
+        kind: String,
+        /// Human-readable message.
+        message: String,
     },
 }
 
@@ -155,6 +208,8 @@ impl Frame {
             Frame::StatsRequest => 4,
             Frame::Stats { .. } => 5,
             Frame::Shutdown { .. } => 6,
+            Frame::SubmitBatch { .. } => 7,
+            Frame::BatchResult { .. } => 8,
         }
     }
 
@@ -189,6 +244,47 @@ impl Frame {
             Frame::Stats { json } => payload.extend_from_slice(json.as_bytes()),
             Frame::Shutdown { drain_ms } => {
                 payload.extend_from_slice(&drain_ms.to_le_bytes());
+            }
+            Frame::SubmitBatch { priority, engine, ordering, deadline_ms, tenant, matrices } => {
+                payload.push(*priority);
+                payload.push(*engine);
+                payload.push(*ordering);
+                payload.extend_from_slice(&deadline_ms.to_le_bytes());
+                put_str16(&mut payload, tenant);
+                payload.extend_from_slice(&(matrices.len() as u32).to_le_bytes());
+                for m in matrices {
+                    // Length-prefix each embedded matrix frame so the
+                    // decoder can walk the batch without trusting the wire
+                    // format's internal length arithmetic.
+                    let len_at = payload.len();
+                    payload.extend_from_slice(&0u32.to_le_bytes());
+                    let start = payload.len();
+                    wire::encode_matrix_into(m, &mut payload);
+                    let len = (payload.len() - start) as u32;
+                    payload[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+                }
+            }
+            Frame::BatchResult { job, items } => {
+                payload.extend_from_slice(&job.to_le_bytes());
+                payload.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    match item {
+                        BatchItem::Ok { sweeps, values } => {
+                            payload.push(0);
+                            payload.extend_from_slice(&sweeps.to_le_bytes());
+                            payload.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                            for v in values {
+                                payload.extend_from_slice(&v.to_bits().to_le_bytes());
+                            }
+                        }
+                        BatchItem::Err { code, kind, message } => {
+                            payload.push(1);
+                            payload.push(*code);
+                            put_str16(&mut payload, kind);
+                            put_str16(&mut payload, message);
+                        }
+                    }
+                }
             }
         }
         let mut out = Vec::with_capacity(4 + payload.len());
@@ -276,6 +372,51 @@ impl Frame {
                 let drain_ms = c.u64()?;
                 c.done()?;
                 Frame::Shutdown { drain_ms }
+            }
+            7 => {
+                let priority = c.u8()?;
+                let engine = c.u8()?;
+                let ordering = c.u8()?;
+                let deadline_ms = c.u64()?;
+                let tenant = c.str16()?;
+                let count = c.u32()? as usize;
+                let mut matrices = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let len = c.u32()? as usize;
+                    matrices.push(wire::decode_matrix(c.take(len)?)?);
+                }
+                c.done()?;
+                Frame::SubmitBatch { priority, engine, ordering, deadline_ms, tenant, matrices }
+            }
+            8 => {
+                let job = c.u64()?;
+                let count = c.u32()? as usize;
+                let mut items = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    items.push(match c.u8()? {
+                        0 => {
+                            let sweeps = c.u32()?;
+                            let n = c.u32()? as usize;
+                            let bytes = c.take(8 * n)?;
+                            let mut values = Vec::with_capacity(n);
+                            for chunk in bytes.chunks_exact(8) {
+                                values.push(f64::from_bits(u64::from_le_bytes(
+                                    chunk.try_into().expect("8 bytes"),
+                                )));
+                            }
+                            BatchItem::Ok { sweeps, values }
+                        }
+                        1 => {
+                            let code = c.u8()?;
+                            let kind = c.str16()?;
+                            let message = c.str16()?;
+                            BatchItem::Err { code, kind, message }
+                        }
+                        _ => return Err(ProtoError::Malformed("unknown batch item status")),
+                    });
+                }
+                c.done()?;
+                Frame::BatchResult { job, items }
             }
             t => return Err(ProtoError::BadType(t)),
         };
@@ -372,6 +513,26 @@ mod tests {
             Frame::StatsRequest,
             Frame::Stats { json: "{\"schema\":\"hjsvd-serve-stats/v1\"}".into() },
             Frame::Shutdown { drain_ms: 2000 },
+            Frame::SubmitBatch {
+                priority: 1,
+                engine: 0,
+                ordering: 0,
+                deadline_ms: NO_DEADLINE,
+                tenant: "bulk".into(),
+                matrices: (0..5).map(|k| gen::uniform(8, 4, k)).collect(),
+            },
+            Frame::BatchResult {
+                job: 9,
+                items: vec![
+                    BatchItem::Ok { sweeps: 7, values: vec![2.0, 1.0, 0.5] },
+                    BatchItem::Err {
+                        code: 4,
+                        kind: "non-finite-input".into(),
+                        message: "slot 1".into(),
+                    },
+                    BatchItem::Ok { sweeps: 3, values: vec![] },
+                ],
+            },
         ];
         for frame in frames {
             let back = roundtrip(frame.clone());
@@ -420,9 +581,10 @@ mod tests {
     #[test]
     fn bad_version_type_length_are_rejected() {
         assert!(matches!(Frame::decode_payload(&[9, 4]), Err(ProtoError::BadVersion(9))));
-        // Version 1 predates the submit ordering byte; it is rejected, not
-        // misparsed.
+        // Version 1 predates the submit ordering byte and version 2 the
+        // bulk frames; both are rejected, not misparsed.
         assert!(matches!(Frame::decode_payload(&[1, 4]), Err(ProtoError::BadVersion(1))));
+        assert!(matches!(Frame::decode_payload(&[2, 4]), Err(ProtoError::BadVersion(2))));
         assert!(matches!(
             Frame::decode_payload(&[PROTOCOL_VERSION, 99]),
             Err(ProtoError::BadType(99))
@@ -450,6 +612,55 @@ mod tests {
         // Length prefix present but payload missing.
         let mut partial = std::io::Cursor::new(8u32.to_le_bytes().to_vec());
         assert!(matches!(Frame::read_from(&mut partial), Err(ProtoError::Io(_))));
+    }
+
+    #[test]
+    fn batch_frames_survive_bit_exactly_and_reject_bad_statuses() {
+        let mats: Vec<Matrix> = (0..3).map(|k| gen::uniform(6, 3, 40 + k)).collect();
+        let frame = Frame::SubmitBatch {
+            priority: 0,
+            engine: 0,
+            ordering: 0,
+            deadline_ms: 250,
+            tenant: String::new(),
+            matrices: mats.clone(),
+        };
+        match roundtrip(frame) {
+            Frame::SubmitBatch { matrices, deadline_ms, .. } => {
+                assert_eq!(deadline_ms, 250);
+                assert_eq!(matrices.len(), mats.len());
+                for (a, b) in mats.iter().zip(&matrices) {
+                    assert_eq!(a.shape(), b.shape());
+                    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        let values = vec![1.0 / 3.0, 1e-300, -0.0];
+        let reply = Frame::BatchResult {
+            job: 3,
+            items: vec![BatchItem::Ok { sweeps: 2, values: values.clone() }],
+        };
+        match roundtrip(reply) {
+            Frame::BatchResult { items, .. } => match &items[0] {
+                BatchItem::Ok { values: back, .. } => {
+                    for (x, y) in values.iter().zip(back) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                other => panic!("wrong item: {other:?}"),
+            },
+            other => panic!("wrong frame: {other:?}"),
+        }
+        // An unknown per-item status byte is malformed, not misparsed:
+        // job id, count 1, status 7.
+        let mut bad = vec![PROTOCOL_VERSION, 8];
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.push(7);
+        assert!(matches!(Frame::decode_payload(&bad), Err(ProtoError::Malformed(_))));
     }
 
     #[test]

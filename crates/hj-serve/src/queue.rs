@@ -11,7 +11,10 @@
 //! Admission control never blocks: a full queue, a tenant at its cap, or a
 //! draining service answers with a structured [`RejectReason`] immediately.
 
-use crate::job::{CompletionSlot, JobOutcome, JobSpec, JobTicket, RejectReason, PRIORITY_CLASSES};
+use crate::job::{
+    CompletionSlot, JobOutcome, JobPayload, JobResult, JobSpec, JobTicket, RejectReason,
+    PRIORITY_CLASSES,
+};
 use crate::stats::{LatencyHistogram, ServiceStats};
 use hj_core::recovery::Fault;
 use hj_core::{SvdError, TraceEvent};
@@ -249,8 +252,10 @@ impl Scheduler {
 
     /// Report a terminal outcome for a dispatched job: updates counters and
     /// latency, releases the tenant slot, fills the completion slot, and
-    /// wakes anyone waiting for idle.
-    pub fn complete(&self, job: QueuedJob, result: Result<hj_core::SingularValues, SvdError>) {
+    /// wakes anyone waiting for idle. A bulk job counts as completed only
+    /// when every slot solved; any failed slot marks the whole job faulted
+    /// in the counters (the per-slot results still carry the detail).
+    pub fn complete(&self, job: QueuedJob, result: JobResult) {
         let wall = job.submitted.elapsed().as_secs_f64();
         let success = result.is_ok();
         {
@@ -340,11 +345,21 @@ impl Scheduler {
         let n = drained.len();
         for job in drained {
             let wall = job.submitted.elapsed().as_secs_f64();
-            let result = Err(SvdError::SolveFault {
-                fault: Fault::Cancelled { sweep: 0 },
-                sweeps_completed: 0,
-                recoveries: 0,
-            });
+            let cancelled = || {
+                Err(SvdError::SolveFault {
+                    fault: Fault::Cancelled { sweep: 0 },
+                    sweeps_completed: 0,
+                    recoveries: 0,
+                })
+            };
+            // Shape the cancellation like the submission: a bulk job's
+            // waiter gets one cancelled status per slot.
+            let result = match &job.spec.payload {
+                JobPayload::Single(_) => JobResult::Single(cancelled()),
+                JobPayload::Bulk(mats) => {
+                    JobResult::Bulk((0..mats.len()).map(|_| cancelled()).collect())
+                }
+            };
             fill_slot(
                 &job.slot,
                 JobOutcome { job: job.id, result, attempts: job.attempt, wall_seconds: wall },
@@ -443,7 +458,7 @@ mod tests {
         let job = sched.next_job().unwrap();
         // Still in flight: the cap holds.
         assert!(sched.submit(spec().tenant("a")).0.is_err());
-        sched.complete(job, Err(SvdError::EmptyInput));
+        sched.complete(job, JobResult::Single(Err(SvdError::EmptyInput)));
         // Terminal: the slot is free again.
         assert!(sched.submit(spec().tenant("a")).0.is_ok());
     }
@@ -465,13 +480,26 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_bulk_jobs_report_every_slot() {
+        let sched = Scheduler::new(8, 0);
+        let t = sched.submit(JobSpec::bulk(vec![Matrix::zeros(2, 2); 3])).0.unwrap();
+        sched.close();
+        assert_eq!(sched.cancel_pending(), 1, "a bulk job is one queue entry");
+        let slots = t.wait().result.into_bulk();
+        assert_eq!(slots.len(), 3);
+        for r in slots {
+            assert!(matches!(r, Err(SvdError::SolveFault { fault: Fault::Cancelled { .. }, .. })));
+        }
+    }
+
+    #[test]
     fn cancel_pending_completes_queued_jobs_with_cancelled_fault() {
         let sched = Scheduler::new(8, 0);
         let t = sched.submit(spec()).0.unwrap();
         sched.close();
         assert_eq!(sched.cancel_pending(), 1);
         let outcome = t.wait();
-        match outcome.result {
+        match outcome.result.into_single() {
             Err(SvdError::SolveFault { fault: Fault::Cancelled { sweep: 0 }, .. }) => {}
             other => panic!("expected cancelled fault, got {other:?}"),
         }

@@ -11,7 +11,7 @@
 //! problems.
 
 use crate::job::{JobSpec, Priority, RejectReason};
-use crate::protocol::{Frame, ProtoError, NO_DEADLINE};
+use crate::protocol::{BatchItem, Frame, ProtoError, NO_DEADLINE};
 use crate::service::{ServiceConfig, SolveService};
 use crate::stats::ServiceStats;
 use hj_core::{EngineKind, OrderingKind, SvdError};
@@ -114,10 +114,16 @@ fn handle_connection(
             Err(ProtoError::Io(_)) => return,
             Err(e) => {
                 // Protocol violation: answer with a structured error, then
-                // close (framing can no longer be trusted).
+                // close (framing can no longer be trusted). Version skew
+                // gets its own kind so older clients (v2 and earlier) see a
+                // clean "upgrade" signal instead of a generic parse error.
+                let kind = match e {
+                    ProtoError::BadVersion(_) => "unsupported-version",
+                    _ => "bad-frame",
+                };
                 let _ = Frame::Error {
                     code: CODE_BAD_REQUEST,
-                    kind: "bad-frame".to_string(),
+                    kind: kind.to_string(),
                     message: e.to_string(),
                 }
                 .write_to(&mut writer);
@@ -127,6 +133,17 @@ fn handle_connection(
         let reply = match frame {
             Frame::Submit { priority, engine, ordering, deadline_ms, tenant, matrix } => {
                 handle_submit(service, priority, engine, ordering, deadline_ms, tenant, matrix)
+            }
+            Frame::SubmitBatch { priority, engine, ordering, deadline_ms, tenant, matrices } => {
+                handle_submit_batch(
+                    service,
+                    priority,
+                    engine,
+                    ordering,
+                    deadline_ms,
+                    tenant,
+                    matrices,
+                )
             }
             Frame::StatsRequest => Frame::Stats { json: service.stats().to_json() },
             Frame::Shutdown { drain_ms } => {
@@ -140,7 +157,10 @@ fn handle_connection(
             }
             // Server-to-client frames arriving at the server are protocol
             // violations.
-            Frame::Result { .. } | Frame::Error { .. } | Frame::Stats { .. } => Frame::Error {
+            Frame::Result { .. }
+            | Frame::BatchResult { .. }
+            | Frame::Error { .. }
+            | Frame::Stats { .. } => Frame::Error {
                 code: CODE_BAD_REQUEST,
                 kind: "bad-frame".to_string(),
                 message: "client sent a server-only frame".to_string(),
@@ -150,6 +170,50 @@ fn handle_connection(
             return;
         }
     }
+}
+
+/// Decode the shared submit option bytes into a configured spec, or an
+/// error frame when a byte is out of range.
+fn decode_spec(
+    spec: JobSpec,
+    priority: u8,
+    engine: u8,
+    ordering: u8,
+    deadline_ms: u64,
+    tenant: String,
+) -> Result<JobSpec, Frame> {
+    let Some(priority) = Priority::from_index(priority as usize) else {
+        return Err(Frame::Error {
+            code: CODE_BAD_REQUEST,
+            kind: "bad-priority".to_string(),
+            message: format!("unknown priority byte {priority}"),
+        });
+    };
+    let engine = match engine {
+        0 => EngineKind::Sequential,
+        1 => EngineKind::Parallel,
+        2 => EngineKind::Blocked,
+        b => {
+            return Err(Frame::Error {
+                code: CODE_BAD_REQUEST,
+                kind: "bad-engine".to_string(),
+                message: format!("unknown engine byte {b}"),
+            })
+        }
+    };
+    let Some(ordering) = OrderingKind::from_index(ordering as usize) else {
+        return Err(Frame::Error {
+            code: CODE_BAD_REQUEST,
+            kind: "bad-ordering".to_string(),
+            message: format!("unknown ordering byte {ordering}"),
+        });
+    };
+    let mut spec = spec.engine(engine).ordering(ordering).priority(priority).tenant(tenant);
+    if deadline_ms != NO_DEADLINE {
+        let now = Instant::now();
+        spec.deadline = Some(now.checked_add(Duration::from_millis(deadline_ms)).unwrap_or(now));
+    }
+    Ok(spec)
 }
 
 /// Admit, wait, and shape the outcome into a reply frame.
@@ -162,43 +226,16 @@ fn handle_submit(
     tenant: String,
     matrix: hj_matrix::Matrix,
 ) -> Frame {
-    let Some(priority) = Priority::from_index(priority as usize) else {
-        return Frame::Error {
-            code: CODE_BAD_REQUEST,
-            kind: "bad-priority".to_string(),
-            message: format!("unknown priority byte {priority}"),
+    let spec =
+        match decode_spec(JobSpec::new(matrix), priority, engine, ordering, deadline_ms, tenant) {
+            Ok(spec) => spec,
+            Err(frame) => return frame,
         };
-    };
-    let engine = match engine {
-        0 => EngineKind::Sequential,
-        1 => EngineKind::Parallel,
-        2 => EngineKind::Blocked,
-        b => {
-            return Frame::Error {
-                code: CODE_BAD_REQUEST,
-                kind: "bad-engine".to_string(),
-                message: format!("unknown engine byte {b}"),
-            }
-        }
-    };
-    let Some(ordering) = OrderingKind::from_index(ordering as usize) else {
-        return Frame::Error {
-            code: CODE_BAD_REQUEST,
-            kind: "bad-ordering".to_string(),
-            message: format!("unknown ordering byte {ordering}"),
-        };
-    };
-    let mut spec =
-        JobSpec::new(matrix).engine(engine).ordering(ordering).priority(priority).tenant(tenant);
-    if deadline_ms != NO_DEADLINE {
-        let now = Instant::now();
-        spec.deadline = Some(now.checked_add(Duration::from_millis(deadline_ms)).unwrap_or(now));
-    }
     match service.submit(spec) {
         Err(reason) => reject_frame(reason),
         Ok(ticket) => {
             let outcome = ticket.wait();
-            match outcome.result {
+            match outcome.result.into_single() {
                 Ok(sv) => {
                     Frame::Result { job: outcome.job, sweeps: sv.sweeps as u32, values: sv.values }
                 }
@@ -208,6 +245,53 @@ fn handle_submit(
                     message: err.to_string(),
                 },
             }
+        }
+    }
+}
+
+/// Admit one bulk job, wait, and shape every slot's outcome into a single
+/// [`Frame::BatchResult`]. Whole-batch failures (rejection, bad option
+/// bytes, an empty matrix list) come back as one error frame instead.
+fn handle_submit_batch(
+    service: &SolveService,
+    priority: u8,
+    engine: u8,
+    ordering: u8,
+    deadline_ms: u64,
+    tenant: String,
+    matrices: Vec<hj_matrix::Matrix>,
+) -> Frame {
+    if matrices.is_empty() {
+        return Frame::Error {
+            code: CODE_BAD_REQUEST,
+            kind: "empty-batch".to_string(),
+            message: "a batch submit needs at least one matrix".to_string(),
+        };
+    }
+    let spec =
+        match decode_spec(JobSpec::bulk(matrices), priority, engine, ordering, deadline_ms, tenant)
+        {
+            Ok(spec) => spec,
+            Err(frame) => return frame,
+        };
+    match service.submit(spec) {
+        Err(reason) => reject_frame(reason),
+        Ok(ticket) => {
+            let outcome = ticket.wait();
+            let items = outcome
+                .result
+                .into_bulk()
+                .into_iter()
+                .map(|slot| match slot {
+                    Ok(sv) => BatchItem::Ok { sweeps: sv.sweeps as u32, values: sv.values },
+                    Err(err) => BatchItem::Err {
+                        code: error_code(&err),
+                        kind: error_kind(&err).to_string(),
+                        message: err.to_string(),
+                    },
+                })
+                .collect();
+            Frame::BatchResult { job: outcome.job, items }
         }
     }
 }
@@ -348,6 +432,66 @@ mod tests {
         let mut writer = BufWriter::new(stream);
         frame.write_to(&mut writer).unwrap();
         Frame::read_from(&mut reader).unwrap()
+    }
+
+    #[test]
+    fn bulk_submissions_round_trip_bit_exactly() {
+        let (handle, addr) = spawn_server(ServiceConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let mut mats: Vec<_> = (0..6).map(|k| gen::uniform(16, 8, 90 + k)).collect();
+        mats[2] = hj_matrix::Matrix::zeros(0, 8); // one invalid slot
+        let direct =
+            hj_core::HestenesSvd::new(hj_core::SvdOptions::default()).singular_values_batch(&mats);
+        let outcome = client.submit_batch(&mats, SubmitOptions::default()).unwrap();
+        assert_eq!(outcome.items.len(), mats.len());
+        for (k, (remote, local)) in outcome.items.iter().zip(&direct).enumerate() {
+            match (remote, local) {
+                (Ok(spectrum), Ok(sv)) => {
+                    assert_eq!(spectrum.sweeps, sv.sweeps, "slot {k}");
+                    assert_eq!(spectrum.values.len(), sv.values.len(), "slot {k}");
+                    for (x, y) in spectrum.values.iter().zip(&sv.values) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "slot {k} spectrum over the wire");
+                    }
+                }
+                (Err(failure), Err(err)) => {
+                    assert_eq!(failure.code, error_code(err), "slot {k}");
+                    assert_eq!(failure.kind, error_kind(err), "slot {k}");
+                }
+                other => panic!("slot {k} shape mismatch: {other:?}"),
+            }
+        }
+        client.shutdown(Duration::from_secs(5)).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn old_protocol_versions_get_a_structured_rejection() {
+        use std::io::{Read, Write};
+        let (handle, addr) = spawn_server(ServiceConfig::default());
+        // Hand-roll a v2 Submit header: length prefix, then [version=2,
+        // type=1]. The server must answer with a structured error naming
+        // the version skew, not a generic bad-frame.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let payload = [2u8, 1u8];
+        stream.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+        stream.write_all(&payload).unwrap();
+        stream.flush().unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let reply = Frame::read_from(&mut reader).unwrap();
+        match reply {
+            Frame::Error { code, kind, message } => {
+                assert_eq!(code, CODE_BAD_REQUEST);
+                assert_eq!(kind, "unsupported-version");
+                assert!(message.contains('2'), "{message}");
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // The connection is closed after a protocol violation.
+        let mut rest = Vec::new();
+        assert_eq!(reader.read_to_end(&mut rest).unwrap(), 0);
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown(Duration::from_secs(5)).unwrap();
+        handle.join().unwrap();
     }
 
     #[test]

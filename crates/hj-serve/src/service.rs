@@ -2,7 +2,7 @@
 //! workspaces, per-job solve budgets, bounded retries, and a graceful
 //! drain-on-shutdown lifecycle.
 
-use crate::job::{JobOutcome, JobSpec, JobTicket, RejectReason};
+use crate::job::{JobOutcome, JobPayload, JobResult, JobSpec, JobTicket, RejectReason};
 use crate::queue::{QueuedJob, Scheduler};
 use crate::stats::ServiceStats;
 use hj_core::{
@@ -113,7 +113,7 @@ impl Shared {
 /// let service = SolveService::start(ServiceConfig::default());
 /// let ticket = service.submit(JobSpec::new(gen::uniform(20, 5, 1))).unwrap();
 /// let outcome = ticket.wait();
-/// assert_eq!(outcome.result.unwrap().values.len(), 5);
+/// assert_eq!(outcome.result.into_single().unwrap().values.len(), 5);
 /// let report = service.shutdown(Duration::from_secs(5));
 /// assert!(report.drained_cleanly);
 /// ```
@@ -221,40 +221,78 @@ impl Drop for SolveService {
     }
 }
 
-/// One worker: checkout a workspace once, then pull-solve-report until the
-/// scheduler signals shutdown. The workspace goes back to the pool warm, so
-/// a later restart (or test harness reuse) skips the warm-up allocations.
+/// One worker: checkout a workspace once (plus a lazy batch workspace for
+/// bulk jobs), then pull-solve-report until the scheduler signals shutdown.
+/// The scalar workspace goes back to the pool warm, so a later restart (or
+/// test harness reuse) skips the warm-up allocations; the batch workspace
+/// stays worker-local and warm for the worker's lifetime, so steady bulk
+/// traffic of one shape allocates nothing after the first job.
 fn worker_loop(index: usize, shared: &Shared) {
     let mut ws = shared.pool.checkout();
+    let mut batch_ws = hj_core::BatchWorkspace::new();
     while let Some(job) = shared.scheduler.next_job() {
         shared.emit(TraceEvent::JobDispatched { job: job.id, worker: index, attempt: job.attempt });
         let started = Instant::now();
-        let result = run_job(shared, &job, &mut ws);
-        let seconds = started.elapsed().as_secs_f64();
-        match result {
-            Ok(values) => {
-                shared.emit(TraceEvent::JobCompleted {
-                    job: job.id,
-                    worker: index,
-                    seconds,
-                    sweeps: values.sweeps,
-                });
-                shared.scheduler.complete(job, Ok(values));
+        match &job.spec.payload {
+            JobPayload::Single(_) => {
+                let result = run_job(shared, &job, &mut ws);
+                let seconds = started.elapsed().as_secs_f64();
+                match result {
+                    Ok(values) => {
+                        shared.emit(TraceEvent::JobCompleted {
+                            job: job.id,
+                            worker: index,
+                            seconds,
+                            sweeps: values.sweeps,
+                        });
+                        shared.scheduler.complete(job, JobResult::Single(Ok(values)));
+                    }
+                    Err(err) => {
+                        let retryable = should_retry(&err);
+                        if retryable && job.attempt < shared.config.max_attempts {
+                            let next = job.attempt + 1;
+                            shared
+                                .scheduler
+                                .requeue(job, backoff_delay(shared.config.retry_backoff, next));
+                        } else {
+                            shared.emit(TraceEvent::JobFaulted {
+                                job: job.id,
+                                worker: index,
+                                fault: fault_kind(&err),
+                                attempts: job.attempt,
+                            });
+                            shared.scheduler.complete(job, JobResult::Single(Err(err)));
+                        }
+                    }
+                }
             }
-            Err(err) => {
-                let retryable = should_retry(&err);
-                if retryable && job.attempt < shared.config.max_attempts {
-                    let next = job.attempt + 1;
-                    shared.scheduler.requeue(job, backoff_delay(shared.config.retry_backoff, next));
-                } else {
-                    shared.emit(TraceEvent::JobFaulted {
+            JobPayload::Bulk(_) => {
+                // Bulk jobs are abort-only per slot (no whole-batch retry:
+                // re-running every solved neighbor to retry one flaky slot
+                // would multiply the batch's latency), so the first outcome
+                // is terminal.
+                let results = run_bulk(shared, &job, &mut batch_ws);
+                let seconds = started.elapsed().as_secs_f64();
+                let sweeps = results.iter().filter_map(|r| r.as_ref().ok().map(|v| v.sweeps)).max();
+                match sweeps {
+                    Some(sweeps) => shared.emit(TraceEvent::JobCompleted {
                         job: job.id,
                         worker: index,
-                        fault: fault_kind(&err),
-                        attempts: job.attempt,
-                    });
-                    shared.scheduler.complete(job, Err(err));
+                        seconds,
+                        sweeps,
+                    }),
+                    None => {
+                        if let Some(err) = results.iter().find_map(|r| r.as_ref().err()) {
+                            shared.emit(TraceEvent::JobFaulted {
+                                job: job.id,
+                                worker: index,
+                                fault: fault_kind(err),
+                                attempts: job.attempt,
+                            });
+                        }
+                    }
                 }
+                shared.scheduler.complete(job, JobResult::Bulk(results));
             }
         }
     }
@@ -270,6 +308,32 @@ fn run_job(
     job: &QueuedJob,
     ws: &mut hj_core::SweepWorkspace,
 ) -> Result<hj_core::SingularValues, SvdError> {
+    let JobPayload::Single(matrix) = &job.spec.payload else {
+        unreachable!("run_job only dispatches single payloads");
+    };
+    solver_for(shared, job).singular_values_with_workspace(matrix, ws)
+}
+
+/// Solve one dispatched bulk job on the worker's batch workspace. Uniform
+/// small batches ride the SoA batch engine; anything else takes the looped
+/// path. The job-level deadline/cancellation budget covers the whole batch:
+/// on expiry every still-unsolved slot faults, already-converged slots keep
+/// their results.
+fn run_bulk(
+    shared: &Shared,
+    job: &QueuedJob,
+    ws: &mut hj_core::BatchWorkspace,
+) -> Vec<Result<hj_core::SingularValues, SvdError>> {
+    let JobPayload::Bulk(matrices) = &job.spec.payload else {
+        unreachable!("run_bulk only dispatches bulk payloads");
+    };
+    solver_for(shared, job).singular_values_batch_with_workspace(matrices, ws)
+}
+
+/// The configured solver for a dispatched job: base options with the job's
+/// engine/ordering override and its deadline + cancellation flag as the
+/// solve budget.
+fn solver_for(shared: &Shared, job: &QueuedJob) -> HestenesSvd {
     let mut options = shared.config.options;
     options.engine = job.spec.engine;
     options.ordering = job.spec.ordering;
@@ -278,9 +342,7 @@ fn run_job(
         None => SolveBudget::unlimited(),
     };
     budget = budget.cancelled_by(Arc::clone(&job.cancel));
-    HestenesSvd::new(options)
-        .with_budget(budget)
-        .singular_values_with_workspace(&job.spec.matrix, ws)
+    HestenesSvd::new(options).with_budget(budget)
 }
 
 /// Stable fault-class string for an error's trace event.
@@ -349,7 +411,7 @@ mod tests {
         let a = gen::uniform(30, 8, 42);
         let direct = HestenesSvd::new(SvdOptions::default()).singular_values(&a).unwrap();
         let outcome = service.solve(JobSpec::new(a)).unwrap();
-        let served = outcome.result.unwrap();
+        let served = outcome.result.into_single().unwrap();
         assert_eq!(outcome.attempts, 1);
         for (x, y) in served.values.iter().zip(direct.values.iter()) {
             assert_eq!(x.to_bits(), y.to_bits(), "service result must be bit-identical");
@@ -369,7 +431,7 @@ mod tests {
             .deadline(Instant::now() - Duration::from_millis(5))
             .priority(Priority::Interactive);
         let outcome = service.solve(spec).unwrap();
-        match outcome.result {
+        match outcome.result.into_single() {
             Err(SvdError::SolveFault { fault: Fault::DeadlineExceeded { .. }, .. }) => {}
             other => panic!("expected deadline fault, got {other:?}"),
         }
@@ -384,7 +446,7 @@ mod tests {
     fn input_errors_are_not_retried() {
         let service = SolveService::start(ServiceConfig::default());
         let outcome = service.solve(JobSpec::new(hj_matrix::Matrix::zeros(0, 3))).unwrap();
-        assert!(matches!(outcome.result, Err(SvdError::EmptyInput)));
+        assert!(matches!(outcome.result.into_single(), Err(SvdError::EmptyInput)));
         assert_eq!(outcome.attempts, 1);
         service.shutdown(Duration::from_secs(2));
         assert_eq!(service.stats().retries, 0);
@@ -400,11 +462,42 @@ mod tests {
         victim.cancel();
         assert!(super::_cancel_raised(&victim));
         let outcome = victim.wait();
-        match outcome.result {
+        match outcome.result.into_single() {
             Err(SvdError::SolveFault { fault: Fault::Cancelled { .. }, .. }) => {}
             other => panic!("expected cancelled fault, got {other:?}"),
         }
         assert!(blocker.wait().result.is_ok());
+        service.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn bulk_jobs_solve_every_slot_with_isolation() {
+        let service = SolveService::start(ServiceConfig::default());
+        let mut mats: Vec<_> = (0..8).map(|k| gen::uniform(20, 8, 60 + k)).collect();
+        let mut poisoned = hj_matrix::Matrix::zeros(20, 8);
+        poisoned.set(1, 1, f64::NAN);
+        mats[3] = poisoned;
+        let direct = HestenesSvd::new(SvdOptions::default()).singular_values_batch(&mats);
+        let outcome = service.solve(JobSpec::bulk(mats.clone())).unwrap();
+        let slots = outcome.result.into_bulk();
+        assert_eq!(slots.len(), mats.len());
+        assert!(matches!(slots[3], Err(SvdError::NonFiniteInput)));
+        for (k, (served, local)) in slots.iter().zip(&direct).enumerate() {
+            if k == 3 {
+                continue;
+            }
+            let served = served.as_ref().unwrap();
+            let local = local.as_ref().unwrap();
+            assert_eq!(served.values.len(), local.values.len(), "slot {k}");
+            for (x, y) in served.values.iter().zip(&local.values) {
+                assert_eq!(x.to_bits(), y.to_bits(), "slot {k} must match the local batch path");
+            }
+        }
+        // One queue entry, one completion — but the whole batch is counted
+        // faulted because a slot failed.
+        let stats = service.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.faulted, 1);
         service.shutdown(Duration::from_secs(5));
     }
 

@@ -5,6 +5,7 @@
 //!           [--engine seq|par|blocked] [--ordering cyclic|row|greedy|presort]
 //!           [--threshold-schedule] [--timeout-ms T]
 //!           [--trace PATH] [--trace-level off|sweep|group|rotation]
+//! hjsvd svd --batch <dir-or-csv-list> [--stats PATH] [--engine ...] [--ordering ...]
 //! hjsvd pca <data.csv> --components K [--out PREFIX]
 //! hjsvd eigh <symmetric.csv>
 //! hjsvd simulate --rows M --cols N [--sweeps S]
@@ -14,8 +15,16 @@
 //! hjsvd submit <matrix.csv> --addr HOST:PORT [--deadline-ms T]
 //!             [--priority interactive|batch] [--engine seq|par|blocked]
 //!             [--ordering cyclic|row|greedy|presort] [--tenant NAME]
+//! hjsvd submit-batch <dir-or-csv-list> --addr HOST:PORT [--tenant NAME]
+//!                    [--deadline-ms T]
 //! hjsvd shutdown --addr HOST:PORT [--drain-ms T]
 //! ```
+//!
+//! Batch inputs (`svd --batch`, `submit-batch`) name either a directory —
+//! every `*.csv` inside, sorted by file name — or a comma-separated list of
+//! CSV paths. Problems succeed and fail individually: every slot is
+//! reported, and the exit code is the first failing slot's (0 when all
+//! succeed).
 //!
 //! Matrices are headerless CSV (one row per line, `#` comments allowed).
 //! Argument parsing is hand-rolled — the workspace takes no CLI dependency.
@@ -112,6 +121,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "generate" => cmd_generate(&mut parsed),
         "serve" => cmd_serve(&mut parsed),
         "submit" => cmd_submit(&mut parsed),
+        "submit-batch" => cmd_submit_batch(&mut parsed),
         "shutdown" => cmd_shutdown(&mut parsed),
         "help" | "--help" | "-h" => {
             print_help();
@@ -147,6 +157,16 @@ USAGE:
       = stdout); --trace-level picks the verbosity (default sweep:
       per-sweep summaries; group adds pair-group dispatches; rotation
       adds every applied/skipped rotation).
+  hjsvd svd --batch <dir-or-csv-list> [--stats PATH]
+            [--engine seq|par|blocked] [--ordering cyclic|row|greedy|presort]
+            [--threshold-schedule]
+      Decompose a whole set of matrices in one batch solve (values only).
+      The input names a directory (every *.csv inside, sorted) or a
+      comma-separated list of CSV paths. Uniform batches of small problems
+      (n <= 32, default engine/ordering) run on the batched SoA engine;
+      everything else takes the looped per-matrix path. Slots succeed and
+      fail independently; --stats writes one SolveStats JSON record per
+      successful problem, in slot order, as JSON Lines ('-' = stdout).
   hjsvd pca <data.csv> --components K [--out PREFIX]
       PCA (rows = observations). Prints explained variance; with --out,
       writes PREFIX_scores.csv and PREFIX_components.csv.
@@ -173,6 +193,13 @@ USAGE:
       (bit-identical to a local 'svd --values-only' run). --deadline-ms
       bounds the job's wall-clock time (exit code 8 when exceeded);
       rejected submissions exit with code 10.
+  hjsvd submit-batch <dir-or-csv-list> --addr HOST:PORT [--tenant NAME]
+              [--deadline-ms T]
+      Submit a whole set of matrices as ONE bulk job (protocol v3) and
+      print every slot's spectrum. The input names a directory (every
+      *.csv inside, sorted) or a comma-separated list of CSV paths.
+      Bulk jobs ride the batch priority class; slots fail independently
+      and the exit code is the first failing slot's.
   hjsvd shutdown --addr HOST:PORT [--drain-ms T]
       Gracefully stop a running server: drain in-flight jobs for up to
       --drain-ms (default 5000), then print the final stats JSON."
@@ -199,7 +226,7 @@ impl ParsedArgs {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
                 // Boolean flags take no value; everything else consumes one.
-                if matches!(name, "values-only" | "threshold-schedule" | "help") {
+                if matches!(name, "values-only" | "threshold-schedule" | "help" | "batch") {
                     flags.push(name.to_string());
                 } else {
                     let v =
@@ -330,7 +357,85 @@ fn ordering_option(p: &ParsedArgs) -> Result<Ordering, CliError> {
     }
 }
 
+/// Resolve a batch input spec — a directory (every `*.csv` inside, sorted
+/// by file name, so batch order is reproducible across filesystems) or a
+/// comma-separated list of CSV paths — into labelled matrices.
+fn load_batch(spec: &str) -> Result<Vec<(String, Matrix)>, CliError> {
+    let is_dir = std::fs::metadata(spec).map(|m| m.is_dir()).unwrap_or(false);
+    let paths: Vec<String> = if is_dir {
+        let entries = std::fs::read_dir(spec).map_err(|e| CliError::io(format!("{spec}: {e}")))?;
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "csv"))
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    } else {
+        spec.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect()
+    };
+    if paths.is_empty() {
+        return Err(CliError::usage(format!("{spec}: no CSV matrices to batch")));
+    }
+    paths.into_iter().map(|p| load(&p).map(|m| (p, m))).collect()
+}
+
+/// `hjsvd svd --batch`: values-only decomposition of a whole set of
+/// matrices through [`HestenesSvd::singular_values_batch`] — uniform small
+/// batches ride the SoA engine, everything else the looped path. Slots
+/// succeed and fail independently; `--stats` emits one SolveStats record
+/// per successful problem, in slot order, as JSON Lines.
+fn cmd_svd_batch(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let spec = p
+        .positional(0, "batch input (directory or comma-separated CSV list)")
+        .map_err(CliError::usage)?
+        .to_string();
+    let engine = engine_option(p)?;
+    let ordering = ordering_option(p)?;
+    let threshold = p.flag("threshold-schedule").then(ThresholdSchedule::default);
+    let solver = HestenesSvd::new(SvdOptions { engine, ordering, threshold, ..Default::default() });
+    let inputs = load_batch(&spec)?;
+    let mats: Vec<Matrix> = inputs.iter().map(|(_, m)| m.clone()).collect();
+    let batch = solver.singular_values_batch(&mats);
+    let mut stats_lines = Vec::new();
+    let mut first_err: Option<CliError> = None;
+    for ((path, _), res) in inputs.iter().zip(batch) {
+        match res {
+            Ok(sv) => {
+                println!(
+                    "# {path}: {} singular values ({} sweeps, engine {})",
+                    sv.values.len(),
+                    sv.sweeps,
+                    sv.stats.engine
+                );
+                for v in &sv.values {
+                    println!("{v}");
+                }
+                stats_lines.push(sv.stats.to_json());
+            }
+            Err(e) => {
+                let ce = CliError::from(e);
+                println!("# {path}: error[{}]: {}", ce.kind, ce.message);
+                first_err.get_or_insert(ce);
+            }
+        }
+    }
+    if let Some(sp) = p.opt("stats") {
+        let doc = stats_lines.join("\n") + "\n";
+        if sp == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(sp, doc).map_err(|e| CliError::io(format!("{sp}: {e}")))?;
+        }
+    }
+    first_err.map_or(Ok(()), Err)
+}
+
 fn cmd_svd(p: &mut ParsedArgs) -> Result<(), CliError> {
+    if p.flag("batch") {
+        return cmd_svd_batch(p);
+    }
     let path = p.positional(0, "input matrix path").map_err(CliError::usage)?.to_string();
     let a = load(&path)?;
     let engine = engine_option(p)?;
@@ -501,19 +606,24 @@ fn client_error(e: ClientError) -> CliError {
         ClientError::Io(err) => CliError::io(err.to_string()),
         ClientError::Protocol(err) => CliError::io(format!("protocol error: {err}")),
         ClientError::Unexpected(what) => CliError::io(format!("unexpected server reply: {what}")),
-        ClientError::Remote { code, kind, message } => {
-            let static_kind = match code {
-                CODE_REJECTED => "rejected",
-                CODE_DEADLINE => "timeout",
-                CODE_CANCELLED => "cancelled",
-                CODE_BAD_REQUEST => "bad-input",
-                _ => "solve-fault",
-            };
-            // Exit codes below 2 collide with success/panic conventions.
-            let code = if code >= 2 { code } else { 7 };
-            CliError { code, kind: static_kind, message: format!("[{kind}] {message}") }
-        }
+        ClientError::Remote { code, kind, message } => remote_error(code, &kind, &message),
     }
+}
+
+/// Map a remote error frame's wire code onto the CLI table. Shared between
+/// whole-request failures ([`ClientError::Remote`]) and per-slot failures
+/// of a bulk job ([`hjsvd::serve::RemoteFailure`]).
+fn remote_error(code: u8, kind: &str, message: &str) -> CliError {
+    let static_kind = match code {
+        CODE_REJECTED => "rejected",
+        CODE_DEADLINE => "timeout",
+        CODE_CANCELLED => "cancelled",
+        CODE_BAD_REQUEST => "bad-input",
+        _ => "solve-fault",
+    };
+    // Exit codes below 2 collide with success/panic conventions.
+    let code = if code >= 2 { code } else { 7 };
+    CliError { code, kind: static_kind, message: format!("[{kind}] {message}") }
 }
 
 fn cmd_serve(p: &mut ParsedArgs) -> Result<(), CliError> {
@@ -571,6 +681,51 @@ fn cmd_submit(p: &mut ParsedArgs) -> Result<(), CliError> {
         println!("{v}");
     }
     Ok(())
+}
+
+/// `hjsvd submit-batch`: ship a whole set of matrices to a running server
+/// as ONE bulk job (protocol v3 `SubmitBatch`) and print every slot's
+/// spectrum. Bulk jobs ride the batch priority class; per-slot failures
+/// are printed in place and the first one's code becomes the exit code.
+fn cmd_submit_batch(p: &mut ParsedArgs) -> Result<(), CliError> {
+    let spec = p
+        .positional(0, "batch input (directory or comma-separated CSV list)")
+        .map_err(CliError::usage)?
+        .to_string();
+    let addr = p.opt("addr").ok_or_else(|| CliError::usage("--addr is required"))?.to_string();
+    let deadline_ms: Option<u64> = p.opt_parse("deadline-ms").map_err(CliError::usage)?;
+    let tenant = p.opt("tenant").unwrap_or("").to_string();
+    let inputs = load_batch(&spec)?;
+    let mats: Vec<Matrix> = inputs.iter().map(|(_, m)| m.clone()).collect();
+    let mut client = Client::connect(&addr).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let outcome = client
+        .submit_batch(
+            &mats,
+            SubmitOptions { priority: Priority::Batch, deadline_ms, tenant, ..Default::default() },
+        )
+        .map_err(client_error)?;
+    println!("# job {}: {} problems", outcome.job, outcome.items.len());
+    let mut first_err: Option<CliError> = None;
+    for ((path, _), item) in inputs.iter().zip(outcome.items) {
+        match item {
+            Ok(spectrum) => {
+                println!(
+                    "# {path}: {} singular values ({} sweeps)",
+                    spectrum.values.len(),
+                    spectrum.sweeps
+                );
+                for v in &spectrum.values {
+                    println!("{v}");
+                }
+            }
+            Err(f) => {
+                let ce = remote_error(f.code, &f.kind, &f.message);
+                println!("# {path}: error[{}]: {}", ce.kind, ce.message);
+                first_err.get_or_insert(ce);
+            }
+        }
+    }
+    first_err.map_or(Ok(()), Err)
 }
 
 fn cmd_shutdown(p: &mut ParsedArgs) -> Result<(), CliError> {
@@ -864,6 +1019,83 @@ mod tests {
         assert_eq!(e.code, 7, "codes below 2 are remapped");
         let e = client_error(ClientError::Unexpected("x"));
         assert_eq!((e.code, e.kind), (3, "io"));
+    }
+
+    #[test]
+    fn svd_batch_solves_directories_and_csv_lists() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_batch");
+        std::fs::remove_dir_all(&dir).ok();
+        let mats = dir.join("mats");
+        std::fs::create_dir_all(&mats).unwrap();
+        let mut paths = Vec::new();
+        for k in 0..3 {
+            let mp = mats.join(format!("m{k}.csv")).to_str().unwrap().to_string();
+            let seed = (30 + k).to_string();
+            run(&args(&["generate", "--rows", "16", "--cols", "8", &mp, "--seed", &seed])).unwrap();
+            paths.push(mp);
+        }
+        // A stray non-CSV file in the directory is ignored.
+        std::fs::write(mats.join("notes.txt"), "not a matrix\n").unwrap();
+
+        // Directory input with per-problem stats as JSON Lines; a uniform
+        // n=8 batch under default options rides the SoA engine.
+        let sp = dir.join("stats.jsonl").to_str().unwrap().to_string();
+        run(&args(&["svd", "--batch", mats.to_str().unwrap(), "--stats", &sp])).unwrap();
+        let text = std::fs::read_to_string(&sp).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one stats record per problem: {text}");
+        for line in &lines {
+            assert!(line.starts_with('{'), "not JSONL: {line}");
+            assert!(line.contains("\"engine\":\"batch-soa\""), "{line}");
+        }
+
+        // Comma-separated list input; a non-default engine opts out of the
+        // SoA dispatch and the stats name the engine that actually ran.
+        run(&args(&["svd", "--batch", &paths.join(","), "--engine", "blocked", "--stats", &sp]))
+            .unwrap();
+        let looped = std::fs::read_to_string(&sp).unwrap();
+        assert_eq!(looped.lines().count(), 3);
+        assert!(looped.contains("\"engine\":\"blocked\""), "{looped}");
+
+        // A poisoned slot fails alone with the bad-input exit code while
+        // every other slot still solves (and still reports stats).
+        let bad = mats.join("a_bad.csv").to_str().unwrap().to_string();
+        std::fs::write(&bad, "1.0,2.0\nNaN,4.0\n").unwrap();
+        let e =
+            run(&args(&["svd", "--batch", mats.to_str().unwrap(), "--stats", &sp])).unwrap_err();
+        assert_eq!((e.code, e.kind), (4, "bad-input"));
+        assert_eq!(std::fs::read_to_string(&sp).unwrap().lines().count(), 3);
+
+        // Empty input specs are usage errors.
+        let e = run(&args(&["svd", "--batch", ","])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let e = run(&args(&["svd", "--batch", empty.to_str().unwrap()])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_batch_validates_usage_and_connectivity() {
+        let dir = std::env::temp_dir().join("hjsvd_cli_submit_batch_usage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mp = dir.join("m.csv").to_str().unwrap().to_string();
+        run(&args(&["generate", "--rows", "6", "--cols", "3", &mp, "--seed", "1"])).unwrap();
+        // Missing --addr.
+        let e = run(&args(&["submit-batch", &mp])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        // Missing input spec.
+        let e = run(&args(&["submit-batch", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert_eq!((e.code, e.kind), (2, "usage"));
+        // A dead address is an io error, not a hang.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let e = run(&args(&["submit-batch", &mp, "--addr", &dead])).unwrap_err();
+        assert_eq!((e.code, e.kind), (3, "io"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

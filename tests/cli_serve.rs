@@ -104,6 +104,49 @@ fn serve_submit_shutdown_round_trip_is_bit_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Bulk submission over a real server: a directory of matrices goes up as
+/// ONE protocol-v3 job, and every slot's printed spectrum matches the
+/// local `svd --values-only` run line-for-line (same `{v}` formatting).
+#[test]
+fn submit_batch_round_trip_matches_local_solves() {
+    let dir = std::env::temp_dir().join("hjsvd_cli_serve_batch");
+    std::fs::remove_dir_all(&dir).ok();
+    let mats = dir.join("mats");
+    std::fs::create_dir_all(&mats).expect("scratch dir");
+    let mut paths = Vec::new();
+    for k in 0..3 {
+        let mp = mats.join(format!("m{k}.csv")).to_str().expect("utf-8 path").to_string();
+        let seed = (60 + k).to_string();
+        let gen = hjsvd(&["generate", "--rows", "20", "--cols", "8", &mp, "--seed", &seed]);
+        assert!(gen.status.success(), "generate failed: {}", stderr_of(&gen));
+        paths.push(mp);
+    }
+    let (mut child, addr) = spawn_serve(&[]);
+
+    let remote = hjsvd(&["submit-batch", mats.to_str().unwrap(), "--addr", &addr]);
+    assert!(remote.status.success(), "submit-batch failed: {}", stderr_of(&remote));
+    let stdout = stdout_of(&remote);
+    assert!(stdout.starts_with("# job "), "{stdout}");
+    assert!(stdout.contains(": 3 problems"), "{stdout}");
+
+    // Slots print in submission (sorted-by-name) order. A uniform n=8 bulk
+    // job rides the SoA batch engine on the server, so the bit-identity
+    // reference is a local `svd --batch` over the same directory — same
+    // engine, same inputs, same order; the wire must not perturb a bit.
+    let local = hjsvd(&["svd", "--batch", mats.to_str().unwrap()]);
+    assert!(local.status.success(), "local batch svd failed: {}", stderr_of(&local));
+    let expected = value_lines(&stdout_of(&local));
+    assert_eq!(expected.len(), 24);
+    assert_eq!(value_lines(&stdout), expected, "bulk spectra differ from local batch solve");
+
+    // The whole batch was one job.
+    let down = hjsvd(&["shutdown", "--addr", &addr]);
+    assert!(down.status.success(), "shutdown failed: {}", stderr_of(&down));
+    assert!(stdout_of(&down).contains("\"completed\":1"), "{}", stdout_of(&down));
+    assert!(child.wait().expect("serve exit").success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A submission with an already-expired deadline comes back as exit code 8
 /// (`timeout` kind) through the spawned binary — the wire error code maps
 /// straight onto the CLI exit-code table.

@@ -238,3 +238,76 @@ fn injected_run_with_no_planned_corruptions_matches_clean_run_bitwise() {
         assert_eq!(injected.stats.recoveries, 0);
     }
 }
+
+#[test]
+fn poisoned_batch_lane_aborts_alone_and_neighbors_are_bit_unaffected() {
+    // Per-lane fault isolation in the SoA batch engine: a NaN written into
+    // one problem's interleaved Gram triangle aborts THAT lane with a
+    // structured non-finite-gram fault, while every other lane's spectrum,
+    // sweep count, and history match the clean batch run bit-for-bit — the
+    // software analogue of the paper's independent processing elements.
+    use hjsvd::core::batch_engine::{BatchDriver, BatchWorkspace, LaneCorruption};
+
+    let mats: Vec<_> = (0..12).map(|k| gen::uniform(18, 6, 500 + k)).collect();
+    let s = solver(EngineKind::Sequential);
+    let clean = s.singular_values_batch_soa(&mats);
+
+    let driver = BatchDriver::new(&s);
+    let mut ws = BatchWorkspace::new();
+    driver.load(&mut ws, &mats);
+    let plan = [LaneCorruption { problem: 4, sweep: 2, i: 1, j: 3, value: f64::NAN }];
+    driver.sweep_to_convergence_corrupted(&mut ws, &plan);
+    let batch = driver.extract(&ws, &mats);
+
+    for (p, (res, want)) in batch.iter().zip(&clean).enumerate() {
+        if p == 4 {
+            match res {
+                Err(SvdError::SolveFault { fault, sweeps_completed, .. }) => {
+                    assert_eq!(fault.kind(), "non-finite-gram", "{fault}");
+                    assert!(*sweeps_completed >= 2, "detected at the poisoned sweep");
+                }
+                other => panic!("poisoned lane must abort with a solve fault, got {other:?}"),
+            }
+        } else {
+            let (got, want) = (res.as_ref().unwrap(), want.as_ref().unwrap());
+            assert_eq!(got.values, want.values, "lane {p} perturbed by its neighbor's fault");
+            assert_eq!(got.sweeps, want.sweeps, "lane {p} sweep count drifted");
+            assert_eq!(got.history, want.history, "lane {p} history drifted");
+        }
+    }
+}
+
+#[test]
+fn multiple_poisoned_lanes_fail_independently() {
+    // Several corrupted lanes, several fault classes (NaN gram entry and a
+    // hard-negative diagonal), one shared sweep loop: each poisoned lane
+    // reports its own fault; the survivors still match the clean run.
+    use hjsvd::core::batch_engine::{BatchDriver, BatchWorkspace, LaneCorruption};
+
+    let mats: Vec<_> = (0..8).map(|k| gen::uniform(16, 5, 800 + k)).collect();
+    let s = solver(EngineKind::Sequential);
+    let clean = s.singular_values_batch_soa(&mats);
+
+    let driver = BatchDriver::new(&s);
+    let mut ws = BatchWorkspace::new();
+    driver.load(&mut ws, &mats);
+    let plan = [
+        LaneCorruption { problem: 1, sweep: 1, i: 0, j: 2, value: f64::NAN },
+        LaneCorruption { problem: 6, sweep: 2, i: 3, j: 3, value: -1e12 },
+    ];
+    driver.sweep_to_convergence_corrupted(&mut ws, &plan);
+    let batch = driver.extract(&ws, &mats);
+
+    let mut kinds = Vec::new();
+    for (p, (res, want)) in batch.iter().zip(&clean).enumerate() {
+        match (p, res) {
+            (1 | 6, Err(SvdError::SolveFault { fault, .. })) => kinds.push(fault.kind()),
+            (1 | 6, other) => panic!("lane {p} must abort, got {other:?}"),
+            (_, res) => {
+                let (got, want) = (res.as_ref().unwrap(), want.as_ref().unwrap());
+                assert_eq!(got.values, want.values, "lane {p} perturbed");
+            }
+        }
+    }
+    assert_eq!(kinds, ["non-finite-gram", "negative-diagonal"]);
+}

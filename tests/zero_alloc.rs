@@ -237,6 +237,48 @@ fn serving_loop_reuses_one_workspace_and_bounds_per_job_allocations() {
 }
 
 #[test]
+fn batch_workspace_solves_allocate_only_results_after_warmup() {
+    // The SoA batch engine follows the same discipline as the sweep
+    // workspaces: the first batch sizes the interleaved triangle and every
+    // per-lane buffer; repeated same-shape batches never grow the
+    // workspace again, so steady-state allocation traffic is the
+    // per-problem result construction alone (values, history, stats) — a
+    // constant per batch, independent of how many batches have run.
+    let _guard = serial_guard();
+    use hjsvd::core::{BatchWorkspace, HestenesSvd, SvdOptions};
+    let solver = HestenesSvd::new(SvdOptions::default());
+    let mats: Vec<Matrix> = (0..24).map(|k| gen::uniform(16, 8, 70 + k)).collect();
+    let mut ws = BatchWorkspace::new();
+
+    // Warm-up batch: sizes the SoA triangle and the lane-state buffers.
+    let first = solver.singular_values_batch_soa_with_workspace(&mats, &mut ws);
+    assert!(first.iter().all(|r| r.is_ok()), "warm-up batch must solve");
+    let warm = ws.allocations();
+    assert!(warm > 0, "warm-up must have sized the workspace");
+
+    let mut deltas = Vec::new();
+    for _ in 0..6 {
+        let before = allocation_count();
+        let batch = solver.singular_values_batch_soa_with_workspace(&mats, &mut ws);
+        deltas.push(allocation_count() - before);
+        assert!(batch.iter().all(|r| r.is_ok()));
+    }
+    // The workspace itself is in zero-allocation steady state...
+    assert_eq!(ws.allocations(), warm, "workspace grew after warm-up");
+    // ...and whole-batch traffic is bounded by result construction: a small
+    // constant per problem.
+    let bound = mats.len() * 16;
+    let worst = deltas.iter().copied().max().unwrap();
+    assert!(worst <= bound, "a batch solve allocated {worst} times (> {bound}): {deltas:?}");
+    // No drift across batches (same shapes, warm workspace); a couple of
+    // events of slack absorbs harness-thread noise.
+    assert!(
+        *deltas.last().unwrap() <= deltas.first().unwrap() + 2,
+        "per-batch allocations grew across repeated solves: {deltas:?}"
+    );
+}
+
+#[test]
 fn reused_workspace_allocations_are_per_problem_not_per_sweep() {
     // Swap-publishing trades buffers with the caller's matrices, so moving a
     // warm workspace to a NEW problem can cost a bounded handful of buffer
